@@ -1,0 +1,93 @@
+// Ablation: the paper-literal Eq. 2-3 recursion against the same recursion
+// with the exact-field verification (DESIGN.md section 3, item 4). Eq. 3
+// prices detours as clear Manhattan legs to the blocking sequence's
+// corners; in dense fault fields those legs can themselves be blocked, and
+// the literal recursion then over-pays or fails. This bench quantifies how
+// often — i.e., where Theorem 1's premise stops holding operationally.
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "fault/analysis.h"
+#include "fault/injectors.h"
+#include "route/bfs.h"
+#include "route/rb2.h"
+#include "route/validate.h"
+
+int main(int argc, char** argv) {
+  using namespace meshrt;
+  CliFlags flags;
+  flags.define("size", "100", "mesh side length");
+  flags.define("trials", "4", "fault configurations per level");
+  flags.define("pairs", "15", "routed pairs per configuration");
+  flags.define("seed", "2007", "master random seed");
+  flags.define("csv", "", "also write the table to this CSV file");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const Mesh2D mesh = Mesh2D::square(static_cast<Coord>(
+      flags.integer("size")));
+  const auto trials = static_cast<std::size_t>(flags.integer("trials"));
+  const auto pairsWanted = static_cast<std::size_t>(flags.integer("pairs"));
+
+  std::cout << "RB2 shortest-path success: literal Eq.2-3 recursion vs "
+               "verified (exact-field fallback)\n\n";
+
+  Table table({"faults", "literal", "verified", "literal rel-err"});
+  for (std::size_t faultsCount : {500u, 1000u, 1500u, 2000u, 2500u, 3000u}) {
+    RatioCounter literal;
+    RatioCounter verified;
+    Accumulator literalErr;
+    for (std::size_t t = 0; t < trials; ++t) {
+      Rng rng = Rng::forStream(
+          static_cast<std::uint64_t>(flags.integer("seed")),
+          faultsCount * 1000 + t);
+      const FaultSet faults = injectUniform(mesh, faultsCount, rng);
+      const FaultAnalysis fa(faults);
+      Rb2Router literalRouter(fa, PathOrder::Balanced,
+                              /*exactFallback=*/false);
+      Rb2Router verifiedRouter(fa, PathOrder::Balanced,
+                               /*exactFallback=*/true);
+
+      std::size_t sampled = 0;
+      std::size_t guard = 0;
+      while (sampled < pairsWanted && guard++ < pairsWanted * 60) {
+        const Point s{static_cast<Coord>(rng.below(
+                          static_cast<std::uint64_t>(mesh.width()))),
+                      static_cast<Coord>(rng.below(
+                          static_cast<std::uint64_t>(mesh.height())))};
+        const Point d{static_cast<Coord>(rng.below(
+                          static_cast<std::uint64_t>(mesh.width()))),
+                      static_cast<Coord>(rng.below(
+                          static_cast<std::uint64_t>(mesh.height())))};
+        if (s == d || faults.isFaulty(s) || faults.isFaulty(d)) continue;
+        const auto& qa = fa.forPair(s, d);
+        const Point sL = qa.frame().toLocal(s);
+        const Point dL = qa.frame().toLocal(d);
+        if (!qa.labels().isSafe(sL) || !qa.labels().isSafe(dL)) continue;
+        const auto dist = safeDistances(qa.localMesh(), qa.labels(), sL);
+        if (dist[dL] == kUnreachable || dist[dL] == 0) continue;
+        ++sampled;
+
+        const auto rl = literalRouter.route(s, d);
+        literal.add(rl.delivered && rl.hops() == dist[dL]);
+        if (rl.delivered) {
+          literalErr.add(static_cast<double>(rl.hops() - dist[dL]) /
+                         static_cast<double>(dist[dL]));
+        }
+        const auto rv = verifiedRouter.route(s, d);
+        verified.add(rv.delivered && rv.hops() == dist[dL]);
+      }
+    }
+    table.row()
+        .cell(static_cast<std::int64_t>(faultsCount))
+        .cell(literal.percent())
+        .cell(verified.percent())
+        .cell(literalErr.mean(), 4);
+  }
+  table.print(std::cout);
+  const std::string csv = flags.str("csv");
+  if (!csv.empty()) table.writeCsvFile(csv);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation: how much is the B3 information worth? Runs RB3 with three
+// knowledge levels — neighbor sensing only, the paper's boundary stores,
+// and full information (= RB2) — and reports shortest-path success.
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "fault/analysis.h"
+#include "fault/injectors.h"
+#include "route/bfs.h"
+#include "route/rb3.h"
+#include "route/validate.h"
+
+int main(int argc, char** argv) {
+  using namespace meshrt;
+  CliFlags flags;
+  flags.define("size", "100", "mesh side length");
+  flags.define("trials", "4", "fault configurations per level");
+  flags.define("pairs", "15", "routed pairs per configuration");
+  flags.define("seed", "2007", "master random seed");
+  flags.define("csv", "", "also write the table to this CSV file");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const Mesh2D mesh = Mesh2D::square(static_cast<Coord>(
+      flags.integer("size")));
+  const auto trials = static_cast<std::size_t>(flags.integer("trials"));
+  const auto pairsWanted = static_cast<std::size_t>(flags.integer("pairs"));
+
+  std::cout << "RB3 shortest-path success by knowledge level ("
+            << mesh.width() << "x" << mesh.height() << " mesh)\n\n";
+
+  Table table({"faults", "sensing-only", "boundary (B3)", "full (=RB2)"});
+  for (std::size_t faultsCount : {500u, 1500u, 2500u}) {
+    std::array<RatioCounter, 3> success;
+    for (std::size_t t = 0; t < trials; ++t) {
+      Rng rng = Rng::forStream(
+          static_cast<std::uint64_t>(flags.integer("seed")),
+          faultsCount * 1000 + t);
+      const FaultSet faults = injectUniform(mesh, faultsCount, rng);
+      const FaultAnalysis fa(faults);
+      Rb3Router contact(fa, PathOrder::Balanced, Rb3Knowledge::ContactOnly);
+      Rb3Router boundary(fa, PathOrder::Balanced, Rb3Knowledge::Boundary);
+      Rb3Router full(fa, PathOrder::Balanced, Rb3Knowledge::Full);
+      const std::array<Router*, 3> routers{&contact, &boundary, &full};
+
+      std::size_t sampled = 0;
+      std::size_t guard = 0;
+      while (sampled < pairsWanted && guard++ < pairsWanted * 60) {
+        const Point s{static_cast<Coord>(rng.below(
+                          static_cast<std::uint64_t>(mesh.width()))),
+                      static_cast<Coord>(rng.below(
+                          static_cast<std::uint64_t>(mesh.height())))};
+        const Point d{static_cast<Coord>(rng.below(
+                          static_cast<std::uint64_t>(mesh.width()))),
+                      static_cast<Coord>(rng.below(
+                          static_cast<std::uint64_t>(mesh.height())))};
+        if (s == d || faults.isFaulty(s) || faults.isFaulty(d)) continue;
+        const auto& qa = fa.forPair(s, d);
+        const Point sL = qa.frame().toLocal(s);
+        const Point dL = qa.frame().toLocal(d);
+        if (!qa.labels().isSafe(sL) || !qa.labels().isSafe(dL)) continue;
+        const auto dist = safeDistances(qa.localMesh(), qa.labels(), sL);
+        if (dist[dL] == kUnreachable || dist[dL] == 0) continue;
+        ++sampled;
+        for (std::size_t r = 0; r < routers.size(); ++r) {
+          const auto res = routers[r]->route(s, d);
+          success[r].add(res.delivered &&
+                         isValidPath(faults, s, d, res.path) &&
+                         res.hops() == dist[dL]);
+        }
+      }
+    }
+    table.row()
+        .cell(static_cast<std::int64_t>(faultsCount))
+        .cell(success[0].percent())
+        .cell(success[1].percent())
+        .cell(success[2].percent());
+  }
+  table.print(std::cout);
+  const std::string csv = flags.str("csv");
+  if (!csv.empty()) table.writeCsvFile(csv);
+  return 0;
+}

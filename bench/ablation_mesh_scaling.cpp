@@ -1,0 +1,56 @@
+// Ablation: does the Figure 5(d) story hold across mesh sizes? Fixes the
+// fault RATE (10% of nodes) and sweeps the mesh side length, reporting
+// shortest-path success for RB1/RB2/RB3 (the paper's future-work question
+// about other topologies, answered for scaled meshes).
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "harness/routing_sweep.h"
+
+int main(int argc, char** argv) {
+  using namespace meshrt;
+  CliFlags flags;
+  flags.define("trials", "10", "fault configurations per size");
+  flags.define("pairs", "20", "routed pairs per configuration");
+  flags.define("rate", "0.10", "fault fraction of nodes");
+  flags.define("seed", "2007", "master random seed");
+  flags.define("csv", "", "also write the table to this CSV file");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const double rate = flags.real("rate");
+  std::cout << "Shortest-path success vs mesh size at "
+            << 100 * rate << "% faults (" << flags.integer("trials")
+            << " configs x " << flags.integer("pairs") << " pairs)\n\n";
+
+  Table table({"size", "faults", "RB1", "RB2", "RB3", "E-cube err"});
+  for (Coord size : {20, 40, 60, 80, 100}) {
+    SweepConfig cfg;
+    cfg.meshSize = size;
+    cfg.configsPerLevel = static_cast<std::size_t>(flags.integer("trials"));
+    cfg.pairsPerConfig = static_cast<std::size_t>(flags.integer("pairs"));
+    cfg.seed = static_cast<std::uint64_t>(flags.integer("seed")) +
+               static_cast<std::uint64_t>(size);
+    const auto faults = static_cast<std::size_t>(
+        rate * static_cast<double>(size) * static_cast<double>(size));
+    cfg.faultLevels = {faults};
+    const auto rows = runRoutingSweep(cfg);
+    const auto& row = rows.front();
+    table.row()
+        .cell(static_cast<std::int64_t>(size))
+        .cell(static_cast<std::int64_t>(faults))
+        .cell(row.success[static_cast<std::size_t>(RouterKind::Rb1)]
+                  .percent())
+        .cell(row.success[static_cast<std::size_t>(RouterKind::Rb2)]
+                  .percent())
+        .cell(row.success[static_cast<std::size_t>(RouterKind::Rb3)]
+                  .percent())
+        .cell(row.relativeError[static_cast<std::size_t>(RouterKind::Ecube)]
+                  .mean(),
+              4);
+  }
+  table.print(std::cout);
+  const std::string csv = flags.str("csv");
+  if (!csv.empty()) table.writeCsvFile(csv);
+  return 0;
+}

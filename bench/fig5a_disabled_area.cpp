@@ -1,0 +1,29 @@
+// Figure 5(a): percentage of disabled (unsafe) area to the total area of
+// the mesh, MAX and AVG over random fault configurations per fault level.
+#include <iostream>
+
+#include "harness/bench_main.h"
+#include "harness/fault_sweep.h"
+
+int main(int argc, char** argv) {
+  using namespace meshrt;
+  CliFlags flags;
+  defineSweepFlags(flags);
+  if (!flags.parse(argc, argv)) return 1;
+  const SweepConfig cfg = sweepFromFlags(flags);
+
+  std::cout << "Figure 5(a): disabled area (% of mesh), " << cfg.meshSize
+            << "x" << cfg.meshSize << " mesh, " << cfg.configsPerLevel
+            << " configs/level, seed " << cfg.seed << "\n\n";
+
+  const auto rows = runFaultSweep(cfg);
+  Table table({"faults", "MAX", "AVG"});
+  for (const auto& row : rows) {
+    table.row()
+        .cell(static_cast<std::int64_t>(row.faults))
+        .cell(row.disabledPct.max())
+        .cell(row.disabledPct.mean());
+  }
+  emitTable(table, flags);
+  return 0;
+}

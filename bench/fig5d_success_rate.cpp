@@ -1,0 +1,38 @@
+// Figure 5(d): percentage of routings that find a shortest path, for RB1,
+// RB2 and RB3 (delivered AND length equals the BFS optimum over healthy
+// nodes).
+#include <iostream>
+
+#include "harness/bench_main.h"
+#include "harness/routing_sweep.h"
+
+int main(int argc, char** argv) {
+  using namespace meshrt;
+  CliFlags flags;
+  defineSweepFlags(flags);
+  if (!flags.parse(argc, argv)) return 1;
+  const SweepConfig cfg = sweepFromFlags(flags);
+
+  std::cout << "Figure 5(d): % success in finding the shortest path, "
+            << cfg.meshSize << "x" << cfg.meshSize << " mesh, "
+            << cfg.configsPerLevel << " configs/level, "
+            << cfg.pairsPerConfig << " pairs/config, seed " << cfg.seed
+            << "\n\n";
+
+  const auto rows = runRoutingSweep(cfg);
+  Table table({"faults", "RB1", "RB2", "RB3", "pairs"});
+  for (const auto& row : rows) {
+    table.row()
+        .cell(static_cast<std::int64_t>(row.faults))
+        .cell(row.success[static_cast<std::size_t>(RouterKind::Rb1)]
+                  .percent())
+        .cell(row.success[static_cast<std::size_t>(RouterKind::Rb2)]
+                  .percent())
+        .cell(row.success[static_cast<std::size_t>(RouterKind::Rb3)]
+                  .percent())
+        .cell(static_cast<std::int64_t>(
+            row.success[static_cast<std::size_t>(RouterKind::Rb2)].total()));
+  }
+  emitTable(table, flags);
+  return 0;
+}

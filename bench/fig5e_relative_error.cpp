@@ -1,0 +1,45 @@
+// Figure 5(e): relative error of the delivered routing path length to the
+// shortest path, for E-cube, RB1, RB2 and RB3.
+#include <iostream>
+
+#include "harness/bench_main.h"
+#include "harness/routing_sweep.h"
+
+int main(int argc, char** argv) {
+  using namespace meshrt;
+  CliFlags flags;
+  defineSweepFlags(flags);
+  if (!flags.parse(argc, argv)) return 1;
+  const SweepConfig cfg = sweepFromFlags(flags);
+
+  std::cout << "Figure 5(e): relative error of routing path length vs the "
+               "shortest path, "
+            << cfg.meshSize << "x" << cfg.meshSize << " mesh, "
+            << cfg.configsPerLevel << " configs/level, "
+            << cfg.pairsPerConfig << " pairs/config, seed " << cfg.seed
+            << "\n\n";
+
+  const auto rows = runRoutingSweep(cfg);
+  Table table(
+      {"faults", "E-cube", "RB1", "RB2", "RB3", "deliv(E-cube)%"});
+  for (const auto& row : rows) {
+    table.row()
+        .cell(static_cast<std::int64_t>(row.faults))
+        .cell(row.relativeError[static_cast<std::size_t>(RouterKind::Ecube)]
+                  .mean(),
+              4)
+        .cell(row.relativeError[static_cast<std::size_t>(RouterKind::Rb1)]
+                  .mean(),
+              4)
+        .cell(row.relativeError[static_cast<std::size_t>(RouterKind::Rb2)]
+                  .mean(),
+              4)
+        .cell(row.relativeError[static_cast<std::size_t>(RouterKind::Rb3)]
+                  .mean(),
+              4)
+        .cell(row.delivered[static_cast<std::size_t>(RouterKind::Ecube)]
+                  .percent());
+  }
+  emitTable(table, flags);
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Google-benchmark microbenchmarks for the library's hot kernels: labeling,
+// MCC extraction, knowledge construction, planning and BFS.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "fault/analysis.h"
+#include "fault/injectors.h"
+#include "info/knowledge.h"
+#include "route/bfs.h"
+#include "route/planner.h"
+#include "route/rb2.h"
+
+namespace {
+
+using namespace meshrt;
+
+FaultSet makeFaults(Coord size, std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  return injectUniform(Mesh2D::square(size), count, rng);
+}
+
+void BM_Labeling(benchmark::State& state) {
+  const auto size = static_cast<Coord>(state.range(0));
+  const auto faults = makeFaults(
+      size, static_cast<std::size_t>(size) * static_cast<std::size_t>(size) /
+                10,
+      42);
+  const Mesh2D mesh = Mesh2D::square(size);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(computeLabels(mesh, faults));
+  }
+  state.SetItemsProcessed(state.iterations() * mesh.nodeCount());
+}
+BENCHMARK(BM_Labeling)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_MccExtraction(benchmark::State& state) {
+  const auto size = static_cast<Coord>(state.range(0));
+  const auto faults = makeFaults(
+      size, static_cast<std::size_t>(size) * static_cast<std::size_t>(size) /
+                10,
+      42);
+  const Mesh2D mesh = Mesh2D::square(size);
+  const auto labels = computeLabels(mesh, faults);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractMccs(mesh, labels));
+  }
+}
+BENCHMARK(BM_MccExtraction)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_QuadrantAnalysis(benchmark::State& state) {
+  const auto faults = makeFaults(100, 1000, 42);
+  for (auto _ : state) {
+    const QuadrantAnalysis qa(faults, Quadrant::NE);
+    benchmark::DoNotOptimize(qa.mccs().size());
+  }
+}
+BENCHMARK(BM_QuadrantAnalysis);
+
+void BM_KnowledgeBuild(benchmark::State& state) {
+  const auto faults = makeFaults(100, 1000, 42);
+  const QuadrantAnalysis qa(faults, Quadrant::NE);
+  const auto model = static_cast<InfoModel>(state.range(0));
+  for (auto _ : state) {
+    const QuadrantInfo info(qa, model);
+    benchmark::DoNotOptimize(info.involvedCount());
+  }
+  state.SetLabel(std::string(infoModelName(model)));
+}
+BENCHMARK(BM_KnowledgeBuild)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_PlannerBlocked(benchmark::State& state) {
+  // A wall forces the planner through the full chain/Eq.2 machinery.
+  const Mesh2D mesh = Mesh2D::square(100);
+  FaultSet faults(mesh);
+  for (Coord x = 10; x <= 90; ++x) faults.add({x, 50});
+  const QuadrantAnalysis qa(faults, Quadrant::NE);
+  DetourPlanner planner(qa);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan({50, 20}, {50, 80}, nullptr));
+  }
+}
+BENCHMARK(BM_PlannerBlocked);
+
+void BM_Rb2Route(benchmark::State& state) {
+  const auto faults = makeFaults(100, static_cast<std::size_t>(
+                                          state.range(0)),
+                                 42);
+  const FaultAnalysis fa(faults);
+  Rb2Router rb2(fa);
+  Rng rng(7);
+  for (auto _ : state) {
+    const Point s{static_cast<Coord>(rng.below(100)),
+                  static_cast<Coord>(rng.below(100))};
+    const Point d{static_cast<Coord>(rng.below(100)),
+                  static_cast<Coord>(rng.below(100))};
+    if (faults.isFaulty(s) || faults.isFaulty(d)) continue;
+    benchmark::DoNotOptimize(rb2.route(s, d));
+  }
+}
+BENCHMARK(BM_Rb2Route)->Arg(500)->Arg(1500)->Arg(2500);
+
+void BM_HealthyBfs(benchmark::State& state) {
+  const auto faults = makeFaults(100, 1000, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(healthyDistances(faults, {1, 1}));
+  }
+}
+BENCHMARK(BM_HealthyBfs);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// NoC demo: drives the flit-level wormhole network with synthetic traffic,
+// comparing dimension-order E-cube against the paper's RB2/RB3 routing in
+// a faulty mesh — the "any fully adaptive routing process could be applied"
+// claim exercised at cycle level.
+//
+//   ./noc_demo [--size N] [--faults K] [--rate R] [--cycles C] [--seed S]
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "fault/analysis.h"
+#include "fault/injectors.h"
+#include "noc/network.h"
+#include "noc/traffic.h"
+#include "route/ecube.h"
+#include "route/rb2.h"
+#include "route/rb3.h"
+
+int main(int argc, char** argv) {
+  using namespace meshrt;
+  CliFlags flags;
+  flags.define("size", "16", "mesh side length");
+  flags.define("faults", "12", "number of random faults");
+  flags.define("rate", "0.02", "packet injection rate per node per cycle");
+  flags.define("cycles", "2000", "injection window in cycles");
+  flags.define("seed", "42", "random seed");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const Mesh2D mesh = Mesh2D::square(static_cast<Coord>(
+      flags.integer("size")));
+  Rng rng(static_cast<std::uint64_t>(flags.integer("seed")));
+  const FaultSet faults = injectUniform(
+      mesh, static_cast<std::size_t>(flags.integer("faults")), rng);
+  const FaultAnalysis fa(faults);
+
+  EcubeRouter ecube(faults);
+  Rb2Router rb2(fa, PathOrder::XFirst);
+  Rb3Router rb3(fa, PathOrder::XFirst);
+
+  std::cout << "wormhole mesh " << mesh.width() << "x" << mesh.height()
+            << ", " << faults.count() << " faults, rate "
+            << flags.real("rate") << " pkt/node/cycle\n\n";
+
+  Table table({"router", "injected", "delivered", "avg latency",
+               "throughput", "stalled"});
+  for (Router* router : std::initializer_list<Router*>{&ecube, &rb2, &rb3}) {
+    NocConfig cfg;
+    NocNetwork net(faults, *router, cfg);
+    TrafficGenerator gen(mesh, TrafficPattern::UniformRandom,
+                         flags.real("rate"),
+                         Rng(static_cast<std::uint64_t>(
+                             flags.integer("seed"))));
+    std::size_t injected = 0;
+    const auto window = static_cast<std::uint64_t>(flags.integer("cycles"));
+    for (std::uint64_t c = 0; c < window; ++c) {
+      for (auto [s, d] : gen.tick()) {
+        if (net.inject(s, d)) ++injected;
+      }
+      net.step();
+    }
+    net.drain();
+    std::size_t delivered = 0;
+    for (const auto& rec : net.packets()) {
+      if (rec.delivered) ++delivered;
+    }
+    table.row()
+        .cell(std::string(router->name()))
+        .cell(static_cast<std::int64_t>(injected))
+        .cell(static_cast<std::int64_t>(delivered))
+        .cell(net.averageLatency())
+        .cell(net.throughput(), 4)
+        .cell(net.stalled() ? "yes" : "no");
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Protocol trace: runs the actual distributed processes on the synchronous
+// message-passing substrate — labeling, ring identification, boundary
+// construction and (for B2) the forbidden-region broadcast — and prints the
+// per-stage communication bill. This is the "fully distributed process"
+// the paper's title promises, executed message by message.
+//
+//   ./protocol_trace [--size N] [--faults K] [--seed S]
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "fault/analysis.h"
+#include "fault/injectors.h"
+#include "sim/labeling_protocol.h"
+#include "sim/propagation_protocol.h"
+
+int main(int argc, char** argv) {
+  using namespace meshrt;
+  CliFlags flags;
+  flags.define("size", "40", "mesh side length");
+  flags.define("faults", "120", "number of random faults");
+  flags.define("seed", "17", "random seed");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const Mesh2D mesh = Mesh2D::square(static_cast<Coord>(
+      flags.integer("size")));
+  Rng rng(static_cast<std::uint64_t>(flags.integer("seed")));
+  const FaultSet faults = injectUniform(
+      mesh, static_cast<std::size_t>(flags.integer("faults")), rng);
+
+  std::cout << "distributed protocol trace, " << mesh.width() << "x"
+            << mesh.height() << " mesh, " << faults.count() << " faults\n\n";
+
+  // Stage 0: the labeling protocol (status exchange to fixpoint).
+  const auto labeling = runDistributedLabeling(mesh, faults);
+  std::cout << "labeling: " << labeling.messages << " messages, "
+            << labeling.rounds << " rounds, "
+            << countUnsafe(mesh, labeling.labels) << " unsafe nodes\n";
+
+  // Stages 1-3 per information model.
+  const QuadrantAnalysis qa(faults, Quadrant::NE);
+  std::cout << "MCCs identified: " << qa.mccs().size() << "\n\n";
+
+  Table table({"model", "messages", "rounds", "involved nodes",
+               "msg/safe-node"});
+  const auto safeNodes = static_cast<double>(mesh.nodeCount()) -
+                         static_cast<double>(qa.unsafeCount());
+  for (int m = 0; m < 3; ++m) {
+    const auto model = static_cast<InfoModel>(m);
+    const PropagationResult res = runInfoPropagation(qa, model);
+    table.row()
+        .cell(std::string(infoModelName(model)))
+        .cell(static_cast<std::int64_t>(res.messages))
+        .cell(static_cast<std::int64_t>(res.rounds))
+        .cell(static_cast<std::int64_t>(res.involvedNodes))
+        .cell(safeNodes > 0 ? static_cast<double>(res.messages) / safeNodes
+                            : 0.0);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPer-node stores after B3 propagation (sample):\n";
+  const PropagationResult b3 = runInfoPropagation(qa, InfoModel::B3);
+  int shown = 0;
+  for (Coord y = 0; y < mesh.height() && shown < 8; ++y) {
+    for (Coord x = 0; x < mesh.width() && shown < 8; ++x) {
+      const auto node = static_cast<std::size_t>(mesh.id({x, y}));
+      if (b3.knownI[node].size() >= 2) {
+        std::cout << "  node (" << x << "," << y << ") holds type-I triples"
+                  << " of MCCs {";
+        for (std::size_t i = 0; i < b3.knownI[node].size(); ++i) {
+          std::cout << (i ? "," : "") << "F" << b3.knownI[node][i];
+        }
+        std::cout << "}\n";
+        ++shown;
+      }
+    }
+  }
+  return 0;
+}

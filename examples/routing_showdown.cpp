@@ -1,0 +1,135 @@
+// Routing showdown: one fault configuration, many source/destination
+// pairs, every router — prints the per-router score card the paper's
+// Figure 5(d)/(e) aggregates, plus one rendered example route per router.
+//
+//   ./routing_showdown [--size N] [--faults K] [--pairs P] [--seed S]
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "fault/analysis.h"
+#include "fault/injectors.h"
+#include "mesh/ascii_grid.h"
+#include "route/bfs.h"
+#include "route/ecube.h"
+#include "route/optimal.h"
+#include "route/rb1.h"
+#include "route/rb2.h"
+#include "route/rb3.h"
+#include "route/safety_vector.h"
+#include "route/validate.h"
+
+int main(int argc, char** argv) {
+  using namespace meshrt;
+  CliFlags flags;
+  flags.define("size", "32", "mesh side length");
+  flags.define("faults", "120", "number of random faults");
+  flags.define("pairs", "200", "routed source/destination pairs");
+  flags.define("seed", "2007", "random seed");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const Mesh2D mesh = Mesh2D::square(static_cast<Coord>(
+      flags.integer("size")));
+  Rng rng(static_cast<std::uint64_t>(flags.integer("seed")));
+  const FaultSet faults = injectUniform(
+      mesh, static_cast<std::size_t>(flags.integer("faults")), rng);
+  const FaultAnalysis fa(faults);
+
+  EcubeRouter ecube(faults);
+  SafetyVectorRouter sv(faults);
+  Rb1Router rb1(fa);
+  Rb2Router rb2(fa);
+  Rb3Router rb3(fa);
+  const std::vector<Router*> routers{&ecube, &sv, &rb1, &rb2, &rb3};
+
+  struct Score {
+    std::size_t delivered = 0;
+    std::size_t shortest = 0;
+    double relErrSum = 0;
+  };
+  std::vector<Score> scores(routers.size());
+  std::size_t cases = 0;
+
+  const auto pairsWanted = static_cast<std::size_t>(flags.integer("pairs"));
+  std::size_t guard = 0;
+  while (cases < pairsWanted && guard++ < pairsWanted * 50) {
+    const Point s{static_cast<Coord>(rng.below(
+                      static_cast<std::uint64_t>(mesh.width()))),
+                  static_cast<Coord>(rng.below(
+                      static_cast<std::uint64_t>(mesh.height())))};
+    const Point d{static_cast<Coord>(rng.below(
+                      static_cast<std::uint64_t>(mesh.width()))),
+                  static_cast<Coord>(rng.below(
+                      static_cast<std::uint64_t>(mesh.height())))};
+    if (s == d || faults.isFaulty(s) || faults.isFaulty(d)) continue;
+    const auto& qa = fa.forPair(s, d);
+    if (!qa.isSafeWorld(s) || !qa.isSafeWorld(d)) continue;
+    const auto safeDist =
+        safeDistances(qa.localMesh(), qa.labels(), qa.frame().toLocal(s));
+    const Distance opt = safeDist[qa.frame().toLocal(d)];
+    if (opt <= 0) continue;
+    ++cases;
+
+    for (std::size_t r = 0; r < routers.size(); ++r) {
+      const auto res = routers[r]->route(s, d);
+      if (!res.delivered || !isValidPath(faults, s, d, res.path)) continue;
+      ++scores[r].delivered;
+      if (res.hops() == opt) ++scores[r].shortest;
+      scores[r].relErrSum += static_cast<double>(res.hops() - opt) /
+                             static_cast<double>(opt);
+    }
+  }
+
+  std::cout << "mesh " << mesh.width() << "x" << mesh.height() << ", "
+            << faults.count() << " faults, " << cases << " pairs\n\n";
+  Table table({"router", "delivered%", "shortest%", "avg rel err"});
+  for (std::size_t r = 0; r < routers.size(); ++r) {
+    table.row()
+        .cell(std::string(routers[r]->name()))
+        .cell(100.0 * static_cast<double>(scores[r].delivered) /
+              static_cast<double>(cases))
+        .cell(100.0 * static_cast<double>(scores[r].shortest) /
+              static_cast<double>(cases))
+        .cell(scores[r].delivered
+                  ? scores[r].relErrSum /
+                        static_cast<double>(scores[r].delivered)
+                  : 0.0,
+              4);
+  }
+  table.print(std::cout);
+
+  // Render one interesting route: the first pair where RB2 must detour.
+  Rng rng2(static_cast<std::uint64_t>(flags.integer("seed")) + 1);
+  for (int t = 0; t < 500; ++t) {
+    const Point s{static_cast<Coord>(rng2.below(
+                      static_cast<std::uint64_t>(mesh.width()))),
+                  static_cast<Coord>(rng2.below(
+                      static_cast<std::uint64_t>(mesh.height())))};
+    const Point d{static_cast<Coord>(rng2.below(
+                      static_cast<std::uint64_t>(mesh.width()))),
+                  static_cast<Coord>(rng2.below(
+                      static_cast<std::uint64_t>(mesh.height())))};
+    if (s == d || faults.isFaulty(s) || faults.isFaulty(d)) continue;
+    const auto& qa = fa.forPair(s, d);
+    if (!qa.isSafeWorld(s) || !qa.isSafeWorld(d)) continue;
+    const auto res = rb2.route(s, d);
+    if (!res.delivered || res.hops() == manhattan(s, d)) continue;
+
+    std::cout << "\nRB2 detour example " << s.str() << " -> " << d.str()
+              << ": " << res.hops() << " hops (Manhattan "
+              << manhattan(s, d) << ", phases " << res.phases << ")\n";
+    AsciiGrid grid(mesh);
+    for (Coord y = 0; y < mesh.height(); ++y) {
+      for (Coord x = 0; x < mesh.width(); ++x) {
+        if (faults.isFaulty({x, y})) grid.set({x, y}, 'F');
+      }
+    }
+    grid.overlay(res.path, '*');
+    grid.set(s, 'S');
+    grid.set(d, 'D');
+    grid.print(std::cout);
+    break;
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "common/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace meshrt {
+
+void CliFlags::define(const std::string& name, const std::string& defaultValue,
+                      const std::string& help) {
+  flags_[name] = Flag{defaultValue, help};
+}
+
+bool CliFlags::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      printUsage(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      printUsage(argv[0]);
+      return false;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else {
+      auto it = flags_.find(name);
+      const bool isBool =
+          it != flags_.end() &&
+          (it->second.value == "true" || it->second.value == "false");
+      if (isBool) {
+        value = "true";  // bare boolean flag
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "flag --%s is missing a value\n", name.c_str());
+        return false;
+      }
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+      printUsage(argv[0]);
+      return false;
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string CliFlags::str(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) throw std::out_of_range("undeclared flag " + name);
+  return it->second.value;
+}
+
+std::int64_t CliFlags::integer(const std::string& name) const {
+  return std::strtoll(str(name).c_str(), nullptr, 10);
+}
+
+double CliFlags::real(const std::string& name) const {
+  return std::strtod(str(name).c_str(), nullptr);
+}
+
+bool CliFlags::boolean(const std::string& name) const {
+  const std::string v = str(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+void CliFlags::printUsage(const std::string& program) const {
+  std::fprintf(stderr, "usage: %s [--flag value]...\n", program.c_str());
+  for (const auto& [name, flag] : flags_) {
+    std::fprintf(stderr, "  --%-18s %s (default: %s)\n", name.c_str(),
+                 flag.help.c_str(), flag.value.c_str());
+  }
+}
+
+}  // namespace meshrt

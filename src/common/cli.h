@@ -1,0 +1,39 @@
+// Minimal command-line flag parsing for bench and example binaries.
+// Supports `--name value` and `--name=value`; unknown flags are fatal so
+// typos in experiment configs never silently run the default.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace meshrt {
+
+class CliFlags {
+ public:
+  /// Declares a flag with a default and a help line (shown by --help).
+  void define(const std::string& name, const std::string& defaultValue,
+              const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) on --help or on an
+  /// unknown/malformed flag.
+  bool parse(int argc, char** argv);
+
+  std::string str(const std::string& name) const;
+  std::int64_t integer(const std::string& name) const;
+  double real(const std::string& name) const;
+  bool boolean(const std::string& name) const;
+
+  void printUsage(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string help;
+  };
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace meshrt

@@ -1,0 +1,113 @@
+// Streaming statistics used by the experiment harness: the paper's figures
+// report MAX and AVG series per fault level, so the accumulator tracks
+// count/min/max/mean (Welford variance for error bars).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace meshrt {
+
+/// Single-pass accumulator for min/max/mean/variance.
+class Accumulator {
+ public:
+  void add(double x) {
+    ++count_;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  /// Pools another accumulator into this one (parallel reduction), using
+  /// Chan et al.'s pairwise update so variance stays exact.
+  void merge(const Accumulator& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n1 = static_cast<double>(count_);
+    const auto n2 = static_cast<double>(other.count_);
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Ratio counter for success-rate style metrics.
+class RatioCounter {
+ public:
+  void add(bool success) {
+    ++total_;
+    if (success) ++hits_;
+  }
+  void merge(const RatioCounter& other) {
+    hits_ += other.hits_;
+    total_ += other.total_;
+  }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t total() const { return total_; }
+  /// Percentage in [0, 100]; 100 when empty (vacuous success).
+  double percent() const {
+    return total_ == 0 ? 100.0
+                       : 100.0 * static_cast<double>(hits_) /
+                             static_cast<double>(total_);
+  }
+
+ private:
+  std::uint64_t hits_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact quantiles over a retained sample (fine at our experiment sizes).
+class QuantileSketch {
+ public:
+  void add(double x) { values_.push_back(x); }
+  void merge(const QuantileSketch& other) {
+    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  }
+  bool empty() const { return values_.empty(); }
+  std::size_t count() const { return values_.size(); }
+
+  /// Quantile q in [0,1] by nearest-rank on the sorted sample.
+  double quantile(double q) const {
+    if (values_.empty()) return 0.0;
+    std::vector<double> sorted = values_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+  }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace meshrt

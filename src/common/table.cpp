@@ -1,0 +1,81 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace meshrt {
+
+std::string formatDouble(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  return cell(formatDouble(value, precision));
+}
+
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], r[i].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << std::setw(static_cast<int>(widths[std::min(i, widths.size() - 1)]))
+         << cells[i];
+      if (i + 1 < cells.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t ruleWidth = 0;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    ruleWidth += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(ruleWidth, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+void Table::writeCsv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << ',';
+      os << cells[i];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+bool Table::writeCsvFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  writeCsv(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace meshrt

@@ -1,0 +1,43 @@
+// Aligned-table and CSV emission for bench binaries. Every figure bench
+// prints the paper-style series as a human-readable table and can mirror it
+// to CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace meshrt {
+
+/// Column-aligned table with a header row. Cells are preformatted strings;
+/// helpers format doubles with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent cell() calls append to it.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(double value, int precision = 2);
+  Table& cell(std::int64_t value);
+
+  /// Renders with space padding and a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (no quoting needed for our numeric cells).
+  void writeCsv(std::ostream& os) const;
+
+  /// Convenience: writes CSV to `path`; returns false on I/O failure.
+  bool writeCsvFile(const std::string& path) const;
+
+  std::size_t rowCount() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `precision` digits after the decimal point.
+std::string formatDouble(double value, int precision);
+
+}  // namespace meshrt

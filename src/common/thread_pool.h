@@ -1,0 +1,57 @@
+// Work-sharing thread pool and parallel_for used by the experiment harness.
+//
+// The sweeps in bench/ are embarrassingly parallel over trials; results stay
+// bitwise reproducible because each trial derives its RNG from (seed, trial)
+// rather than from thread identity (see common/rng.h).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace meshrt {
+
+/// Fixed-size pool executing void() jobs FIFO.
+class ThreadPool {
+ public:
+  /// `threads == 0` selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threadCount() const { return workers_.size(); }
+
+  /// Enqueues a job; jobs must not throw (std::terminate otherwise).
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished.
+  void wait();
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable cvJob_;
+  std::condition_variable cvDone_;
+  std::size_t inFlight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs body(i) for i in [0, count) across the pool in contiguous chunks.
+/// Blocks until all iterations complete. Safe to call with count == 0.
+void parallelFor(ThreadPool& pool, std::size_t count,
+                 const std::function<void(std::size_t)>& body);
+
+/// Serial fallback used by tests and by callers without a pool.
+void serialFor(std::size_t count, const std::function<void(std::size_t)>& body);
+
+}  // namespace meshrt

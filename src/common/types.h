@@ -1,0 +1,24 @@
+// Core scalar types shared across the meshrt library.
+#pragma once
+
+#include <cstdint>
+
+namespace meshrt {
+
+/// Signed coordinate along one mesh dimension. Signed so that the relative
+/// frames used by the paper (source translated to the origin, destination in
+/// the first quadrant) can address nodes at negative offsets.
+using Coord = std::int32_t;
+
+/// Linearized node index inside a mesh (row-major). -1 == invalid.
+using NodeId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Path lengths and hop counts. Wide enough for any mesh we simulate.
+using Distance = std::int64_t;
+
+/// A distance value standing in for "unreachable".
+inline constexpr Distance kUnreachable = -1;
+
+}  // namespace meshrt

@@ -1,0 +1,19 @@
+#include "fault/analysis.h"
+
+namespace meshrt {
+
+QuadrantAnalysis::QuadrantAnalysis(const FaultSet& faults, Quadrant q)
+    : quadrant_(q),
+      frame_(Frame::forQuadrant(faults.mesh(), q)),
+      localMesh_(frame_.localMesh()),
+      labels_(computeLabels(localMesh_, transformFaults(faults, frame_))),
+      extraction_(extractMccs(localMesh_, labels_)),
+      unsafeCount_(countUnsafe(localMesh_, labels_)) {}
+
+const QuadrantAnalysis& FaultAnalysis::quadrant(Quadrant q) const {
+  auto& slot = cache_[static_cast<std::size_t>(q)];
+  if (!slot) slot = std::make_unique<QuadrantAnalysis>(*faults_, q);
+  return *slot;
+}
+
+}  // namespace meshrt

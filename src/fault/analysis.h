@@ -1,0 +1,70 @@
+// Per-quadrant fault analysis: the labeling and MCC extraction for one
+// normalized frame, plus the four-quadrant bundle a routing session uses.
+// Labels and MCC cells are invariant under transpose, so type-II analyses
+// reuse the same QuadrantAnalysis through transposed views.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "fault/fault_set.h"
+#include "fault/labeling.h"
+#include "fault/mcc.h"
+#include "mesh/frame.h"
+
+namespace meshrt {
+
+class QuadrantAnalysis {
+ public:
+  QuadrantAnalysis(const FaultSet& faults, Quadrant q);
+
+  Quadrant quadrant() const { return quadrant_; }
+  /// Non-transposed local frame of this quadrant.
+  const Frame& frame() const { return frame_; }
+  const Mesh2D& localMesh() const { return localMesh_; }
+  const LabelGrid& labels() const { return labels_; }
+  const std::vector<Mcc>& mccs() const { return extraction_.mccs; }
+
+  /// MCC id at a local-frame point, or -1.
+  int mccIndexAt(Point local) const { return extraction_.mccIndex[local]; }
+
+  /// The full id map (local frame).
+  const NodeMap<int>& mccIndex() const { return extraction_.mccIndex; }
+
+  bool isSafeLocal(Point local) const { return labels_.isSafe(local); }
+  bool isSafeWorld(Point world) const {
+    return labels_.isSafe(frame_.toLocal(world));
+  }
+
+  std::size_t unsafeCount() const { return unsafeCount_; }
+
+ private:
+  Quadrant quadrant_;
+  Frame frame_;
+  Mesh2D localMesh_;
+  LabelGrid labels_;
+  MccExtraction extraction_;
+  std::size_t unsafeCount_ = 0;
+};
+
+/// Lazily materializes the four quadrant analyses of one fault set.
+class FaultAnalysis {
+ public:
+  explicit FaultAnalysis(const FaultSet& faults) : faults_(&faults) {}
+
+  const QuadrantAnalysis& quadrant(Quadrant q) const;
+
+  /// Analysis for routing from s to d (quadrant chosen per the paper's
+  /// normalization; ties toward NE).
+  const QuadrantAnalysis& forPair(Point s, Point d) const {
+    return quadrant(quadrantOf(s, d));
+  }
+
+  const FaultSet& faults() const { return *faults_; }
+
+ private:
+  const FaultSet* faults_;
+  mutable std::array<std::unique_ptr<QuadrantAnalysis>, 4> cache_;
+};
+
+}  // namespace meshrt

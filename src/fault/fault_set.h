@@ -1,0 +1,54 @@
+// The set of faulty nodes in a mesh. Link faults are handled per the paper
+// by disabling the adjacent nodes, so a node-fault set is the only fault
+// representation the library needs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mesh/mesh.h"
+#include "mesh/point.h"
+
+namespace meshrt {
+
+class FaultSet {
+ public:
+  explicit FaultSet(const Mesh2D& mesh)
+      : mesh_(mesh), faulty_(mesh, false) {}
+
+  FaultSet(const Mesh2D& mesh, std::span<const Point> faults)
+      : FaultSet(mesh) {
+    for (Point p : faults) add(p);
+  }
+
+  const Mesh2D& mesh() const { return mesh_; }
+
+  void add(Point p) {
+    if (!faulty_[p]) {
+      faulty_[p] = true;
+      ++count_;
+    }
+  }
+
+  bool isFaulty(Point p) const { return faulty_[p]; }
+  bool isHealthy(Point p) const { return !faulty_[p]; }
+  std::size_t count() const { return count_; }
+
+  std::vector<Point> toVector() const {
+    std::vector<Point> out;
+    out.reserve(count_);
+    for (Coord y = 0; y < mesh_.height(); ++y) {
+      for (Coord x = 0; x < mesh_.width(); ++x) {
+        if (faulty_[{x, y}]) out.push_back({x, y});
+      }
+    }
+    return out;
+  }
+
+ private:
+  Mesh2D mesh_;
+  NodeMap<bool> faulty_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace meshrt

@@ -1,0 +1,74 @@
+#include "fault/injectors.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace meshrt {
+
+FaultSet injectUniform(const Mesh2D& mesh, std::size_t count, Rng& rng) {
+  FaultSet faults(mesh);
+  const auto total = static_cast<std::size_t>(mesh.nodeCount());
+  count = std::min(count, total);
+  // Partial Fisher-Yates over node ids: exact count, no rejection loops
+  // even at high fault densities.
+  std::vector<NodeId> ids(total);
+  std::iota(ids.begin(), ids.end(), 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(rng.below(total - i));
+    std::swap(ids[i], ids[j]);
+    faults.add(mesh.point(ids[i]));
+  }
+  return faults;
+}
+
+FaultSet injectClustered(const Mesh2D& mesh, std::size_t count,
+                         std::size_t clusterSize, Rng& rng) {
+  FaultSet faults(mesh);
+  const auto total = static_cast<std::size_t>(mesh.nodeCount());
+  count = std::min(count, total);
+  clusterSize = std::max<std::size_t>(1, clusterSize);
+  std::size_t guard = 0;
+  while (faults.count() < count && guard++ < total * 16) {
+    // Seed a cluster, then random-walk marking nodes faulty.
+    Point p{static_cast<Coord>(rng.below(static_cast<std::uint64_t>(
+                mesh.width()))),
+            static_cast<Coord>(rng.below(static_cast<std::uint64_t>(
+                mesh.height())))};
+    for (std::size_t step = 0;
+         step < clusterSize && faults.count() < count; ++step) {
+      faults.add(p);
+      const Dir d = kAllDirs[rng.below(4)];
+      if (auto q = mesh.neighbor(p, d)) p = *q;
+    }
+  }
+  return faults;
+}
+
+FaultSet injectRectangles(const Mesh2D& mesh, std::size_t count, Coord maxSide,
+                          Rng& rng) {
+  FaultSet faults(mesh);
+  const auto total = static_cast<std::size_t>(mesh.nodeCount());
+  count = std::min(count, total);
+  maxSide = std::max<Coord>(1, maxSide);
+  std::size_t guard = 0;
+  while (faults.count() < count && guard++ < total * 16) {
+    const Coord w = static_cast<Coord>(
+        1 + rng.below(static_cast<std::uint64_t>(maxSide)));
+    const Coord h = static_cast<Coord>(
+        1 + rng.below(static_cast<std::uint64_t>(maxSide)));
+    const Coord x0 = static_cast<Coord>(
+        rng.below(static_cast<std::uint64_t>(mesh.width())));
+    const Coord y0 = static_cast<Coord>(
+        rng.below(static_cast<std::uint64_t>(mesh.height())));
+    for (Coord y = y0; y < std::min(mesh.height(), y0 + h); ++y) {
+      for (Coord x = x0; x < std::min(mesh.width(), x0 + w); ++x) {
+        if (faults.count() >= count) return faults;
+        faults.add({x, y});
+      }
+    }
+  }
+  return faults;
+}
+
+}  // namespace meshrt

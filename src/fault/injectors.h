@@ -1,0 +1,26 @@
+// Fault-pattern generators. The paper's simulator uses uniformly random node
+// faults; the clustered and patch injectors support the ablation benches
+// (real machine failures correlate spatially).
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "fault/fault_set.h"
+
+namespace meshrt {
+
+/// Exactly `count` distinct faulty nodes, uniform over the mesh.
+FaultSet injectUniform(const Mesh2D& mesh, std::size_t count, Rng& rng);
+
+/// `count` faults grown as random-walk clusters of ~`clusterSize` nodes,
+/// modeling spatially correlated failures.
+FaultSet injectClustered(const Mesh2D& mesh, std::size_t count,
+                         std::size_t clusterSize, Rng& rng);
+
+/// `count` faults laid down as random axis-aligned rectangles of dimensions
+/// up to maxSide x maxSide (the classical "block fault" pattern).
+FaultSet injectRectangles(const Mesh2D& mesh, std::size_t count,
+                          Coord maxSide, Rng& rng);
+
+}  // namespace meshrt

@@ -1,0 +1,71 @@
+#include "fault/labeling.h"
+
+namespace meshrt {
+
+LabelGrid computeLabels(const Mesh2D& localMesh, const FaultSet& localFaults) {
+  LabelGrid labels(localMesh);
+  const Coord w = localMesh.width();
+  const Coord h = localMesh.height();
+
+  for (Coord y = 0; y < h; ++y) {
+    for (Coord x = 0; x < w; ++x) {
+      if (localFaults.isFaulty({x, y})) labels.set({x, y}, kFaultyBit);
+    }
+  }
+
+  // Useless: depends on +X/+Y neighbors only, so a single NE->SW sweep
+  // reaches the fixpoint (each node is visited after both dependencies).
+  auto blockedForward = [&](Point p) {
+    if (!localMesh.contains(p)) return false;  // safe wall
+    return labels.isFaulty(p) || labels.isUseless(p);
+  };
+  for (Coord y = h - 1; y >= 0; --y) {
+    for (Coord x = w - 1; x >= 0; --x) {
+      const Point p{x, y};
+      if (labels.isFaulty(p)) continue;
+      if (blockedForward({x + 1, y}) && blockedForward({x, y + 1})) {
+        labels.set(p, kUselessBit);
+      }
+    }
+  }
+
+  // Can't-reach: depends on -X/-Y neighbors; SW->NE sweep.
+  auto blockedBackward = [&](Point p) {
+    if (!localMesh.contains(p)) return false;
+    return labels.isFaulty(p) || labels.isCantReach(p);
+  };
+  for (Coord y = 0; y < h; ++y) {
+    for (Coord x = 0; x < w; ++x) {
+      const Point p{x, y};
+      if (labels.isFaulty(p)) continue;
+      if (blockedBackward({x - 1, y}) && blockedBackward({x, y - 1})) {
+        labels.set(p, kCantReachBit);
+      }
+    }
+  }
+
+  return labels;
+}
+
+FaultSet transformFaults(const FaultSet& faults, const Frame& frame) {
+  FaultSet out(frame.localMesh());
+  const Mesh2D& mesh = faults.mesh();
+  for (Coord y = 0; y < mesh.height(); ++y) {
+    for (Coord x = 0; x < mesh.width(); ++x) {
+      if (faults.isFaulty({x, y})) out.add(frame.toLocal({x, y}));
+    }
+  }
+  return out;
+}
+
+std::size_t countUnsafe(const Mesh2D& localMesh, const LabelGrid& labels) {
+  std::size_t unsafe = 0;
+  for (Coord y = 0; y < localMesh.height(); ++y) {
+    for (Coord x = 0; x < localMesh.width(); ++x) {
+      if (labels.isUnsafe({x, y})) ++unsafe;
+    }
+  }
+  return unsafe;
+}
+
+}  // namespace meshrt

@@ -1,0 +1,86 @@
+#include "fault/mcc.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "mesh/rect.h"
+
+namespace meshrt {
+
+Rect Mcc::bounds() const {
+  return Rect{shape.xmin(), shape.ymin(), shape.xmax(), shape.ymax()};
+}
+
+namespace {
+
+Staircase transposeCells(const std::vector<Point>& cells) {
+  std::vector<Point> swapped;
+  swapped.reserve(cells.size());
+  for (Point p : cells) swapped.push_back({p.y, p.x});
+  auto shape = Staircase::fromCells(swapped);
+  if (!shape) {
+    throw std::logic_error("transposed MCC violates staircase invariant");
+  }
+  return *shape;
+}
+
+}  // namespace
+
+MccExtraction extractMccs(const Mesh2D& localMesh, const LabelGrid& labels) {
+  MccExtraction out{{}, NodeMap<int>(localMesh, -1)};
+
+  std::vector<Point> stack;
+  for (Coord y0 = 0; y0 < localMesh.height(); ++y0) {
+    for (Coord x0 = 0; x0 < localMesh.width(); ++x0) {
+      const Point seed{x0, y0};
+      if (!labels.isUnsafe(seed) || out.mccIndex[seed] != -1) continue;
+
+      const int id = static_cast<int>(out.mccs.size());
+      std::vector<Point> cells;
+      std::size_t faulty = 0;
+      stack.assign(1, seed);
+      out.mccIndex[seed] = id;
+      while (!stack.empty()) {
+        const Point p = stack.back();
+        stack.pop_back();
+        cells.push_back(p);
+        if (labels.isFaulty(p)) ++faulty;
+        localMesh.forEachNeighbor(p, [&](Point q) {
+          if (labels.isUnsafe(q) && out.mccIndex[q] == -1) {
+            out.mccIndex[q] = id;
+            stack.push_back(q);
+          }
+        });
+      }
+
+      auto shape = Staircase::fromCells(cells);
+      if (!shape) {
+        // The labeling fixpoint guarantees the staircase property; reaching
+        // this line means the labeling implementation is broken.
+        throw std::logic_error("MCC violates staircase invariant");
+      }
+
+      Mcc mcc;
+      mcc.id = id;
+      mcc.shape = *shape;
+      mcc.shapeTransposed = transposeCells(cells);
+      mcc.cellCount = cells.size();
+      mcc.faultyCells = faulty;
+
+      auto setIfUsable = [&](std::optional<Point>& slot, Point p) {
+        if (localMesh.contains(p) && labels.isSafe(p)) slot = p;
+      };
+      setIfUsable(mcc.cornerC, shape->initializationCorner());
+      setIfUsable(mcc.cornerCPrime, shape->oppositeCorner());
+      setIfUsable(mcc.cornerNW,
+                  {shape->xmin() - 1, shape->span(shape->xmin()).hi + 1});
+      setIfUsable(mcc.cornerSE,
+                  {shape->xmax() + 1, shape->span(shape->xmax()).lo - 1});
+
+      out.mccs.push_back(std::move(mcc));
+    }
+  }
+  return out;
+}
+
+}  // namespace meshrt

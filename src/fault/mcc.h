@@ -1,0 +1,54 @@
+// Extraction of Minimal Connected Components from a labeled grid: the
+// 4-connected components of unsafe nodes, each carrying its staircase shape
+// F(c), its initialization corner c, and its opposite corner c'.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fault/labeling.h"
+#include "mesh/mesh.h"
+#include "mesh/rect.h"
+#include "mesh/staircase.h"
+
+namespace meshrt {
+
+struct Mcc {
+  int id = -1;
+  /// Shape in the local (normalized, non-transposed) frame. Always a valid
+  /// staircase: the labeling fixpoint fills every SW/NE pocket.
+  Staircase shape;
+  /// Same component expressed in the transposed frame (x and y swapped),
+  /// used by the type-II (blocked-in-+X) analyses.
+  Staircase shapeTransposed;
+  /// Initialization corner c = (xmin-1, ymin-1), present only when it lies
+  /// inside the mesh and is itself safe; absent corners make the detour
+  /// through them infeasible (e.g. MCCs glued to the mesh border).
+  std::optional<Point> cornerC;
+  /// Opposite corner c' = (xmax+1, ymax+1) with the same caveats.
+  std::optional<Point> cornerCPrime;
+  /// Secondary rounding extremes used by detour legs whose movement
+  /// signature is NW/SE (the paper only needs c and c' because its chains
+  /// stay inside the s-d band; multi-phase legs between corners can travel
+  /// in any direction). NW = (xmin-1, hi(xmin)+1), SE = (xmax+1, lo(xmax)-1).
+  std::optional<Point> cornerNW;
+  std::optional<Point> cornerSE;
+  std::size_t cellCount = 0;
+  std::size_t faultyCells = 0;
+
+  /// Bounding box helper in the local frame.
+  Rect bounds() const;
+};
+
+struct MccExtraction {
+  std::vector<Mcc> mccs;
+  /// Per-node MCC id (-1 for safe nodes), local frame.
+  NodeMap<int> mccIndex;
+};
+
+/// Splits the unsafe nodes of `labels` into MCCs. Aborts (assert) if any
+/// component violates the staircase invariant, which the labeling fixpoint
+/// provably prevents.
+MccExtraction extractMccs(const Mesh2D& localMesh, const LabelGrid& labels);
+
+}  // namespace meshrt

@@ -1,0 +1,89 @@
+#include "fault/rect_blocks.h"
+
+#include <vector>
+
+namespace meshrt {
+
+namespace {
+
+/// Bounding rectangles of the 8-connected fault components.
+std::vector<Rect> seedRects(const FaultSet& faults) {
+  const Mesh2D& mesh = faults.mesh();
+  NodeMap<bool> seen(mesh, false);
+  std::vector<Rect> rects;
+  std::vector<Point> stack;
+
+  for (Coord y = 0; y < mesh.height(); ++y) {
+    for (Coord x = 0; x < mesh.width(); ++x) {
+      const Point seed{x, y};
+      if (!faults.isFaulty(seed) || seen[seed]) continue;
+      Rect r{seed.x, seed.y, seed.x, seed.y};
+      stack.assign(1, seed);
+      seen[seed] = true;
+      while (!stack.empty()) {
+        const Point p = stack.back();
+        stack.pop_back();
+        r.x0 = std::min(r.x0, p.x);
+        r.y0 = std::min(r.y0, p.y);
+        r.x1 = std::max(r.x1, p.x);
+        r.y1 = std::max(r.y1, p.y);
+        for (Coord dy = -1; dy <= 1; ++dy) {
+          for (Coord dx = -1; dx <= 1; ++dx) {
+            const Point q{p.x + dx, p.y + dy};
+            if ((dx || dy) && mesh.contains(q) && faults.isFaulty(q) &&
+                !seen[q]) {
+              seen[q] = true;
+              stack.push_back(q);
+            }
+          }
+        }
+      }
+      rects.push_back(r);
+    }
+  }
+  return rects;
+}
+
+}  // namespace
+
+RectBlockModel::RectBlockModel(const FaultSet& faults)
+    : blockIndex_(faults.mesh(), -1) {
+  std::vector<Rect> rects = seedRects(faults);
+
+  // Merge until no two blocks touch (adjacent blocks share ring nodes, which
+  // the classical model forbids). Quadratic passes are fine: block counts
+  // stay small relative to the mesh.
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    for (std::size_t i = 0; i < rects.size() && !merged; ++i) {
+      for (std::size_t j = i + 1; j < rects.size() && !merged; ++j) {
+        if (rects[i].inflated(1).intersects(rects[j])) {
+          rects[i] = Rect{std::min(rects[i].x0, rects[j].x0),
+                          std::min(rects[i].y0, rects[j].y0),
+                          std::max(rects[i].x1, rects[j].x1),
+                          std::max(rects[i].y1, rects[j].y1)};
+          rects.erase(rects.begin() + static_cast<std::ptrdiff_t>(j));
+          merged = true;
+        }
+      }
+    }
+  }
+
+  const Mesh2D& mesh = faults.mesh();
+  blocks_.reserve(rects.size());
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    const int id = static_cast<int>(i);
+    blocks_.push_back({id, rects[i]});
+    for (Coord y = rects[i].y0; y <= rects[i].y1; ++y) {
+      for (Coord x = rects[i].x0; x <= rects[i].x1; ++x) {
+        if (mesh.contains({x, y})) {
+          blockIndex_[{x, y}] = id;
+          ++disabledCount_;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace meshrt

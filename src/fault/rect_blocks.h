@@ -1,0 +1,42 @@
+// The classical rectangular faulty-block model ("the simplest orthogonal
+// convex region" the paper's introduction contrasts MCCs against).
+// Fault components are grown to their bounding rectangles; rectangles that
+// touch or overlap merge until the blocks are pairwise non-adjacent.
+// Healthy nodes inside a block count as disabled — the waste the MCC model
+// eliminates (ablation bench `ablation_fault_models`).
+#pragma once
+
+#include <vector>
+
+#include "fault/fault_set.h"
+#include "mesh/rect.h"
+
+namespace meshrt {
+
+struct RectBlock {
+  int id = -1;
+  Rect rect;
+};
+
+class RectBlockModel {
+ public:
+  explicit RectBlockModel(const FaultSet& faults);
+
+  const std::vector<RectBlock>& blocks() const { return blocks_; }
+
+  /// Block id containing p, or -1.
+  int blockAt(Point p) const { return blockIndex_[p]; }
+
+  /// Disabled == inside some block's rectangle (faulty or collateral).
+  bool isDisabled(Point p) const { return blockIndex_[p] >= 0; }
+
+  /// Number of disabled nodes (faulty + healthy-but-enclosed).
+  std::size_t disabledCount() const { return disabledCount_; }
+
+ private:
+  std::vector<RectBlock> blocks_;
+  NodeMap<int> blockIndex_;
+  std::size_t disabledCount_ = 0;
+};
+
+}  // namespace meshrt

@@ -1,0 +1,52 @@
+// Shared CLI scaffolding for the figure bench binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "harness/experiment.h"
+
+namespace meshrt {
+
+/// Declares the standard sweep flags on `flags`.
+inline void defineSweepFlags(CliFlags& flags) {
+  flags.define("size", "100", "mesh side length");
+  flags.define("trials", "20", "fault configurations per fault level");
+  flags.define("pairs", "20", "routed pairs per configuration");
+  flags.define("fault-max", "3000", "largest fault count");
+  flags.define("fault-step", "250", "fault count step");
+  flags.define("seed", "2007", "master random seed");
+  flags.define("threads", "0", "worker threads (0 = all cores)");
+  flags.define("csv", "", "also write the table to this CSV file");
+}
+
+/// Builds the sweep config from parsed flags.
+inline SweepConfig sweepFromFlags(const CliFlags& flags) {
+  SweepConfig cfg;
+  cfg.meshSize = static_cast<Coord>(flags.integer("size"));
+  cfg.configsPerLevel = static_cast<std::size_t>(flags.integer("trials"));
+  cfg.pairsPerConfig = static_cast<std::size_t>(flags.integer("pairs"));
+  cfg.seed = static_cast<std::uint64_t>(flags.integer("seed"));
+  cfg.threads = static_cast<std::size_t>(flags.integer("threads"));
+  cfg.faultLevels = SweepConfig::defaultLevels(
+      static_cast<std::size_t>(flags.integer("fault-max")),
+      static_cast<std::size_t>(flags.integer("fault-step")));
+  return cfg;
+}
+
+/// Prints the table and mirrors it to CSV when requested.
+inline void emitTable(const Table& table, const CliFlags& flags) {
+  table.print(std::cout);
+  const std::string csv = flags.str("csv");
+  if (!csv.empty()) {
+    if (table.writeCsvFile(csv)) {
+      std::cout << "(csv written to " << csv << ")\n";
+    } else {
+      std::cerr << "failed to write " << csv << "\n";
+    }
+  }
+}
+
+}  // namespace meshrt

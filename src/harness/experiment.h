@@ -1,0 +1,42 @@
+// Shared configuration for the Figure-5 experiment sweeps.
+//
+// The paper's setup: a 100x100 mesh, uniformly random fault counts from 0 to
+// 3000 (beyond which the MCC model disables the whole mesh), random
+// source/destination pairs that are safe and connected. MAX/AVG series are
+// taken across random fault configurations per fault level.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace meshrt {
+
+struct SweepConfig {
+  Coord meshSize = 100;
+  /// Fault counts swept (x axis of every Figure 5 panel).
+  std::vector<std::size_t> faultLevels;
+  /// Random fault configurations per level (MAX/AVG population).
+  std::size_t configsPerLevel = 20;
+  /// Routed source/destination pairs per configuration (Fig 5(d,e)).
+  std::size_t pairsPerConfig = 20;
+  std::uint64_t seed = 2007;
+  /// Worker threads; 0 = hardware concurrency.
+  std::size_t threads = 0;
+
+  static std::vector<std::size_t> defaultLevels(std::size_t maxFaults = 3000,
+                                                std::size_t step = 250) {
+    std::vector<std::size_t> levels;
+    for (std::size_t f = 0; f <= maxFaults; f += step) levels.push_back(f);
+    return levels;
+  }
+
+  static SweepConfig defaults() {
+    SweepConfig cfg;
+    cfg.faultLevels = defaultLevels();
+    return cfg;
+  }
+};
+
+}  // namespace meshrt

@@ -1,0 +1,35 @@
+#include "harness/fault_sweep.h"
+
+#include <mutex>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "fault/analysis.h"
+#include "fault/injectors.h"
+
+namespace meshrt {
+
+std::vector<FaultSweepRow> runFaultSweep(const SweepConfig& cfg) {
+  const Mesh2D mesh = Mesh2D::square(cfg.meshSize);
+  std::vector<FaultSweepRow> rows(cfg.faultLevels.size());
+  ThreadPool pool(cfg.threads);
+
+  for (std::size_t li = 0; li < cfg.faultLevels.size(); ++li) {
+    rows[li].faults = cfg.faultLevels[li];
+    std::mutex mu;
+    parallelFor(pool, cfg.configsPerLevel, [&](std::size_t trial) {
+      Rng rng = Rng::forStream(cfg.seed, li * 1000003 + trial);
+      const FaultSet faults = injectUniform(mesh, cfg.faultLevels[li], rng);
+      const QuadrantAnalysis qa(faults, Quadrant::NE);
+      const double pct = 100.0 * static_cast<double>(qa.unsafeCount()) /
+                         static_cast<double>(mesh.nodeCount());
+      const double mccs = static_cast<double>(qa.mccs().size());
+      std::lock_guard<std::mutex> lock(mu);
+      rows[li].disabledPct.add(pct);
+      rows[li].mccCount.add(mccs);
+    });
+  }
+  return rows;
+}
+
+}  // namespace meshrt

@@ -1,0 +1,22 @@
+// Figure 5(a)/(b) harness: disabled-area percentage and MCC counts across
+// random fault configurations.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.h"
+#include "harness/experiment.h"
+
+namespace meshrt {
+
+struct FaultSweepRow {
+  std::size_t faults = 0;
+  Accumulator disabledPct;  // % of mesh area unsafe (NE labeling)
+  Accumulator mccCount;     // number of MCCs
+};
+
+/// Runs the sweep; one row per fault level, accumulating over
+/// cfg.configsPerLevel random configurations (parallel over configs).
+std::vector<FaultSweepRow> runFaultSweep(const SweepConfig& cfg);
+
+}  // namespace meshrt

@@ -1,0 +1,22 @@
+// Figure 5(c) harness: percentage of safe nodes involved in the information
+// propagation under models B1, B2 and B3.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/stats.h"
+#include "harness/experiment.h"
+#include "info/knowledge.h"
+
+namespace meshrt {
+
+struct InfoSweepRow {
+  std::size_t faults = 0;
+  /// Indexed by InfoModel (B1, B2, B3).
+  std::array<Accumulator, 3> involvedPct;
+};
+
+std::vector<InfoSweepRow> runInfoSweep(const SweepConfig& cfg);
+
+}  // namespace meshrt

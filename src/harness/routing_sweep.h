@@ -1,0 +1,32 @@
+// Figure 5(d)/(e) harness: shortest-path success rate and relative error of
+// the routings E-cube, RB1, RB2 and RB3 against the BFS optimum.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/stats.h"
+#include "harness/experiment.h"
+
+namespace meshrt {
+
+enum class RouterKind : std::size_t { Ecube = 0, Rb1 = 1, Rb2 = 2, Rb3 = 3 };
+inline constexpr std::array<const char*, 4> kRouterNames = {"E-cube", "RB1",
+                                                            "RB2", "RB3"};
+
+struct RoutingSweepRow {
+  std::size_t faults = 0;
+  /// Shortest-path success per router: delivered AND length == optimum.
+  std::array<RatioCounter, 4> success;
+  /// Relative error (len - opt) / opt over delivered routes with opt > 0.
+  std::array<Accumulator, 4> relativeError;
+  /// Delivery rate (a delivered route may still be non-shortest).
+  std::array<RatioCounter, 4> delivered;
+  /// Pairs where the safe-node optimum exceeds the healthy-node optimum
+  /// (model-level gap, see DESIGN.md section 3 item 6).
+  RatioCounter safeGap;
+};
+
+std::vector<RoutingSweepRow> runRoutingSweep(const SweepConfig& cfg);
+
+}  // namespace meshrt

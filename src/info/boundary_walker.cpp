@@ -1,0 +1,169 @@
+#include "info/boundary_walker.h"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <unordered_set>
+
+namespace meshrt {
+
+namespace {
+
+struct PoseHash {
+  std::size_t operator()(const std::pair<Point, Dir>& pose) const noexcept {
+    return PointHash{}(pose.first) * 4u +
+           static_cast<std::size_t>(pose.second);
+  }
+};
+
+}  // namespace
+
+std::optional<Point> boundaryStep(const Mesh2D& localMesh,
+                                  const LabelGrid& labels, Point pos,
+                                  WalkHand hand, BoundaryStepState& state,
+                                  const NodeMap<int>* mccIndex,
+                                  std::vector<int>* intersected) {
+  auto free = [&](Point p) {
+    return localMesh.contains(p) && labels.isSafe(p);
+  };
+  auto noteWall = [&](Point cell) {
+    if (!mccIndex || !intersected || !localMesh.contains(cell)) return;
+    const int id = (*mccIndex)[cell];
+    if (id >= 0 && std::find(intersected->begin(), intersected->end(), id) ==
+                       intersected->end()) {
+      intersected->push_back(id);
+    }
+  };
+
+  if (!state.hugging) {
+    const Point below{pos.x, pos.y - 1};
+    if (!localMesh.contains(below)) return std::nullopt;  // mesh edge
+    if (free(below)) return below;
+    // Intersected an MCC: turn right (-X boundary) or left (+X boundary)
+    // and hug it until it is rounded.
+    noteWall(below);
+    state.hugging = true;
+    state.heading = hand == WalkHand::Left ? Dir::MinusX : Dir::PlusX;
+  }
+
+  // Hand-on-wall move order keeps the obstacle on the hug side.
+  const std::array<Dir, 4> order =
+      hand == WalkHand::Left
+          ? std::array<Dir, 4>{turnLeft(state.heading), state.heading,
+                               turnRight(state.heading),
+                               opposite(state.heading)}
+          : std::array<Dir, 4>{turnRight(state.heading), state.heading,
+                               turnLeft(state.heading),
+                               opposite(state.heading)};
+  Point next = pos;
+  bool moved = false;
+  for (Dir d : order) {
+    const Point q = pos + offset(d);
+    if (free(q)) {
+      next = q;
+      state.heading = d;
+      moved = true;
+      break;
+    }
+  }
+  if (!moved) return std::nullopt;  // walled-in pocket: propagation dies
+
+  // If our wall is now the mesh border, the boundary ends at the edge.
+  const Dir wallSide = hand == WalkHand::Left ? turnLeft(state.heading)
+                                              : turnRight(state.heading);
+  const Point wall = next + offset(wallSide);
+  if (!localMesh.contains(wall)) {
+    state.endAtBorder = true;
+    return next;
+  }
+  if (labels.isUnsafe(wall)) noteWall(wall);
+
+  // Once descending with the obstacle rounded (safe wall cell), we have
+  // merged into the intersected MCC's own boundary: resume plumbing.
+  if (state.heading == Dir::MinusY && labels.isSafe(wall)) {
+    state.hugging = false;
+  }
+  return next;
+}
+
+std::vector<Point> walkBoundary(const Mesh2D& localMesh,
+                                const LabelGrid& labels, Point start,
+                                WalkHand hand, const NodeMap<int>* mccIndex,
+                                std::vector<int>* intersected) {
+  std::vector<Point> path;
+  if (!localMesh.contains(start) || labels.isUnsafe(start)) return path;
+
+  Point pos = start;
+  path.push_back(pos);
+  BoundaryStepState state;
+  std::unordered_set<std::pair<Point, Dir>, PoseHash> seen;
+  const std::size_t guard =
+      static_cast<std::size_t>(localMesh.nodeCount()) * 8 + 16;
+
+  for (std::size_t step = 0; step < guard; ++step) {
+    const auto next =
+        boundaryStep(localMesh, labels, pos, hand, state, mccIndex,
+                     intersected);
+    if (!next) return path;
+    pos = *next;
+    path.push_back(pos);
+    if (state.endAtBorder) return path;
+    if (state.hugging && !seen.insert({pos, state.heading}).second) {
+      return path;  // loop guard
+    }
+  }
+  return path;
+}
+
+std::vector<Point> ringNodes(const Mesh2D& localMesh, const LabelGrid& labels,
+                             const Mcc& mcc) {
+  // The 8-adjacent safe contour, restricted to the part the identification
+  // messages can reach: a flood within the contour set (4-moves) seeded at
+  // the MCC's existing corners. Crevice nodes pinched off by neighboring
+  // MCCs are unreachable for the messages and excluded.
+  NodeMap<bool> member(localMesh, false);
+  std::vector<Point> contour;
+  const Staircase& shape = mcc.shape;
+  for (Coord x = shape.xmin(); x <= shape.xmax(); ++x) {
+    const ColumnSpan s = shape.span(x);
+    for (Coord y = s.lo; y <= s.hi; ++y) {
+      for (Coord dy = -1; dy <= 1; ++dy) {
+        for (Coord dx = -1; dx <= 1; ++dx) {
+          const Point q{x + dx, y + dy};
+          if ((dx || dy) && localMesh.contains(q) && labels.isSafe(q) &&
+              !member[q]) {
+            member[q] = true;
+            contour.push_back(q);
+          }
+        }
+      }
+    }
+  }
+
+  std::deque<Point> queue;
+  NodeMap<bool> reached(localMesh, false);
+  for (const auto& corner :
+       {mcc.cornerC, mcc.cornerNW, mcc.cornerSE, mcc.cornerCPrime}) {
+    if (corner && member[*corner] && !reached[*corner]) {
+      reached[*corner] = true;
+      queue.push_back(*corner);
+    }
+  }
+  // MCCs with no usable corner at all (walled into a mesh corner) cannot
+  // start the identification; their ring stays empty.
+  std::vector<Point> ring;
+  while (!queue.empty()) {
+    const Point p = queue.front();
+    queue.pop_front();
+    ring.push_back(p);
+    localMesh.forEachNeighbor(p, [&](Point q) {
+      if (member[q] && !reached[q]) {
+        reached[q] = true;
+        queue.push_back(q);
+      }
+    });
+  }
+  return ring;
+}
+
+}  // namespace meshrt

@@ -1,0 +1,69 @@
+// Geometric boundary walks of the information models.
+//
+// The -X boundary of an MCC starts at its initialization corner c and plumbs
+// -Y; when it intersects another MCC it makes a right turn and hugs westward
+// until it rejoins that MCC's own -X boundary at its initialization corner
+// (Algorithm 1 step 3). The +X boundary starts at the opposite corner c' and
+// always turns left, rejoining +X boundaries at opposite corners (Algorithm
+// 4 step 2). Both are instances of one wall-following walker; the walker's
+// moves use only neighbor-status sensing, so the distributed protocol in
+// info/propagation.h takes identical steps.
+//
+// Walks end at the mesh edge, which also truncates the information flow —
+// faithfully lossy, see DESIGN.md section 3.
+#pragma once
+
+#include <vector>
+
+#include "fault/labeling.h"
+#include "fault/mcc.h"
+#include "mesh/mesh.h"
+
+namespace meshrt {
+
+/// Which side the walker keeps the obstacle on while detouring.
+/// Left == the -X boundary (right turn at obstacles, hug westward);
+/// Right == the +X boundary (left turn, hug eastward).
+enum class WalkHand { Left, Right };
+
+/// Mutable state of an in-progress boundary walk. A boundary message in the
+/// distributed protocol carries exactly this state; the oracle walk and the
+/// protocol therefore take provably identical steps.
+struct BoundaryStepState {
+  bool hugging = false;
+  Dir heading = Dir::MinusY;
+  /// Set when the walk's wall became the mesh border (the walk ends at the
+  /// returned node).
+  bool endAtBorder = false;
+};
+
+/// One step of the boundary walk from `pos`: returns the next node, or
+/// nullopt when the propagation dies here (mesh edge below, or walled-in).
+/// Decisions use only the 3x3 neighborhood of pos — a node-local rule.
+/// When `mccIndex`/`intersected` are given, ids of MCCs touched as walls
+/// are appended (the fork points of Algorithm 6).
+std::optional<Point> boundaryStep(const Mesh2D& localMesh,
+                                  const LabelGrid& labels, Point pos,
+                                  WalkHand hand, BoundaryStepState& state,
+                                  const NodeMap<int>* mccIndex = nullptr,
+                                  std::vector<int>* intersected = nullptr);
+
+/// Nodes visited by the boundary walk starting at `start` (inclusive).
+/// Empty when start is outside the mesh or unsafe.
+///
+/// When `mccIndex`/`intersected` are provided, the ids of every MCC whose
+/// cells the walk touched as a wall are appended (deduplicated) — the
+/// intersections at which Algorithm 6's split propagation forks.
+std::vector<Point> walkBoundary(const Mesh2D& localMesh,
+                                const LabelGrid& labels, Point start,
+                                WalkHand hand,
+                                const NodeMap<int>* mccIndex = nullptr,
+                                std::vector<int>* intersected = nullptr);
+
+/// The identification ring of an MCC: every safe node 8-adjacent to one of
+/// its cells (the contour the clockwise/counter-clockwise identification
+/// messages traverse in Algorithm 1 step 1).
+std::vector<Point> ringNodes(const Mesh2D& localMesh, const LabelGrid& labels,
+                             const Mcc& mcc);
+
+}  // namespace meshrt

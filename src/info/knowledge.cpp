@@ -1,0 +1,241 @@
+#include "info/knowledge.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "info/boundary_walker.h"
+#include "info/transpose.h"
+
+namespace meshrt {
+
+namespace {
+
+constexpr std::uint8_t kModeEast = 1;   // travelling +X from the -X boundary
+constexpr std::uint8_t kModeWest = 2;   // travelling -X from the +X boundary
+constexpr std::uint8_t kModeNorth = 4;  // the +Y chains
+
+}  // namespace
+
+void QuadrantInfo::markInvolved(Point p, int mccId) {
+  if (!involved_[p]) {
+    involved_[p] = true;
+    ++involvedCount_;
+  }
+  if (perMccStamp_[p] != mccId) {
+    perMccStamp_[p] = mccId;
+    ++perMccInvolved_[static_cast<std::size_t>(mccId)];
+  }
+}
+
+void QuadrantInfo::addKnown(std::vector<std::vector<int>>& table, Point p,
+                            int id) {
+  auto& list = table[static_cast<std::size_t>(analysis_->localMesh().id(p))];
+  if (list.empty() || list.back() != id) list.push_back(id);
+}
+
+QuadrantInfo::QuadrantInfo(const QuadrantAnalysis& qa, InfoModel model)
+    : analysis_(&qa),
+      model_(model),
+      knownI_(static_cast<std::size_t>(qa.localMesh().nodeCount())),
+      knownII_(static_cast<std::size_t>(qa.localMesh().nodeCount())),
+      involved_(qa.localMesh(), false),
+      perMccStamp_(qa.localMesh(), -1),
+      perMccInvolved_(qa.mccs().size(), 0) {
+  const Mesh2D& mesh = qa.localMesh();
+  const LabelGrid& labels = qa.labels();
+  const Mesh2D meshT(mesh.height(), mesh.width());
+  const LabelGrid labelsT = transposeLabels(mesh, labels, meshT);
+  const NodeMap<int> indexT = transposeIndex(mesh, qa.mccIndex(), meshT);
+
+  // Per-MCC scratch for the B2 flood.
+  NodeMap<int> boundaryStamp(mesh, -1);
+  NodeMap<int> boundaryStampT(meshT, -1);
+
+  auto transposeBack = [](Point p) { return Point{p.y, p.x}; };
+  const auto& mccs = qa.mccs();
+
+  // Corner accessors per frame (validity is frame-invariant).
+  auto cornerCIn = [&](int id, bool transposed) -> std::optional<Point> {
+    const auto& c = mccs[static_cast<std::size_t>(id)].cornerC;
+    if (!c) return std::nullopt;
+    return transposed ? Point{c->y, c->x} : *c;
+  };
+  auto cornerCpIn = [&](int id, bool transposed) -> std::optional<Point> {
+    const auto& c = mccs[static_cast<std::size_t>(id)].cornerCPrime;
+    if (!c) return std::nullopt;
+    return transposed ? Point{c->y, c->x} : *c;
+  };
+
+  // Boundary spreading for one MCC in one frame. B1 builds only the -X
+  // boundary (Algorithm 1); B2/B3 add the +X boundary (Algorithm 4/6); B3
+  // additionally forks at every intersected MCC: the split propagations
+  // merge into the intersected MCC's own boundaries and carry the triple
+  // onward (Algorithm 6 steps 3-4).
+  auto spread = [&](int id, const Mesh2D& m, const LabelGrid& lg,
+                    const NodeMap<int>& idx, bool transposed,
+                    std::vector<Point>* outL, std::vector<Point>* outR,
+                    auto&& record) {
+    const bool wantPlusX = model_ != InfoModel::B1;
+    const bool fork = model_ == InfoModel::B3;
+    struct Task {
+      Point start;
+      WalkHand hand;
+    };
+    std::vector<Task> tasks;
+    std::vector<std::pair<Point, int>> done;
+    auto enqueue = [&](std::optional<Point> p, WalkHand h) {
+      if (!p) return;
+      if (!m.contains(*p) || lg.isUnsafe(*p)) return;
+      tasks.push_back({*p, h});
+    };
+    enqueue(cornerCIn(id, transposed), WalkHand::Left);
+    if (wantPlusX) enqueue(cornerCpIn(id, transposed), WalkHand::Right);
+
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const Task task = tasks[i];
+      const auto key = std::pair<Point, int>{task.start,
+                                             static_cast<int>(task.hand)};
+      if (std::find(done.begin(), done.end(), key) != done.end()) continue;
+      done.push_back(key);
+
+      std::vector<int> hits;
+      const auto nodes =
+          walkBoundary(m, lg, task.start, task.hand, fork ? &idx : nullptr,
+                       fork ? &hits : nullptr);
+      for (Point p : nodes) record(p);
+      if (task.hand == WalkHand::Left && outL && i == 0) *outL = nodes;
+      if (task.hand == WalkHand::Right && outR && i <= 1) *outR = nodes;
+      for (int g : hits) {
+        enqueue(cornerCIn(g, transposed), WalkHand::Left);
+        enqueue(cornerCpIn(g, transposed), WalkHand::Right);
+      }
+    }
+  };
+
+  for (const Mcc& mcc : qa.mccs()) {
+    const int id = mcc.id;
+
+    // Identification ring (Algorithm 1 step 1): the ring nodes relay the
+    // shape both ways, so they hold the triple under every model.
+    for (Point p : ringNodes(mesh, labels, mcc)) {
+      markInvolved(p, id);
+      addKnown(knownI_, p, id);
+      addKnown(knownII_, p, id);
+    }
+
+    // Type-I boundaries in the normal frame.
+    std::vector<Point> walkL;
+    std::vector<Point> walkR;
+    spread(id, mesh, labels, qa.mccIndex(), /*transposed=*/false, &walkL,
+           &walkR, [&](Point p) {
+             markInvolved(p, id);
+             addKnown(knownI_, p, id);
+           });
+
+    // Type-II boundaries: the same construction in the transposed frame
+    // ("for the remaining situation ... simply rotating the mesh").
+    std::vector<Point> walkLT;
+    std::vector<Point> walkRT;
+    spread(id, meshT, labelsT, indexT, /*transposed=*/true, &walkLT, &walkRT,
+           [&](Point pt) {
+             const Point p = transposeBack(pt);
+             markInvolved(p, id);
+             addKnown(knownII_, p, id);
+           });
+
+    // B2 only: broadcast the triples through the forbidden region
+    // (Algorithm 4 step 5): east from the -X boundary, west from the +X
+    // boundary, each intermediate node re-sending +Y; chains stop at unsafe
+    // nodes, the mesh edge, or the other boundary. Duplicates are dropped.
+    if (model_ == InfoModel::B2) {
+      auto flood = [&](const Mesh2D& m, const LabelGrid& lg,
+                       NodeMap<int>& bstamp, const std::vector<Point>& left,
+                       const std::vector<Point>& right, Coord floorX,
+                       Coord ceilX, auto&& record) {
+        for (Point p : left) bstamp[p] = id;
+        for (Point p : right) bstamp[p] = id;
+        // When one boundary could not be constructed (corner at the mesh
+        // border or occupied), the broadcast is clipped at that side's
+        // natural boundary column — otherwise it has nothing to stop at.
+        const bool clipWest = left.empty();
+        const bool clipEast = right.empty();
+        NodeMap<std::uint8_t> modes(m, 0);
+        std::queue<std::pair<Point, std::uint8_t>> q;
+        auto push = [&](Point p, std::uint8_t mode) {
+          if (!m.contains(p) || lg.isUnsafe(p)) return;
+          if (clipWest && p.x < floorX) return;
+          if (clipEast && p.x > ceilX) return;
+          if (bstamp[p] == id) return;  // reached the other boundary
+          if ((modes[p] & mode) != 0) return;
+          modes[p] |= mode;
+          q.push({p, mode});
+        };
+        for (Point p : left) push(p + Point{1, 0}, kModeEast);
+        for (Point p : right) push(p + Point{-1, 0}, kModeWest);
+        while (!q.empty()) {
+          auto [p, mode] = q.front();
+          q.pop();
+          record(p);
+          if (mode == kModeEast) push(p + Point{1, 0}, kModeEast);
+          if (mode == kModeWest) push(p + Point{-1, 0}, kModeWest);
+          push(p + Point{0, 1}, kModeNorth);
+        }
+      };
+
+      flood(mesh, labels, boundaryStamp, walkL, walkR,
+            mcc.shape.xmin() - 1, mcc.shape.xmax() + 1, [&](Point p) {
+              markInvolved(p, id);
+              addKnown(knownI_, p, id);
+            });
+      flood(meshT, labelsT, boundaryStampT, walkLT, walkRT,
+            mcc.shapeTransposed.xmin() - 1, mcc.shapeTransposed.xmax() + 1,
+            [&](Point pt) {
+              const Point p = transposeBack(pt);
+              markInvolved(p, id);
+              addKnown(knownII_, p, id);
+            });
+    }
+  }
+
+  // Deduplicate and order the per-node triple lists.
+  for (auto* table : {&knownI_, &knownII_}) {
+    for (auto& list : *table) {
+      std::sort(list.begin(), list.end());
+      list.erase(std::unique(list.begin(), list.end()), list.end());
+    }
+  }
+}
+
+std::vector<int> QuadrantInfo::knownUnion(Point p) const {
+  const auto i = static_cast<std::size_t>(analysis_->localMesh().id(p));
+  std::vector<int> out = knownI_[i];
+  out.insert(out.end(), knownII_[i].begin(), knownII_[i].end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<double> QuadrantInfo::perMccInvolvedPercent() const {
+  const auto total = static_cast<std::size_t>(
+      analysis_->localMesh().nodeCount());
+  const std::size_t safe = total - analysis_->unsafeCount();
+  std::vector<double> out;
+  out.reserve(perMccInvolved_.size());
+  for (std::size_t count : perMccInvolved_) {
+    out.push_back(safe == 0 ? 0.0
+                            : 100.0 * static_cast<double>(count) /
+                                  static_cast<double>(safe));
+  }
+  return out;
+}
+
+double QuadrantInfo::involvedPercentOfSafe() const {
+  const auto total = static_cast<std::size_t>(
+      analysis_->localMesh().nodeCount());
+  const std::size_t safe = total - analysis_->unsafeCount();
+  if (safe == 0) return 0.0;
+  return 100.0 * static_cast<double>(involvedCount_) /
+         static_cast<double>(safe);
+}
+
+}  // namespace meshrt

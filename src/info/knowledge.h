@@ -1,0 +1,91 @@
+// Information-model knowledge bases: which MCC triples end up stored at
+// which nodes under B1 (one boundary per dimension, prior art), B2 (both
+// boundaries + forbidden-region broadcast, Algorithm 4) and B3 (both
+// boundaries with split propagation, Algorithm 6).
+//
+// Built from the same boundary walks the distributed protocol performs, so
+// oracle knowledge == protocol knowledge node for node (tested property).
+// Also produces the Figure 5(c) metric: the set of nodes involved in the
+// information propagation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/analysis.h"
+#include "mesh/mesh.h"
+
+namespace meshrt {
+
+enum class InfoModel : std::uint8_t { B1 = 0, B2 = 1, B3 = 2 };
+
+constexpr std::string_view infoModelName(InfoModel m) {
+  switch (m) {
+    case InfoModel::B1:
+      return "B1";
+    case InfoModel::B2:
+      return "B2";
+    case InfoModel::B3:
+      return "B3";
+  }
+  return "?";
+}
+
+/// Knowledge distribution for one quadrant analysis under one model.
+/// Points are in the quadrant's (non-transposed) local frame throughout.
+class QuadrantInfo {
+ public:
+  QuadrantInfo(const QuadrantAnalysis& qa, InfoModel model);
+
+  InfoModel model() const { return model_; }
+
+  /// MCC ids whose type-I triples (F, R_Y, R'_Y) are stored at p.
+  std::span<const int> typeIKnown(Point p) const {
+    return knownI_[static_cast<std::size_t>(analysis_->localMesh().id(p))];
+  }
+
+  /// MCC ids whose type-II triples (F, R_X, R'_X) are stored at p.
+  std::span<const int> typeIIKnown(Point p) const {
+    return knownII_[static_cast<std::size_t>(analysis_->localMesh().id(p))];
+  }
+
+  /// Union of both axes (sorted, deduplicated).
+  std::vector<int> knownUnion(Point p) const;
+
+  /// Nodes that took part in any propagation (identification rings,
+  /// boundary lines, and for B2 the forbidden-region broadcast).
+  std::size_t involvedCount() const { return involvedCount_; }
+  bool wasInvolved(Point p) const { return involved_[p]; }
+
+  /// Union involvement as a percentage of all safe nodes (network-wide
+  /// communication footprint; see the ablation bench).
+  double involvedPercentOfSafe() const;
+
+  /// Nodes that carried THIS MCC's information: its ring, its boundary
+  /// walks (including joined suffixes) and, under B2, its forbidden-region
+  /// broadcast. Figure 5(c) reports the max/avg of these per-MCC costs.
+  std::size_t involvedForMcc(int id) const {
+    return perMccInvolved_[static_cast<std::size_t>(id)];
+  }
+
+  /// Per-MCC involvement as percentages of the safe node count.
+  std::vector<double> perMccInvolvedPercent() const;
+
+  const QuadrantAnalysis& analysis() const { return *analysis_; }
+
+ private:
+  void markInvolved(Point p, int mccId);
+  void addKnown(std::vector<std::vector<int>>& table, Point p, int id);
+
+  const QuadrantAnalysis* analysis_;
+  InfoModel model_;
+  std::vector<std::vector<int>> knownI_;
+  std::vector<std::vector<int>> knownII_;
+  NodeMap<bool> involved_;
+  NodeMap<int> perMccStamp_;
+  std::vector<std::size_t> perMccInvolved_;
+  std::size_t involvedCount_ = 0;
+};
+
+}  // namespace meshrt

@@ -1,0 +1,61 @@
+// Exact monotone ("Manhattan distance path") reachability between two mesh
+// points over a passability predicate. A path of length M(a, b) exists iff b
+// is reachable moving only in sign(b-a) steps; the DP also exposes the
+// blocking frontier, from which the detour planner extracts the paper's
+// blocking sequences (Eq. 1) without any geometric approximation.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mesh/mesh.h"
+#include "mesh/rect.h"
+
+namespace meshrt {
+
+/// Shape of the extracted monotone path. Balanced keeps both dimensions
+/// open (the "fully adaptive" selection); XFirst emits a dimension-ordered
+/// staircase with a single turn per leg — same length, but XY-compatible
+/// turn structure for the wormhole network layer.
+enum class PathOrder : std::uint8_t { Balanced, XFirst };
+
+class MonotoneField {
+ public:
+  using Passable = std::function<bool(Point)>;
+
+  /// Computes reachability from a toward b, restricted to Rect::between(a,b).
+  /// `passable` is consulted for every cell in that rectangle.
+  MonotoneField(const Mesh2D& mesh, Point a, Point b, const Passable& passable);
+
+  Point source() const { return a_; }
+  Point target() const { return b_; }
+
+  bool reachable(Point p) const {
+    return rect_.contains(p) && reach_[index(p)];
+  }
+  bool targetReachable() const { return reachable(b_); }
+
+  /// A monotone path a..b (inclusive); empty unless targetReachable().
+  std::vector<Point> extractPath(PathOrder order = PathOrder::Balanced) const;
+
+  /// Impassable cells on the frontier of the reachable set (the composite
+  /// barrier that cuts a from b). Empty when the target is reachable.
+  std::vector<Point> blockingFrontier() const;
+
+ private:
+  std::size_t index(Point p) const {
+    return static_cast<std::size_t>(p.y - rect_.y0) *
+               static_cast<std::size_t>(rect_.width()) +
+           static_cast<std::size_t>(p.x - rect_.x0);
+  }
+
+  Point a_;
+  Point b_;
+  Rect rect_;
+  Coord stepX_;  // sign(b.x - a.x); 0 when the leg is vertical
+  Coord stepY_;
+  std::vector<bool> reach_;
+  std::vector<bool> passable_;
+};
+
+}  // namespace meshrt

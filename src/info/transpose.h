@@ -1,0 +1,37 @@
+// Transposed views of a labeling: the type-II (blocked-in-+X) machinery is
+// the type-I machinery run with x and y swapped.
+#pragma once
+
+#include "fault/labeling.h"
+#include "fault/mcc.h"
+
+namespace meshrt {
+
+/// Labels re-expressed with x and y swapped.
+inline LabelGrid transposeLabels(const Mesh2D& mesh, const LabelGrid& labels,
+                                 const Mesh2D& meshT) {
+  LabelGrid out(meshT);
+  for (Coord y = 0; y < mesh.height(); ++y) {
+    for (Coord x = 0; x < mesh.width(); ++x) {
+      out.set({y, x}, labels.raw({x, y}));
+    }
+  }
+  return out;
+}
+
+/// MCC id map re-expressed with x and y swapped.
+inline NodeMap<int> transposeIndex(const Mesh2D& mesh,
+                                   const NodeMap<int>& index,
+                                   const Mesh2D& meshT) {
+  NodeMap<int> out(meshT, -1);
+  for (Coord y = 0; y < mesh.height(); ++y) {
+    for (Coord x = 0; x < mesh.width(); ++x) {
+      out[{y, x}] = index[{x, y}];
+    }
+  }
+  return out;
+}
+
+inline Point transposePoint(Point p) { return {p.y, p.x}; }
+
+}  // namespace meshrt

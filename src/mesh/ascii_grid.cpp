@@ -1,0 +1,28 @@
+#include "mesh/ascii_grid.h"
+
+#include <iomanip>
+#include <ostream>
+
+namespace meshrt {
+
+void AsciiGrid::print(std::ostream& os, bool axes) const {
+  for (Coord y = mesh_.height() - 1; y >= 0; --y) {
+    if (axes) os << std::setw(3) << y << ' ';
+    for (Coord x = 0; x < mesh_.width(); ++x) {
+      os << cells_[{x, y}];
+    }
+    os << '\n';
+  }
+  if (axes) {
+    os << "    ";
+    for (Coord x = 0; x < mesh_.width(); ++x) {
+      const char tick = x % 10 == 0
+                            ? static_cast<char>('0' + (x / 10) % 10)
+                            : (x % 5 == 0 ? '+' : ' ');
+      os << tick;
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace meshrt

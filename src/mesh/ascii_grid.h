@@ -1,0 +1,38 @@
+// ASCII rendering of mesh grids for the examples: fault maps, labelings,
+// routing paths. The origin (0,0) renders bottom-left, matching the paper's
+// figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mesh/mesh.h"
+
+namespace meshrt {
+
+class AsciiGrid {
+ public:
+  explicit AsciiGrid(const Mesh2D& mesh, char fill = '.')
+      : mesh_(mesh), cells_(mesh, fill) {}
+
+  void set(Point p, char c) {
+    if (mesh_.contains(p)) cells_[p] = c;
+  }
+
+  char at(Point p) const { return cells_[p]; }
+
+  /// Overlays every point of `path` with `c` (endpoints left to caller).
+  template <typename Range>
+  void overlay(const Range& path, char c) {
+    for (const Point& p : path) set(p, c);
+  }
+
+  /// Renders with y increasing upward; optional axis labels.
+  void print(std::ostream& os, bool axes = true) const;
+
+ private:
+  Mesh2D mesh_;
+  NodeMap<char> cells_;
+};
+
+}  // namespace meshrt

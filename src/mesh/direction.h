@@ -1,0 +1,78 @@
+// The four mesh directions. The paper's normalized frame routes in +X/+Y;
+// detours use -X/-Y.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "mesh/point.h"
+
+namespace meshrt {
+
+enum class Dir : std::uint8_t { PlusX = 0, MinusX = 1, PlusY = 2, MinusY = 3 };
+
+inline constexpr std::array<Dir, 4> kAllDirs = {Dir::PlusX, Dir::MinusX,
+                                                Dir::PlusY, Dir::MinusY};
+
+constexpr Point offset(Dir d) {
+  switch (d) {
+    case Dir::PlusX:
+      return {1, 0};
+    case Dir::MinusX:
+      return {-1, 0};
+    case Dir::PlusY:
+      return {0, 1};
+    case Dir::MinusY:
+      return {0, -1};
+  }
+  return {0, 0};
+}
+
+constexpr Dir opposite(Dir d) {
+  switch (d) {
+    case Dir::PlusX:
+      return Dir::MinusX;
+    case Dir::MinusX:
+      return Dir::PlusX;
+    case Dir::PlusY:
+      return Dir::MinusY;
+    case Dir::MinusY:
+      return Dir::PlusY;
+  }
+  return d;
+}
+
+/// 90-degree turns in the plane, used by the boundary-construction walks
+/// ("make a right/left turn" in Algorithms 1, 4 and 6).
+constexpr Dir turnRight(Dir d) {
+  switch (d) {
+    case Dir::PlusX:
+      return Dir::MinusY;
+    case Dir::MinusY:
+      return Dir::MinusX;
+    case Dir::MinusX:
+      return Dir::PlusY;
+    case Dir::PlusY:
+      return Dir::PlusX;
+  }
+  return d;
+}
+
+constexpr Dir turnLeft(Dir d) { return opposite(turnRight(d)); }
+
+constexpr std::string_view dirName(Dir d) {
+  switch (d) {
+    case Dir::PlusX:
+      return "+X";
+    case Dir::MinusX:
+      return "-X";
+    case Dir::PlusY:
+      return "+Y";
+    case Dir::MinusY:
+      return "-Y";
+  }
+  return "?";
+}
+
+}  // namespace meshrt

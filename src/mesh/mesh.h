@@ -1,0 +1,105 @@
+// The 2-D mesh topology: a width x height grid where interior nodes have
+// degree 4 and each dimension is a linear array (no wraparound).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "mesh/direction.h"
+#include "mesh/point.h"
+
+namespace meshrt {
+
+class Mesh2D {
+ public:
+  Mesh2D(Coord width, Coord height) : width_(width), height_(height) {
+    assert(width > 0 && height > 0);
+  }
+
+  /// Square n x n mesh, the configuration used throughout the paper.
+  static Mesh2D square(Coord n) { return Mesh2D(n, n); }
+
+  Coord width() const { return width_; }
+  Coord height() const { return height_; }
+  NodeId nodeCount() const { return width_ * height_; }
+
+  bool contains(Point p) const {
+    return p.x >= 0 && p.x < width_ && p.y >= 0 && p.y < height_;
+  }
+
+  /// Row-major linearization; p must be inside the mesh.
+  NodeId id(Point p) const {
+    assert(contains(p));
+    return p.y * width_ + p.x;
+  }
+
+  Point point(NodeId id) const {
+    assert(id >= 0 && id < nodeCount());
+    return {id % width_, id / width_};
+  }
+
+  /// Neighbor in direction d, or nullopt at the mesh border.
+  std::optional<Point> neighbor(Point p, Dir d) const {
+    const Point q = p + offset(d);
+    if (!contains(q)) return std::nullopt;
+    return q;
+  }
+
+  /// All in-mesh 4-neighbors of p (2 at corners, 3 on edges, 4 inside).
+  std::vector<Point> neighbors(Point p) const {
+    std::vector<Point> out;
+    out.reserve(4);
+    for (Dir d : kAllDirs) {
+      if (auto q = neighbor(p, d)) out.push_back(*q);
+    }
+    return out;
+  }
+
+  /// Invokes fn(q) for every in-mesh 4-neighbor q of p (allocation-free).
+  template <typename Fn>
+  void forEachNeighbor(Point p, Fn&& fn) const {
+    for (Dir d : kAllDirs) {
+      const Point q = p + offset(d);
+      if (contains(q)) fn(q);
+    }
+  }
+
+  friend bool operator==(const Mesh2D& a, const Mesh2D& b) {
+    return a.width_ == b.width_ && a.height_ == b.height_;
+  }
+
+ private:
+  Coord width_;
+  Coord height_;
+};
+
+/// Dense per-node storage addressed by Point, the workhorse container for
+/// labelings, distance fields and visit sets.
+template <typename T>
+class NodeMap {
+ public:
+  explicit NodeMap(const Mesh2D& mesh, T init = T{})
+      : width_(mesh.width()),
+        data_(static_cast<std::size_t>(mesh.nodeCount()), init) {}
+
+  // decltype(auto) so std::vector<bool>'s proxy references work too.
+  decltype(auto) operator[](Point p) { return data_[index(p)]; }
+  decltype(auto) operator[](Point p) const { return data_[index(p)]; }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  std::size_t size() const { return data_.size(); }
+
+ private:
+  std::size_t index(Point p) const {
+    return static_cast<std::size_t>(p.y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(p.x);
+  }
+
+  Coord width_;
+  std::vector<T> data_;
+};
+
+}  // namespace meshrt

@@ -1,0 +1,59 @@
+// 2-D integer lattice points and Manhattan distance (the paper's M(u, v)).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "common/types.h"
+
+namespace meshrt {
+
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  friend constexpr bool operator==(Point a, Point b) = default;
+  friend constexpr auto operator<=>(Point a, Point b) = default;
+
+  friend constexpr Point operator+(Point a, Point b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Point operator-(Point a, Point b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+
+  std::string str() const {
+    return "(" + std::to_string(x) + "," + std::to_string(y) + ")";
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, Point p) {
+  return os << p.str();
+}
+
+/// Manhattan (L1) distance | xu - xv | + | yu - yv |.
+constexpr Distance manhattan(Point u, Point v) {
+  const auto dx = static_cast<Distance>(u.x) - static_cast<Distance>(v.x);
+  const auto dy = static_cast<Distance>(u.y) - static_cast<Distance>(v.y);
+  return (dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy);
+}
+
+/// True when a monotone (+X/+Y) path can exist from a to b, i.e. a dominates
+/// b from below in both coordinates.
+constexpr bool dominatedBy(Point a, Point b) { return a.x <= b.x && a.y <= b.y; }
+
+struct PointHash {
+  std::size_t operator()(Point p) const noexcept {
+    // Boost-style hash combine over the two 32-bit coords.
+    auto h = static_cast<std::size_t>(static_cast<std::uint32_t>(p.x));
+    h ^= static_cast<std::size_t>(static_cast<std::uint32_t>(p.y)) +
+         0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  }
+};
+
+}  // namespace meshrt

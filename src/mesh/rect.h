@@ -1,0 +1,47 @@
+// Inclusive axis-aligned rectangles: the paper's [x : x', y : y'] notation.
+#pragma once
+
+#include <algorithm>
+
+#include "mesh/point.h"
+
+namespace meshrt {
+
+struct Rect {
+  Coord x0 = 0;
+  Coord y0 = 0;
+  Coord x1 = -1;  // default-constructed Rect is empty
+  Coord y1 = -1;
+
+  static Rect between(Point a, Point b) {
+    return {std::min(a.x, b.x), std::min(a.y, b.y), std::max(a.x, b.x),
+            std::max(a.y, b.y)};
+  }
+
+  bool empty() const { return x0 > x1 || y0 > y1; }
+
+  bool contains(Point p) const {
+    return p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+  }
+
+  bool intersects(const Rect& o) const {
+    return !empty() && !o.empty() && x0 <= o.x1 && o.x0 <= x1 && y0 <= o.y1 &&
+           o.y0 <= y1;
+  }
+
+  Coord width() const { return empty() ? 0 : x1 - x0 + 1; }
+  Coord height() const { return empty() ? 0 : y1 - y0 + 1; }
+  std::int64_t area() const {
+    return static_cast<std::int64_t>(width()) *
+           static_cast<std::int64_t>(height());
+  }
+
+  /// Grows the rectangle by `margin` on every side.
+  Rect inflated(Coord margin) const {
+    return {x0 - margin, y0 - margin, x1 + margin, y1 + margin};
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+}  // namespace meshrt

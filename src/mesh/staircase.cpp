@@ -1,0 +1,79 @@
+#include "mesh/staircase.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace meshrt {
+
+std::optional<Staircase> Staircase::fromCells(std::span<const Point> cells) {
+  if (cells.empty()) return std::nullopt;
+
+  std::map<Coord, std::vector<Coord>> byColumn;
+  for (const Point& p : cells) byColumn[p.x].push_back(p.y);
+
+  const Coord xmin = byColumn.begin()->first;
+  const Coord xmax = byColumn.rbegin()->first;
+  // Column range must be contiguous.
+  if (static_cast<std::size_t>(xmax - xmin) + 1 != byColumn.size()) {
+    return std::nullopt;
+  }
+
+  std::vector<ColumnSpan> cols;
+  cols.reserve(byColumn.size());
+  for (auto& [x, ys] : byColumn) {
+    std::sort(ys.begin(), ys.end());
+    // One contiguous interval per column.
+    for (std::size_t i = 1; i < ys.size(); ++i) {
+      if (ys[i] != ys[i - 1] + 1) return std::nullopt;
+    }
+    cols.push_back({ys.front(), ys.back()});
+  }
+
+  // Monotone bottoms and tops: the staircase ascends SW -> NE. Adjacent
+  // columns must also share at least one row (4-connectivity).
+  for (std::size_t i = 1; i < cols.size(); ++i) {
+    if (cols[i].lo < cols[i - 1].lo || cols[i].hi < cols[i - 1].hi) {
+      return std::nullopt;
+    }
+    if (cols[i].lo > cols[i - 1].hi) return std::nullopt;
+  }
+
+  return Staircase(xmin, std::move(cols));
+}
+
+std::size_t Staircase::cellCount() const {
+  std::size_t total = 0;
+  for (const ColumnSpan& c : cols_) {
+    total += static_cast<std::size_t>(c.hi - c.lo) + 1;
+  }
+  return total;
+}
+
+std::vector<Point> Staircase::cells() const {
+  std::vector<Point> out;
+  out.reserve(cellCount());
+  for (Coord x = xmin(); x <= xmax(); ++x) {
+    const ColumnSpan s = span(x);
+    for (Coord y = s.lo; y <= s.hi; ++y) out.push_back({x, y});
+  }
+  return out;
+}
+
+bool Staircase::blocksMonotone(Point a, Point b) const {
+  // Shared column range between the path's rectangle and the staircase.
+  const Coord left = std::max(a.x, xmin());
+  const Coord right = std::min(b.x, xmax());
+  if (left > right) return false;
+
+  // A monotone path meets the (connected, SW->NE ascending) staircase either
+  // entirely below it or entirely above it; switching sides mid-range would
+  // require crossing a column's cell interval. See DESIGN.md section 3.
+  const bool underOk =
+      a.y < span(left).lo && (b.x > xmax() || b.y < span(b.x).lo);
+  const bool overOk =
+      b.y > span(right).hi && (a.x < xmin() || a.y > span(a.x).hi);
+  return !underOk && !overOk;
+}
+
+}  // namespace meshrt

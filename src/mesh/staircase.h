@@ -1,0 +1,81 @@
+// Rectilinear-monotone ("staircase") polygons: the provable shape of every
+// MCC in the normalized frame (Wang 2003). Columns carry one contiguous cell
+// interval each, and both the interval bottoms and tops are non-decreasing
+// in x (the region ascends from SW to NE).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mesh/point.h"
+
+namespace meshrt {
+
+struct ColumnSpan {
+  Coord lo = 0;
+  Coord hi = 0;
+  friend bool operator==(ColumnSpan, ColumnSpan) = default;
+};
+
+class Staircase {
+ public:
+  /// Empty shape; only usable as a placeholder (most accessors require a
+  /// non-empty shape).
+  Staircase() = default;
+
+  /// Builds from an arbitrary cell set; returns nullopt unless the cells
+  /// form exactly one contiguous interval per column over a contiguous
+  /// column range with monotone bottoms/tops (the MCC shape invariant).
+  static std::optional<Staircase> fromCells(std::span<const Point> cells);
+
+  bool empty() const { return cols_.empty(); }
+
+  Coord xmin() const { return xmin_; }
+  Coord xmax() const {
+    return xmin_ + static_cast<Coord>(cols_.size()) - 1;
+  }
+  Coord ymin() const { return cols_.front().lo; }
+  Coord ymax() const { return cols_.back().hi; }
+
+  bool columnInRange(Coord x) const { return x >= xmin() && x <= xmax(); }
+
+  /// Cell interval of column x; x must be in [xmin, xmax].
+  ColumnSpan span(Coord x) const {
+    return cols_[static_cast<std::size_t>(x - xmin_)];
+  }
+
+  bool contains(Point p) const {
+    if (!columnInRange(p.x)) return false;
+    const ColumnSpan s = span(p.x);
+    return p.y >= s.lo && p.y <= s.hi;
+  }
+
+  std::size_t cellCount() const;
+
+  /// All cells, column-major.
+  std::vector<Point> cells() const;
+
+  /// The initialization corner c: the safe node diagonally SW of the SW
+  /// extreme cell (may lie outside the mesh; callers must check).
+  Point initializationCorner() const { return {xmin_ - 1, ymin() - 1}; }
+
+  /// The opposite corner c': diagonally NE of the NE extreme cell.
+  Point oppositeCorner() const { return {xmax() + 1, ymax() + 1}; }
+
+  /// Exact single-obstacle predicate: does this staircase block every
+  /// monotone (+X/+Y) path from a to b in an otherwise empty plane?
+  /// Precondition: dominatedBy(a, b) and neither endpoint inside the shape.
+  bool blocksMonotone(Point a, Point b) const;
+
+  friend bool operator==(const Staircase&, const Staircase&) = default;
+
+ private:
+  Staircase(Coord xmin, std::vector<ColumnSpan> cols)
+      : xmin_(xmin), cols_(std::move(cols)) {}
+
+  Coord xmin_ = 0;
+  std::vector<ColumnSpan> cols_;
+};
+
+}  // namespace meshrt

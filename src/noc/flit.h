@@ -1,0 +1,39 @@
+// Flits and packets for the wormhole network model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/point.h"
+
+namespace meshrt {
+
+enum class FlitType : std::uint8_t { Head, Body, Tail, HeadTail };
+
+struct Flit {
+  FlitType type = FlitType::Head;
+  std::int64_t packetId = -1;
+  Point src;
+  Point dst;
+  /// Index of this flit within its packet (0 = head).
+  std::uint32_t seq = 0;
+  /// Virtual channel currently occupied (assigned per input port).
+  std::uint8_t vc = 0;
+  /// Remaining route (world points), back() = next hop. Source routing:
+  /// the information-based algorithms computed it at injection time from
+  /// the per-hop decisions they would take.
+  std::vector<Point> route;
+};
+
+struct PacketRecord {
+  std::int64_t id = -1;
+  Point src;
+  Point dst;
+  std::uint32_t length = 1;
+  std::uint64_t injectedCycle = 0;
+  std::uint64_t ejectedCycle = 0;
+  Distance hops = 0;
+  bool delivered = false;
+};
+
+}  // namespace meshrt

@@ -1,0 +1,383 @@
+#include "noc/network.h"
+
+#include "route/validate.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace meshrt {
+
+namespace {
+
+/// Port order: 0=+X(E), 1=-X(W), 2=+Y(N), 3=-Y(S), 4=Local.
+/// Input port p of a node receives flits from the neighbor at +offset(p).
+constexpr std::array<Point, 4> kPortOffsets = {
+    Point{1, 0}, Point{-1, 0}, Point{0, 1}, Point{0, -1}};
+
+}  // namespace
+
+NocNetwork::NocNetwork(const FaultSet& faults, Router& router,
+                       NocConfig config)
+    : faults_(&faults),
+      router_(&router),
+      cfg_(config),
+      mesh_(faults.mesh()),
+      nodes_(static_cast<std::size_t>(mesh_.nodeCount())),
+      injectQueues_(static_cast<std::size_t>(mesh_.nodeCount())) {
+  for (auto& node : nodes_) {
+    for (int p = 0; p < kPorts; ++p) {
+      node.in[static_cast<std::size_t>(p)].resize(cfg_.vcsPerPort);
+      node.credits[static_cast<std::size_t>(p)].assign(cfg_.vcsPerPort,
+                                                       cfg_.vcDepth);
+    }
+  }
+}
+
+int NocNetwork::portToward(Point from, Point to) const {
+  for (int p = 0; p < 4; ++p) {
+    if (from + kPortOffsets[static_cast<std::size_t>(p)] == to) return p;
+  }
+  return kLocal;
+}
+
+Point NocNetwork::neighborAt(Point p, int port) const {
+  return p + kPortOffsets[static_cast<std::size_t>(port)];
+}
+
+int NocNetwork::reversePort(int port) const {
+  switch (port) {
+    case 0:
+      return 1;
+    case 1:
+      return 0;
+    case 2:
+      return 3;
+    case 3:
+      return 2;
+    default:
+      return kLocal;
+  }
+}
+
+bool NocNetwork::inject(Point src, Point dst) {
+  PacketRecord rec;
+  rec.id = nextPacketId_++;
+  rec.src = src;
+  rec.dst = dst;
+  rec.length = cfg_.packetLength;
+  rec.injectedCycle = cycle_;
+
+  if (faults_->isFaulty(src) || faults_->isFaulty(dst)) {
+    packets_.push_back(rec);
+    return false;
+  }
+  if (src == dst) {
+    rec.delivered = true;
+    rec.ejectedCycle = cycle_ + rec.length;
+    packets_.push_back(rec);
+    return true;
+  }
+
+  const RouteResult route = router_->route(src, dst);
+  if (!route.delivered) {
+    packets_.push_back(rec);
+    return false;
+  }
+  // Detouring routes may cross themselves; a self-overlapping source route
+  // self-blocks in wormhole switching, so the network transmits along the
+  // loop-free reduction.
+  const std::vector<Point> path = loopErased(route.path);
+  rec.hops = static_cast<Distance>(path.size()) - 1;
+  packets_.push_back(rec);
+
+  // Remaining hops, back() = next; popped as the head advances.
+  std::vector<Point> remaining(path.rbegin(), path.rend());
+  remaining.pop_back();  // drop src itself
+
+  auto& queue = injectQueues_[static_cast<std::size_t>(mesh_.id(src))];
+  for (std::uint32_t i = 0; i < cfg_.packetLength; ++i) {
+    Flit flit;
+    flit.packetId = rec.id;
+    flit.src = src;
+    flit.dst = dst;
+    flit.seq = i;
+    if (cfg_.packetLength == 1) {
+      flit.type = FlitType::HeadTail;
+    } else if (i == 0) {
+      flit.type = FlitType::Head;
+    } else if (i + 1 == cfg_.packetLength) {
+      flit.type = FlitType::Tail;
+    } else {
+      flit.type = FlitType::Body;
+    }
+    if (i == 0) flit.route = remaining;
+    queue.buffer.push_back(std::move(flit));
+  }
+  ++inFlight_;
+  return true;
+}
+
+void NocNetwork::step() {
+  struct Move {
+    Point from;
+    int inPort;  // kPorts == injection queue
+    int vc;
+    int outPort;
+    int outVc;
+  };
+  std::vector<Move> moves;
+
+  // Phase 1 per router: route computation, downstream VC allocation and
+  // switch allocation (one flit per output port per cycle, round-robin
+  // across input VCs).
+  for (Coord y = 0; y < mesh_.height(); ++y) {
+    for (Coord x = 0; x < mesh_.width(); ++x) {
+      const Point here{x, y};
+      const auto nodeIdx = static_cast<std::size_t>(mesh_.id(here));
+      RouterNode& node = nodes_[nodeIdx];
+      std::array<bool, kPorts> outputTaken{};
+
+      // Resolve one input VC; returns the output (port, vc) when the head
+      // flit can traverse this cycle.
+      auto resolve = [&](VcState& vc) -> std::pair<int, int> {
+        if (vc.buffer.empty()) return {-1, -1};
+        Flit& flit = vc.buffer.front();
+        const bool isHead = flit.type == FlitType::Head ||
+                            flit.type == FlitType::HeadTail;
+        if (vc.outPort < 0) {
+          if (!isHead) return {-1, -1};
+          vc.outPort = flit.route.empty()
+                           ? kLocal
+                           : portToward(here, flit.route.back());
+        }
+        if (vc.outPort == kLocal) return {kLocal, 0};
+        if (vc.outVc < 0) {
+          if (!isHead) return {-1, -1};
+          const Point next = neighborAt(here, vc.outPort);
+          RouterNode& down =
+              nodes_[static_cast<std::size_t>(mesh_.id(next))];
+          const int dport = reversePort(vc.outPort);
+          for (std::uint8_t v = 0; v < cfg_.vcsPerPort; ++v) {
+            VcState& dvc = down.in[static_cast<std::size_t>(dport)][v];
+            if (dvc.ownerPacket == -1 && dvc.buffer.empty()) {
+              dvc.ownerPacket = flit.packetId;  // allocate now
+              vc.outVc = v;
+              break;
+            }
+          }
+          if (vc.outVc < 0) return {-1, -1};  // no free downstream VC
+        }
+        const auto credit = node.credits[static_cast<std::size_t>(vc.outPort)]
+                                        [static_cast<std::size_t>(vc.outVc)];
+        const auto needed =
+            cfg_.virtualCutThrough && isHead
+                ? std::min<std::uint32_t>(cfg_.packetLength, cfg_.vcDepth)
+                : 1u;
+        if (credit < needed) return {-1, -1};  // backpressure
+        return {vc.outPort, vc.outVc};
+      };
+
+      // Candidate order: rotate over (port, vc) pairs for fairness; the
+      // injection queue participates as the last pseudo input.
+      const int slots = kPorts * cfg_.vcsPerPort + 1;
+      for (int s = 0; s < slots; ++s) {
+        const int slot = (s + node.rrSlot) % slots;
+        VcState* vc;
+        int inPort;
+        int vcIdx;
+        if (slot == slots - 1) {
+          vc = &injectQueues_[nodeIdx];
+          inPort = kPorts;
+          vcIdx = 0;
+        } else {
+          inPort = slot / cfg_.vcsPerPort;
+          vcIdx = slot % cfg_.vcsPerPort;
+          vc = &node.in[static_cast<std::size_t>(inPort)]
+                       [static_cast<std::size_t>(vcIdx)];
+        }
+        const auto [outPort, outVc] = resolve(*vc);
+        if (outPort < 0 || outputTaken[static_cast<std::size_t>(outPort)]) {
+          continue;
+        }
+        outputTaken[static_cast<std::size_t>(outPort)] = true;
+        moves.push_back({here, inPort, vcIdx, outPort, outVc});
+      }
+      node.rrSlot = (node.rrSlot + 1) % slots;
+    }
+  }
+
+  // Phase 2: apply traversals.
+  for (const Move& mv : moves) {
+    const auto nodeIdx = static_cast<std::size_t>(mesh_.id(mv.from));
+    RouterNode& node = nodes_[nodeIdx];
+    VcState& vc = mv.inPort == kPorts
+                      ? injectQueues_[nodeIdx]
+                      : node.in[static_cast<std::size_t>(mv.inPort)]
+                               [static_cast<std::size_t>(mv.vc)];
+    Flit flit = std::move(vc.buffer.front());
+    vc.buffer.pop_front();
+    lastProgressCycle_ = cycle_;
+
+    const bool isTail = flit.type == FlitType::Tail ||
+                        flit.type == FlitType::HeadTail;
+    if (isTail) {
+      vc.outPort = -1;
+      vc.outVc = -1;
+      vc.ownerPacket = -1;
+    }
+    // Credit back to the upstream router that feeds this input port.
+    if (mv.inPort < 4) {
+      const Point up = neighborAt(mv.from, mv.inPort);
+      RouterNode& upNode = nodes_[static_cast<std::size_t>(mesh_.id(up))];
+      auto& credit =
+          upNode.credits[static_cast<std::size_t>(reversePort(mv.inPort))]
+                        [static_cast<std::size_t>(mv.vc)];
+      assert(credit < cfg_.vcDepth);
+      ++credit;
+    }
+
+    if (mv.outPort == kLocal) {
+      if (isTail) {
+        PacketRecord& rec = packets_[static_cast<std::size_t>(flit.packetId)];
+        rec.delivered = true;
+        rec.ejectedCycle = cycle_ + 1;
+        assert(inFlight_ > 0);
+        --inFlight_;
+      }
+      continue;
+    }
+
+    const Point next = neighborAt(mv.from, mv.outPort);
+    if (flit.type == FlitType::Head || flit.type == FlitType::HeadTail) {
+      assert(!flit.route.empty() && flit.route.back() == next);
+      flit.route.pop_back();
+    }
+    flit.vc = static_cast<std::uint8_t>(mv.outVc);
+    --node.credits[static_cast<std::size_t>(mv.outPort)]
+                  [static_cast<std::size_t>(mv.outVc)];
+    RouterNode& down = nodes_[static_cast<std::size_t>(mesh_.id(next))];
+    down.in[static_cast<std::size_t>(reversePort(mv.outPort))]
+           [static_cast<std::size_t>(mv.outVc)]
+               .buffer.push_back(std::move(flit));
+  }
+
+  ++cycle_;
+  if (inFlight_ > 0 && cfg_.recoveryCycles > 0 &&
+      cycle_ - lastProgressCycle_ > cfg_.recoveryCycles) {
+    if (recoverOnePacket()) {
+      lastProgressCycle_ = cycle_;
+    } else {
+      stalled_ = true;
+    }
+  }
+  if (inFlight_ > 0 && cycle_ - lastProgressCycle_ > cfg_.watchdogCycles) {
+    stalled_ = true;
+  }
+}
+
+bool NocNetwork::recoverOnePacket() {
+  // Victim: the oldest (lowest id) packet with buffered flits anywhere.
+  std::int64_t victim = -1;
+  auto consider = [&](const VcState& vc) {
+    for (const Flit& flit : vc.buffer) {
+      if (victim < 0 || flit.packetId < victim) victim = flit.packetId;
+    }
+  };
+  for (const auto& node : nodes_) {
+    for (const auto& port : node.in) {
+      for (const auto& vc : port) consider(vc);
+    }
+  }
+  for (const auto& queue : injectQueues_) consider(queue);
+  if (victim < 0) return false;
+
+  // Strip the victim's flits everywhere, restoring upstream credits and VC
+  // ownership.
+  for (Coord y = 0; y < mesh_.height(); ++y) {
+    for (Coord x = 0; x < mesh_.width(); ++x) {
+      const Point here{x, y};
+      RouterNode& node = nodes_[static_cast<std::size_t>(mesh_.id(here))];
+      for (int p = 0; p < kPorts; ++p) {
+        auto& vcs = node.in[static_cast<std::size_t>(p)];
+        for (std::uint8_t v = 0; v < cfg_.vcsPerPort; ++v) {
+          VcState& vc = vcs[v];
+          std::size_t removed = 0;
+          for (auto it = vc.buffer.begin(); it != vc.buffer.end();) {
+            if (it->packetId == victim) {
+              it = vc.buffer.erase(it);
+              ++removed;
+            } else {
+              ++it;
+            }
+          }
+          if (removed > 0 && p < 4) {
+            const Point up = neighborAt(here, p);
+            auto& credit =
+                nodes_[static_cast<std::size_t>(mesh_.id(up))]
+                    .credits[static_cast<std::size_t>(reversePort(p))][v];
+            credit = static_cast<std::uint8_t>(std::min<std::size_t>(
+                cfg_.vcDepth, static_cast<std::size_t>(credit) + removed));
+          }
+          if (vc.ownerPacket == victim) {
+            vc.ownerPacket = -1;
+            vc.outPort = -1;
+            vc.outVc = -1;
+          }
+        }
+      }
+    }
+  }
+  for (VcState& queue : injectQueues_) {
+    const bool streamingVictim =
+        !queue.buffer.empty() && queue.buffer.front().packetId == victim;
+    for (auto it = queue.buffer.begin(); it != queue.buffer.end();) {
+      if (it->packetId == victim) {
+        it = queue.buffer.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (streamingVictim) {
+      // The queue was streaming the victim; reset for the next packet.
+      queue.outPort = -1;
+      queue.outVc = -1;
+    }
+  }
+
+  assert(inFlight_ > 0);
+  --inFlight_;
+  ++recovered_;
+  return true;
+}
+
+bool NocNetwork::drain(std::uint64_t maxExtraCycles) {
+  const std::uint64_t deadline = cycle_ + maxExtraCycles;
+  while (inFlight_ > 0 && !stalled_ && cycle_ < deadline) step();
+  if (inFlight_ > 0) stalled_ = true;
+  return !stalled_;
+}
+
+double NocNetwork::averageLatency() const {
+  double sum = 0;
+  std::size_t count = 0;
+  for (const PacketRecord& rec : packets_) {
+    if (rec.delivered && rec.hops > 0) {
+      sum += static_cast<double>(rec.ejectedCycle - rec.injectedCycle);
+      ++count;
+    }
+  }
+  return count ? sum / static_cast<double>(count) : 0.0;
+}
+
+double NocNetwork::throughput() const {
+  if (cycle_ == 0) return 0.0;
+  std::uint64_t flits = 0;
+  for (const PacketRecord& rec : packets_) {
+    if (rec.delivered) flits += rec.length;
+  }
+  return static_cast<double>(flits) /
+         (static_cast<double>(cycle_) *
+          static_cast<double>(mesh_.nodeCount()));
+}
+
+}  // namespace meshrt

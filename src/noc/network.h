@@ -1,0 +1,118 @@
+// Cycle-level wormhole-switched 2-D mesh network (BookSim-inspired, input-
+// buffered routers with virtual channels and credit flow control).
+//
+// Routing is source-based: a meshrt::Router computes the path at injection
+// (equivalently, the per-hop decisions the distributed algorithm would
+// take); the network then models the flit-level consequences — pipeline
+// latency, serialization, VC/switch contention and backpressure. Faulty
+// nodes accept no flits; the fault-tolerant routers steer around them.
+//
+// Deadlock: adaptive detours can in principle deadlock wormhole networks;
+// the simulator ships a progress watchdog and reports stalls rather than
+// pretending they cannot happen (see DESIGN.md).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "fault/fault_set.h"
+#include "noc/flit.h"
+#include "route/router.h"
+
+namespace meshrt {
+
+struct NocConfig {
+  std::uint8_t vcsPerPort = 2;
+  std::uint8_t vcDepth = 8;       // flits per VC buffer
+  std::uint32_t packetLength = 5; // flits per packet
+  std::uint64_t watchdogCycles = 20000;  // no-progress abort
+  /// Virtual cut-through: a head flit advances only when the downstream VC
+  /// can buffer the entire packet. The fault detours of the information-
+  /// based routers break dimension-order's turn restrictions, so wormhole
+  /// switching can deadlock; VCT confines a blocked packet to one router
+  /// and removes the link-level dependency cycles (residual packet-level
+  /// deadlocks are caught by the watchdog and reported).
+  bool virtualCutThrough = true;
+  /// Deadlock recovery (DISHA-style abort): after this many cycles without
+  /// progress, the oldest blocked packet is removed and counted in
+  /// recoveredPackets(). 0 disables recovery.
+  std::uint64_t recoveryCycles = 1000;
+};
+
+class NocNetwork {
+ public:
+  /// `router` supplies paths; it must outlive the network.
+  NocNetwork(const FaultSet& faults, Router& router, NocConfig config);
+
+  /// Queues a packet for injection at cycle >= now. Returns false when the
+  /// routing function finds no path (packet counted as undeliverable).
+  bool inject(Point src, Point dst);
+
+  /// Advances one cycle.
+  void step();
+
+  /// Runs until all injected packets eject, the watchdog fires, or
+  /// `maxExtraCycles` pass. Returns true when the network emptied.
+  bool drain(std::uint64_t maxExtraCycles = 500000);
+
+  std::uint64_t cycle() const { return cycle_; }
+  const std::vector<PacketRecord>& packets() const { return packets_; }
+  std::size_t inFlight() const { return inFlight_; }
+  bool stalled() const { return stalled_; }
+  /// Packets aborted by deadlock recovery.
+  std::size_t recoveredPackets() const { return recovered_; }
+
+  /// Mean end-to-end latency (inject -> tail eject) over delivered packets.
+  double averageLatency() const;
+  /// Delivered flits per node per cycle.
+  double throughput() const;
+
+ private:
+  static constexpr int kPorts = 5;  // N, S, E, W, Local
+  static constexpr int kLocal = 4;
+
+  struct VcState {
+    std::deque<Flit> buffer;
+    /// Output port the head of this VC has been routed to (-1 = none).
+    int outPort = -1;
+    /// Downstream VC allocated for the current packet (-1 = none).
+    int outVc = -1;
+    /// Packet currently owning this VC (-1 = free for allocation).
+    std::int64_t ownerPacket = -1;
+  };
+
+  struct RouterNode {
+    std::array<std::vector<VcState>, kPorts> in;
+    /// Credits per output port per downstream VC.
+    std::array<std::vector<std::uint8_t>, kPorts> credits;
+    /// Round-robin pointer over (port, vc) slots for switch allocation.
+    int rrSlot = 0;
+  };
+
+  int portToward(Point from, Point to) const;
+  Point neighborAt(Point p, int port) const;
+  int reversePort(int port) const;
+  /// Aborts the oldest in-flight packet, freeing its buffers and credits.
+  /// Returns false when nothing could be removed.
+  bool recoverOnePacket();
+
+  const FaultSet* faults_;
+  Router* router_;
+  NocConfig cfg_;
+  Mesh2D mesh_;
+  std::vector<RouterNode> nodes_;
+  /// Per-node source queue, modeled as an unbounded pseudo input VC.
+  std::vector<VcState> injectQueues_;
+  std::vector<PacketRecord> packets_;
+  std::uint64_t cycle_ = 0;
+  std::size_t inFlight_ = 0;
+  std::uint64_t lastProgressCycle_ = 0;
+  bool stalled_ = false;
+  std::size_t recovered_ = 0;
+  std::int64_t nextPacketId_ = 0;
+};
+
+}  // namespace meshrt

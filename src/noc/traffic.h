@@ -1,0 +1,65 @@
+// Synthetic traffic patterns for the wormhole network (the classical NoC
+// evaluation set: uniform random, transpose, hotspot).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "mesh/mesh.h"
+
+namespace meshrt {
+
+enum class TrafficPattern : std::uint8_t { UniformRandom, Transpose, HotSpot };
+
+class TrafficGenerator {
+ public:
+  /// `packetRate`: packet injection probability per node per cycle.
+  TrafficGenerator(const Mesh2D& mesh, TrafficPattern pattern,
+                   double packetRate, Rng rng)
+      : mesh_(mesh),
+        pattern_(pattern),
+        rate_(packetRate),
+        rng_(rng),
+        hotspot_{mesh.width() / 2, mesh.height() / 2} {}
+
+  /// Source/destination pairs to inject this cycle.
+  std::vector<std::pair<Point, Point>> tick() {
+    std::vector<std::pair<Point, Point>> out;
+    for (Coord y = 0; y < mesh_.height(); ++y) {
+      for (Coord x = 0; x < mesh_.width(); ++x) {
+        if (!rng_.chance(rate_)) continue;
+        const Point src{x, y};
+        Point dst = destinationFor(src);
+        if (dst != src) out.push_back({src, dst});
+      }
+    }
+    return out;
+  }
+
+ private:
+  Point destinationFor(Point src) {
+    switch (pattern_) {
+      case TrafficPattern::Transpose:
+        return {src.y * mesh_.width() / mesh_.height(),
+                src.x * mesh_.height() / mesh_.width()};
+      case TrafficPattern::HotSpot:
+        if (rng_.chance(0.1)) return hotspot_;
+        [[fallthrough]];
+      case TrafficPattern::UniformRandom:
+      default:
+        return {static_cast<Coord>(rng_.below(
+                    static_cast<std::uint64_t>(mesh_.width()))),
+                static_cast<Coord>(rng_.below(
+                    static_cast<std::uint64_t>(mesh_.height())))};
+    }
+  }
+
+  Mesh2D mesh_;
+  TrafficPattern pattern_;
+  double rate_;
+  Rng rng_;
+  Point hotspot_;
+};
+
+}  // namespace meshrt

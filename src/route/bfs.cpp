@@ -1,0 +1,66 @@
+#include "route/bfs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace meshrt {
+
+NodeMap<Distance> bfsDistances(const Mesh2D& mesh, Point source,
+                               const std::function<bool(Point)>& passable) {
+  NodeMap<Distance> dist(mesh, kUnreachable);
+  assert(mesh.contains(source) && passable(source));
+  std::deque<Point> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const Point p = queue.front();
+    queue.pop_front();
+    const Distance next = dist[p] + 1;
+    mesh.forEachNeighbor(p, [&](Point q) {
+      if (dist[q] == kUnreachable && passable(q)) {
+        dist[q] = next;
+        queue.push_back(q);
+      }
+    });
+  }
+  return dist;
+}
+
+NodeMap<Distance> healthyDistances(const FaultSet& faults, Point source) {
+  return bfsDistances(faults.mesh(), source,
+                      [&](Point p) { return faults.isHealthy(p); });
+}
+
+NodeMap<Distance> safeDistances(const Mesh2D& localMesh,
+                                const LabelGrid& labels, Point source) {
+  return bfsDistances(localMesh, source,
+                      [&](Point p) { return labels.isSafe(p); });
+}
+
+std::vector<Point> extractBfsPath(const Mesh2D& mesh,
+                                  const NodeMap<Distance>& dist, Point source,
+                                  Point target) {
+  std::vector<Point> path;
+  if (dist[target] == kUnreachable) return path;
+  Point p = target;
+  path.push_back(p);
+  while (p != source) {
+    bool stepped = false;
+    for (Dir d : kAllDirs) {
+      if (auto q = mesh.neighbor(p, d);
+          q && dist[*q] == dist[p] - 1 && dist[*q] != kUnreachable) {
+        p = *q;
+        path.push_back(p);
+        stepped = true;
+        break;
+      }
+    }
+    assert(stepped);
+    if (!stepped) return {};
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace meshrt

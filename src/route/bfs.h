@@ -1,0 +1,33 @@
+// Breadth-first shortest-path oracles. The paper's ground truth — "the
+// shortest-path is constructed among all the non-faulty nodes" — is the
+// healthy-node BFS; the safe-node BFS (per-quadrant labeling) is the optimum
+// over MCC-safe nodes that Theorem 1 argues coincides with it.
+#pragma once
+
+#include <functional>
+
+#include "fault/fault_set.h"
+#include "fault/labeling.h"
+#include "mesh/mesh.h"
+
+namespace meshrt {
+
+/// Hop distances from `source` over nodes satisfying `passable`;
+/// kUnreachable where no path exists. `source` must be passable.
+NodeMap<Distance> bfsDistances(const Mesh2D& mesh, Point source,
+                               const std::function<bool(Point)>& passable);
+
+/// Distances over all non-faulty nodes.
+NodeMap<Distance> healthyDistances(const FaultSet& faults, Point source);
+
+/// Distances over MCC-safe nodes of a labeling (local frame).
+NodeMap<Distance> safeDistances(const Mesh2D& localMesh,
+                                const LabelGrid& labels, Point source);
+
+/// Extracts one shortest path source..target from a BFS field (empty when
+/// target is unreachable).
+std::vector<Point> extractBfsPath(const Mesh2D& mesh,
+                                  const NodeMap<Distance>& dist, Point source,
+                                  Point target);
+
+}  // namespace meshrt

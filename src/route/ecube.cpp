@@ -1,0 +1,118 @@
+#include "route/ecube.h"
+
+#include <unordered_set>
+
+#include "route/wall_follow.h"
+
+namespace meshrt {
+
+namespace {
+
+struct PoseHash {
+  std::size_t operator()(const std::pair<Point, Dir>& pose) const noexcept {
+    return PointHash{}(pose.first) * 4u +
+           static_cast<std::size_t>(pose.second);
+  }
+};
+
+constexpr Dir towards(Coord from, Coord to, Dir plus, Dir minus) {
+  return to > from ? plus : minus;
+}
+
+}  // namespace
+
+RouteResult EcubeRouter::route(Point s, Point d) {
+  RouteResult result;
+  result.path.push_back(s);
+  if (s == d) {
+    result.delivered = true;
+    return result;
+  }
+
+  const Mesh2D& mesh = faults_->mesh();
+  auto freeHealthy = [&](Point p) {
+    return mesh.contains(p) && faults_->isHealthy(p);
+  };
+
+  // Preferred e-cube hop: correct X first, then Y.
+  auto ecubeDir = [&](Point u) {
+    if (u.x != d.x) return towards(u.x, d.x, Dir::PlusX, Dir::MinusX);
+    return towards(u.y, d.y, Dir::PlusY, Dir::MinusY);
+  };
+
+  Point u = s;
+  bool onRing = false;
+  Dir heading = Dir::PlusX;
+  Dir blockedDir = Dir::PlusX;  // e-cube hop that caused the ring entry
+  WalkHand hand = WalkHand::Right;
+  int handSwitches = 0;  // livelocks resolved by reversing orientation
+  auto isXAxis = [](Dir dir) {
+    return dir == Dir::PlusX || dir == Dir::MinusX;
+  };
+  std::unordered_set<std::pair<Point, Dir>, PoseHash> poses;
+  const std::size_t hopGuard =
+      static_cast<std::size_t>(mesh.nodeCount()) * 8;
+
+  for (std::size_t hop = 0; hop < hopGuard; ++hop) {
+    if (u == d) {
+      result.delivered = true;
+      return result;
+    }
+
+    const Dir want = ecubeDir(u);
+    if (!onRing) {
+      if (freeHealthy(u + offset(want))) {
+        u = u + offset(want);
+        result.path.push_back(u);
+        continue;
+      }
+      // Contact with a fault region: traverse its ring. Choose the
+      // orientation that rounds the region toward the destination's side
+      // (the Boppana-Chalasani direction rule, simplified), and start the
+      // hug with the wall on the hand side.
+      onRing = true;
+      blockedDir = want;
+      if (want == Dir::PlusX || want == Dir::MinusX) {
+        if (d.y >= u.y) {
+          heading = Dir::PlusY;
+          hand = want == Dir::PlusX ? WalkHand::Right : WalkHand::Left;
+        } else {
+          heading = Dir::MinusY;
+          hand = want == Dir::PlusX ? WalkHand::Left : WalkHand::Right;
+        }
+      } else {
+        heading = Dir::PlusX;  // round eastward, deterministic
+        hand = want == Dir::PlusY ? WalkHand::Left : WalkHand::Right;
+      }
+      ++result.phases;
+    }
+
+    const auto move = wallFollowStep(u, heading, hand, freeHealthy);
+    if (!move) return result;  // fully enclosed
+    heading = *move;
+    u = u + offset(heading);
+    result.path.push_back(u);
+    if (!poses.insert({u, heading}).second) {
+      // Livelock: circle the region the other way before giving up (the
+      // message may have been sent around the wrong side of a region that
+      // is open on one side only).
+      if (++handSwitches > 4) return result;
+      hand = hand == WalkHand::Right ? WalkHand::Left : WalkHand::Right;
+      heading = opposite(heading);
+      poses.clear();
+    }
+    // Exit the ring when the e-cube hop is open again — but never exit
+    // into an X correction while rounding a Y-phase block: that re-breaks
+    // dimension order and ping-pongs against the ring (the
+    // Boppana-Chalasani rule keeps the message on the ring until its
+    // column traversal can resume).
+    const Dir resume = ecubeDir(u);
+    if (freeHealthy(u + offset(resume)) &&
+        !(isXAxis(resume) && !isXAxis(blockedDir))) {
+      onRing = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace meshrt

@@ -1,0 +1,25 @@
+// Fault-tolerant E-cube baseline (Boppana & Chalasani 1995, at path level):
+// dimension-order XY routing that, on contact with a faulty region,
+// traverses the ring of healthy nodes around the fault component until the
+// e-cube hop can resume. Requires only neighbor status — the property the
+// paper cites when comparing against it in Figure 5(e).
+#pragma once
+
+#include "fault/fault_set.h"
+#include "route/router.h"
+
+namespace meshrt {
+
+class EcubeRouter : public Router {
+ public:
+  explicit EcubeRouter(const FaultSet& faults) : faults_(&faults) {}
+
+  std::string_view name() const override { return "E-cube"; }
+
+  RouteResult route(Point s, Point d) override;
+
+ private:
+  const FaultSet* faults_;
+};
+
+}  // namespace meshrt

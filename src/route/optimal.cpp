@@ -1,0 +1,20 @@
+#include "route/optimal.h"
+
+#include "route/bfs.h"
+
+namespace meshrt {
+
+RouteResult OptimalRouter::route(Point s, Point d) {
+  RouteResult result;
+  if (faults_->isFaulty(s) || faults_->isFaulty(d)) {
+    result.path.push_back(s);
+    return result;
+  }
+  const auto dist = healthyDistances(*faults_, s);
+  result.path = extractBfsPath(faults_->mesh(), dist, s, d);
+  result.delivered = !result.path.empty();
+  if (!result.delivered) result.path.push_back(s);
+  return result;
+}
+
+}  // namespace meshrt

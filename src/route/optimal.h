@@ -1,0 +1,24 @@
+// The BFS oracle wrapped as a Router: delivers a true shortest path over
+// all non-faulty nodes. Not an implementable distributed algorithm (it uses
+// global fault knowledge); it provides the optimum the paper's Figure 5(d)
+// success rates and Figure 5(e) relative errors are measured against.
+#pragma once
+
+#include "fault/fault_set.h"
+#include "route/router.h"
+
+namespace meshrt {
+
+class OptimalRouter : public Router {
+ public:
+  explicit OptimalRouter(const FaultSet& faults) : faults_(&faults) {}
+
+  std::string_view name() const override { return "Optimal"; }
+
+  RouteResult route(Point s, Point d) override;
+
+ private:
+  const FaultSet* faults_;
+};
+
+}  // namespace meshrt

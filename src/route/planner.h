@@ -1,0 +1,86 @@
+// The multi-phase detour planner: Equations 1-3 of the paper, generalized.
+//
+// Blocking sequences are not detected by pattern-matching the geometric
+// conditions of Eq. 1 directly; instead the planner computes the exact
+// monotone-reachability field toward the target and, when blocked, reads the
+// blocking sequence off the frontier of the reachable set (the MCCs owning
+// the cells that cut u from d — the same chain Eq. 1 describes, but exact in
+// every border/nesting corner case). Detour candidates are the corners of
+// the chain members (Eq. 3's P_0, P_i, P_n), priced recursively by Eq. 2
+// with memoization.
+//
+// Knowledge-parameterized: RB2 plans against every MCC (full information,
+// model B2); RB3 plans against the subset its current node has triples for
+// (model B3) and replans when the message bumps into an unknown MCC.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/analysis.h"
+#include "info/reachability.h"
+
+namespace meshrt {
+
+class DetourPlanner {
+ public:
+  /// `exactFallback`: verify the Eq. 2-3 result against the exact distance
+  /// field the knowledge supports, and fall back to it when the recursion's
+  /// clear-Manhattan-leg assumption fails (dense fault fields). The
+  /// paper-literal mode (false) is kept for the ablation bench.
+  explicit DetourPlanner(const QuadrantAnalysis& qa,
+                         bool exactFallback = true);
+
+  struct Plan {
+    /// Planned distance from u to d under the planner's knowledge.
+    Distance dist = kUnreachable;
+    /// Next intermediate destination: d itself when a Manhattan path
+    /// exists, otherwise the chosen detour corner.
+    Point target;
+    bool direct = false;
+    /// True when the Eq. 2-3 machinery was bypassed by the exact field.
+    bool viaExactFallback = false;
+    /// The leg u..target inclusive (Manhattan leg, or the exact-field path
+    /// in fallback plans).
+    std::vector<Point> legPath;
+  };
+
+  /// Plans from u to d (both in the quadrant's local frame, both safe).
+  /// `known` lists the MCC ids the decision may treat as obstacles;
+  /// nullptr means full knowledge. Returns nullopt when no candidate
+  /// detour reaches d under this knowledge. `order` shapes the leg path.
+  std::optional<Plan> plan(Point u, Point d, const std::vector<int>* known,
+                           PathOrder order = PathOrder::Balanced);
+
+  /// The distance function D(u, d) of Eq. 2 (kUnreachable when no safe
+  /// detour is found). Exposed for tests and the ablation benches.
+  Distance distance(Point u, Point d, const std::vector<int>* known);
+
+  /// Evaluations of the recursive distance function in the last plan()
+  /// call; the recursion budget bounds pathological configurations.
+  std::size_t lastEvaluations() const { return evaluations_; }
+
+ private:
+  struct Ctx {
+    Point d;
+    const std::vector<int>* known;  // sorted ids, or nullptr for full
+    std::unordered_map<Point, Distance, PointHash> memo;
+    std::unordered_map<Point, bool, PointHash> inProgress;
+    std::size_t budget = 0;
+  };
+
+  bool passable(Point p, const std::vector<int>* known) const;
+  Distance eval(Ctx& ctx, Point a, Point* chosenTarget);
+
+  const QuadrantAnalysis* qa_;
+  bool exactFallback_;
+  std::size_t evaluations_ = 0;
+  std::size_t fallbacksTaken_ = 0;
+
+ public:
+  /// Number of plans (since construction) that needed the exact fallback.
+  std::size_t fallbacksTaken() const { return fallbacksTaken_; }
+};
+
+}  // namespace meshrt

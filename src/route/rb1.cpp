@@ -1,0 +1,139 @@
+#include "route/rb1.h"
+
+#include <unordered_set>
+
+#include "route/wall_follow.h"
+
+namespace meshrt {
+
+namespace {
+
+struct PoseHash {
+  std::size_t operator()(const std::pair<Point, Dir>& pose) const noexcept {
+    return PointHash{}(pose.first) * 4u +
+           static_cast<std::size_t>(pose.second);
+  }
+};
+
+}  // namespace
+
+const QuadrantInfo& Rb1Router::info(Quadrant q) {
+  auto& slot = info_[static_cast<std::size_t>(q)];
+  if (!slot) {
+    slot = std::make_unique<QuadrantInfo>(analysis_->quadrant(q),
+                                          InfoModel::B1);
+  }
+  return *slot;
+}
+
+RouteResult Rb1Router::route(Point s, Point d) {
+  RouteResult result;
+  result.path.push_back(s);
+  if (s == d) {
+    result.delivered = true;
+    return result;
+  }
+
+  const Quadrant quad = quadrantOf(s, d);
+  const QuadrantAnalysis& qa = analysis_->quadrant(quad);
+  const QuadrantInfo& qi = info(quad);
+  const Frame& frame = qa.frame();
+  const Mesh2D& mesh = qa.localMesh();
+  const LabelGrid& labels = qa.labels();
+  const Point dL = frame.toLocal(d);
+  Point u = frame.toLocal(s);
+  if (!labels.isSafe(u) || !labels.isSafe(dL)) return result;
+
+  const auto& mccs = qa.mccs();
+  auto freeSafe = [&](Point p) {
+    return mesh.contains(p) && labels.isSafe(p);
+  };
+
+  // Algorithm 2: +X/+Y candidates toward d, pruned by neighbor sensing
+  // (step 1) and by the triples stored at the current node (step 2).
+  auto candidates = [&](Point p) {
+    std::vector<Dir> out;
+    auto consider = [&](Dir dir, bool wanted) {
+      if (!wanted) return;
+      const Point v = p + offset(dir);
+      if (!freeSafe(v)) return;
+      auto excludedBy = [&](std::span<const int> ids) {
+        for (int id : ids) {
+          const Staircase& shape = mccs[static_cast<std::size_t>(id)].shape;
+          if (dominatedBy(v, dL) && shape.blocksMonotone(v, dL)) return true;
+        }
+        return false;
+      };
+      if (excludedBy(qi.typeIKnown(p)) || excludedBy(qi.typeIIKnown(p))) {
+        return;
+      }
+      out.push_back(dir);
+    };
+    consider(Dir::PlusX, p.x < dL.x);
+    consider(Dir::PlusY, p.y < dL.y);
+    return out;
+  };
+
+  bool detouring = false;
+  Dir heading = Dir::MinusX;
+  WalkHand hand = WalkHand::Right;  // clockwise, per Algorithm 3
+  int handSwitches = 0;
+  std::unordered_set<std::pair<Point, Dir>, PoseHash> poses;
+  const std::size_t hopGuard =
+      static_cast<std::size_t>(mesh.nodeCount()) * 8;
+
+  for (std::size_t hop = 0; hop < hopGuard; ++hop) {
+    if (u == dL) {
+      result.delivered = true;
+      return result;
+    }
+
+    if (!detouring) {
+      const auto cands = candidates(u);
+      if (!cands.empty()) {
+        // Fully adaptive selection: keep the larger remaining delta.
+        Dir pick = cands.front();
+        if (cands.size() == 2) {
+          pick = (dL.x - u.x) >= (dL.y - u.y) ? Dir::PlusX : Dir::PlusY;
+        }
+        u = u + offset(pick);
+        result.path.push_back(frame.toWorld(u));
+        continue;
+      }
+      // Step 3 of Algorithm 3: blocked by an MCC; detour clockwise.
+      detouring = true;
+      heading = Dir::MinusX;
+      ++result.phases;
+    }
+
+    bool contact = false;
+    for (Dir dir : kAllDirs) {
+      const Point q = u + offset(dir);
+      if (!mesh.contains(q) || labels.isUnsafe(q)) contact = true;
+    }
+    std::optional<Dir> move;
+    if (contact) {
+      move = wallFollowStep(u, heading, hand, freeSafe);
+    } else if (freeSafe(u + offset(Dir::MinusX))) {
+      move = Dir::MinusX;
+    } else if (freeSafe(u + offset(Dir::MinusY))) {
+      move = Dir::MinusY;
+    }
+    if (!move) return result;  // walled in
+    heading = *move;
+    u = u + offset(heading);
+    result.path.push_back(frame.toWorld(u));
+    if (!poses.insert({u, heading}).second) {
+      // Livelock going clockwise (e.g. the MCC is glued to the border on
+      // that side): try the counter-clockwise orientation before failing.
+      if (++handSwitches > 2) return result;
+      hand = hand == WalkHand::Right ? WalkHand::Left : WalkHand::Right;
+      heading = opposite(heading);
+      poses.clear();
+    }
+    if (!candidates(u).empty()) detouring = false;
+  }
+  return result;
+}
+
+}  // namespace meshrt

@@ -1,0 +1,32 @@
+// RB1 (Algorithm 3): the prior-art baseline. Manhattan routing whose
+// per-hop candidate set is pruned by the boundary triples stored at the
+// current node (information model B1); when the candidate set empties, the
+// message detours clockwise around the blocking MCC (the E-cube style
+// detour), then resumes.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "fault/analysis.h"
+#include "info/knowledge.h"
+#include "route/router.h"
+
+namespace meshrt {
+
+class Rb1Router : public Router {
+ public:
+  explicit Rb1Router(const FaultAnalysis& analysis) : analysis_(&analysis) {}
+
+  std::string_view name() const override { return "RB1"; }
+
+  RouteResult route(Point s, Point d) override;
+
+ private:
+  const QuadrantInfo& info(Quadrant q);
+
+  const FaultAnalysis* analysis_;
+  std::array<std::unique_ptr<QuadrantInfo>, 4> info_;
+};
+
+}  // namespace meshrt

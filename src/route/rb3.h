@@ -1,0 +1,50 @@
+// RB3 (Algorithm 7): the practical routing over the extended boundary-only
+// information model B3. Planning is identical to RB2 but restricted to the
+// MCC triples stored at nodes the message has visited (boundary lines,
+// identification rings) plus MCCs sensed on contact; when the planned leg
+// bumps into an MCC the plan did not know, the message learns it (it is now
+// on that MCC's ring, which holds the triple) and replans. Theorem 2: from
+// boundary nodes the found path matches RB2's.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "fault/analysis.h"
+#include "info/knowledge.h"
+#include "info/reachability.h"
+#include "route/planner.h"
+#include "route/router.h"
+
+namespace meshrt {
+
+/// What the RB3 message may learn en route (ablation knob; the paper's
+/// model is Boundary).
+enum class Rb3Knowledge : std::uint8_t {
+  ContactOnly,  // neighbor sensing only, no stored triples
+  Boundary,     // B3: boundary/ring triple stores + sensing (default)
+  Full,         // complete information (degenerates to RB2)
+};
+
+class Rb3Router : public Router {
+ public:
+  /// `order` shapes the Manhattan legs (see Rb2Router).
+  explicit Rb3Router(const FaultAnalysis& analysis,
+                     PathOrder order = PathOrder::Balanced,
+                     Rb3Knowledge knowledge = Rb3Knowledge::Boundary)
+      : analysis_(&analysis), order_(order), knowledge_(knowledge) {}
+
+  std::string_view name() const override { return "RB3"; }
+
+  RouteResult route(Point s, Point d) override;
+
+ private:
+  const QuadrantInfo& info(Quadrant q);
+
+  const FaultAnalysis* analysis_;
+  PathOrder order_;
+  Rb3Knowledge knowledge_;
+  std::array<std::unique_ptr<QuadrantInfo>, 4> info_;
+};
+
+}  // namespace meshrt

@@ -1,0 +1,196 @@
+#include "route/safety_vector.h"
+
+#include <optional>
+#include <unordered_set>
+
+#include "route/wall_follow.h"
+
+namespace meshrt {
+
+namespace {
+
+struct PoseHash {
+  std::size_t operator()(const std::pair<Point, Dir>& pose) const noexcept {
+    return PointHash{}(pose.first) * 4u +
+           static_cast<std::size_t>(pose.second);
+  }
+};
+
+constexpr Coord sign(Coord v) { return v > 0 ? 1 : (v < 0 ? -1 : 0); }
+
+}  // namespace
+
+SafetyVectors::SafetyVectors(const FaultSet& faults)
+    : vectors_{NodeMap<Coord>(faults.mesh(), 0),
+               NodeMap<Coord>(faults.mesh(), 0),
+               NodeMap<Coord>(faults.mesh(), 0),
+               NodeMap<Coord>(faults.mesh(), 0)} {
+  const Mesh2D& mesh = faults.mesh();
+  // clearance(p, d) = 0 for faulty p; else 1 + clearance(neighbor(d)),
+  // where off-mesh counts as clear (edge + 1). One sweep per direction in
+  // dependency order — exactly what the neighbor exchange converges to.
+  auto sweep = [&](Dir d) {
+    NodeMap<Coord>& out = vectors_[static_cast<std::size_t>(d)];
+    const Point step = offset(d);
+    const bool xDir = step.x != 0;
+    const Coord extent = xDir ? mesh.width() : mesh.height();
+    for (Coord major = 0; major < (xDir ? mesh.height() : mesh.width());
+         ++major) {
+      for (Coord k = 0; k < extent; ++k) {
+        // Iterate from the far side toward the near side of direction d.
+        const Coord minor =
+            (step.x > 0 || step.y > 0) ? extent - 1 - k : k;
+        const Point p = xDir ? Point{minor, major} : Point{major, minor};
+        if (faults.isFaulty(p)) {
+          out[p] = 0;
+          continue;
+        }
+        const Point q = p + step;
+        out[p] = mesh.contains(q)
+                     ? std::min<Coord>(out[q] + 1, extent)
+                     : extent;  // clear to the edge
+      }
+    }
+  };
+  for (Dir d : kAllDirs) sweep(d);
+}
+
+RouteResult SafetyVectorRouter::route(Point s, Point d) {
+  RouteResult result;
+  result.path.push_back(s);
+  if (s == d) {
+    result.delivered = true;
+    return result;
+  }
+  const Mesh2D& mesh = faults_->mesh();
+  auto freeHealthy = [&](Point p) {
+    return mesh.contains(p) && faults_->isHealthy(p);
+  };
+
+  Point u = s;
+  bool detouring = false;
+  Dir heading = Dir::PlusX;
+  Dir blockedDir = Dir::PlusX;
+  std::optional<Dir> lastMove;
+  WalkHand hand = WalkHand::Right;
+  auto isXAxis = [](Dir dir) {
+    return dir == Dir::PlusX || dir == Dir::MinusX;
+  };
+  std::unordered_set<std::pair<Point, Dir>, PoseHash> poses;
+  const std::size_t hopGuard =
+      static_cast<std::size_t>(mesh.nodeCount()) * 8;
+
+  for (std::size_t hop = 0; hop < hopGuard; ++hop) {
+    if (u == d) {
+      result.delivered = true;
+      return result;
+    }
+
+    if (!detouring) {
+      // Profitable directions with a healthy next hop.
+      const Coord sx = sign(d.x - u.x);
+      const Coord sy = sign(d.y - u.y);
+      const Dir dirX = sx > 0 ? Dir::PlusX : Dir::MinusX;
+      const Dir dirY = sy > 0 ? Dir::PlusY : Dir::MinusY;
+      std::vector<Dir> cands;
+      if (sx != 0 && freeHealthy(u + offset(dirX))) cands.push_back(dirX);
+      if (sy != 0 && freeHealthy(u + offset(dirY))) cands.push_back(dirY);
+
+      if (!cands.empty()) {
+        // Feasibility: from the next node, can the OTHER dimension's
+        // remaining travel proceed unblocked (safety >= remaining)?
+        auto feasible = [&](Dir dir) {
+          const Point v = u + offset(dir);
+          if (dir == dirX) {
+            if (sy == 0) return true;
+            return vectors_.clearance(v, dirY) > (sy > 0 ? d.y - v.y
+                                                         : v.y - d.y);
+          }
+          if (sx == 0) return true;
+          return vectors_.clearance(v, dirX) > (sx > 0 ? d.x - v.x
+                                                       : v.x - d.x);
+        };
+        Dir pick = cands.front();
+        bool found = false;
+        for (Dir dir : cands) {
+          // Never un-do the previous hop: that ping-pongs against rings.
+          if (lastMove && dir == opposite(*lastMove)) continue;
+          if (feasible(dir)) {
+            pick = dir;
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          // Neither looks safe: keep the dimension with more clearance,
+          // avoiding an immediate reversal.
+          Coord best = -1;
+          for (Dir dir : cands) {
+            if (lastMove && dir == opposite(*lastMove) && cands.size() > 1) {
+              continue;
+            }
+            const Coord c = vectors_.clearance(u + offset(dir), dir);
+            if (c > best) {
+              best = c;
+              pick = dir;
+            }
+          }
+        }
+        u = u + offset(pick);
+        lastMove = pick;
+        result.path.push_back(u);
+        continue;
+      }
+      // Ring entry like the E-cube baseline: hug the blocking region on
+      // the destination's side.
+      detouring = true;
+      const Dir want =
+          (sx != 0 && !freeHealthy(u + offset(dirX))) ? dirX : dirY;
+      blockedDir = want;
+      if (want == Dir::PlusX || want == Dir::MinusX) {
+        if (d.y >= u.y) {
+          heading = Dir::PlusY;
+          hand = want == Dir::PlusX ? WalkHand::Right : WalkHand::Left;
+        } else {
+          heading = Dir::MinusY;
+          hand = want == Dir::PlusX ? WalkHand::Left : WalkHand::Right;
+        }
+      } else {
+        if (d.x >= u.x) {
+          heading = Dir::PlusX;
+          hand = want == Dir::PlusY ? WalkHand::Left : WalkHand::Right;
+        } else {
+          heading = Dir::MinusX;
+          hand = want == Dir::PlusY ? WalkHand::Right : WalkHand::Left;
+        }
+      }
+      ++result.phases;
+    }
+
+    const auto move = wallFollowStep(u, heading, hand, freeHealthy);
+    if (!move) return result;
+    heading = *move;
+    u = u + offset(heading);
+    lastMove = heading;
+    result.path.push_back(u);
+    if (!poses.insert({u, heading}).second) return result;  // livelock
+    // Resume minimal routing when the blocked axis opens again (never
+    // exiting a Y-block ring into an X correction — see EcubeRouter).
+    const Coord sx = sign(d.x - u.x);
+    const Coord sy = sign(d.y - u.y);
+    const bool canX =
+        sx != 0 &&
+        freeHealthy(u + offset(sx > 0 ? Dir::PlusX : Dir::MinusX));
+    const bool canY =
+        sy != 0 &&
+        freeHealthy(u + offset(sy > 0 ? Dir::PlusY : Dir::MinusY));
+    if (isXAxis(blockedDir)) {
+      if (canX || canY) detouring = false;
+    } else if (canY) {
+      detouring = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace meshrt

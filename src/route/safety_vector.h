@@ -1,0 +1,56 @@
+// Safety-vector baseline, inspired by the extended-safety-level family the
+// paper cites as related work (Wu, IEEE TPDS 2000 — reference [9]).
+//
+// Model: every node holds a 4-entry vector with the distance to the nearest
+// faulty node straight along each direction (mesh edge counts as clear).
+// The vector is computable purely by neighbor exchange (one value per
+// direction: 1 + the neighbor's value), making it the cheapest non-trivial
+// information model in the suite — between E-cube's neighbor sensing and
+// B1's boundary triples.
+//
+// Routing: minimal adaptive. Among the profitable directions the router
+// prefers one whose next node can finish the remaining travel in the other
+// dimension unblocked (the safety-level feasibility test); detours
+// clockwise on contact like Algorithm 3. This is a behavioral baseline, not
+// a line-by-line reproduction of [9] (which builds on rectangular blocks);
+// see DESIGN.md.
+#pragma once
+
+#include <array>
+
+#include "fault/fault_set.h"
+#include "mesh/mesh.h"
+#include "route/router.h"
+
+namespace meshrt {
+
+/// Per-node directional clearance: distance to the first faulty node going
+/// straight in each direction (index = Dir), or the distance to the mesh
+/// edge plus one when the row/column is clear.
+class SafetyVectors {
+ public:
+  explicit SafetyVectors(const FaultSet& faults);
+
+  Coord clearance(Point p, Dir d) const {
+    return vectors_[static_cast<std::size_t>(d)][p];
+  }
+
+ private:
+  std::array<NodeMap<Coord>, 4> vectors_;
+};
+
+class SafetyVectorRouter : public Router {
+ public:
+  explicit SafetyVectorRouter(const FaultSet& faults)
+      : faults_(&faults), vectors_(faults) {}
+
+  std::string_view name() const override { return "SafetyVec"; }
+
+  RouteResult route(Point s, Point d) override;
+
+ private:
+  const FaultSet* faults_;
+  SafetyVectors vectors_;
+};
+
+}  // namespace meshrt

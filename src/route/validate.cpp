@@ -1,0 +1,36 @@
+#include "route/validate.h"
+
+#include <unordered_map>
+
+namespace meshrt {
+
+std::vector<Point> loopErased(std::span<const Point> path) {
+  std::vector<Point> out;
+  std::unordered_map<Point, std::size_t, PointHash> seenAt;
+  for (const Point& p : path) {
+    if (auto it = seenAt.find(p); it != seenAt.end()) {
+      // Splice out the cycle since the previous visit.
+      for (std::size_t i = it->second + 1; i < out.size(); ++i) {
+        seenAt.erase(out[i]);
+      }
+      out.resize(it->second + 1);
+    } else {
+      seenAt.emplace(p, out.size());
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+bool isValidPath(const FaultSet& faults, Point s, Point d,
+                 std::span<const Point> path) {
+  if (path.empty() || path.front() != s || path.back() != d) return false;
+  const Mesh2D& mesh = faults.mesh();
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (!mesh.contains(path[i]) || faults.isFaulty(path[i])) return false;
+    if (i > 0 && manhattan(path[i - 1], path[i]) != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace meshrt

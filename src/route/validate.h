@@ -1,0 +1,21 @@
+// Path validation used by tests and the experiment harness.
+#pragma once
+
+#include <span>
+
+#include "fault/fault_set.h"
+#include "mesh/point.h"
+
+namespace meshrt {
+
+/// True iff `path` starts at s, ends at d, moves between 4-neighbors, stays
+/// inside the mesh, and never visits a faulty node.
+bool isValidPath(const FaultSet& faults, Point s, Point d,
+                 std::span<const Point> path);
+
+/// Loop-erased reduction: removes the cycles a detouring route may contain
+/// (wall-follow segments can revisit nodes). The result visits each node at
+/// most once and is never longer than the input.
+std::vector<Point> loopErased(std::span<const Point> path);
+
+}  // namespace meshrt

@@ -1,0 +1,31 @@
+// Hand-on-wall stepping shared by the detouring routers (RB1's clockwise
+// detour around an MCC, E-cube's traversal around fault rings).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "info/boundary_walker.h"
+#include "mesh/direction.h"
+
+namespace meshrt {
+
+/// One wall-following move from `pos` with current `heading`.
+/// Right hand == clockwise around the obstacle (the paper's detour
+/// orientation); Left == counter-clockwise. Returns the direction to move,
+/// or nullopt when walled in. On success the caller must update heading to
+/// the returned direction.
+inline std::optional<Dir> wallFollowStep(
+    Point pos, Dir heading, WalkHand hand,
+    const std::function<bool(Point)>& free) {
+  const Dir first =
+      hand == WalkHand::Right ? turnRight(heading) : turnLeft(heading);
+  const Dir third =
+      hand == WalkHand::Right ? turnLeft(heading) : turnRight(heading);
+  for (Dir d : {first, heading, third, opposite(heading)}) {
+    if (free(pos + offset(d))) return d;
+  }
+  return std::nullopt;
+}
+
+}  // namespace meshrt

@@ -1,0 +1,69 @@
+#include "route/waypoint_graph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "info/reachability.h"
+
+namespace meshrt {
+
+WaypointGraph::WaypointGraph(const QuadrantAnalysis& qa) : qa_(&qa) {
+  for (const Mcc& mcc : qa.mccs()) {
+    for (const auto& corner :
+         {mcc.cornerC, mcc.cornerCPrime, mcc.cornerNW, mcc.cornerSE}) {
+      if (corner) corners_.push_back(*corner);
+    }
+  }
+  std::sort(corners_.begin(), corners_.end());
+  corners_.erase(std::unique(corners_.begin(), corners_.end()),
+                 corners_.end());
+}
+
+Distance WaypointGraph::distance(Point u, Point d) const {
+  std::vector<Point> nodes = corners_;
+  auto addNode = [&](Point p) {
+    if (std::find(nodes.begin(), nodes.end(), p) == nodes.end()) {
+      nodes.push_back(p);
+    }
+  };
+  addNode(u);
+  addNode(d);
+
+  const auto pass = [&](Point p) { return qa_->labels().isSafe(p); };
+  auto legClear = [&](Point a, Point b) {
+    return MonotoneField(qa_->localMesh(), a, b, pass).targetReachable();
+  };
+
+  const std::size_t n = nodes.size();
+  std::vector<Distance> dist(n, kUnreachable);
+  std::vector<bool> settled(n, false);
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (nodes[i] == u) src = i;
+    if (nodes[i] == d) dst = i;
+  }
+  dist[src] = 0;
+
+  using Item = std::pair<Distance, std::size_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  queue.push({0, src});
+  while (!queue.empty()) {
+    const auto [g, i] = queue.top();
+    queue.pop();
+    if (settled[i]) continue;
+    settled[i] = true;
+    if (i == dst) return g;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (settled[j]) continue;
+      const Distance w = manhattan(nodes[i], nodes[j]);
+      if (dist[j] != kUnreachable && dist[j] <= g + w) continue;
+      if (!legClear(nodes[i], nodes[j])) continue;
+      dist[j] = g + w;
+      queue.push({dist[j], j});
+    }
+  }
+  return dist[dst];
+}
+
+}  // namespace meshrt

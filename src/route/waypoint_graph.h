@@ -1,0 +1,31 @@
+// Waypoint-graph shortest paths: an independent oracle for the detour
+// planner. Vertices are the source, the destination and every MCC corner;
+// edges join pairs with a clear monotone (Manhattan-distance) leg. Running
+// Dijkstra over this graph computes the transitive closure of the paper's
+// Eq. 2 recursion — any multi-phase route of Manhattan legs between corners
+// is representable — so its distance must equal the planner's (and the
+// safe-BFS optimum) on every solvable instance. Used by tests and the
+// ablation benches; quadratic in corner count, so not for the hot path.
+#pragma once
+
+#include <vector>
+
+#include "fault/analysis.h"
+
+namespace meshrt {
+
+class WaypointGraph {
+ public:
+  explicit WaypointGraph(const QuadrantAnalysis& qa);
+
+  /// Shortest distance from u to d (local frame) over corner-to-corner
+  /// Manhattan legs; kUnreachable when no composition of legs connects
+  /// them. Both endpoints must be safe.
+  Distance distance(Point u, Point d) const;
+
+ private:
+  const QuadrantAnalysis* qa_;
+  std::vector<Point> corners_;
+};
+
+}  // namespace meshrt

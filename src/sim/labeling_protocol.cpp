@@ -1,0 +1,101 @@
+#include "sim/labeling_protocol.h"
+
+#include "sim/network.h"
+
+namespace meshrt {
+
+namespace {
+
+/// A status announcement: the sender became blocking for forward (+X/+Y
+/// progress) or backward (-X/-Y reachability) purposes.
+struct StatusMsg {
+  Dir fromDir;  // direction of the sender, from the receiver's viewpoint
+  bool forwardBlocking;
+};
+
+}  // namespace
+
+DistributedLabelingResult runDistributedLabeling(const Mesh2D& localMesh,
+                                                 const FaultSet& localFaults,
+                                                 std::size_t maxRounds) {
+  DistributedLabelingResult result{LabelGrid(localMesh), 0, 0};
+  LabelGrid& labels = result.labels;
+
+  SyncNetwork<StatusMsg> net(localMesh);
+
+  // Which of my +X/+Y (resp. -X/-Y) neighbors block forward (backward)
+  // progress, as learned from sensing and announcements.
+  NodeMap<std::uint8_t> fwdBlocked(localMesh, 0);  // bit0 = +X, bit1 = +Y
+  NodeMap<std::uint8_t> bwdBlocked(localMesh, 0);  // bit0 = -X, bit1 = -Y
+
+  auto announce = [&](SyncNetwork<StatusMsg>::Tx& tx, bool forward) {
+    // Forward-blocking status matters to my -X/-Y neighbors and vice versa.
+    if (forward) {
+      tx.send(Dir::MinusX, {Dir::PlusX, true});
+      tx.send(Dir::MinusY, {Dir::PlusY, true});
+    } else {
+      tx.send(Dir::PlusX, {Dir::MinusX, false});
+      tx.send(Dir::PlusY, {Dir::MinusY, false});
+    }
+  };
+
+  auto tryUpgrade = [&](Point p, SyncNetwork<StatusMsg>::Tx& tx) {
+    if (labels.isFaulty(p)) return;
+    if (fwdBlocked[p] == 3 && !labels.isUseless(p)) {
+      labels.set(p, kUselessBit);
+      announce(tx, /*forward=*/true);
+    }
+    if (bwdBlocked[p] == 3 && !labels.isCantReach(p)) {
+      labels.set(p, kCantReachBit);
+      announce(tx, /*forward=*/false);
+    }
+  };
+
+  // Round 0: every node senses adjacent faults locally (no messages needed
+  // for that in a real system: dead neighbors are detected by timeouts).
+  for (Coord y = 0; y < localMesh.height(); ++y) {
+    for (Coord x = 0; x < localMesh.width(); ++x) {
+      const Point p{x, y};
+      if (localFaults.isFaulty(p)) {
+        labels.set(p, kFaultyBit);
+        continue;
+      }
+      auto sense = [&](Dir d, std::uint8_t bit, bool forward) {
+        if (auto q = localMesh.neighbor(p, d);
+            q && localFaults.isFaulty(*q)) {
+          (forward ? fwdBlocked : bwdBlocked)[p] |= bit;
+        }
+      };
+      sense(Dir::PlusX, 1, true);
+      sense(Dir::PlusY, 2, true);
+      sense(Dir::MinusX, 1, false);
+      sense(Dir::MinusY, 2, false);
+    }
+  }
+  // Seed announcements for nodes that upgrade straight from sensing.
+  for (Coord y = 0; y < localMesh.height(); ++y) {
+    for (Coord x = 0; x < localMesh.width(); ++x) {
+      const Point p{x, y};
+      SyncNetwork<StatusMsg>::Tx tx(net, p);
+      tryUpgrade(p, tx);
+    }
+  }
+
+  result.rounds = net.run(
+      [&](Point self, const StatusMsg& msg, SyncNetwork<StatusMsg>::Tx& tx) {
+        if (labels.isFaulty(self)) return;  // dead nodes drop traffic
+        if (msg.forwardBlocking) {
+          if (msg.fromDir == Dir::PlusX) fwdBlocked[self] |= 1;
+          if (msg.fromDir == Dir::PlusY) fwdBlocked[self] |= 2;
+        } else {
+          if (msg.fromDir == Dir::MinusX) bwdBlocked[self] |= 1;
+          if (msg.fromDir == Dir::MinusY) bwdBlocked[self] |= 2;
+        }
+        tryUpgrade(self, tx);
+      },
+      maxRounds);
+  result.messages = net.messagesDelivered();
+  return result;
+}
+
+}  // namespace meshrt

@@ -1,0 +1,28 @@
+// Distributed MCC labeling on the message-passing substrate: "each active
+// node collects its neighbors' status and updates its status; only those
+// affected nodes update their status" (paper section 2).
+//
+// Every node senses its faulty neighbors locally; label upgrades propagate
+// by neighbor announcements until quiescent. The result provably equals the
+// centralized fixpoint of fault/labeling.h (tested property).
+#pragma once
+
+#include <cstddef>
+
+#include "fault/fault_set.h"
+#include "fault/labeling.h"
+
+namespace meshrt {
+
+struct DistributedLabelingResult {
+  LabelGrid labels;
+  std::size_t rounds = 0;
+  std::size_t messages = 0;
+};
+
+DistributedLabelingResult runDistributedLabeling(const Mesh2D& localMesh,
+                                                 const FaultSet& localFaults,
+                                                 std::size_t maxRounds = 1u
+                                                                        << 20);
+
+}  // namespace meshrt

@@ -1,0 +1,93 @@
+// Synchronous message-passing substrate for the paper's distributed
+// processes (labeling, ring identification, boundary construction, forbidden
+// region broadcast).
+//
+// Model: each node owns local state; messages sent in round k are delivered
+// in round k+1; only neighbor-to-neighbor sends are allowed — the paper's
+// "fully distributed process ... by information exchanges among neighbors".
+// The engine counts delivered messages and the set of involved nodes, which
+// is exactly the cost metric of Figure 5(c).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "mesh/mesh.h"
+
+namespace meshrt {
+
+template <typename Msg>
+class SyncNetwork {
+ public:
+  /// Context handed to handlers for sending to a neighbor.
+  class Tx {
+   public:
+    Tx(SyncNetwork& net, Point self) : net_(net), self_(self) {}
+
+    /// Queues m for neighbor-of-self in direction d (dropped at borders).
+    void send(Dir d, Msg m) {
+      if (auto q = net_.mesh_.neighbor(self_, d)) {
+        net_.pending_.push_back({*q, std::move(m)});
+      }
+    }
+
+    Point self() const { return self_; }
+
+   private:
+    SyncNetwork& net_;
+    Point self_;
+  };
+
+  using Handler = std::function<void(Point self, const Msg& msg, Tx& tx)>;
+
+  explicit SyncNetwork(const Mesh2D& mesh)
+      : mesh_(mesh), involved_(mesh, false) {}
+
+  const Mesh2D& mesh() const { return mesh_; }
+
+  /// Injects a message before round 0 (protocol kick-off; e.g. the paper's
+  /// initialization corner starting the identification messages).
+  void post(Point to, Msg m) {
+    assert(mesh_.contains(to));
+    pending_.push_back({to, std::move(m)});
+  }
+
+  /// Runs rounds until quiescence (or maxRounds). Returns rounds executed.
+  std::size_t run(const Handler& handler, std::size_t maxRounds) {
+    std::size_t round = 0;
+    while (!pending_.empty() && round < maxRounds) {
+      std::vector<std::pair<Point, Msg>> inbox;
+      inbox.swap(pending_);
+      for (auto& [to, msg] : inbox) {
+        ++delivered_;
+        if (!involved_[to]) {
+          involved_[to] = true;
+          ++involvedCount_;
+        }
+        Tx tx(*this, to);
+        handler(to, msg, tx);
+      }
+      ++round;
+    }
+    return round;
+  }
+
+  bool quiescent() const { return pending_.empty(); }
+  std::size_t messagesDelivered() const { return delivered_; }
+
+  /// Nodes that received at least one protocol message.
+  std::size_t involvedCount() const { return involvedCount_; }
+  bool wasInvolved(Point p) const { return involved_[p]; }
+
+ private:
+  Mesh2D mesh_;
+  std::vector<std::pair<Point, Msg>> pending_;
+  NodeMap<bool> involved_;
+  std::size_t involvedCount_ = 0;
+  std::size_t delivered_ = 0;
+};
+
+}  // namespace meshrt

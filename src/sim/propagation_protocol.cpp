@@ -1,0 +1,353 @@
+#include "sim/propagation_protocol.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "info/boundary_walker.h"
+#include "info/transpose.h"
+#include "sim/network.h"
+
+namespace meshrt {
+
+namespace {
+
+constexpr std::uint8_t kModeEast = 1;
+constexpr std::uint8_t kModeWest = 2;
+constexpr std::uint8_t kModeNorth = 4;
+
+struct Msg {
+  enum class Kind : std::uint8_t { Ring, Boundary, Spread } kind;
+  int mccId = -1;
+  WalkHand hand = WalkHand::Left;    // Boundary
+  BoundaryStepState walk;            // Boundary
+  std::uint8_t spreadMode = 0;       // Spread
+};
+
+void insertUnique(std::vector<int>& list, int id) {
+  auto it = std::lower_bound(list.begin(), list.end(), id);
+  if (it == list.end() || *it != id) list.insert(it, id);
+}
+
+bool containsId(const std::vector<int>& list, int id) {
+  return std::binary_search(list.begin(), list.end(), id);
+}
+
+/// One frame's protocol state and stages (normal or transposed frame).
+class FrameProtocol {
+ public:
+  FrameProtocol(const Mesh2D& mesh, const LabelGrid& labels,
+                const NodeMap<int>& index, const std::vector<Mcc>& mccs,
+                bool transposed, InfoModel model)
+      : mesh_(mesh),
+        labels_(labels),
+        index_(index),
+        mccs_(mccs),
+        transposed_(transposed),
+        model_(model),
+        known_(static_cast<std::size_t>(mesh.nodeCount())),
+        boundarySides_(static_cast<std::size_t>(mesh.nodeCount())),
+        walkStarted_(static_cast<std::size_t>(mesh.nodeCount())),
+        spreadSeen_(static_cast<std::size_t>(mesh.nodeCount())),
+        involved_(mesh, false) {}
+
+  std::optional<Point> corner(int id, bool prime) const {
+    const auto& c = prime ? mccs_[static_cast<std::size_t>(id)].cornerCPrime
+                          : mccs_[static_cast<std::size_t>(id)].cornerC;
+    if (!c) return std::nullopt;
+    const Point p = transposed_ ? transposePoint(*c) : *c;
+    if (!mesh_.contains(p) || labels_.isUnsafe(p)) return std::nullopt;
+    return p;
+  }
+
+  /// Stage 2: boundary construction with B3's split propagation.
+  void runBoundaryStage() {
+    SyncNetwork<Msg> net(mesh_);
+    const bool wantPlusX = model_ != InfoModel::B1;
+    auto seed = [&](int id, bool prime, WalkHand hand) {
+      if (auto p = corner(id, prime)) {
+        Msg m;
+        m.kind = Msg::Kind::Boundary;
+        m.mccId = id;
+        m.hand = hand;
+        net.post(*p, m);
+      }
+    };
+    for (const Mcc& mcc : mccs_) {
+      seed(mcc.id, /*prime=*/false, WalkHand::Left);
+      if (wantPlusX) seed(mcc.id, /*prime=*/true, WalkHand::Right);
+    }
+
+    const bool fork = model_ == InfoModel::B3;
+    rounds_ += net.run(
+        [&](Point self, const Msg& msg, SyncNetwork<Msg>::Tx& tx) {
+          if (msg.kind != Msg::Kind::Boundary) return;
+          if (labels_.isUnsafe(self)) return;  // dropped at MCC cells
+          const auto node = static_cast<std::size_t>(mesh_.id(self));
+
+          // Walk bookkeeping: a corner starts each (id, hand) walk once;
+          // merged walks revisiting a node with identical state die out.
+          const int startKey = msg.mccId * 2 + (msg.hand == WalkHand::Left);
+          if (!msg.walk.hugging && msg.walk.heading == Dir::MinusY &&
+              !msg.walk.endAtBorder) {
+            // Fresh or plumbing state: dedupe identical walk passes.
+            if (std::find(walkStarted_[node].begin(),
+                          walkStarted_[node].end(),
+                          startKey) != walkStarted_[node].end()) {
+              return;
+            }
+            walkStarted_[node].push_back(startKey);
+          }
+
+          insertUnique(known_[node], msg.mccId);
+          boundarySides_[node].push_back(
+              {msg.mccId, msg.hand == WalkHand::Left ? kModeEast : kModeWest});
+          if (msg.walk.endAtBorder) return;
+
+          Msg fwd = msg;
+          std::vector<int> touched;
+          const auto next = boundaryStep(
+              mesh_, labels_, self, msg.hand, fwd.walk,
+              fork ? &index_ : nullptr, fork ? &touched : nullptr);
+          if (fork) {
+            // Algorithm 6: split at every intersected MCC; the hand-off to
+            // the intersected MCC's corners travels its ring (relay-only,
+            // not charged — see header).
+            for (int g : touched) {
+              if (g == msg.mccId) continue;
+              if (auto c = corner(g, /*prime=*/false)) {
+                Msg m;
+                m.kind = Msg::Kind::Boundary;
+                m.mccId = msg.mccId;
+                m.hand = WalkHand::Left;
+                net.post(*c, m);
+              }
+              if (auto c = corner(g, /*prime=*/true)) {
+                Msg m;
+                m.kind = Msg::Kind::Boundary;
+                m.mccId = msg.mccId;
+                m.hand = WalkHand::Right;
+                net.post(*c, m);
+              }
+            }
+          }
+          if (next) {
+            // Forward one hop along the boundary.
+            for (Dir d : kAllDirs) {
+              if (self + offset(d) == *next) {
+                tx.send(d, fwd);
+                break;
+              }
+            }
+          }
+        },
+        /*maxRounds=*/static_cast<std::size_t>(mesh_.nodeCount()) * 16);
+    messages_ += net.messagesDelivered();
+    absorbInvolved(net);
+  }
+
+  /// Stage 3 (B2): forbidden-region broadcast.
+  void runSpreadStage() {
+    SyncNetwork<Msg> net(mesh_);
+    // Which sides actually produced a boundary per MCC: when one is
+    // missing (corner at the border or occupied), the broadcast clips at
+    // that side's natural boundary column — the receiving nodes know the
+    // column from the shape the triple carries.
+    std::vector<bool> hasLeft(mccs_.size(), false);
+    std::vector<bool> hasRight(mccs_.size(), false);
+    for (const auto& sides : boundarySides_) {
+      for (const auto& [id, side] : sides) {
+        (side == kModeEast ? hasLeft : hasRight)[static_cast<std::size_t>(
+            id)] = true;
+      }
+    }
+    for (Coord y = 0; y < mesh_.height(); ++y) {
+      for (Coord x = 0; x < mesh_.width(); ++x) {
+        const Point p{x, y};
+        const auto node = static_cast<std::size_t>(mesh_.id(p));
+        for (const auto& [id, side] : boundarySides_[node]) {
+          Msg m;
+          m.kind = Msg::Kind::Spread;
+          m.mccId = id;
+          m.spreadMode = side;
+          const Point q =
+              p + (side == kModeEast ? Point{1, 0} : Point{-1, 0});
+          if (mesh_.contains(q)) net.post(q, m);
+        }
+      }
+    }
+    rounds_ += net.run(
+        [&](Point self, const Msg& msg, SyncNetwork<Msg>::Tx& tx) {
+          if (msg.kind != Msg::Kind::Spread) return;
+          if (labels_.isUnsafe(self)) return;
+          const auto mid = static_cast<std::size_t>(msg.mccId);
+          const Staircase& shape =
+              transposed_ ? mccs_[mid].shapeTransposed : mccs_[mid].shape;
+          if (!hasLeft[mid] && self.x < shape.xmin() - 1) return;
+          if (!hasRight[mid] && self.x > shape.xmax() + 1) return;
+          const auto node = static_cast<std::size_t>(mesh_.id(self));
+          // Stop at the other boundary of the same MCC.
+          for (const auto& [id, side] : boundarySides_[node]) {
+            if (id == msg.mccId) return;
+          }
+          for (const auto& seen : spreadSeen_[node]) {
+            if (seen == std::pair<int, std::uint8_t>{msg.mccId,
+                                                     msg.spreadMode}) {
+              return;
+            }
+          }
+          spreadSeen_[node].push_back({msg.mccId, msg.spreadMode});
+          insertUnique(known_[node], msg.mccId);
+
+          Msg fwd = msg;
+          if (msg.spreadMode == kModeEast) tx.send(Dir::PlusX, fwd);
+          if (msg.spreadMode == kModeWest) tx.send(Dir::MinusX, fwd);
+          fwd.spreadMode = kModeNorth;
+          tx.send(Dir::PlusY, fwd);
+        },
+        /*maxRounds=*/static_cast<std::size_t>(mesh_.nodeCount()) * 16);
+    messages_ += net.messagesDelivered();
+    absorbInvolved(net);
+  }
+
+  void run() {
+    runBoundaryStage();
+    if (model_ == InfoModel::B2) runSpreadStage();
+  }
+
+  const std::vector<std::vector<int>>& known() const { return known_; }
+  std::size_t messages() const { return messages_; }
+  std::size_t rounds() const { return rounds_; }
+  const NodeMap<bool>& involved() const { return involved_; }
+
+ private:
+  void absorbInvolved(const SyncNetwork<Msg>& net) {
+    for (Coord y = 0; y < mesh_.height(); ++y) {
+      for (Coord x = 0; x < mesh_.width(); ++x) {
+        if (net.wasInvolved({x, y})) involved_[{x, y}] = true;
+      }
+    }
+  }
+
+  const Mesh2D& mesh_;
+  const LabelGrid& labels_;
+  const NodeMap<int>& index_;
+  const std::vector<Mcc>& mccs_;
+  bool transposed_;
+  InfoModel model_;
+  std::vector<std::vector<int>> known_;
+  std::vector<std::vector<std::pair<int, std::uint8_t>>> boundarySides_;
+  std::vector<std::vector<int>> walkStarted_;
+  std::vector<std::vector<std::pair<int, std::uint8_t>>> spreadSeen_;
+  NodeMap<bool> involved_;
+  std::size_t messages_ = 0;
+  std::size_t rounds_ = 0;
+};
+
+/// Stage 1: ring identification flood (shared by both axes).
+void runRingStage(const QuadrantAnalysis& qa, PropagationResult& out,
+                  NodeMap<bool>& involved) {
+  const Mesh2D& mesh = qa.localMesh();
+  const LabelGrid& labels = qa.labels();
+  SyncNetwork<Msg> net(mesh);
+
+  auto eligible = [&](Point p, int id) {
+    if (labels.isUnsafe(p)) return false;
+    for (Coord dy = -1; dy <= 1; ++dy) {
+      for (Coord dx = -1; dx <= 1; ++dx) {
+        const Point q{p.x + dx, p.y + dy};
+        if ((dx || dy) && mesh.contains(q) && qa.mccIndexAt(q) == id) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+
+  for (const Mcc& mcc : qa.mccs()) {
+    Msg m;
+    m.kind = Msg::Kind::Ring;
+    m.mccId = mcc.id;
+    for (const auto& c :
+         {mcc.cornerC, mcc.cornerNW, mcc.cornerSE, mcc.cornerCPrime}) {
+      if (c) net.post(*c, m);
+    }
+  }
+
+  std::vector<std::vector<int>> ringKnown(
+      static_cast<std::size_t>(mesh.nodeCount()));
+  out.rounds += net.run(
+      [&](Point self, const Msg& msg, SyncNetwork<Msg>::Tx& tx) {
+        if (msg.kind != Msg::Kind::Ring) return;
+        if (!eligible(self, msg.mccId)) return;
+        const auto node = static_cast<std::size_t>(mesh.id(self));
+        if (containsId(ringKnown[node], msg.mccId)) return;
+        insertUnique(ringKnown[node], msg.mccId);
+        insertUnique(out.knownI[node], msg.mccId);
+        insertUnique(out.knownII[node], msg.mccId);
+        for (Dir d : kAllDirs) tx.send(d, msg);
+      },
+      static_cast<std::size_t>(mesh.nodeCount()) * 16);
+  out.messages += net.messagesDelivered();
+  for (Coord y = 0; y < mesh.height(); ++y) {
+    for (Coord x = 0; x < mesh.width(); ++x) {
+      if (net.wasInvolved({x, y}) && !ringKnown[static_cast<std::size_t>(
+                                          mesh.id({x, y}))].empty()) {
+        involved[{x, y}] = true;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+PropagationResult runInfoPropagation(const QuadrantAnalysis& qa,
+                                     InfoModel model) {
+  const Mesh2D& mesh = qa.localMesh();
+  PropagationResult out;
+  const auto nodes = static_cast<std::size_t>(mesh.nodeCount());
+  out.knownI.resize(nodes);
+  out.knownII.resize(nodes);
+  NodeMap<bool> involved(mesh, false);
+
+  runRingStage(qa, out, involved);
+
+  // Type-I boundaries in the normal frame.
+  FrameProtocol normal(mesh, qa.labels(), qa.mccIndex(), qa.mccs(),
+                       /*transposed=*/false, model);
+  normal.run();
+  for (std::size_t i = 0; i < nodes; ++i) {
+    for (int id : normal.known()[i]) insertUnique(out.knownI[i], id);
+  }
+  out.messages += normal.messages();
+  out.rounds += normal.rounds();
+
+  // Type-II boundaries in the transposed frame.
+  const Mesh2D meshT(mesh.height(), mesh.width());
+  const LabelGrid labelsT = transposeLabels(mesh, qa.labels(), meshT);
+  const NodeMap<int> indexT = transposeIndex(mesh, qa.mccIndex(), meshT);
+  FrameProtocol trans(meshT, labelsT, indexT, qa.mccs(), /*transposed=*/true,
+                      model);
+  trans.run();
+  for (Coord y = 0; y < meshT.height(); ++y) {
+    for (Coord x = 0; x < meshT.width(); ++x) {
+      const Point pt{x, y};
+      const Point p = transposePoint(pt);
+      const auto src = static_cast<std::size_t>(meshT.id(pt));
+      const auto dst = static_cast<std::size_t>(mesh.id(p));
+      for (int id : trans.known()[src]) insertUnique(out.knownII[dst], id);
+      if (trans.involved()[pt]) involved[p] = true;
+    }
+  }
+  out.messages += trans.messages();
+  out.rounds += trans.rounds();
+
+  for (Coord y = 0; y < mesh.height(); ++y) {
+    for (Coord x = 0; x < mesh.width(); ++x) {
+      if (normal.involved()[{x, y}]) involved[{x, y}] = true;
+      if (involved[{x, y}]) ++out.involvedNodes;
+    }
+  }
+  return out;
+}
+
+}  // namespace meshrt

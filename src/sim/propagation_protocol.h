@@ -1,0 +1,36 @@
+// Message-passing implementation of the information distribution: ring
+// identification (Algorithm 1 step 1-2), boundary construction (Algorithm 1
+// step 3 / Algorithm 4 step 2), the B3 split propagation (Algorithm 6), and
+// the B2 forbidden-region broadcast (Algorithm 4 step 5).
+//
+// Every forwarding decision uses only the receiving node's 3x3 neighborhood
+// state plus the message payload; boundary messages carry the same
+// BoundaryStepState the oracle walker uses, so per-node knowledge provably
+// matches info/knowledge.h (tested in tests/protocol_test.cpp). The engine
+// counts delivered messages and involved nodes — the communication cost the
+// paper's Figure 5(c) discussion is about.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fault/analysis.h"
+#include "info/knowledge.h"
+
+namespace meshrt {
+
+struct PropagationResult {
+  /// Per-node stored MCC ids, type-I triples (local frame, by node id).
+  std::vector<std::vector<int>> knownI;
+  /// Per-node stored MCC ids, type-II triples.
+  std::vector<std::vector<int>> knownII;
+  std::size_t messages = 0;
+  std::size_t rounds = 0;
+  std::size_t involvedNodes = 0;
+};
+
+/// Runs the full propagation for one quadrant analysis under `model`.
+PropagationResult runInfoPropagation(const QuadrantAnalysis& qa,
+                                     InfoModel model);
+
+}  // namespace meshrt

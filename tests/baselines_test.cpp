@@ -1,0 +1,120 @@
+// Tests for the baseline routers' substrates: safety vectors and the
+// waypoint-graph oracle (which must agree with safe-BFS and the planner).
+#include <gtest/gtest.h>
+
+#include "fault/analysis.h"
+#include "route/bfs.h"
+#include "route/planner.h"
+#include "route/safety_vector.h"
+#include "route/validate.h"
+#include "route/waypoint_graph.h"
+#include "test_util.h"
+
+namespace meshrt {
+namespace {
+
+using testutil::faultsAt;
+
+TEST(SafetyVectorTest, FaultFreeClearanceReachesEdges) {
+  const Mesh2D mesh = Mesh2D::square(8);
+  const FaultSet noFaults(mesh);
+  const SafetyVectors sv(noFaults);
+  // Interior node: clearance equals the directional room, capped at the
+  // mesh extent for clear rows/columns.
+  EXPECT_EQ(sv.clearance({3, 3}, Dir::PlusX), 8);
+  EXPECT_EQ(sv.clearance({3, 3}, Dir::MinusX), 8);
+}
+
+TEST(SafetyVectorTest, FaultTruncatesClearance) {
+  const Mesh2D mesh = Mesh2D::square(10);
+  const SafetyVectors sv(faultsAt(mesh, {{6, 4}}));
+  EXPECT_EQ(sv.clearance({2, 4}, Dir::PlusX), 4);   // 4 hops to (6,4)
+  EXPECT_EQ(sv.clearance({6, 5}, Dir::MinusY), 1);  // fault right below
+  EXPECT_EQ(sv.clearance({6, 4}, Dir::PlusX), 0);   // faulty node itself
+  EXPECT_EQ(sv.clearance({2, 5}, Dir::PlusX), 10);  // clear row
+}
+
+TEST(SafetyVectorTest, RouterDeliversAroundWall) {
+  const Mesh2D mesh = Mesh2D::square(12);
+  std::vector<Point> wall;
+  for (Coord x = 2; x <= 9; ++x) wall.push_back({x, 5});
+  const FaultSet faults = faultsAt(mesh, wall);
+  SafetyVectorRouter router(faults);
+  const auto res = router.route({5, 2}, {6, 9});
+  ASSERT_TRUE(res.delivered);
+  EXPECT_TRUE(isValidPath(faults, {5, 2}, {6, 9}, res.path));
+}
+
+TEST(SafetyVectorTest, SingleFaultCostsAtMostASmallDetour) {
+  // Fault near the XY turn point: the clearance heuristic cannot always
+  // avoid the corner (it sees straight-line clearances only), but the
+  // detour it pays is bounded by one ring segment.
+  const Mesh2D mesh = Mesh2D::square(10);
+  const FaultSet faults = faultsAt(mesh, {{6, 4}});
+  SafetyVectorRouter router(faults);
+  const auto res = router.route({2, 2}, {6, 8});
+  ASSERT_TRUE(res.delivered);
+  EXPECT_TRUE(isValidPath(faults, {2, 2}, {6, 8}, res.path));
+  EXPECT_LE(res.hops(), manhattan({2, 2}, {6, 8}) + 6);
+}
+
+class SafetyVectorRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SafetyVectorRandom, DeliversValidPaths) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 271 + 9);
+  const Mesh2D mesh = Mesh2D::square(20);
+  const FaultSet faults = injectUniform(mesh, 40, rng);
+  SafetyVectorRouter router(faults);
+  for (int t = 0; t < 25; ++t) {
+    const Point s{static_cast<Coord>(rng.below(20)),
+                  static_cast<Coord>(rng.below(20))};
+    const Point d{static_cast<Coord>(rng.below(20)),
+                  static_cast<Coord>(rng.below(20))};
+    if (faults.isFaulty(s) || faults.isFaulty(d)) continue;
+    const auto dist = healthyDistances(faults, s);
+    if (dist[d] == kUnreachable) continue;
+    const auto res = router.route(s, d);
+    if (res.delivered) {
+      EXPECT_TRUE(isValidPath(faults, s, d, res.path));
+      EXPECT_GE(res.hops(), dist[d]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SafetyVectorRandom, ::testing::Range(0, 8));
+
+// The waypoint-graph closure agrees with safe-BFS (and hence with the
+// planner, which Theorem-1 tests pin to safe-BFS) on random instances.
+class WaypointOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(WaypointOracle, MatchesSafeBfs) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 733 + 3);
+  const Mesh2D mesh = Mesh2D::square(18);
+  const FaultSet faults = injectUniform(
+      mesh, 25 + 10 * static_cast<std::size_t>(GetParam()), rng);
+  const QuadrantAnalysis qa(faults, Quadrant::NE);
+  const WaypointGraph graph(qa);
+  DetourPlanner planner(qa);
+
+  int tested = 0;
+  for (int t = 0; t < 60 && tested < 15; ++t) {
+    const Point a{static_cast<Coord>(rng.below(18)),
+                  static_cast<Coord>(rng.below(18))};
+    const Point b{static_cast<Coord>(rng.below(18)),
+                  static_cast<Coord>(rng.below(18))};
+    if (!qa.labels().isSafe(a) || !qa.labels().isSafe(b)) continue;
+    const auto dist = safeDistances(mesh, qa.labels(), a);
+    if (dist[b] == kUnreachable) continue;
+    ++tested;
+    EXPECT_EQ(graph.distance(a, b), dist[b])
+        << a.str() << " -> " << b.str();
+    EXPECT_EQ(planner.distance(a, b, nullptr), dist[b])
+        << a.str() << " -> " << b.str();
+  }
+  EXPECT_GT(tested, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WaypointOracle, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace meshrt

@@ -1,0 +1,124 @@
+// Tests for fault injection and the classical rectangular-block substrate.
+#include <gtest/gtest.h>
+
+#include "fault/injectors.h"
+#include "fault/labeling.h"
+#include "fault/rect_blocks.h"
+#include "test_util.h"
+
+namespace meshrt {
+namespace {
+
+TEST(FaultSetTest, AddIsIdempotent) {
+  const Mesh2D mesh = Mesh2D::square(4);
+  FaultSet faults(mesh);
+  faults.add({1, 1});
+  faults.add({1, 1});
+  EXPECT_EQ(faults.count(), 1u);
+  EXPECT_TRUE(faults.isFaulty({1, 1}));
+  EXPECT_TRUE(faults.isHealthy({2, 2}));
+}
+
+TEST(InjectorTest, UniformProducesExactCount) {
+  const Mesh2D mesh = Mesh2D::square(10);
+  Rng rng(1);
+  for (std::size_t count : {0u, 1u, 30u, 100u}) {
+    Rng local = rng;
+    const FaultSet faults = injectUniform(mesh, count, local);
+    EXPECT_EQ(faults.count(), count);
+  }
+}
+
+TEST(InjectorTest, UniformSaturatesAtMeshSize) {
+  const Mesh2D mesh = Mesh2D::square(4);
+  Rng rng(2);
+  const FaultSet faults = injectUniform(mesh, 100, rng);
+  EXPECT_EQ(faults.count(), 16u);
+}
+
+TEST(InjectorTest, UniformIsSeedDeterministic) {
+  const Mesh2D mesh = Mesh2D::square(12);
+  Rng a(77);
+  Rng b(77);
+  const FaultSet fa = injectUniform(mesh, 30, a);
+  const FaultSet fb = injectUniform(mesh, 30, b);
+  EXPECT_EQ(fa.toVector(), fb.toVector());
+}
+
+TEST(InjectorTest, ClusteredHitsRequestedCount) {
+  const Mesh2D mesh = Mesh2D::square(20);
+  Rng rng(3);
+  const FaultSet faults = injectClustered(mesh, 50, 8, rng);
+  EXPECT_EQ(faults.count(), 50u);
+}
+
+TEST(InjectorTest, RectanglesHitRequestedCount) {
+  const Mesh2D mesh = Mesh2D::square(20);
+  Rng rng(4);
+  const FaultSet faults = injectRectangles(mesh, 60, 5, rng);
+  EXPECT_EQ(faults.count(), 60u);
+}
+
+TEST(RectBlockTest, SingleFaultSingleBlock) {
+  const Mesh2D mesh = Mesh2D::square(8);
+  const RectBlockModel model(testutil::faultsAt(mesh, {{3, 3}}));
+  ASSERT_EQ(model.blocks().size(), 1u);
+  EXPECT_EQ(model.blocks().front().rect, (Rect{3, 3, 3, 3}));
+  EXPECT_EQ(model.disabledCount(), 1u);
+}
+
+TEST(RectBlockTest, DiagonalFaultsMergeToOneBlock) {
+  // 8-connected component => one bounding rectangle including the healthy
+  // cells between them (the waste the MCC model avoids).
+  const Mesh2D mesh = Mesh2D::square(8);
+  const RectBlockModel model(testutil::faultsAt(mesh, {{2, 2}, {3, 3}}));
+  ASSERT_EQ(model.blocks().size(), 1u);
+  EXPECT_EQ(model.blocks().front().rect, (Rect{2, 2, 3, 3}));
+  EXPECT_EQ(model.disabledCount(), 4u);
+  EXPECT_TRUE(model.isDisabled({2, 3}));  // healthy but enclosed
+}
+
+TEST(RectBlockTest, TouchingBlocksMerge) {
+  // Two separate 8-components whose bounding rectangles touch merge into
+  // one block: an L-shape wrapping toward an adjacent single fault.
+  const Mesh2D mesh = Mesh2D::square(10);
+  const RectBlockModel model(testutil::faultsAt(
+      mesh, {{2, 2}, {2, 3}, {2, 4}, {3, 4}, {4, 2}}));
+  ASSERT_EQ(model.blocks().size(), 1u);
+  EXPECT_EQ(model.blocks().front().rect, (Rect{2, 2, 4, 4}));
+}
+
+TEST(RectBlockTest, GapSeparatedBlocksStayApart) {
+  // A two-node gap keeps the classical blocks (and their rings) separate.
+  const Mesh2D mesh = Mesh2D::square(10);
+  const RectBlockModel model(
+      testutil::faultsAt(mesh, {{2, 2}, {5, 2}}));
+  EXPECT_EQ(model.blocks().size(), 2u);
+}
+
+TEST(RectBlockTest, DistantBlocksStaySeparate) {
+  const Mesh2D mesh = Mesh2D::square(10);
+  const RectBlockModel model(
+      testutil::faultsAt(mesh, {{1, 1}, {7, 7}}));
+  EXPECT_EQ(model.blocks().size(), 2u);
+  EXPECT_EQ(model.blockAt({1, 1}), model.blockAt({1, 1}));
+  EXPECT_NE(model.blockAt({1, 1}), model.blockAt({7, 7}));
+  EXPECT_EQ(model.blockAt({4, 4}), -1);
+}
+
+TEST(RectBlockTest, DisabledCountAtLeastMccUnsafe) {
+  // The rectangular model never disables fewer healthy nodes than the MCC
+  // model on the same faults (the paper's minimality claim, sampled).
+  const Mesh2D mesh = Mesh2D::square(30);
+  for (int seed = 0; seed < 8; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 131 + 7);
+    const FaultSet faults = injectUniform(mesh, 80, rng);
+    const RectBlockModel rect(faults);
+    const auto labels = computeLabels(mesh, faults);
+    EXPECT_GE(rect.disabledCount(), countUnsafe(mesh, labels))
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace meshrt

@@ -1,0 +1,108 @@
+// Integration tests: the Figure-5 experiment harness end to end at small
+// scale — the full pipeline from fault injection through routing metrics.
+#include <gtest/gtest.h>
+
+#include "harness/fault_sweep.h"
+#include "harness/info_sweep.h"
+#include "harness/routing_sweep.h"
+
+namespace meshrt {
+namespace {
+
+SweepConfig tinyConfig() {
+  SweepConfig cfg;
+  cfg.meshSize = 24;
+  cfg.faultLevels = {0, 30, 60, 120};
+  cfg.configsPerLevel = 4;
+  cfg.pairsPerConfig = 6;
+  cfg.seed = 99;
+  cfg.threads = 2;
+  return cfg;
+}
+
+TEST(FaultSweepTest, DisabledAreaGrowsWithFaults) {
+  const auto rows = runFaultSweep(tinyConfig());
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].disabledPct.mean(), 0.0);
+  EXPECT_EQ(rows[0].mccCount.mean(), 0.0);
+  // Disabled area is monotone in the fault count (in expectation; the
+  // sweep uses enough trials for the tiny mesh).
+  EXPECT_LT(rows[1].disabledPct.mean(), rows[3].disabledPct.mean());
+  // The disabled area always covers at least the faults themselves.
+  const double area = 24.0 * 24.0;
+  EXPECT_GE(rows[3].disabledPct.mean(), 100.0 * 120.0 / area - 1e-9);
+}
+
+TEST(FaultSweepTest, DeterministicAcrossThreadCounts) {
+  SweepConfig a = tinyConfig();
+  a.threads = 1;
+  SweepConfig b = tinyConfig();
+  b.threads = 8;
+  const auto ra = runFaultSweep(a);
+  const auto rb = runFaultSweep(b);
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra[i].disabledPct.mean(), rb[i].disabledPct.mean());
+    EXPECT_DOUBLE_EQ(ra[i].mccCount.max(), rb[i].mccCount.max());
+  }
+}
+
+TEST(InfoSweepTest, B2CostsMostPerMcc) {
+  const auto rows = runInfoSweep(tinyConfig());
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].involvedPct[1].empty()) continue;
+    EXPECT_GE(rows[i].involvedPct[1].mean(),
+              rows[i].involvedPct[2].mean())
+        << "B2 < B3 at level " << i;
+    EXPECT_GE(rows[i].involvedPct[2].mean() + 1e-9,
+              rows[i].involvedPct[0].mean())
+        << "B3 < B1 at level " << i;
+  }
+}
+
+TEST(RoutingSweepTest, Rb2AlwaysShortest) {
+  const auto rows = runRoutingSweep(tinyConfig());
+  for (const auto& row : rows) {
+    const auto& rb2 = row.success[static_cast<std::size_t>(RouterKind::Rb2)];
+    EXPECT_GT(rb2.total(), 0u);
+    EXPECT_DOUBLE_EQ(rb2.percent(), 100.0) << row.faults << " faults";
+    // RB2's relative error is identically zero.
+    EXPECT_DOUBLE_EQ(
+        row.relativeError[static_cast<std::size_t>(RouterKind::Rb2)].mean(),
+        0.0);
+  }
+}
+
+TEST(RoutingSweepTest, OrderingHolds) {
+  const auto rows = runRoutingSweep(tinyConfig());
+  double rb1 = 0;
+  double rb2 = 0;
+  double rb3 = 0;
+  double ecube = 0;
+  std::size_t levels = 0;
+  for (const auto& row : rows) {
+    rb1 += row.success[static_cast<std::size_t>(RouterKind::Rb1)].percent();
+    rb2 += row.success[static_cast<std::size_t>(RouterKind::Rb2)].percent();
+    rb3 += row.success[static_cast<std::size_t>(RouterKind::Rb3)].percent();
+    ecube +=
+        row.success[static_cast<std::size_t>(RouterKind::Ecube)].percent();
+    ++levels;
+  }
+  ASSERT_GT(levels, 0u);
+  // Aggregate ordering of Figure 5(d): RB2 >= RB3 >= RB1 >= E-cube.
+  EXPECT_GE(rb2, rb3);
+  EXPECT_GE(rb3, rb1);
+  EXPECT_GE(rb1, ecube);
+}
+
+TEST(RoutingSweepTest, FaultFreeLevelIsPerfect) {
+  const auto rows = runRoutingSweep(tinyConfig());
+  const auto& row = rows.front();
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(row.success[r].percent(), 100.0);
+    EXPECT_DOUBLE_EQ(row.relativeError[r].mean(), 0.0);
+  }
+  EXPECT_EQ(row.safeGap.hits(), 0u);
+}
+
+}  // namespace
+}  // namespace meshrt

@@ -1,0 +1,141 @@
+// Tests for the information-model knowledge bases (B1/B2/B3 oracles).
+#include <gtest/gtest.h>
+
+#include "fault/analysis.h"
+#include "common/stats.h"
+#include "info/knowledge.h"
+#include "test_util.h"
+
+namespace meshrt {
+namespace {
+
+using testutil::faultsAt;
+
+TEST(KnowledgeTest, FaultFreeMeansNoKnowledgeAnywhere) {
+  const Mesh2D mesh = Mesh2D::square(10);
+  const QuadrantAnalysis qa(FaultSet(mesh), Quadrant::NE);
+  const QuadrantInfo info(qa, InfoModel::B2);
+  EXPECT_EQ(info.involvedCount(), 0u);
+  for (Coord y = 0; y < 10; ++y) {
+    for (Coord x = 0; x < 10; ++x) {
+      EXPECT_TRUE(info.typeIKnown({x, y}).empty());
+      EXPECT_TRUE(info.typeIIKnown({x, y}).empty());
+    }
+  }
+}
+
+TEST(KnowledgeTest, BoundaryLineStoresTheTriple) {
+  // Single fault at (5,5): the -X boundary column x=4 below the corner
+  // stores the type-I triple under every model.
+  const Mesh2D mesh = Mesh2D::square(10);
+  const QuadrantAnalysis qa(faultsAt(mesh, {{5, 5}}), Quadrant::NE);
+  for (auto model : {InfoModel::B1, InfoModel::B2, InfoModel::B3}) {
+    const QuadrantInfo info(qa, model);
+    for (Coord y = 0; y <= 4; ++y) {
+      const auto known = info.typeIKnown({4, y});
+      ASSERT_EQ(known.size(), 1u) << infoModelName(model) << " y=" << y;
+      EXPECT_EQ(known.front(), 0);
+    }
+    // The -Y boundary row y=4 west of the corner stores the type-II triple.
+    for (Coord x = 0; x <= 4; ++x) {
+      EXPECT_EQ(info.typeIIKnown({x, 4}).size(), 1u)
+          << infoModelName(model) << " x=" << x;
+    }
+  }
+}
+
+TEST(KnowledgeTest, PlusXBoundaryOnlyInB2B3) {
+  // Column east of the MCC (x=6, below c'=(6,6)): B1 has no +X boundary.
+  const Mesh2D mesh = Mesh2D::square(10);
+  const QuadrantAnalysis qa(faultsAt(mesh, {{5, 5}}), Quadrant::NE);
+  const QuadrantInfo b1(qa, InfoModel::B1);
+  const QuadrantInfo b3(qa, InfoModel::B3);
+  // (6,2) is on the +X boundary line, away from the ring.
+  EXPECT_TRUE(b1.typeIKnown({6, 2}).empty());
+  EXPECT_EQ(b3.typeIKnown({6, 2}).size(), 1u);
+}
+
+TEST(KnowledgeTest, B2FillsForbiddenRegion) {
+  // Wall y=5, x in [3..6]: under B2 every safe node below the wall between
+  // the boundaries knows the triple; under B3 only boundary lines do.
+  const Mesh2D mesh = Mesh2D::square(12);
+  std::vector<Point> wall;
+  for (Coord x = 3; x <= 6; ++x) wall.push_back({x, 5});
+  const QuadrantAnalysis qa(faultsAt(mesh, wall), Quadrant::NE);
+  const QuadrantInfo b2(qa, InfoModel::B2);
+  const QuadrantInfo b3(qa, InfoModel::B3);
+  // Interior of the forbidden region, away from both boundary columns.
+  const Point interior{4, 2};
+  EXPECT_EQ(b2.typeIKnown(interior).size(), 1u);
+  EXPECT_TRUE(b3.typeIKnown(interior).empty());
+}
+
+TEST(KnowledgeTest, KnowledgeNests) {
+  // Per node, B1's known set nests inside both richer models. (B3 does NOT
+  // nest inside B2: B3's split propagation forks through intersected MCCs
+  // per Algorithm 6, while B2 widens through the region broadcast instead —
+  // the two reach different extra nodes.)
+  Rng rng(5150);
+  const Mesh2D mesh = Mesh2D::square(28);
+  const FaultSet faults = injectUniform(mesh, 70, rng);
+  const QuadrantAnalysis qa(faults, Quadrant::NE);
+  const QuadrantInfo b1(qa, InfoModel::B1);
+  const QuadrantInfo b2(qa, InfoModel::B2);
+  const QuadrantInfo b3(qa, InfoModel::B3);
+  for (Coord y = 0; y < mesh.height(); ++y) {
+    for (Coord x = 0; x < mesh.width(); ++x) {
+      const Point p{x, y};
+      for (int id : b1.typeIKnown(p)) {
+        EXPECT_TRUE(std::binary_search(b3.typeIKnown(p).begin(),
+                                       b3.typeIKnown(p).end(), id))
+            << "B1 not in B3 at " << p.str();
+        EXPECT_TRUE(std::binary_search(b2.typeIKnown(p).begin(),
+                                       b2.typeIKnown(p).end(), id))
+            << "B1 not in B2 at " << p.str();
+      }
+    }
+  }
+}
+
+TEST(KnowledgeTest, InvolvementOrderingB1LeB3LeB2) {
+  Rng rng(616);
+  const Mesh2D mesh = Mesh2D::square(32);
+  const FaultSet faults = injectUniform(mesh, 90, rng);
+  const QuadrantAnalysis qa(faults, Quadrant::NE);
+  const QuadrantInfo b1(qa, InfoModel::B1);
+  const QuadrantInfo b2(qa, InfoModel::B2);
+  const QuadrantInfo b3(qa, InfoModel::B3);
+  EXPECT_LE(b1.involvedCount(), b3.involvedCount());
+  EXPECT_LE(b3.involvedCount(), b2.involvedCount());
+}
+
+TEST(KnowledgeTest, PerMccPercentagesMatchFigure5cShape) {
+  Rng rng(31);
+  const Mesh2D mesh = Mesh2D::square(50);
+  const FaultSet faults = injectUniform(mesh, 150, rng);
+  const QuadrantAnalysis qa(faults, Quadrant::NE);
+  Accumulator avg[3];
+  for (int m = 0; m < 3; ++m) {
+    const QuadrantInfo info(qa, static_cast<InfoModel>(m));
+    for (double p : info.perMccInvolvedPercent()) {
+      avg[m].add(p);
+    }
+  }
+  // B2 broadcasts into forbidden regions: far costlier per MCC than the
+  // boundary-only models; B1 is the cheapest.
+  EXPECT_GT(avg[1].mean(), avg[2].mean());
+  EXPECT_GE(avg[2].mean(), avg[0].mean());
+}
+
+TEST(KnowledgeTest, KnownUnionMergesAxes) {
+  const Mesh2D mesh = Mesh2D::square(10);
+  const QuadrantAnalysis qa(faultsAt(mesh, {{5, 5}}), Quadrant::NE);
+  const QuadrantInfo info(qa, InfoModel::B3);
+  // The corner c=(4,4) carries both axis triples; union has one id.
+  const auto united = info.knownUnion({4, 4});
+  ASSERT_EQ(united.size(), 1u);
+  EXPECT_EQ(united.front(), 0);
+}
+
+}  // namespace
+}  // namespace meshrt

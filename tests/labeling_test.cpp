@@ -1,0 +1,215 @@
+// Tests for the MCC labeling fixpoint: the paper's Figure 1 patterns,
+// structural properties, and equivalence with the distributed protocol.
+#include <gtest/gtest.h>
+
+#include "fault/labeling.h"
+#include "sim/labeling_protocol.h"
+#include "test_util.h"
+
+namespace meshrt {
+namespace {
+
+using testutil::faultsAt;
+
+TEST(LabelingTest, FaultFreeMeshIsAllSafe) {
+  const Mesh2D mesh = Mesh2D::square(8);
+  const auto labels = computeLabels(mesh, FaultSet(mesh));
+  for (Coord y = 0; y < 8; ++y) {
+    for (Coord x = 0; x < 8; ++x) {
+      EXPECT_TRUE(labels.isSafe({x, y}));
+    }
+  }
+  EXPECT_EQ(countUnsafe(mesh, labels), 0u);
+}
+
+TEST(LabelingTest, SingleFaultLabelsNoExtraNodes) {
+  const Mesh2D mesh = Mesh2D::square(8);
+  const auto labels = computeLabels(mesh, faultsAt(mesh, {{4, 4}}));
+  EXPECT_TRUE(labels.isFaulty({4, 4}));
+  EXPECT_EQ(countUnsafe(mesh, labels), 1u);
+}
+
+TEST(LabelingTest, UselessFillsSWPocket) {
+  // Faults at (5,6) and (6,5): the node (5,5) has faulty +X and +Y
+  // neighbors, so entering it forces a -X/-Y move (Figure 1(a)).
+  const Mesh2D mesh = Mesh2D::square(10);
+  const auto labels = computeLabels(mesh, faultsAt(mesh, {{5, 6}, {6, 5}}));
+  EXPECT_TRUE(labels.isUseless({5, 5}));
+  EXPECT_FALSE(labels.isCantReach({5, 5}));
+}
+
+TEST(LabelingTest, CantReachFillsNEPocket) {
+  const Mesh2D mesh = Mesh2D::square(10);
+  const auto labels = computeLabels(mesh, faultsAt(mesh, {{5, 6}, {6, 5}}));
+  EXPECT_TRUE(labels.isCantReach({6, 6}));
+  EXPECT_FALSE(labels.isUseless({6, 6}));
+}
+
+TEST(LabelingTest, AntiDiagonalFaultsCloseToSquare) {
+  const Mesh2D mesh = Mesh2D::square(10);
+  const auto labels = computeLabels(mesh, faultsAt(mesh, {{5, 6}, {6, 5}}));
+  // The four cells form one unsafe 2x2 square.
+  EXPECT_EQ(countUnsafe(mesh, labels), 4u);
+}
+
+TEST(LabelingTest, AntiDiagonalLineExpandsToFullSquare) {
+  // Three faults on an anti-diagonal label the full 3x3 block unsafe.
+  const Mesh2D mesh = Mesh2D::square(12);
+  const auto labels =
+      computeLabels(mesh, faultsAt(mesh, {{5, 7}, {6, 6}, {7, 5}}));
+  std::size_t unsafe = 0;
+  for (Coord y = 5; y <= 7; ++y) {
+    for (Coord x = 5; x <= 7; ++x) {
+      EXPECT_TRUE(labels.isUnsafe({x, y})) << x << "," << y;
+      ++unsafe;
+    }
+  }
+  EXPECT_EQ(countUnsafe(mesh, labels), unsafe);
+}
+
+TEST(LabelingTest, MainDiagonalFaultsDoNotMerge) {
+  // Faults at (5,5) and (6,6) create no useless/can't-reach nodes: a route
+  // can pass between them.
+  const Mesh2D mesh = Mesh2D::square(10);
+  const auto labels = computeLabels(mesh, faultsAt(mesh, {{5, 5}, {6, 6}}));
+  EXPECT_EQ(countUnsafe(mesh, labels), 2u);
+}
+
+TEST(LabelingTest, UselessCascades) {
+  // A south-opening U-cavity becomes entirely useless: every interior node
+  // eventually forces a backtrack for +X/+Y routing.
+  const Mesh2D mesh = Mesh2D::square(12);
+  std::vector<Point> walls;
+  for (Coord y = 4; y <= 8; ++y) {
+    walls.push_back({3, y});  // west arm
+    walls.push_back({7, y});  // east arm
+  }
+  for (Coord x = 3; x <= 7; ++x) walls.push_back({x, 8});  // north base
+  const auto labels = computeLabels(mesh, faultsAt(mesh, walls));
+  for (Coord y = 4; y <= 7; ++y) {
+    for (Coord x = 4; x <= 6; ++x) {
+      EXPECT_TRUE(labels.isUseless({x, y})) << x << "," << y;
+    }
+  }
+}
+
+TEST(LabelingTest, BordersDoNotCascade) {
+  // With safe walls, a fault next to the NE corner must not disable whole
+  // border rows (see DESIGN.md section 3 on border semantics).
+  const Mesh2D mesh = Mesh2D::square(8);
+  const auto labels = computeLabels(mesh, faultsAt(mesh, {{6, 7}, {7, 6}}));
+  EXPECT_TRUE(labels.isCantReach({7, 7}));
+  EXPECT_TRUE(labels.isUseless({6, 6}));
+  EXPECT_FALSE(labels.isUnsafe({5, 7}));
+  EXPECT_FALSE(labels.isUnsafe({7, 5}));
+}
+
+TEST(LabelingTest, NodeCanBeBothUselessAndCantReach) {
+  // All four neighbors faulty: both labels apply.
+  const Mesh2D mesh = Mesh2D::square(9);
+  const auto labels = computeLabels(
+      mesh, faultsAt(mesh, {{4, 3}, {4, 5}, {3, 4}, {5, 4}}));
+  EXPECT_TRUE(labels.isUseless({4, 4}));
+  EXPECT_TRUE(labels.isCantReach({4, 4}));
+}
+
+TEST(LabelingTest, TransformFaultsReexpressesCoordinates) {
+  const Mesh2D mesh(6, 4);
+  const FaultSet faults = faultsAt(mesh, {{1, 1}, {5, 0}});
+  const Frame frame = Frame::forQuadrant(mesh, Quadrant::NW);
+  const FaultSet local = transformFaults(faults, frame);
+  EXPECT_EQ(local.count(), 2u);
+  EXPECT_TRUE(local.isFaulty(frame.toLocal({1, 1})));
+  EXPECT_TRUE(local.isFaulty(frame.toLocal({5, 0})));
+}
+
+// Property: labels are monotone — adding faults never un-labels a node.
+class LabelingMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(LabelingMonotone, AddingFaultsGrowsUnsafeSet) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  const Mesh2D mesh = Mesh2D::square(16);
+  FaultSet base = injectUniform(mesh, 20, rng);
+  const auto before = computeLabels(mesh, base);
+  FaultSet more = base;
+  // Add five more faults.
+  for (int i = 0; i < 5; ++i) {
+    more.add({static_cast<Coord>(rng.below(16)),
+              static_cast<Coord>(rng.below(16))});
+  }
+  const auto after = computeLabels(mesh, more);
+  for (Coord y = 0; y < 16; ++y) {
+    for (Coord x = 0; x < 16; ++x) {
+      if (before.isUnsafe({x, y})) {
+        EXPECT_TRUE(after.isUnsafe({x, y})) << x << "," << y;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LabelingMonotone, ::testing::Range(0, 10));
+
+// Property: the fixpoint is stable — relabeling the labeled grid's unsafe
+// set as faults reproduces a superset, and unsafe nodes never have safe
+// labels violating their defining condition.
+class LabelingFixpoint : public ::testing::TestWithParam<int> {};
+
+TEST_P(LabelingFixpoint, DefinitionHoldsAtFixpoint) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 3);
+  const Mesh2D mesh = Mesh2D::square(20);
+  const FaultSet faults = injectUniform(mesh, 60, rng);
+  const auto labels = computeLabels(mesh, faults);
+
+  auto fwdBlocked = [&](Point p) {
+    if (!mesh.contains(p)) return false;
+    return labels.isFaulty(p) || labels.isUseless(p);
+  };
+  auto bwdBlocked = [&](Point p) {
+    if (!mesh.contains(p)) return false;
+    return labels.isFaulty(p) || labels.isCantReach(p);
+  };
+
+  for (Coord y = 0; y < 20; ++y) {
+    for (Coord x = 0; x < 20; ++x) {
+      const Point p{x, y};
+      if (labels.isFaulty(p)) continue;
+      // Useless iff +X and +Y blocked.
+      EXPECT_EQ(labels.isUseless(p),
+                fwdBlocked({x + 1, y}) && fwdBlocked({x, y + 1}));
+      EXPECT_EQ(labels.isCantReach(p),
+                bwdBlocked({x - 1, y}) && bwdBlocked({x, y - 1}));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LabelingFixpoint, ::testing::Range(0, 10));
+
+// The distributed protocol must agree with the centralized fixpoint.
+class DistributedLabeling : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributedLabeling, MatchesCentralizedFixpoint) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 773 + 11);
+  const Mesh2D mesh = Mesh2D::square(24);
+  const std::size_t count = 10 + static_cast<std::size_t>(GetParam()) * 15;
+  const FaultSet faults = injectUniform(mesh, count, rng);
+  const auto central = computeLabels(mesh, faults);
+  const auto distributed = runDistributedLabeling(mesh, faults);
+  for (Coord y = 0; y < mesh.height(); ++y) {
+    for (Coord x = 0; x < mesh.width(); ++x) {
+      EXPECT_EQ(distributed.labels.raw({x, y}), central.raw({x, y}))
+          << x << "," << y;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistributedLabeling, ::testing::Range(0, 12));
+
+TEST(DistributedLabelingTest, QuiescesWithoutFaults) {
+  const Mesh2D mesh = Mesh2D::square(6);
+  const auto result = runDistributedLabeling(mesh, FaultSet(mesh));
+  EXPECT_EQ(result.messages, 0u);
+  EXPECT_EQ(countUnsafe(mesh, result.labels), 0u);
+}
+
+}  // namespace
+}  // namespace meshrt

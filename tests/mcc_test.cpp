@@ -1,0 +1,168 @@
+// Tests for MCC extraction: component splitting, staircase invariant,
+// corner placement and border handling.
+#include <gtest/gtest.h>
+
+#include "fault/analysis.h"
+#include "fault/mcc.h"
+#include "test_util.h"
+
+namespace meshrt {
+namespace {
+
+using testutil::faultsAt;
+
+MccExtraction extract(const Mesh2D& mesh, const FaultSet& faults) {
+  return extractMccs(mesh, computeLabels(mesh, faults));
+}
+
+TEST(MccTest, NoFaultsNoMccs) {
+  const Mesh2D mesh = Mesh2D::square(6);
+  EXPECT_TRUE(extract(mesh, FaultSet(mesh)).mccs.empty());
+}
+
+TEST(MccTest, SingleFaultSingleCellMcc) {
+  const Mesh2D mesh = Mesh2D::square(8);
+  const auto ext = extract(mesh, faultsAt(mesh, {{3, 3}}));
+  ASSERT_EQ(ext.mccs.size(), 1u);
+  const Mcc& mcc = ext.mccs.front();
+  EXPECT_EQ(mcc.cellCount, 1u);
+  EXPECT_EQ(mcc.faultyCells, 1u);
+  EXPECT_EQ(mcc.cornerC, (Point{2, 2}));
+  EXPECT_EQ(mcc.cornerCPrime, (Point{4, 4}));
+  EXPECT_EQ(mcc.cornerNW, (Point{2, 4}));
+  EXPECT_EQ(mcc.cornerSE, (Point{4, 2}));
+}
+
+TEST(MccTest, SeparateFaultsSeparateMccs) {
+  const Mesh2D mesh = Mesh2D::square(10);
+  const auto ext = extract(mesh, faultsAt(mesh, {{2, 2}, {7, 7}}));
+  EXPECT_EQ(ext.mccs.size(), 2u);
+}
+
+TEST(MccTest, DiagonalFaultsStayDistinct) {
+  const Mesh2D mesh = Mesh2D::square(10);
+  const auto ext = extract(mesh, faultsAt(mesh, {{5, 5}, {6, 6}}));
+  EXPECT_EQ(ext.mccs.size(), 2u);
+  // The SW MCC's opposite corner is the NE fault's cell: unsafe, so c' is
+  // absent for it; likewise the NE MCC's initialization corner.
+  for (const Mcc& mcc : ext.mccs) {
+    if (mcc.shape.contains({5, 5})) {
+      EXPECT_FALSE(mcc.cornerCPrime.has_value());
+      EXPECT_TRUE(mcc.cornerC.has_value());
+    } else {
+      EXPECT_FALSE(mcc.cornerC.has_value());
+      EXPECT_TRUE(mcc.cornerCPrime.has_value());
+    }
+  }
+}
+
+TEST(MccTest, AntiDiagonalPairMergesIntoSquare) {
+  const Mesh2D mesh = Mesh2D::square(10);
+  const auto ext = extract(mesh, faultsAt(mesh, {{5, 6}, {6, 5}}));
+  ASSERT_EQ(ext.mccs.size(), 1u);
+  const Mcc& mcc = ext.mccs.front();
+  EXPECT_EQ(mcc.cellCount, 4u);
+  EXPECT_EQ(mcc.faultyCells, 2u);
+  EXPECT_EQ(mcc.shape.span(5), (ColumnSpan{5, 6}));
+  EXPECT_EQ(mcc.shape.span(6), (ColumnSpan{5, 6}));
+}
+
+TEST(MccTest, BorderMccLosesCorners) {
+  // An MCC hugging the west border has no initialization corner.
+  const Mesh2D mesh = Mesh2D::square(8);
+  const auto ext = extract(mesh, faultsAt(mesh, {{0, 4}}));
+  ASSERT_EQ(ext.mccs.size(), 1u);
+  EXPECT_FALSE(ext.mccs.front().cornerC.has_value());
+  EXPECT_FALSE(ext.mccs.front().cornerNW.has_value());
+  EXPECT_TRUE(ext.mccs.front().cornerCPrime.has_value());
+  EXPECT_TRUE(ext.mccs.front().cornerSE.has_value());
+}
+
+TEST(MccTest, IndexMapsCellsToOwners) {
+  const Mesh2D mesh = Mesh2D::square(10);
+  const auto ext = extract(mesh, faultsAt(mesh, {{2, 2}, {7, 7}}));
+  for (const Mcc& mcc : ext.mccs) {
+    for (Point cell : mcc.shape.cells()) {
+      EXPECT_EQ(ext.mccIndex[cell], mcc.id);
+    }
+  }
+  EXPECT_EQ((ext.mccIndex[{5, 5}]), -1);
+}
+
+TEST(MccTest, TransposedShapeMirrorsCells) {
+  const Mesh2D mesh = Mesh2D::square(10);
+  const auto ext = extract(mesh, faultsAt(mesh, {{5, 6}, {6, 5}}));
+  ASSERT_EQ(ext.mccs.size(), 1u);
+  const Mcc& mcc = ext.mccs.front();
+  for (Point p : mcc.shape.cells()) {
+    EXPECT_TRUE(mcc.shapeTransposed.contains({p.y, p.x}));
+  }
+  EXPECT_EQ(mcc.shape.cellCount(), mcc.shapeTransposed.cellCount());
+}
+
+// Property: every MCC of a random fault pattern satisfies the staircase
+// invariant (extractMccs throws otherwise) and partitions the unsafe set.
+class MccProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MccProperty, ComponentsPartitionUnsafeNodes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 41 + 13);
+  const Mesh2D mesh = Mesh2D::square(32);
+  const std::size_t count = 20 + 30 * static_cast<std::size_t>(GetParam());
+  const FaultSet faults = injectUniform(mesh, count, rng);
+  const auto labels = computeLabels(mesh, faults);
+  const auto ext = extractMccs(mesh, labels);
+
+  std::size_t cells = 0;
+  for (const Mcc& mcc : ext.mccs) {
+    cells += mcc.cellCount;
+    EXPECT_EQ(mcc.cellCount, mcc.shape.cellCount());
+    // Corners, when present, are safe and diagonal to the extreme cells.
+    if (mcc.cornerC) {
+      EXPECT_TRUE(labels.isSafe(*mcc.cornerC));
+      EXPECT_EQ(*mcc.cornerC,
+                (Point{mcc.shape.xmin() - 1, mcc.shape.ymin() - 1}));
+    }
+    if (mcc.cornerCPrime) {
+      EXPECT_TRUE(labels.isSafe(*mcc.cornerCPrime));
+      EXPECT_EQ(*mcc.cornerCPrime,
+                (Point{mcc.shape.xmax() + 1, mcc.shape.ymax() + 1}));
+    }
+  }
+  EXPECT_EQ(cells, countUnsafe(mesh, labels));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MccProperty, ::testing::Range(0, 15));
+
+TEST(FaultAnalysisTest, QuadrantsShareFaultSet) {
+  const Mesh2D mesh = Mesh2D::square(16);
+  Rng rng(99);
+  const FaultSet faults = injectUniform(mesh, 30, rng);
+  const FaultAnalysis fa(faults);
+  for (int q = 0; q < 4; ++q) {
+    const auto& qa = fa.quadrant(static_cast<Quadrant>(q));
+    // Faulty cells are frame-invariant.
+    std::size_t faulty = 0;
+    for (Coord y = 0; y < 16; ++y) {
+      for (Coord x = 0; x < 16; ++x) {
+        if (qa.labels().isFaulty(qa.frame().toLocal({x, y}))) ++faulty;
+      }
+    }
+    EXPECT_EQ(faulty, faults.count());
+  }
+}
+
+TEST(FaultAnalysisTest, UnsafeSetsDifferPerQuadrant) {
+  // The labeling is orientation-dependent: a SW pocket for NE routing is
+  // no pocket at all for SW routing.
+  const Mesh2D mesh = Mesh2D::square(10);
+  const FaultSet faults = testutil::faultsAt(mesh, {{5, 6}, {6, 5}});
+  const FaultAnalysis fa(faults);
+  const auto& ne = fa.quadrant(Quadrant::NE);
+  EXPECT_EQ(ne.unsafeCount(), 4u);
+  // In the NW frame the pair is main-diagonal: nothing merges.
+  const auto& nw = fa.quadrant(Quadrant::NW);
+  EXPECT_EQ(nw.unsafeCount(), 2u);
+}
+
+}  // namespace
+}  // namespace meshrt

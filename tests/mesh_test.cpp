@@ -1,0 +1,274 @@
+// Tests for the mesh substrate: points, directions, topology, frames,
+// rectangles and staircase polygons.
+#include <gtest/gtest.h>
+
+#include "mesh/direction.h"
+#include "mesh/frame.h"
+#include "mesh/mesh.h"
+#include "mesh/rect.h"
+#include "mesh/staircase.h"
+#include "test_util.h"
+
+namespace meshrt {
+namespace {
+
+TEST(PointTest, ManhattanDistanceMatchesDefinition) {
+  EXPECT_EQ(manhattan({0, 0}, {0, 0}), 0);
+  EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(manhattan({3, 4}, {0, 0}), 7);
+  EXPECT_EQ(manhattan({-2, 5}, {2, -5}), 14);
+}
+
+TEST(PointTest, DominanceOrdersQuadrants) {
+  EXPECT_TRUE(dominatedBy({1, 1}, {2, 2}));
+  EXPECT_TRUE(dominatedBy({2, 2}, {2, 2}));
+  EXPECT_FALSE(dominatedBy({3, 1}, {2, 2}));
+  EXPECT_FALSE(dominatedBy({1, 3}, {2, 2}));
+}
+
+TEST(DirectionTest, OffsetsAreUnitSteps) {
+  for (Dir d : kAllDirs) {
+    EXPECT_EQ(manhattan({0, 0}, offset(d)), 1) << dirName(d);
+  }
+}
+
+TEST(DirectionTest, OppositeIsInvolution) {
+  for (Dir d : kAllDirs) EXPECT_EQ(opposite(opposite(d)), d);
+}
+
+TEST(DirectionTest, FourRightTurnsAreIdentity) {
+  for (Dir d : kAllDirs) {
+    EXPECT_EQ(turnRight(turnRight(turnRight(turnRight(d)))), d);
+  }
+}
+
+TEST(DirectionTest, LeftIsInverseOfRight) {
+  for (Dir d : kAllDirs) EXPECT_EQ(turnLeft(turnRight(d)), d);
+}
+
+TEST(DirectionTest, RightTurnRotatesClockwise) {
+  EXPECT_EQ(turnRight(Dir::PlusY), Dir::PlusX);
+  EXPECT_EQ(turnRight(Dir::PlusX), Dir::MinusY);
+  EXPECT_EQ(turnRight(Dir::MinusY), Dir::MinusX);
+  EXPECT_EQ(turnRight(Dir::MinusX), Dir::PlusY);
+}
+
+TEST(MeshTest, ContainsMatchesBounds) {
+  const Mesh2D mesh(4, 3);
+  EXPECT_TRUE(mesh.contains({0, 0}));
+  EXPECT_TRUE(mesh.contains({3, 2}));
+  EXPECT_FALSE(mesh.contains({4, 0}));
+  EXPECT_FALSE(mesh.contains({0, 3}));
+  EXPECT_FALSE(mesh.contains({-1, 0}));
+}
+
+TEST(MeshTest, IdAndPointRoundTrip) {
+  const Mesh2D mesh(5, 7);
+  for (NodeId id = 0; id < mesh.nodeCount(); ++id) {
+    EXPECT_EQ(mesh.id(mesh.point(id)), id);
+  }
+}
+
+TEST(MeshTest, InteriorNodeDegreeIsFour) {
+  const Mesh2D mesh = Mesh2D::square(5);
+  EXPECT_EQ(mesh.neighbors({2, 2}).size(), 4u);
+  EXPECT_EQ(mesh.neighbors({0, 0}).size(), 2u);  // corner
+  EXPECT_EQ(mesh.neighbors({0, 2}).size(), 3u);  // edge
+}
+
+TEST(MeshTest, NeighborRespectsBorders) {
+  const Mesh2D mesh = Mesh2D::square(3);
+  EXPECT_FALSE(mesh.neighbor({0, 0}, Dir::MinusX).has_value());
+  EXPECT_FALSE(mesh.neighbor({2, 2}, Dir::PlusX).has_value());
+  EXPECT_EQ(mesh.neighbor({1, 1}, Dir::PlusY), (Point{1, 2}));
+}
+
+TEST(NodeMapTest, StoresPerNodeValues) {
+  const Mesh2D mesh(3, 3);
+  NodeMap<int> map(mesh, 7);
+  EXPECT_EQ((map[{1, 1}]), 7);
+  map[{1, 1}] = 42;
+  EXPECT_EQ((map[{1, 1}]), 42);
+  EXPECT_EQ((map[{0, 0}]), 7);
+}
+
+TEST(QuadrantTest, TiesResolveTowardNE) {
+  EXPECT_EQ(quadrantOf({5, 5}, {5, 5}), Quadrant::NE);
+  EXPECT_EQ(quadrantOf({5, 5}, {9, 5}), Quadrant::NE);
+  EXPECT_EQ(quadrantOf({5, 5}, {2, 5}), Quadrant::NW);
+  EXPECT_EQ(quadrantOf({5, 5}, {5, 2}), Quadrant::SE);
+  EXPECT_EQ(quadrantOf({5, 5}, {2, 2}), Quadrant::SW);
+}
+
+class FrameRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(FrameRoundTrip, PointsAndDirsRoundTripThroughEveryFrame) {
+  const Mesh2D mesh(7, 5);
+  const auto q = static_cast<Quadrant>(GetParam() % 4);
+  const bool transposed = GetParam() >= 4;
+  const Frame frame = Frame::forQuadrant(mesh, q, transposed);
+  for (Coord y = 0; y < mesh.height(); ++y) {
+    for (Coord x = 0; x < mesh.width(); ++x) {
+      const Point p{x, y};
+      EXPECT_EQ(frame.toWorld(frame.toLocal(p)), p);
+      EXPECT_TRUE(frame.localMesh().contains(frame.toLocal(p)));
+    }
+  }
+  for (Dir d : kAllDirs) {
+    EXPECT_EQ(frame.toWorld(frame.toLocal(d)), d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFrames, FrameRoundTrip, ::testing::Range(0, 8));
+
+TEST(FrameTest, LocalProgressIsPlusXPlusY) {
+  const Mesh2D mesh = Mesh2D::square(10);
+  // For every quadrant, the local image of d must dominate the local image
+  // of s: routing progresses in +X/+Y after normalization.
+  const Point s{4, 4};
+  for (Point d : {Point{8, 7}, Point{1, 7}, Point{8, 2}, Point{1, 2}}) {
+    const Frame frame = Frame::forPair(mesh, s, d);
+    EXPECT_TRUE(dominatedBy(frame.toLocal(s), frame.toLocal(d)))
+        << "d=" << d.str();
+  }
+}
+
+TEST(FrameTest, TransposeSwapsAxes) {
+  const Mesh2D mesh(7, 5);
+  const Frame frame = Frame::forQuadrant(mesh, Quadrant::NE, true);
+  EXPECT_EQ(frame.localWidth(), 5);
+  EXPECT_EQ(frame.localHeight(), 7);
+  EXPECT_EQ(frame.toLocal(Point{3, 1}), (Point{1, 3}));
+  EXPECT_EQ(frame.toLocal(Dir::PlusX), Dir::PlusY);
+  EXPECT_EQ(frame.toLocal(Dir::MinusY), Dir::MinusX);
+}
+
+TEST(FrameTest, StepConsistency) {
+  // Moving one step in a world direction equals moving the mapped step in
+  // the local frame, for every frame.
+  const Mesh2D mesh(9, 6);
+  for (int f = 0; f < 8; ++f) {
+    const Frame frame =
+        Frame::forQuadrant(mesh, static_cast<Quadrant>(f % 4), f >= 4);
+    const Point p{4, 3};
+    for (Dir d : kAllDirs) {
+      const Point world = p + offset(d);
+      const Point local = frame.toLocal(p) + offset(frame.toLocal(d));
+      EXPECT_EQ(frame.toLocal(world), local);
+    }
+  }
+}
+
+TEST(RectTest, BetweenNormalizesCorners) {
+  const Rect r = Rect::between({5, 1}, {2, 4});
+  EXPECT_EQ(r, (Rect{2, 1, 5, 4}));
+  EXPECT_EQ(r.width(), 4);
+  EXPECT_EQ(r.height(), 4);
+  EXPECT_EQ(r.area(), 16);
+}
+
+TEST(RectTest, ContainsAndIntersects) {
+  const Rect r{2, 2, 5, 5};
+  EXPECT_TRUE(r.contains({2, 2}));
+  EXPECT_TRUE(r.contains({5, 5}));
+  EXPECT_FALSE(r.contains({6, 5}));
+  EXPECT_TRUE(r.intersects(Rect{5, 5, 8, 8}));
+  EXPECT_FALSE(r.intersects(Rect{6, 6, 8, 8}));
+  EXPECT_FALSE(Rect{}.intersects(r));
+}
+
+TEST(StaircaseTest, FromCellsAcceptsSingleCell) {
+  const std::vector<Point> cells{{3, 4}};
+  const auto shape = Staircase::fromCells(cells);
+  ASSERT_TRUE(shape.has_value());
+  EXPECT_EQ(shape->xmin(), 3);
+  EXPECT_EQ(shape->xmax(), 3);
+  EXPECT_EQ(shape->cellCount(), 1u);
+  EXPECT_EQ(shape->initializationCorner(), (Point{2, 3}));
+  EXPECT_EQ(shape->oppositeCorner(), (Point{4, 5}));
+}
+
+TEST(StaircaseTest, FromCellsAcceptsAscendingStaircase) {
+  const std::vector<Point> cells{{2, 2}, {2, 3}, {3, 3}, {3, 4}, {4, 4}};
+  const auto shape = Staircase::fromCells(cells);
+  ASSERT_TRUE(shape.has_value());
+  EXPECT_EQ(shape->span(2), (ColumnSpan{2, 3}));
+  EXPECT_EQ(shape->span(3), (ColumnSpan{3, 4}));
+  EXPECT_EQ(shape->span(4), (ColumnSpan{4, 4}));
+  EXPECT_EQ(shape->cells().size(), 5u);
+}
+
+TEST(StaircaseTest, FromCellsRejectsDescendingTop) {
+  // hi decreases from column 2 to 3: not an SW->NE staircase.
+  const std::vector<Point> cells{{2, 4}, {2, 5}, {3, 4}};
+  EXPECT_FALSE(Staircase::fromCells(cells).has_value());
+}
+
+TEST(StaircaseTest, FromCellsRejectsColumnGap) {
+  const std::vector<Point> cells{{2, 2}, {4, 2}};
+  EXPECT_FALSE(Staircase::fromCells(cells).has_value());
+}
+
+TEST(StaircaseTest, FromCellsRejectsSplitColumn) {
+  const std::vector<Point> cells{{2, 2}, {2, 4}};
+  EXPECT_FALSE(Staircase::fromCells(cells).has_value());
+}
+
+TEST(StaircaseTest, FromCellsRejectsDisconnectedColumns) {
+  // Columns share no row: 4-disconnected even though both are intervals.
+  const std::vector<Point> cells{{2, 2}, {3, 5}};
+  EXPECT_FALSE(Staircase::fromCells(cells).has_value());
+}
+
+TEST(StaircaseTest, ContainsMatchesCells) {
+  const std::vector<Point> cells{{2, 2}, {2, 3}, {3, 3}};
+  const auto shape = Staircase::fromCells(cells);
+  ASSERT_TRUE(shape.has_value());
+  for (Point p : cells) EXPECT_TRUE(shape->contains(p));
+  EXPECT_FALSE(shape->contains({3, 2}));
+  EXPECT_FALSE(shape->contains({1, 2}));
+}
+
+// blocksMonotone is validated against brute-force monotone BFS on meshes
+// containing exactly the staircase as obstacle.
+class StaircaseBlocking : public ::testing::TestWithParam<int> {};
+
+TEST_P(StaircaseBlocking, MatchesBruteForceOnRandomPairs) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 5);
+  const Mesh2D mesh = Mesh2D::square(12);
+
+  // Random ascending staircase.
+  const Coord xmin = static_cast<Coord>(rng.between(1, 5));
+  const Coord cols = static_cast<Coord>(rng.between(1, 5));
+  std::vector<Point> cells;
+  Coord lo = static_cast<Coord>(rng.between(1, 4));
+  Coord hi = std::min<Coord>(10, lo + static_cast<Coord>(rng.between(0, 3)));
+  for (Coord x = xmin; x < xmin + cols; ++x) {
+    for (Coord y = lo; y <= hi; ++y) cells.push_back({x, y});
+    // Next column: lo/hi both non-decreasing, lo <= previous hi so the
+    // columns stay 4-connected.
+    lo = std::min<Coord>(lo + static_cast<Coord>(rng.between(0, 2)), hi);
+    hi = std::min<Coord>(10, hi + static_cast<Coord>(rng.between(0, 2)));
+  }
+  const auto shape = Staircase::fromCells(cells);
+  ASSERT_TRUE(shape.has_value());
+
+  auto passable = [&](Point p) { return !shape->contains(p); };
+  for (int trial = 0; trial < 50; ++trial) {
+    Point a{static_cast<Coord>(rng.between(0, 11)),
+            static_cast<Coord>(rng.between(0, 11))};
+    Point b{static_cast<Coord>(rng.between(a.x, 11)),
+            static_cast<Coord>(rng.between(a.y, 11))};
+    if (shape->contains(a) || shape->contains(b)) continue;
+    const bool brute =
+        !testutil::bruteMonotoneReachable(mesh, a, b, passable);
+    EXPECT_EQ(shape->blocksMonotone(a, b), brute)
+        << "a=" << a.str() << " b=" << b.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, StaircaseBlocking,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace meshrt

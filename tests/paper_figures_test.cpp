@@ -1,0 +1,232 @@
+// The paper's figures, re-staged as executable scenarios. Each test builds
+// a fault configuration embodying one figure's phenomenon and checks the
+// behavior the figure illustrates.
+#include <gtest/gtest.h>
+
+#include "fault/analysis.h"
+#include "info/knowledge.h"
+#include "route/bfs.h"
+#include "route/ecube.h"
+#include "route/rb1.h"
+#include "route/rb2.h"
+#include "route/rb3.h"
+#include "route/validate.h"
+#include "test_util.h"
+
+namespace meshrt {
+namespace {
+
+using testutil::faultsAt;
+
+// --------------------------------------------------------------------------
+// Figure 1(a): the definition of useless and can't-reach nodes.
+// --------------------------------------------------------------------------
+TEST(Figure1, UselessAndCantReachDefinition) {
+  const Mesh2D mesh = Mesh2D::square(10);
+  // Two faults sandwiching a node from +X/+Y, two more from -X/-Y.
+  const auto labels =
+      computeLabels(mesh, faultsAt(mesh, {{4, 3}, {3, 4}, {6, 7}, {7, 6}}));
+  EXPECT_TRUE(labels.isUseless({3, 3}));    // +X and +Y neighbors faulty
+  EXPECT_TRUE(labels.isCantReach({4, 4}));  // -X and -Y neighbors faulty
+  EXPECT_TRUE(labels.isUseless({6, 6}));
+  EXPECT_TRUE(labels.isCantReach({7, 7}));
+}
+
+// --------------------------------------------------------------------------
+// Figure 1(b): an MCC is identified between its initialization corner and
+// opposite corner, and its shape is rectilinear-monotone.
+// --------------------------------------------------------------------------
+TEST(Figure1, MccShapeAndCorners) {
+  const Mesh2D mesh = Mesh2D::square(14);
+  // A staircase-ish fault cluster: the labeling completes it into a valid
+  // rectilinear-monotone component.
+  const FaultSet faults = faultsAt(
+      mesh, {{4, 4}, {5, 4}, {5, 5}, {6, 5}, {6, 6}, {7, 6}});
+  const QuadrantAnalysis qa(faults, Quadrant::NE);
+  ASSERT_EQ(qa.mccs().size(), 1u);
+  const Mcc& mcc = qa.mccs().front();
+  // SW->NE monotone columns.
+  for (Coord x = mcc.shape.xmin() + 1; x <= mcc.shape.xmax(); ++x) {
+    EXPECT_GE(mcc.shape.span(x).lo, mcc.shape.span(x - 1).lo);
+    EXPECT_GE(mcc.shape.span(x).hi, mcc.shape.span(x - 1).hi);
+  }
+  ASSERT_TRUE(mcc.cornerC.has_value());
+  ASSERT_TRUE(mcc.cornerCPrime.has_value());
+  EXPECT_EQ(*mcc.cornerC, (Point{3, 3}));
+  EXPECT_EQ(*mcc.cornerCPrime, (Point{8, 7}));
+}
+
+// --------------------------------------------------------------------------
+// Figure 2(a,b): boundary information excludes a forwarding direction that
+// would lead into a forbidden region.
+// --------------------------------------------------------------------------
+TEST(Figure2, BoundaryInformationPreventsDeadEntry) {
+  const Mesh2D mesh = Mesh2D::square(16);
+  // A wide wall north of the source; destination above it. A greedy +Y
+  // move under the wall is wasted; RB1's triple on the -X boundary column
+  // excludes it and the route stays shortest.
+  std::vector<Point> wall;
+  for (Coord x = 4; x <= 12; ++x) wall.push_back({x, 8});
+  const FaultSet faults = faultsAt(mesh, wall);
+  const FaultAnalysis fa(faults);
+  Rb1Router rb1(fa);
+  // Source on the -X boundary line (x = 3 column, below corner (3,7)).
+  const Point s{3, 2};
+  const Point d{10, 13};
+  const auto res = rb1.route(s, d);
+  ASSERT_TRUE(res.delivered);
+  const auto opt = healthyDistances(faults, s);
+  EXPECT_EQ(res.hops(), opt[d]) << "boundary info should avoid the detour";
+}
+
+// --------------------------------------------------------------------------
+// Figure 3(a,b): when no Manhattan path exists, the E-cube style detour
+// still delivers (the feasibility check of [5] is unnecessary), but the
+// path is not shortest in general.
+// --------------------------------------------------------------------------
+TEST(Figure3, DetourDeliversWhenManhattanPathMissing) {
+  const Mesh2D mesh = Mesh2D::square(16);
+  std::vector<Point> cells;
+  for (Coord x = 2; x <= 11; ++x) cells.push_back({x, 7});  // wide wall
+  const FaultSet faults = faultsAt(mesh, cells);
+  const FaultAnalysis fa(faults);
+  const Point s{5, 3};
+  const Point d{6, 12};
+  ASSERT_GT(healthyDistances(faults, s)[d], manhattan(s, d))
+      << "fixture must not admit a Manhattan path";
+  Rb1Router rb1(fa);
+  const auto res = rb1.route(s, d);
+  EXPECT_TRUE(res.delivered);
+  EXPECT_TRUE(isValidPath(faults, s, d, res.path));
+}
+
+// Figure 3(c): the whole detour around one MCC can lie inside another
+// MCC's forbidden region — RB1 needs extra detours, RB2 does not.
+TEST(Figure3, ExtraDetourCaseStillOptimalUnderB2) {
+  const Mesh2D mesh = Mesh2D::square(20);
+  std::vector<Point> cells;
+  for (Coord x = 0; x <= 9; ++x) cells.push_back({x, 6});    // inner wall
+  for (Coord x = 0; x <= 14; ++x) cells.push_back({x, 10});  // outer wall
+  const FaultSet faults = faultsAt(mesh, cells);
+  const FaultAnalysis fa(faults);
+  const Point s{4, 3};
+  const Point d{5, 16};
+  Rb2Router rb2(fa);
+  const auto res = rb2.route(s, d);
+  ASSERT_TRUE(res.delivered);
+  EXPECT_EQ(res.hops(), healthyDistances(faults, s)[d]);
+  EXPECT_GE(res.phases, 1u);
+}
+
+// --------------------------------------------------------------------------
+// Figure 4(a): the "must-take" detour — s inside the forbidden region,
+// d inside the critical region. Under B2 the routing detours immediately
+// and optimally.
+// --------------------------------------------------------------------------
+TEST(Figure4, MustTakeDetourIsOptimal) {
+  const Mesh2D mesh = Mesh2D::square(18);
+  std::vector<Point> cells;
+  for (Coord x = 3; x <= 17; ++x) cells.push_back({x, 9});  // E-glued wall
+  const FaultSet faults = faultsAt(mesh, cells);
+  const FaultAnalysis fa(faults);
+  const Point s{9, 4};   // in R_Y: under the wall
+  const Point d{9, 14};  // in R'_Y: above the wall
+  ASSERT_GT(healthyDistances(faults, s)[d], manhattan(s, d));
+  Rb2Router rb2(fa);
+  const auto res = rb2.route(s, d);
+  ASSERT_TRUE(res.delivered);
+  EXPECT_EQ(res.hops(), healthyDistances(faults, s)[d]);
+  // The only way around is the west end: the path must pass the wall's
+  // initialization corner column.
+  bool passedWest = false;
+  for (Point p : res.path) {
+    if (p.x <= 2) passedWest = true;
+  }
+  EXPECT_TRUE(passedWest);
+}
+
+// --------------------------------------------------------------------------
+// Figure 4(b): both boundaries bound the forbidden region, and the +X
+// boundary of one MCC joins the +X boundary of the MCC it intersects.
+// --------------------------------------------------------------------------
+TEST(Figure4, PlusXBoundaryJoinsDownstreamMcc) {
+  const Mesh2D mesh = Mesh2D::square(16);
+  // Upper MCC F(c); lower MCC F(c2) sits under F(c)'s +X boundary column.
+  std::vector<Point> cells;
+  for (Coord x = 4; x <= 7; ++x) cells.push_back({x, 10});  // F(c)
+  for (Coord x = 7; x <= 10; ++x) cells.push_back({x, 5});  // F(c2)
+  const FaultSet faults = faultsAt(mesh, cells);
+  const QuadrantAnalysis qa(faults, Quadrant::NE);
+  ASSERT_EQ(qa.mccs().size(), 2u);
+  const QuadrantInfo info(qa, InfoModel::B3);
+  // The +X boundary of F(c) descends x=8 from (8,11), intersects F(c2),
+  // and joins its +X boundary at (11,6): nodes below (11,y<6) must hold
+  // F(c)'s triple.
+  int upper = qa.mccIndexAt({4, 10});
+  bool joined = false;
+  for (Coord y = 0; y < 6; ++y) {
+    for (int id : info.typeIKnown({11, y})) {
+      if (id == upper) joined = true;
+    }
+  }
+  EXPECT_TRUE(joined);
+}
+
+// --------------------------------------------------------------------------
+// Figure 4(c): multi-phase routing through a corner of a blocking sequence
+// — the recursive distance function composes detours across several MCCs.
+// --------------------------------------------------------------------------
+TEST(Figure4, MultiPhaseThroughBlockingSequence) {
+  const Mesh2D mesh = Mesh2D::square(24);
+  std::vector<Point> cells;
+  // A type-I sequence: three MCCs overlapping in columns, rising east.
+  for (Coord x = 0; x <= 9; ++x) cells.push_back({x, 6});
+  for (Coord x = 7; x <= 16; ++x) cells.push_back({x, 10});
+  for (Coord x = 14; x <= 23; ++x) cells.push_back({x, 14});
+  const FaultSet faults = faultsAt(mesh, cells);
+  const FaultAnalysis fa(faults);
+  const Point s{3, 2};
+  const Point d{20, 20};
+  ASSERT_GT(healthyDistances(faults, s)[d], manhattan(s, d));
+  Rb2Router rb2(fa);
+  const auto res = rb2.route(s, d);
+  ASSERT_TRUE(res.delivered);
+  EXPECT_EQ(res.hops(), healthyDistances(faults, s)[d]);
+  // The sequence forces threading the gaps between consecutive MCCs.
+  EXPECT_GE(res.phases, 2u);
+
+  // RB3 from this (off-boundary) source still delivers a valid route.
+  Rb3Router rb3(fa);
+  const auto res3 = rb3.route(s, d);
+  ASSERT_TRUE(res3.delivered);
+  EXPECT_TRUE(isValidPath(faults, s, d, res3.path));
+  EXPECT_GE(res3.hops(), res.hops());
+}
+
+// --------------------------------------------------------------------------
+// Theorem 2: when the source is a boundary node of the blocking MCC, RB3
+// finds the same path length as RB2.
+// --------------------------------------------------------------------------
+TEST(Theorem2Figure, BoundarySourceMatchesRb2) {
+  const Mesh2D mesh = Mesh2D::square(18);
+  std::vector<Point> cells;
+  for (Coord x = 5; x <= 12; ++x) cells.push_back({x, 9});
+  const FaultSet faults = faultsAt(mesh, cells);
+  const FaultAnalysis fa(faults);
+  Rb2Router rb2(fa);
+  Rb3Router rb3(fa);
+  // Sources along the -X boundary column (x=4) and the +X boundary
+  // column (x=13).
+  for (Point s : {Point{4, 5}, Point{4, 2}, Point{13, 4}}) {
+    for (Point d : {Point{9, 15}, Point{12, 16}}) {
+      const auto r2 = rb2.route(s, d);
+      const auto r3 = rb3.route(s, d);
+      ASSERT_TRUE(r2.delivered && r3.delivered)
+          << s.str() << " -> " << d.str();
+      EXPECT_EQ(r3.hops(), r2.hops()) << s.str() << " -> " << d.str();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace meshrt

@@ -1,0 +1,238 @@
+// Cross-cutting randomized property tests: invariants that must hold for
+// any fault configuration, exercised over many seeds.
+#include <gtest/gtest.h>
+
+#include "fault/analysis.h"
+#include "info/knowledge.h"
+#include "info/reachability.h"
+#include "route/bfs.h"
+#include "route/rb1.h"
+#include "route/rb2.h"
+#include "route/rb3.h"
+#include "route/safety_vector.h"
+#include "route/validate.h"
+#include "test_util.h"
+
+namespace meshrt {
+namespace {
+
+Point randomPoint(const Mesh2D& mesh, Rng& rng) {
+  return {static_cast<Coord>(
+              rng.below(static_cast<std::uint64_t>(mesh.width()))),
+          static_cast<Coord>(
+              rng.below(static_cast<std::uint64_t>(mesh.height())))};
+}
+
+// ---------------------------------------------------------------------------
+// Frames: labeling in any frame equals relabeling transformed faults.
+// ---------------------------------------------------------------------------
+class FrameLabeling : public ::testing::TestWithParam<int> {};
+
+TEST_P(FrameLabeling, QuadrantLabelsAgreeWithDirectComputation) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 47 + 1);
+  const Mesh2D mesh(14, 11);  // non-square catches x/y mixups
+  FaultSet faults(mesh);
+  for (int i = 0; i < 20; ++i) faults.add(randomPoint(mesh, rng));
+  const FaultAnalysis fa(faults);
+  for (int q = 0; q < 4; ++q) {
+    const auto& qa = fa.quadrant(static_cast<Quadrant>(q));
+    const FaultSet local = transformFaults(faults, qa.frame());
+    const LabelGrid direct = computeLabels(qa.localMesh(), local);
+    for (Coord y = 0; y < qa.localMesh().height(); ++y) {
+      for (Coord x = 0; x < qa.localMesh().width(); ++x) {
+        ASSERT_EQ(qa.labels().raw({x, y}), direct.raw({x, y}));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameLabeling, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// Monotone path extraction: both orders yield valid monotone paths of the
+// same (minimal) length.
+// ---------------------------------------------------------------------------
+class ExtractionOrders : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExtractionOrders, BalancedAndXFirstAgreeOnLength) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 59 + 3);
+  const Mesh2D mesh = Mesh2D::square(16);
+  const FaultSet faults = injectUniform(mesh, 30, rng);
+  auto pass = [&](Point p) { return faults.isHealthy(p); };
+  for (int t = 0; t < 40; ++t) {
+    const Point a = randomPoint(mesh, rng);
+    const Point b = randomPoint(mesh, rng);
+    if (!pass(a) || !pass(b)) continue;
+    const MonotoneField f(mesh, a, b, pass);
+    if (!f.targetReachable()) continue;
+    const auto balanced = f.extractPath(PathOrder::Balanced);
+    const auto xfirst = f.extractPath(PathOrder::XFirst);
+    ASSERT_EQ(balanced.size(), xfirst.size());
+    for (const auto& path : {balanced, xfirst}) {
+      ASSERT_EQ(path.front(), a);
+      ASSERT_EQ(path.back(), b);
+      for (std::size_t i = 1; i < path.size(); ++i) {
+        ASSERT_EQ(manhattan(path[i - 1], path[i]), 1);
+        ASSERT_TRUE(pass(path[i]));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtractionOrders, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// Loop erasure: output is a valid simple path with the same endpoints.
+// ---------------------------------------------------------------------------
+class LoopErasure : public ::testing::TestWithParam<int> {};
+
+TEST_P(LoopErasure, ProducesSimpleValidPaths) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 83 + 5);
+  const Mesh2D mesh = Mesh2D::square(12);
+  // Random walk with revisits.
+  std::vector<Point> walk{randomPoint(mesh, rng)};
+  for (int i = 0; i < 80; ++i) {
+    const Dir d = kAllDirs[rng.below(4)];
+    if (auto q = mesh.neighbor(walk.back(), d)) walk.push_back(*q);
+  }
+  const auto erased = loopErased(walk);
+  ASSERT_FALSE(erased.empty());
+  EXPECT_EQ(erased.front(), walk.front());
+  EXPECT_EQ(erased.back(), walk.back());
+  EXPECT_LE(erased.size(), walk.size());
+  std::set<Point> seen;
+  for (std::size_t i = 0; i < erased.size(); ++i) {
+    EXPECT_TRUE(seen.insert(erased[i]).second) << "node revisited";
+    if (i) {
+      EXPECT_EQ(manhattan(erased[i - 1], erased[i]), 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LoopErasure, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Safety vectors: clearance always equals the brute-force scan.
+// ---------------------------------------------------------------------------
+class SafetyVectorsFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SafetyVectorsFuzz, ClearanceMatchesBruteScan) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 101 + 7);
+  const Mesh2D mesh(13, 9);
+  const FaultSet faults = injectUniform(mesh, 15, rng);
+  const SafetyVectors sv(faults);
+  for (Coord y = 0; y < mesh.height(); ++y) {
+    for (Coord x = 0; x < mesh.width(); ++x) {
+      const Point p{x, y};
+      for (Dir d : kAllDirs) {
+        Coord brute = 0;
+        if (faults.isHealthy(p)) {
+          Point q = p + offset(d);
+          const Coord extent =
+              (d == Dir::PlusX || d == Dir::MinusX) ? mesh.width()
+                                                    : mesh.height();
+          brute = extent;  // clear to the edge unless a fault intervenes
+          Coord steps = 1;
+          while (mesh.contains(q)) {
+            if (faults.isFaulty(q)) {
+              brute = steps;
+              break;
+            }
+            q = q + offset(d);
+            ++steps;
+          }
+        }
+        ASSERT_EQ(sv.clearance(p, d), brute)
+            << p.str() << " " << dirName(d);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SafetyVectorsFuzz, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// Routing engines never produce invalid paths, under any knowledge level,
+// even at extreme densities where most pairs are unreachable.
+// ---------------------------------------------------------------------------
+class ExtremeDensity : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExtremeDensity, RoutersStaySafeNearPercolation) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 113 + 11);
+  const Mesh2D mesh = Mesh2D::square(30);
+  // ~35% faults: beyond the paper's operating range; everything must still
+  // terminate and stay valid.
+  const FaultSet faults = injectUniform(mesh, 315, rng);
+  const FaultAnalysis fa(faults);
+  Rb1Router rb1(fa);
+  Rb2Router rb2(fa);
+  Rb3Router rb3(fa);
+  for (int t = 0; t < 15; ++t) {
+    const Point s = randomPoint(mesh, rng);
+    const Point d = randomPoint(mesh, rng);
+    if (faults.isFaulty(s) || faults.isFaulty(d)) continue;
+    for (Router* r : std::initializer_list<Router*>{&rb1, &rb2, &rb3}) {
+      const auto res = r->route(s, d);
+      if (res.delivered) {
+        EXPECT_TRUE(isValidPath(faults, s, d, res.path)) << r->name();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtremeDensity, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Theorem 1 under every quadrant: RB2 optimal for destinations in all four
+// directions from the source.
+// ---------------------------------------------------------------------------
+class AllQuadrants : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllQuadrants, Rb2OptimalInEveryDirection) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 127 + 13);
+  const Mesh2D mesh = Mesh2D::square(20);
+  const FaultSet faults = injectUniform(mesh, 60, rng);
+  const FaultAnalysis fa(faults);
+  Rb2Router rb2(fa);
+  const Point s{10, 10};
+  if (faults.isFaulty(s)) return;
+  for (Point d : {Point{17, 16}, Point{2, 17}, Point{16, 3}, Point{3, 2},
+                  Point{10, 18}, Point{18, 10}, Point{10, 1}, Point{1, 10}}) {
+    if (faults.isFaulty(d)) continue;
+    const auto& qa = fa.forPair(s, d);
+    const Point sL = qa.frame().toLocal(s);
+    const Point dL = qa.frame().toLocal(d);
+    if (!qa.labels().isSafe(sL) || !qa.labels().isSafe(dL)) continue;
+    const auto dist = safeDistances(qa.localMesh(), qa.labels(), sL);
+    if (dist[dL] == kUnreachable) continue;
+    const auto res = rb2.route(s, d);
+    ASSERT_TRUE(res.delivered) << "d=" << d.str();
+    EXPECT_EQ(res.hops(), dist[dL]) << "d=" << d.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllQuadrants, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// Knowledge bases remain consistent under the B2 flood clipping.
+// ---------------------------------------------------------------------------
+TEST(FloodClipProperty, BorderGluedMccRegionStaysBanded) {
+  // An MCC glued to the east border has no +X boundary; its broadcast must
+  // not escape west of its -X boundary or east of its own extent.
+  const Mesh2D mesh = Mesh2D::square(16);
+  std::vector<Point> wall;
+  for (Coord x = 6; x <= 15; ++x) wall.push_back({x, 8});
+  const QuadrantAnalysis qa(testutil::faultsAt(mesh, wall), Quadrant::NE);
+  const QuadrantInfo info(qa, InfoModel::B2);
+  // Type-I triples may appear in the band x >= 5 (the -X boundary column)
+  // but never west of it.
+  for (Coord y = 0; y < 8; ++y) {
+    for (Coord x = 0; x < 5; ++x) {
+      EXPECT_TRUE(info.typeIKnown({x, y}).empty())
+          << "(" << x << "," << y << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace meshrt

@@ -1,0 +1,104 @@
+// Equivalence of the distributed information-propagation protocol with the
+// oracle knowledge bases: per-node stored triples must match exactly for
+// every model, plus sanity properties of the message-passing substrate.
+#include <gtest/gtest.h>
+
+#include "fault/analysis.h"
+#include "info/knowledge.h"
+#include "sim/network.h"
+#include "sim/propagation_protocol.h"
+#include "test_util.h"
+
+namespace meshrt {
+namespace {
+
+TEST(SyncNetworkTest, DeliversNeighborMessagesInRounds) {
+  const Mesh2D mesh = Mesh2D::square(4);
+  SyncNetwork<int> net(mesh);
+  std::vector<int> log;
+  net.post({1, 1}, 3);
+  const std::size_t rounds = net.run(
+      [&](Point self, const int& hops, SyncNetwork<int>::Tx& tx) {
+        log.push_back(hops);
+        (void)self;
+        if (hops > 0) tx.send(Dir::PlusX, hops - 1);
+      },
+      100);
+  // 3 at (1,1) -> 2 at (2,1) -> 1 at (3,1); the next send falls off the
+  // mesh edge and is dropped.
+  EXPECT_EQ(rounds, 3u);
+  EXPECT_EQ(log, (std::vector<int>{3, 2, 1}));
+  EXPECT_EQ(net.messagesDelivered(), 3u);
+  EXPECT_EQ(net.involvedCount(), 3u);
+}
+
+TEST(SyncNetworkTest, BorderSendsAreDropped) {
+  const Mesh2D mesh = Mesh2D::square(2);
+  SyncNetwork<int> net(mesh);
+  net.post({1, 1}, 1);
+  net.run(
+      [&](Point, const int&, SyncNetwork<int>::Tx& tx) {
+        tx.send(Dir::PlusX, 9);  // off-mesh: silently dropped
+      },
+      10);
+  EXPECT_EQ(net.messagesDelivered(), 1u);
+}
+
+class ProtocolEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ProtocolEquivalence, PerNodeKnowledgeMatchesOracle) {
+  const auto [seed, modelIdx] = GetParam();
+  const auto model = static_cast<InfoModel>(modelIdx);
+  Rng rng(static_cast<std::uint64_t>(seed) * 8191 + 101);
+  const Mesh2D mesh = Mesh2D::square(28);
+  const FaultSet faults =
+      injectUniform(mesh, 30 + 15 * static_cast<std::size_t>(seed), rng);
+  const QuadrantAnalysis qa(faults, Quadrant::NE);
+
+  const QuadrantInfo oracle(qa, model);
+  const PropagationResult proto = runInfoPropagation(qa, model);
+
+  for (Coord y = 0; y < mesh.height(); ++y) {
+    for (Coord x = 0; x < mesh.width(); ++x) {
+      const Point p{x, y};
+      const auto node = static_cast<std::size_t>(mesh.id(p));
+      const auto oi = oracle.typeIKnown(p);
+      ASSERT_EQ(std::vector<int>(oi.begin(), oi.end()), proto.knownI[node])
+          << infoModelName(model) << " type-I at " << p.str();
+      const auto oii = oracle.typeIIKnown(p);
+      ASSERT_EQ(std::vector<int>(oii.begin(), oii.end()),
+                proto.knownII[node])
+          << infoModelName(model) << " type-II at " << p.str();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndModels, ProtocolEquivalence,
+    ::testing::Combine(::testing::Range(0, 6), ::testing::Range(0, 3)));
+
+TEST(ProtocolCost, B2CostsMoreMessagesThanB3ThanB1) {
+  Rng rng(31337);
+  const Mesh2D mesh = Mesh2D::square(32);
+  const FaultSet faults = injectUniform(mesh, 80, rng);
+  const QuadrantAnalysis qa(faults, Quadrant::NE);
+  const auto b1 = runInfoPropagation(qa, InfoModel::B1);
+  const auto b2 = runInfoPropagation(qa, InfoModel::B2);
+  const auto b3 = runInfoPropagation(qa, InfoModel::B3);
+  EXPECT_LT(b1.messages, b3.messages);
+  EXPECT_LT(b3.messages, b2.messages);
+  EXPECT_LE(b1.involvedNodes, b3.involvedNodes);
+  EXPECT_LE(b3.involvedNodes, b2.involvedNodes);
+}
+
+TEST(ProtocolCost, NoFaultsNoTraffic) {
+  const Mesh2D mesh = Mesh2D::square(16);
+  const QuadrantAnalysis qa(FaultSet(mesh), Quadrant::NE);
+  const auto res = runInfoPropagation(qa, InfoModel::B2);
+  EXPECT_EQ(res.messages, 0u);
+  EXPECT_EQ(res.involvedNodes, 0u);
+}
+
+}  // namespace
+}  // namespace meshrt

@@ -1,0 +1,132 @@
+// Tests for the exact monotone-reachability field and its blocking
+// frontier, validated against brute-force search.
+#include <gtest/gtest.h>
+
+#include "fault/analysis.h"
+#include "info/reachability.h"
+#include "test_util.h"
+
+namespace meshrt {
+namespace {
+
+TEST(MonotoneFieldTest, EmptyMeshReachesEverything) {
+  const Mesh2D mesh = Mesh2D::square(8);
+  auto all = [](Point) { return true; };
+  const MonotoneField f(mesh, {1, 1}, {6, 5}, all);
+  EXPECT_TRUE(f.targetReachable());
+  const auto path = f.extractPath();
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), (Point{1, 1}));
+  EXPECT_EQ(path.back(), (Point{6, 5}));
+  EXPECT_EQ(static_cast<Distance>(path.size()) - 1,
+            manhattan({1, 1}, {6, 5}));
+}
+
+TEST(MonotoneFieldTest, SamePointIsTriviallyReachable) {
+  const Mesh2D mesh = Mesh2D::square(4);
+  auto all = [](Point) { return true; };
+  const MonotoneField f(mesh, {2, 2}, {2, 2}, all);
+  EXPECT_TRUE(f.targetReachable());
+  EXPECT_EQ(f.extractPath().size(), 1u);
+}
+
+TEST(MonotoneFieldTest, WorksInAllFourSignatures) {
+  const Mesh2D mesh = Mesh2D::square(9);
+  auto all = [](Point) { return true; };
+  const Point center{4, 4};
+  for (Point corner : {Point{8, 8}, Point{0, 8}, Point{8, 0}, Point{0, 0}}) {
+    const MonotoneField f(mesh, center, corner, all);
+    EXPECT_TRUE(f.targetReachable()) << corner.str();
+    EXPECT_EQ(static_cast<Distance>(f.extractPath().size()) - 1,
+              manhattan(center, corner));
+  }
+}
+
+TEST(MonotoneFieldTest, VerticalLegBlockedByAnyObstacle) {
+  const Mesh2D mesh = Mesh2D::square(8);
+  auto pass = [](Point p) { return p != Point{3, 4}; };
+  const MonotoneField f(mesh, {3, 1}, {3, 6}, pass);
+  EXPECT_FALSE(f.targetReachable());
+  const auto frontier = f.blockingFrontier();
+  ASSERT_EQ(frontier.size(), 1u);
+  EXPECT_EQ(frontier.front(), (Point{3, 4}));
+}
+
+TEST(MonotoneFieldTest, WallBlocksAndFrontierFindsIt) {
+  const Mesh2D mesh = Mesh2D::square(10);
+  // Horizontal wall row y=5, x in [0..9]: cuts every monotone path.
+  auto pass = [](Point p) { return p.y != 5; };
+  const MonotoneField f(mesh, {2, 2}, {7, 8}, pass);
+  EXPECT_FALSE(f.targetReachable());
+  const auto frontier = f.blockingFrontier();
+  EXPECT_FALSE(frontier.empty());
+  for (Point p : frontier) EXPECT_EQ(p.y, 5);
+}
+
+TEST(MonotoneFieldTest, PathNeverUsesImpassableCells) {
+  const Mesh2D mesh = Mesh2D::square(10);
+  auto pass = [](Point p) { return (p.x + p.y) % 3 != 0 || p.x == 0 ||
+                                   p.y == 0; };
+  const MonotoneField f(mesh, {0, 0}, {9, 9}, pass);
+  if (f.targetReachable()) {
+    for (Point p : f.extractPath()) EXPECT_TRUE(pass(p)) << p.str();
+  }
+}
+
+class MonotoneFieldRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonotoneFieldRandom, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 559 + 17);
+  const Mesh2D mesh = Mesh2D::square(14);
+  const FaultSet faults =
+      injectUniform(mesh, 20 + 4 * static_cast<std::size_t>(GetParam()), rng);
+  auto pass = [&](Point p) { return faults.isHealthy(p); };
+
+  for (int t = 0; t < 60; ++t) {
+    const Point a{static_cast<Coord>(rng.below(14)),
+                  static_cast<Coord>(rng.below(14))};
+    const Point b{static_cast<Coord>(rng.below(14)),
+                  static_cast<Coord>(rng.below(14))};
+    if (!pass(a) || !pass(b)) continue;
+    const MonotoneField f(mesh, a, b, pass);
+    const bool brute = testutil::bruteMonotoneReachable(mesh, a, b, pass);
+    ASSERT_EQ(f.targetReachable(), brute)
+        << "a=" << a.str() << " b=" << b.str();
+    if (brute) {
+      const auto path = f.extractPath();
+      EXPECT_EQ(static_cast<Distance>(path.size()) - 1, manhattan(a, b));
+      for (Point p : path) EXPECT_TRUE(pass(p));
+    } else {
+      EXPECT_FALSE(f.blockingFrontier().empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonotoneFieldRandom, ::testing::Range(0, 15));
+
+TEST(MonotoneFieldTest, FrontierCellsBelongToMccs) {
+  Rng rng(4242);
+  const Mesh2D mesh = Mesh2D::square(20);
+  const FaultSet faults = injectUniform(mesh, 70, rng);
+  const FaultAnalysis fa(faults);
+  const auto& qa = fa.quadrant(Quadrant::NE);
+  auto pass = [&](Point p) { return qa.labels().isSafe(p); };
+  int checked = 0;
+  for (int t = 0; t < 200 && checked < 20; ++t) {
+    const Point a{static_cast<Coord>(rng.below(20)),
+                  static_cast<Coord>(rng.below(20))};
+    const Point b{static_cast<Coord>(rng.below(20)),
+                  static_cast<Coord>(rng.below(20))};
+    if (!pass(a) || !pass(b)) continue;
+    const MonotoneField f(mesh, a, b, pass);
+    if (f.targetReachable()) continue;
+    ++checked;
+    for (Point cell : f.blockingFrontier()) {
+      EXPECT_GE(qa.mccIndexAt(cell), 0) << cell.str();
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+}  // namespace
+}  // namespace meshrt

@@ -1,0 +1,155 @@
+// Tests for the boundary walker and ring construction: plumbing, hugging,
+// joins, mesh-edge termination, and the loop-erasure utility.
+#include <gtest/gtest.h>
+
+#include "fault/analysis.h"
+#include "info/boundary_walker.h"
+#include "route/validate.h"
+#include "test_util.h"
+
+namespace meshrt {
+namespace {
+
+using testutil::faultsAt;
+
+struct Fixture {
+  Mesh2D mesh;
+  LabelGrid labels;
+  MccExtraction ext;
+
+  explicit Fixture(const Mesh2D& m, const std::vector<Point>& cells)
+      : mesh(m),
+        labels(computeLabels(m, faultsAt(m, cells))),
+        ext(extractMccs(m, labels)) {}
+};
+
+TEST(WalkerTest, PlumbsStraightToMeshEdge) {
+  // Single fault at (5,5): -X boundary from c=(4,4) straight down x=4.
+  Fixture s(Mesh2D::square(10), {{5, 5}});
+  const auto walk = walkBoundary(s.mesh, s.labels, {4, 4}, WalkHand::Left);
+  ASSERT_EQ(walk.size(), 5u);
+  for (std::size_t i = 0; i < walk.size(); ++i) {
+    EXPECT_EQ(walk[i], (Point{4, 4 - static_cast<Coord>(i)}));
+  }
+}
+
+TEST(WalkerTest, LeftHugTurnsWestAroundObstacle) {
+  // Wall below the walk line: the -X boundary makes a right turn (hug
+  // westward) and rejoins the wall's own -X boundary at its corner.
+  const Mesh2D mesh = Mesh2D::square(12);
+  std::vector<Point> cells{{8, 8}};                      // MCC starting the walk
+  for (Coord x = 3; x <= 9; ++x) cells.push_back({x, 5});  // wall below
+  Fixture s(mesh, cells);
+  const auto walk = walkBoundary(s.mesh, s.labels, {7, 7}, WalkHand::Left);
+  // Walk: (7,7) -> (7,6) -> blocked at (7,5) -> west along y=6 to x=2 ->
+  // down x=2 (the wall's own -X boundary column) to y=0.
+  EXPECT_EQ(walk.front(), (Point{7, 7}));
+  EXPECT_EQ(walk.back(), (Point{2, 0}));
+  for (Point p : walk) EXPECT_TRUE(s.labels.isSafe(p));
+  // It must pass through the wall's initialization corner (2,4).
+  EXPECT_NE(std::find(walk.begin(), walk.end(), Point{2, 4}), walk.end());
+}
+
+TEST(WalkerTest, RightHugTurnsEastAroundObstacle) {
+  const Mesh2D mesh = Mesh2D::square(12);
+  std::vector<Point> cells;
+  for (Coord x = 3; x <= 8; ++x) cells.push_back({x, 5});
+  Fixture s(mesh, cells);
+  // +X boundary style walk from just above the wall's west end.
+  const auto walk = walkBoundary(s.mesh, s.labels, {5, 7}, WalkHand::Right);
+  EXPECT_EQ(walk.back(), (Point{9, 0}));
+  // Passes the wall's opposite corner (9,6).
+  EXPECT_NE(std::find(walk.begin(), walk.end(), Point{9, 6}), walk.end());
+}
+
+TEST(WalkerTest, StartInsideUnsafeReturnsEmpty) {
+  Fixture s(Mesh2D::square(8), {{4, 4}});
+  EXPECT_TRUE(walkBoundary(s.mesh, s.labels, {4, 4}, WalkHand::Left).empty());
+  EXPECT_TRUE(
+      walkBoundary(s.mesh, s.labels, {-1, 2}, WalkHand::Left).empty());
+}
+
+TEST(WalkerTest, ReportsIntersectedMccs) {
+  const Mesh2D mesh = Mesh2D::square(12);
+  std::vector<Point> cells{{8, 8}};
+  for (Coord x = 3; x <= 9; ++x) cells.push_back({x, 5});
+  Fixture s(mesh, cells);
+  std::vector<int> hit;
+  walkBoundary(s.mesh, s.labels, {7, 7}, WalkHand::Left, &s.ext.mccIndex,
+               &hit);
+  ASSERT_EQ(hit.size(), 1u);
+  const int wallId = s.ext.mccIndex[{5, 5}];
+  EXPECT_EQ(hit.front(), wallId);
+}
+
+TEST(WalkerTest, WalkVisitsEachBoundaryNodeOnce) {
+  Rng rng(17);
+  const Mesh2D mesh = Mesh2D::square(24);
+  const FaultSet faults = injectUniform(mesh, 60, rng);
+  const auto labels = computeLabels(mesh, faults);
+  const auto ext = extractMccs(mesh, labels);
+  for (const Mcc& mcc : ext.mccs) {
+    if (!mcc.cornerC) continue;
+    const auto walk =
+        walkBoundary(mesh, labels, *mcc.cornerC, WalkHand::Left);
+    std::set<Point> unique(walk.begin(), walk.end());
+    // Hug climbs may revisit in pathological nests; never by much.
+    EXPECT_GE(unique.size() + 2, walk.size());
+    for (Point p : walk) EXPECT_TRUE(labels.isSafe(p));
+  }
+}
+
+TEST(RingTest, SingleCellRingHasEightNodes) {
+  Fixture s(Mesh2D::square(9), {{4, 4}});
+  const auto ring = ringNodes(s.mesh, s.labels, s.ext.mccs.front());
+  EXPECT_EQ(ring.size(), 8u);
+}
+
+TEST(RingTest, BorderMccRingClipped) {
+  Fixture s(Mesh2D::square(8), {{0, 0}});
+  const auto ring = ringNodes(s.mesh, s.labels, s.ext.mccs.front());
+  EXPECT_EQ(ring.size(), 3u);  // (1,0), (0,1), (1,1)
+}
+
+TEST(RingTest, RingNodesAreSafeAndAdjacent) {
+  Rng rng(19);
+  const Mesh2D mesh = Mesh2D::square(20);
+  const FaultSet faults = injectUniform(mesh, 50, rng);
+  const auto labels = computeLabels(mesh, faults);
+  const auto ext = extractMccs(mesh, labels);
+  for (const Mcc& mcc : ext.mccs) {
+    for (Point p : ringNodes(mesh, labels, mcc)) {
+      EXPECT_TRUE(labels.isSafe(p));
+      bool adjacent = false;
+      for (Coord dy = -1; dy <= 1; ++dy) {
+        for (Coord dx = -1; dx <= 1; ++dx) {
+          const Point q{p.x + dx, p.y + dy};
+          if (mesh.contains(q) && ext.mccIndex[q] == mcc.id) adjacent = true;
+        }
+      }
+      EXPECT_TRUE(adjacent) << p.str();
+    }
+  }
+}
+
+TEST(LoopErasureTest, RemovesSimpleBacktrack) {
+  const std::vector<Point> path{{0, 0}, {1, 0}, {2, 0}, {1, 0}, {1, 1}};
+  const auto erased = loopErased(path);
+  EXPECT_EQ(erased,
+            (std::vector<Point>{{0, 0}, {1, 0}, {1, 1}}));
+}
+
+TEST(LoopErasureTest, KeepsSimplePathsIntact) {
+  const std::vector<Point> path{{0, 0}, {1, 0}, {1, 1}, {2, 1}};
+  EXPECT_EQ(loopErased(path), path);
+}
+
+TEST(LoopErasureTest, HandlesNestedLoops) {
+  const std::vector<Point> path{{0, 0}, {0, 1}, {1, 1}, {1, 0}, {0, 0},
+                                {0, 1}, {0, 2}};
+  const auto erased = loopErased(path);
+  EXPECT_EQ(erased, (std::vector<Point>{{0, 0}, {0, 1}, {0, 2}}));
+}
+
+}  // namespace
+}  // namespace meshrt
