@@ -5,87 +5,39 @@
 // buys. Complements Figure 5(d)/(e), which cover the paper's subset.
 #include <iostream>
 
-#include "common/cli.h"
-#include "common/rng.h"
-#include "common/stats.h"
-#include "common/table.h"
-#include "fault/analysis.h"
-#include "fault/injectors.h"
-#include "route/bfs.h"
-#include "route/ecube.h"
-#include "route/rb1.h"
-#include "route/rb2.h"
-#include "route/rb3.h"
-#include "route/safety_vector.h"
-#include "route/validate.h"
+#include "harness/bench_main.h"
+#include "harness/experiments.h"
 
 int main(int argc, char** argv) {
   using namespace meshrt;
   CliFlags flags;
-  flags.define("size", "100", "mesh side length");
+  defineSweepFlags(flags, "ecube,safety,rb1,rb3,rb2");
   flags.define("trials", "4", "fault configurations per level");
   flags.define("pairs", "15", "routed pairs per configuration");
-  flags.define("seed", "2007", "master random seed");
-  flags.define("csv", "", "also write the table to this CSV file");
+  flags.define("fault-levels", "500,1000,1500,2000,2500",
+               "comma-separated fault counts");
   if (!flags.parse(argc, argv)) return 1;
+  const SweepConfig cfg = sweepFromFlags(flags);
+  const auto routers = routersFromFlags(flags);
 
-  const Mesh2D mesh = Mesh2D::square(static_cast<Coord>(
-      flags.integer("size")));
-  const auto trials = static_cast<std::size_t>(flags.integer("trials"));
-  const auto pairsWanted = static_cast<std::size_t>(flags.integer("pairs"));
-
-  std::cout << "Shortest-path success by information model (five routers, "
-            << mesh.width() << "x" << mesh.height() << " mesh)\n\n";
-
-  Table table({"faults", "E-cube", "SafetyVec", "RB1", "RB3", "RB2"});
-  for (std::size_t faultsCount : {500u, 1000u, 1500u, 2000u, 2500u}) {
-    std::array<RatioCounter, 5> success;
-    for (std::size_t t = 0; t < trials; ++t) {
-      Rng rng = Rng::forStream(
-          static_cast<std::uint64_t>(flags.integer("seed")),
-          faultsCount * 1000 + t);
-      const FaultSet faults = injectUniform(mesh, faultsCount, rng);
-      const FaultAnalysis fa(faults);
-      EcubeRouter ecube(faults);
-      SafetyVectorRouter sv(faults);
-      Rb1Router rb1(fa);
-      Rb3Router rb3(fa);
-      Rb2Router rb2(fa);
-      const std::array<Router*, 5> routers{&ecube, &sv, &rb1, &rb3, &rb2};
-
-      std::size_t sampled = 0;
-      std::size_t guard = 0;
-      while (sampled < pairsWanted && guard++ < pairsWanted * 60) {
-        const Point s{static_cast<Coord>(rng.below(
-                          static_cast<std::uint64_t>(mesh.width()))),
-                      static_cast<Coord>(rng.below(
-                          static_cast<std::uint64_t>(mesh.height())))};
-        const Point d{static_cast<Coord>(rng.below(
-                          static_cast<std::uint64_t>(mesh.width()))),
-                      static_cast<Coord>(rng.below(
-                          static_cast<std::uint64_t>(mesh.height())))};
-        if (s == d || faults.isFaulty(s) || faults.isFaulty(d)) continue;
-        const auto& qa = fa.forPair(s, d);
-        const Point sL = qa.frame().toLocal(s);
-        const Point dL = qa.frame().toLocal(d);
-        if (!qa.labels().isSafe(sL) || !qa.labels().isSafe(dL)) continue;
-        const auto dist = safeDistances(qa.localMesh(), qa.labels(), sL);
-        if (dist[dL] == kUnreachable || dist[dL] == 0) continue;
-        ++sampled;
-        for (std::size_t r = 0; r < routers.size(); ++r) {
-          const auto res = routers[r]->route(s, d);
-          success[r].add(res.delivered &&
-                         isValidPath(faults, s, d, res.path) &&
-                         res.hops() == dist[dL]);
-        }
-      }
-    }
-    Table& row = table.row();
-    row.cell(static_cast<std::int64_t>(faultsCount));
-    for (const auto& counter : success) row.cell(counter.percent());
+  if (wantsBanner(flags)) {
+    std::cout << "Shortest-path success by information model ("
+              << routers.size() << " routers, " << cfg.meshSize << "x"
+              << cfg.meshSize << " mesh)\n\n";
   }
-  table.print(std::cout);
-  const std::string csv = flags.str("csv");
-  if (!csv.empty()) table.writeCsvFile(csv);
+
+  const auto rows = SweepEngine(cfg).run(RoutingExperiment(routers));
+
+  std::vector<std::string> header{"faults"};
+  for (const auto& key : routers) header.push_back(routerDisplay(key));
+  Table table(header);
+  for (const auto& row : rows) {
+    Table& r = table.row();
+    r.cell(static_cast<std::int64_t>(row.faults));
+    for (const auto& key : routers) {
+      cellRatio(r, row.metrics.ratio(metric::success(key)));
+    }
+  }
+  emitResult(table, flags);
   return 0;
 }

@@ -6,88 +6,40 @@
 // often — i.e., where Theorem 1's premise stops holding operationally.
 #include <iostream>
 
-#include "common/cli.h"
-#include "common/rng.h"
-#include "common/stats.h"
-#include "common/table.h"
-#include "fault/analysis.h"
-#include "fault/injectors.h"
-#include "route/bfs.h"
-#include "route/rb2.h"
-#include "route/validate.h"
+#include "harness/bench_main.h"
+#include "harness/experiments.h"
 
 int main(int argc, char** argv) {
   using namespace meshrt;
   CliFlags flags;
-  flags.define("size", "100", "mesh side length");
+  defineSweepFlags(flags, "rb2-literal,rb2");
   flags.define("trials", "4", "fault configurations per level");
   flags.define("pairs", "15", "routed pairs per configuration");
-  flags.define("seed", "2007", "master random seed");
-  flags.define("csv", "", "also write the table to this CSV file");
+  flags.define("fault-levels", "500,1000,1500,2000,2500,3000",
+               "comma-separated fault counts");
   if (!flags.parse(argc, argv)) return 1;
+  const SweepConfig cfg = sweepFromFlags(flags);
+  const auto routers = routersFromFlags(flags);
 
-  const Mesh2D mesh = Mesh2D::square(static_cast<Coord>(
-      flags.integer("size")));
-  const auto trials = static_cast<std::size_t>(flags.integer("trials"));
-  const auto pairsWanted = static_cast<std::size_t>(flags.integer("pairs"));
-
-  std::cout << "RB2 shortest-path success: literal Eq.2-3 recursion vs "
-               "verified (exact-field fallback)\n\n";
-
-  Table table({"faults", "literal", "verified", "literal rel-err"});
-  for (std::size_t faultsCount : {500u, 1000u, 1500u, 2000u, 2500u, 3000u}) {
-    RatioCounter literal;
-    RatioCounter verified;
-    Accumulator literalErr;
-    for (std::size_t t = 0; t < trials; ++t) {
-      Rng rng = Rng::forStream(
-          static_cast<std::uint64_t>(flags.integer("seed")),
-          faultsCount * 1000 + t);
-      const FaultSet faults = injectUniform(mesh, faultsCount, rng);
-      const FaultAnalysis fa(faults);
-      Rb2Router literalRouter(fa, PathOrder::Balanced,
-                              /*exactFallback=*/false);
-      Rb2Router verifiedRouter(fa, PathOrder::Balanced,
-                               /*exactFallback=*/true);
-
-      std::size_t sampled = 0;
-      std::size_t guard = 0;
-      while (sampled < pairsWanted && guard++ < pairsWanted * 60) {
-        const Point s{static_cast<Coord>(rng.below(
-                          static_cast<std::uint64_t>(mesh.width()))),
-                      static_cast<Coord>(rng.below(
-                          static_cast<std::uint64_t>(mesh.height())))};
-        const Point d{static_cast<Coord>(rng.below(
-                          static_cast<std::uint64_t>(mesh.width()))),
-                      static_cast<Coord>(rng.below(
-                          static_cast<std::uint64_t>(mesh.height())))};
-        if (s == d || faults.isFaulty(s) || faults.isFaulty(d)) continue;
-        const auto& qa = fa.forPair(s, d);
-        const Point sL = qa.frame().toLocal(s);
-        const Point dL = qa.frame().toLocal(d);
-        if (!qa.labels().isSafe(sL) || !qa.labels().isSafe(dL)) continue;
-        const auto dist = safeDistances(qa.localMesh(), qa.labels(), sL);
-        if (dist[dL] == kUnreachable || dist[dL] == 0) continue;
-        ++sampled;
-
-        const auto rl = literalRouter.route(s, d);
-        literal.add(rl.delivered && rl.hops() == dist[dL]);
-        if (rl.delivered) {
-          literalErr.add(static_cast<double>(rl.hops() - dist[dL]) /
-                         static_cast<double>(dist[dL]));
-        }
-        const auto rv = verifiedRouter.route(s, d);
-        verified.add(rv.delivered && rv.hops() == dist[dL]);
-      }
-    }
-    table.row()
-        .cell(static_cast<std::int64_t>(faultsCount))
-        .cell(literal.percent())
-        .cell(verified.percent())
-        .cell(literalErr.mean(), 4);
+  if (wantsBanner(flags)) {
+    std::cout << "RB2 shortest-path success: literal Eq.2-3 recursion vs "
+                 "verified (exact-field fallback)\n\n";
   }
-  table.print(std::cout);
-  const std::string csv = flags.str("csv");
-  if (!csv.empty()) table.writeCsvFile(csv);
+
+  const auto rows = SweepEngine(cfg).run(RoutingExperiment(routers));
+
+  std::vector<std::string> header{"faults"};
+  for (const auto& key : routers) header.push_back(routerDisplay(key));
+  header.push_back(routerDisplay(routers.front()) + " rel-err");
+  Table table(header);
+  for (const auto& row : rows) {
+    Table& r = table.row();
+    r.cell(static_cast<std::int64_t>(row.faults));
+    for (const auto& key : routers) {
+      cellRatio(r, row.metrics.ratio(metric::success(key)));
+    }
+    cellMean(r, row.metrics.acc(metric::relativeError(routers.front())), 4);
+  }
+  emitResult(table, flags);
   return 0;
 }

@@ -4,66 +4,66 @@
 // by each model, for uniform, clustered and rectangular fault patterns.
 #include <iostream>
 
-#include "common/cli.h"
-#include "common/rng.h"
-#include "common/stats.h"
-#include "common/table.h"
 #include "fault/analysis.h"
 #include "fault/injectors.h"
 #include "fault/rect_blocks.h"
+#include "harness/bench_main.h"
+#include "harness/sweep_engine.h"
 
 int main(int argc, char** argv) {
   using namespace meshrt;
   CliFlags flags;
-  flags.define("size", "100", "mesh side length");
+  defineSweepFlags(flags);
   flags.define("trials", "10", "fault configurations per cell");
-  flags.define("seed", "2007", "master random seed");
-  flags.define("csv", "", "also write the table to this CSV file");
+  flags.define("fault-levels", "250,500,1000,2000",
+               "comma-separated fault counts");
   if (!flags.parse(argc, argv)) return 1;
+  const SweepConfig cfg = sweepFromFlags(flags);
 
-  const Mesh2D mesh = Mesh2D::square(static_cast<Coord>(
-      flags.integer("size")));
-  const auto trials = static_cast<std::size_t>(flags.integer("trials"));
-
-  std::cout << "Healthy nodes disabled by the fault model (avg %, "
-            << mesh.width() << "x" << mesh.height() << " mesh, " << trials
-            << " trials)\nMCC = minimal connected components (NE frame); "
-               "Rect = merged bounding rectangles\n\n";
+  if (wantsBanner(flags)) {
+    std::cout << "Healthy nodes disabled by the fault model (avg %, "
+              << cfg.meshSize << "x" << cfg.meshSize << " mesh, "
+              << cfg.configsPerLevel
+              << " trials)\nMCC = minimal connected components (NE frame); "
+                 "Rect = merged bounding rectangles\n\n";
+  }
 
   Table table({"pattern", "faults", "MCC%", "Rect%", "Rect/MCC"});
   const char* names[] = {"uniform", "clustered", "rectangles"};
   for (int pattern = 0; pattern < 3; ++pattern) {
-    for (std::size_t count : {250u, 500u, 1000u, 2000u}) {
-      Accumulator mccPct;
-      Accumulator rectPct;
-      for (std::size_t t = 0; t < trials; ++t) {
-        Rng rng = Rng::forStream(
-            static_cast<std::uint64_t>(flags.integer("seed")),
-            static_cast<std::uint64_t>(pattern) * 1000000 + count * 100 + t);
-        FaultSet faults =
-            pattern == 0   ? injectUniform(mesh, count, rng)
-            : pattern == 1 ? injectClustered(mesh, count, 8, rng)
-                           : injectRectangles(mesh, count, 5, rng);
-        const QuadrantAnalysis qa(faults, Quadrant::NE);
-        const RectBlockModel rect(faults);
-        const double healthyDisabledMcc =
-            static_cast<double>(qa.unsafeCount() - faults.count());
-        const double healthyDisabledRect =
-            static_cast<double>(rect.disabledCount() - faults.count());
-        const auto total = static_cast<double>(mesh.nodeCount());
-        mccPct.add(100.0 * healthyDisabledMcc / total);
-        rectPct.add(100.0 * healthyDisabledRect / total);
-      }
+    const auto cell = [pattern](const SweepCellContext& ctx, Rng& rng,
+                                MetricSet& out) {
+      const FaultSet faults =
+          pattern == 0   ? injectUniform(ctx.mesh, ctx.faults, rng)
+          : pattern == 1 ? injectClustered(ctx.mesh, ctx.faults, 8, rng)
+                         : injectRectangles(ctx.mesh, ctx.faults, 5, rng);
+      const QuadrantAnalysis qa(faults, Quadrant::NE);
+      const RectBlockModel rect(faults);
+      const auto total = static_cast<double>(ctx.mesh.nodeCount());
+      out.acc("mcc_pct").add(
+          100.0 * static_cast<double>(qa.unsafeCount() - faults.count()) /
+          total);
+      out.acc("rect_pct").add(
+          100.0 * static_cast<double>(rect.disabledCount() - faults.count()) /
+          total);
+    };
+
+    // Same engine, one run per injector pattern; the pattern index salts
+    // the seed so patterns draw independent configurations.
+    SweepConfig patternCfg = cfg;
+    patternCfg.seed += static_cast<std::uint64_t>(pattern) * 1000003;
+    const auto rows = SweepEngine(patternCfg).run(cell);
+    for (const auto& row : rows) {
+      const double mcc = row.metrics.acc("mcc_pct").mean();
+      const double rectPct = row.metrics.acc("rect_pct").mean();
       table.row()
           .cell(names[pattern])
-          .cell(static_cast<std::int64_t>(count))
-          .cell(mccPct.mean())
-          .cell(rectPct.mean())
-          .cell(mccPct.mean() > 0 ? rectPct.mean() / mccPct.mean() : 0.0, 1);
+          .cell(static_cast<std::int64_t>(row.faults))
+          .cell(mcc)
+          .cell(rectPct)
+          .cell(mcc > 0 ? rectPct / mcc : 0.0, 1);
     }
   }
-  table.print(std::cout);
-  const std::string csv = flags.str("csv");
-  if (!csv.empty()) table.writeCsvFile(csv);
+  emitResult(table, flags);
   return 0;
 }

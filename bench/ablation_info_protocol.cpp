@@ -3,70 +3,66 @@
 // network-wide union footprint (complementing Figure 5(c)'s per-MCC view).
 #include <iostream>
 
-#include "common/cli.h"
-#include "common/rng.h"
-#include "common/stats.h"
-#include "common/table.h"
 #include "fault/analysis.h"
 #include "fault/injectors.h"
+#include "harness/bench_main.h"
+#include "harness/sweep_engine.h"
+#include "info/knowledge.h"
 #include "sim/labeling_protocol.h"
 #include "sim/propagation_protocol.h"
 
 int main(int argc, char** argv) {
   using namespace meshrt;
   CliFlags flags;
-  flags.define("size", "100", "mesh side length");
+  defineSweepFlags(flags);
   flags.define("trials", "5", "fault configurations per level");
-  flags.define("seed", "2007", "master random seed");
-  flags.define("csv", "", "also write the table to this CSV file");
+  flags.define("fault-levels", "250,500,1000,2000,3000",
+               "comma-separated fault counts");
   if (!flags.parse(argc, argv)) return 1;
+  const SweepConfig cfg = sweepFromFlags(flags);
 
-  const Mesh2D mesh = Mesh2D::square(static_cast<Coord>(
-      flags.integer("size")));
-  const auto trials = static_cast<std::size_t>(flags.integer("trials"));
+  if (wantsBanner(flags)) {
+    std::cout << "Distributed protocol cost on the message-passing substrate "
+              << "(" << cfg.meshSize << "x" << cfg.meshSize
+              << " mesh, avg of " << cfg.configsPerLevel
+              << " configs)\nmsg = messages delivered, "
+              << "inv% = union of involved nodes / safe nodes\n\n";
+  }
 
-  std::cout << "Distributed protocol cost on the message-passing substrate "
-            << "(" << mesh.width() << "x" << mesh.height() << " mesh, avg of "
-            << trials << " configs)\nmsg = messages delivered, "
-            << "inv% = union of involved nodes / safe nodes\n\n";
+  const auto cell = [](const SweepCellContext& ctx, Rng& rng,
+                       MetricSet& out) {
+    const FaultSet faults = injectUniform(ctx.mesh, ctx.faults, rng);
+    out.acc("label_msg")
+        .add(static_cast<double>(
+            runDistributedLabeling(ctx.mesh, faults).messages));
+    const QuadrantAnalysis qa(faults, Quadrant::NE);
+    const double safe = static_cast<double>(ctx.mesh.nodeCount()) -
+                        static_cast<double>(qa.unsafeCount());
+    for (int m = 0; m < 3; ++m) {
+      const auto model = static_cast<InfoModel>(m);
+      const auto res = runInfoPropagation(qa, model);
+      const std::string name(infoModelName(model));
+      out.acc("msg:" + name).add(static_cast<double>(res.messages));
+      out.acc("inv:" + name)
+          .add(safe > 0
+                   ? 100.0 * static_cast<double>(res.involvedNodes) / safe
+                   : 0.0);
+    }
+  };
 
+  const auto rows = SweepEngine(cfg).run(cell);
   Table table({"faults", "label msg", "B1 msg", "B1 inv%", "B2 msg",
                "B2 inv%", "B3 msg", "B3 inv%"});
-  for (std::size_t faultsCount : {250u, 500u, 1000u, 2000u, 3000u}) {
-    Accumulator labelMsg;
-    std::array<Accumulator, 3> msg;
-    std::array<Accumulator, 3> inv;
-    for (std::size_t t = 0; t < trials; ++t) {
-      Rng rng = Rng::forStream(
-          static_cast<std::uint64_t>(flags.integer("seed")),
-          faultsCount * 1000 + t);
-      const FaultSet faults = injectUniform(mesh, faultsCount, rng);
-      labelMsg.add(static_cast<double>(
-          runDistributedLabeling(mesh, faults).messages));
-      const QuadrantAnalysis qa(faults, Quadrant::NE);
-      const double safe = static_cast<double>(mesh.nodeCount()) -
-                          static_cast<double>(qa.unsafeCount());
-      for (int m = 0; m < 3; ++m) {
-        const auto res = runInfoPropagation(qa, static_cast<InfoModel>(m));
-        msg[static_cast<std::size_t>(m)].add(
-            static_cast<double>(res.messages));
-        inv[static_cast<std::size_t>(m)].add(
-            safe > 0 ? 100.0 * static_cast<double>(res.involvedNodes) / safe
-                     : 0.0);
-      }
+  for (const auto& row : rows) {
+    Table& r = table.row();
+    r.cell(static_cast<std::int64_t>(row.faults));
+    r.cell(row.metrics.acc("label_msg").mean(), 0);
+    for (int m = 0; m < 3; ++m) {
+      const std::string name(infoModelName(static_cast<InfoModel>(m)));
+      r.cell(row.metrics.acc("msg:" + name).mean(), 0);
+      r.cell(row.metrics.acc("inv:" + name).mean());
     }
-    table.row()
-        .cell(static_cast<std::int64_t>(faultsCount))
-        .cell(labelMsg.mean(), 0)
-        .cell(msg[0].mean(), 0)
-        .cell(inv[0].mean())
-        .cell(msg[1].mean(), 0)
-        .cell(inv[1].mean())
-        .cell(msg[2].mean(), 0)
-        .cell(inv[2].mean());
   }
-  table.print(std::cout);
-  const std::string csv = flags.str("csv");
-  if (!csv.empty()) table.writeCsvFile(csv);
+  emitResult(table, flags);
   return 0;
 }

@@ -3,83 +3,38 @@
 // and full information (= RB2) — and reports shortest-path success.
 #include <iostream>
 
-#include "common/cli.h"
-#include "common/rng.h"
-#include "common/stats.h"
-#include "common/table.h"
-#include "fault/analysis.h"
-#include "fault/injectors.h"
-#include "route/bfs.h"
-#include "route/rb3.h"
-#include "route/validate.h"
+#include "harness/bench_main.h"
+#include "harness/experiments.h"
 
 int main(int argc, char** argv) {
   using namespace meshrt;
   CliFlags flags;
-  flags.define("size", "100", "mesh side length");
+  defineSweepFlags(flags, "rb3-contact,rb3,rb3-full");
   flags.define("trials", "4", "fault configurations per level");
   flags.define("pairs", "15", "routed pairs per configuration");
-  flags.define("seed", "2007", "master random seed");
-  flags.define("csv", "", "also write the table to this CSV file");
+  flags.define("fault-levels", "500,1500,2500",
+               "comma-separated fault counts");
   if (!flags.parse(argc, argv)) return 1;
+  const SweepConfig cfg = sweepFromFlags(flags);
+  const auto routers = routersFromFlags(flags);
 
-  const Mesh2D mesh = Mesh2D::square(static_cast<Coord>(
-      flags.integer("size")));
-  const auto trials = static_cast<std::size_t>(flags.integer("trials"));
-  const auto pairsWanted = static_cast<std::size_t>(flags.integer("pairs"));
-
-  std::cout << "RB3 shortest-path success by knowledge level ("
-            << mesh.width() << "x" << mesh.height() << " mesh)\n\n";
-
-  Table table({"faults", "sensing-only", "boundary (B3)", "full (=RB2)"});
-  for (std::size_t faultsCount : {500u, 1500u, 2500u}) {
-    std::array<RatioCounter, 3> success;
-    for (std::size_t t = 0; t < trials; ++t) {
-      Rng rng = Rng::forStream(
-          static_cast<std::uint64_t>(flags.integer("seed")),
-          faultsCount * 1000 + t);
-      const FaultSet faults = injectUniform(mesh, faultsCount, rng);
-      const FaultAnalysis fa(faults);
-      Rb3Router contact(fa, PathOrder::Balanced, Rb3Knowledge::ContactOnly);
-      Rb3Router boundary(fa, PathOrder::Balanced, Rb3Knowledge::Boundary);
-      Rb3Router full(fa, PathOrder::Balanced, Rb3Knowledge::Full);
-      const std::array<Router*, 3> routers{&contact, &boundary, &full};
-
-      std::size_t sampled = 0;
-      std::size_t guard = 0;
-      while (sampled < pairsWanted && guard++ < pairsWanted * 60) {
-        const Point s{static_cast<Coord>(rng.below(
-                          static_cast<std::uint64_t>(mesh.width()))),
-                      static_cast<Coord>(rng.below(
-                          static_cast<std::uint64_t>(mesh.height())))};
-        const Point d{static_cast<Coord>(rng.below(
-                          static_cast<std::uint64_t>(mesh.width()))),
-                      static_cast<Coord>(rng.below(
-                          static_cast<std::uint64_t>(mesh.height())))};
-        if (s == d || faults.isFaulty(s) || faults.isFaulty(d)) continue;
-        const auto& qa = fa.forPair(s, d);
-        const Point sL = qa.frame().toLocal(s);
-        const Point dL = qa.frame().toLocal(d);
-        if (!qa.labels().isSafe(sL) || !qa.labels().isSafe(dL)) continue;
-        const auto dist = safeDistances(qa.localMesh(), qa.labels(), sL);
-        if (dist[dL] == kUnreachable || dist[dL] == 0) continue;
-        ++sampled;
-        for (std::size_t r = 0; r < routers.size(); ++r) {
-          const auto res = routers[r]->route(s, d);
-          success[r].add(res.delivered &&
-                         isValidPath(faults, s, d, res.path) &&
-                         res.hops() == dist[dL]);
-        }
-      }
-    }
-    table.row()
-        .cell(static_cast<std::int64_t>(faultsCount))
-        .cell(success[0].percent())
-        .cell(success[1].percent())
-        .cell(success[2].percent());
+  if (wantsBanner(flags)) {
+    std::cout << "RB3 shortest-path success by knowledge level ("
+              << cfg.meshSize << "x" << cfg.meshSize << " mesh)\n\n";
   }
-  table.print(std::cout);
-  const std::string csv = flags.str("csv");
-  if (!csv.empty()) table.writeCsvFile(csv);
+
+  const auto rows = SweepEngine(cfg).run(RoutingExperiment(routers));
+
+  std::vector<std::string> header{"faults"};
+  for (const auto& key : routers) header.push_back(routerDisplay(key));
+  Table table(header);
+  for (const auto& row : rows) {
+    Table& r = table.row();
+    r.cell(static_cast<std::int64_t>(row.faults));
+    for (const auto& key : routers) {
+      cellRatio(r, row.metrics.ratio(metric::success(key)));
+    }
+  }
+  emitResult(table, flags);
   return 0;
 }

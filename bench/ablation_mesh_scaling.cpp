@@ -1,56 +1,73 @@
 // Ablation: does the Figure 5(d) story hold across mesh sizes? Fixes the
 // fault RATE (10% of nodes) and sweeps the mesh side length, reporting
-// shortest-path success for RB1/RB2/RB3 (the paper's future-work question
-// about other topologies, answered for scaled meshes).
+// shortest-path success for the selected routers (the paper's future-work
+// question about other topologies, answered for scaled meshes).
 #include <iostream>
 
-#include "common/cli.h"
-#include "common/table.h"
-#include "harness/routing_sweep.h"
+#include "harness/bench_main.h"
+#include "harness/experiments.h"
 
 int main(int argc, char** argv) {
   using namespace meshrt;
+  // Own flag set, not defineSweepFlags(): this bench derives mesh size and
+  // fault count from --sizes/--rate, so the sweep's --mesh/--fault-* flags
+  // would be silently ignored — advertise only what is honored.
   CliFlags flags;
+  flags.define("sizes", "20,40,60,80,100", "comma-separated mesh sides");
+  flags.define("rate", "0.10", "fault fraction of nodes");
   flags.define("trials", "10", "fault configurations per size");
   flags.define("pairs", "20", "routed pairs per configuration");
-  flags.define("rate", "0.10", "fault fraction of nodes");
   flags.define("seed", "2007", "master random seed");
-  flags.define("csv", "", "also write the table to this CSV file");
+  flags.define("threads", "0", "worker threads (0 = all cores)");
+  flags.define("routers", "rb1,rb2,rb3,ecube",
+               "comma-separated router registry keys");
+  flags.define("format", "table", "output format: table, csv or json");
+  flags.define("out", "",
+               "also write the result to this file (.csv/.json pick the "
+               "format by extension)");
   if (!flags.parse(argc, argv)) return 1;
-
   const double rate = flags.real("rate");
-  std::cout << "Shortest-path success vs mesh size at "
-            << 100 * rate << "% faults (" << flags.integer("trials")
-            << " configs x " << flags.integer("pairs") << " pairs)\n\n";
+  const auto routers = routersFromFlags(flags);
 
-  Table table({"size", "faults", "RB1", "RB2", "RB3", "E-cube err"});
-  for (Coord size : {20, 40, 60, 80, 100}) {
+  if (wantsBanner(flags)) {
+    std::cout << "Shortest-path success vs mesh size at " << 100 * rate
+              << "% faults (" << flags.integer("trials") << " configs x "
+              << flags.integer("pairs") << " pairs)\n\n";
+  }
+
+  std::vector<std::string> header{"size", "faults"};
+  for (const auto& key : routers) header.push_back(routerDisplay(key));
+  header.push_back(routerDisplay(routers.back()) + " err");
+  Table table(header);
+
+  const RoutingExperiment experiment(routers);
+  for (const std::string& sizeStr : splitCommaList(flags.str("sizes"))) {
+    const auto size = static_cast<Coord>(parseCount(sizeStr, "sizes"));
+    if (size == 0) {
+      std::cerr << "--sizes: mesh side must be positive\n";
+      return 1;
+    }
     SweepConfig cfg;
     cfg.meshSize = size;
     cfg.configsPerLevel = static_cast<std::size_t>(flags.integer("trials"));
     cfg.pairsPerConfig = static_cast<std::size_t>(flags.integer("pairs"));
+    cfg.threads = static_cast<std::size_t>(flags.integer("threads"));
     cfg.seed = static_cast<std::uint64_t>(flags.integer("seed")) +
                static_cast<std::uint64_t>(size);
     const auto faults = static_cast<std::size_t>(
         rate * static_cast<double>(size) * static_cast<double>(size));
     cfg.faultLevels = {faults};
-    const auto rows = runRoutingSweep(cfg);
+
+    const auto rows = SweepEngine(cfg).run(experiment);
     const auto& row = rows.front();
-    table.row()
-        .cell(static_cast<std::int64_t>(size))
-        .cell(static_cast<std::int64_t>(faults))
-        .cell(row.success[static_cast<std::size_t>(RouterKind::Rb1)]
-                  .percent())
-        .cell(row.success[static_cast<std::size_t>(RouterKind::Rb2)]
-                  .percent())
-        .cell(row.success[static_cast<std::size_t>(RouterKind::Rb3)]
-                  .percent())
-        .cell(row.relativeError[static_cast<std::size_t>(RouterKind::Ecube)]
-                  .mean(),
-              4);
+    Table& r = table.row();
+    r.cell(static_cast<std::int64_t>(size));
+    r.cell(static_cast<std::int64_t>(faults));
+    for (const auto& key : routers) {
+      cellRatio(r, row.metrics.ratio(metric::success(key)));
+    }
+    cellMean(r, row.metrics.acc(metric::relativeError(routers.back())), 4);
   }
-  table.print(std::cout);
-  const std::string csv = flags.str("csv");
-  if (!csv.empty()) table.writeCsvFile(csv);
+  emitResult(table, flags);
   return 0;
 }

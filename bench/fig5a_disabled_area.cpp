@@ -3,7 +3,7 @@
 #include <iostream>
 
 #include "harness/bench_main.h"
-#include "harness/fault_sweep.h"
+#include "harness/experiments.h"
 
 int main(int argc, char** argv) {
   using namespace meshrt;
@@ -12,18 +12,21 @@ int main(int argc, char** argv) {
   if (!flags.parse(argc, argv)) return 1;
   const SweepConfig cfg = sweepFromFlags(flags);
 
-  std::cout << "Figure 5(a): disabled area (% of mesh), " << cfg.meshSize
-            << "x" << cfg.meshSize << " mesh, " << cfg.configsPerLevel
-            << " configs/level, seed " << cfg.seed << "\n\n";
+  if (wantsBanner(flags)) {
+    std::cout << "Figure 5(a): disabled area (% of mesh), " << cfg.meshSize
+              << "x" << cfg.meshSize << " mesh, " << cfg.configsPerLevel
+              << " configs/level, seed " << cfg.seed << "\n\n";
+  }
 
-  const auto rows = runFaultSweep(cfg);
+  const auto rows = SweepEngine(cfg).run(faultMetricsCell);
   Table table({"faults", "MAX", "AVG"});
   for (const auto& row : rows) {
+    const Accumulator& pct = row.metrics.acc(metric::kDisabledPct);
     table.row()
         .cell(static_cast<std::int64_t>(row.faults))
-        .cell(row.disabledPct.max())
-        .cell(row.disabledPct.mean());
+        .cell(pct.max())
+        .cell(pct.mean());
   }
-  emitTable(table, flags);
+  emitResult(table, flags);
   return 0;
 }

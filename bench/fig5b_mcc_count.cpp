@@ -3,7 +3,7 @@
 #include <iostream>
 
 #include "harness/bench_main.h"
-#include "harness/fault_sweep.h"
+#include "harness/experiments.h"
 
 int main(int argc, char** argv) {
   using namespace meshrt;
@@ -12,18 +12,21 @@ int main(int argc, char** argv) {
   if (!flags.parse(argc, argv)) return 1;
   const SweepConfig cfg = sweepFromFlags(flags);
 
-  std::cout << "Figure 5(b): number of MCCs, " << cfg.meshSize << "x"
-            << cfg.meshSize << " mesh, " << cfg.configsPerLevel
-            << " configs/level, seed " << cfg.seed << "\n\n";
+  if (wantsBanner(flags)) {
+    std::cout << "Figure 5(b): number of MCCs, " << cfg.meshSize << "x"
+              << cfg.meshSize << " mesh, " << cfg.configsPerLevel
+              << " configs/level, seed " << cfg.seed << "\n\n";
+  }
 
-  const auto rows = runFaultSweep(cfg);
+  const auto rows = SweepEngine(cfg).run(faultMetricsCell);
   Table table({"faults", "MAX", "AVG"});
   for (const auto& row : rows) {
+    const Accumulator& mccs = row.metrics.acc(metric::kMccCount);
     table.row()
         .cell(static_cast<std::int64_t>(row.faults))
-        .cell(row.mccCount.max(), 1)
-        .cell(row.mccCount.mean(), 1);
+        .cell(mccs.max(), 1)
+        .cell(mccs.mean(), 1);
   }
-  emitTable(table, flags);
+  emitResult(table, flags);
   return 0;
 }

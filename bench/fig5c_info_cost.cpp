@@ -4,7 +4,8 @@
 #include <iostream>
 
 #include "harness/bench_main.h"
-#include "harness/info_sweep.h"
+#include "harness/experiments.h"
+#include "info/knowledge.h"
 
 int main(int argc, char** argv) {
   using namespace meshrt;
@@ -13,23 +14,27 @@ int main(int argc, char** argv) {
   if (!flags.parse(argc, argv)) return 1;
   const SweepConfig cfg = sweepFromFlags(flags);
 
-  std::cout << "Figure 5(c): % of safe nodes involved in information "
-               "propagation, "
-            << cfg.meshSize << "x" << cfg.meshSize << " mesh, "
-            << cfg.configsPerLevel << " configs/level, seed " << cfg.seed
-            << "\n\n";
+  if (wantsBanner(flags)) {
+    std::cout << "Figure 5(c): % of safe nodes involved in information "
+                 "propagation, "
+              << cfg.meshSize << "x" << cfg.meshSize << " mesh, "
+              << cfg.configsPerLevel << " configs/level, seed " << cfg.seed
+              << "\n\n";
+  }
 
-  const auto rows = runInfoSweep(cfg);
+  const auto rows = SweepEngine(cfg).run(infoMetricsCell);
   Table table({"faults", "Max(B1)", "Avg(B1)", "Max(B2)", "Avg(B2)",
                "Max(B3)", "Avg(B3)"});
   for (const auto& row : rows) {
     Table& r = table.row();
     r.cell(static_cast<std::int64_t>(row.faults));
-    for (std::size_t m = 0; m < 3; ++m) {
-      r.cell(row.involvedPct[m].max());
-      r.cell(row.involvedPct[m].mean());
+    for (int m = 0; m < 3; ++m) {
+      const Accumulator& col = row.metrics.acc(
+          metric::involved(infoModelName(static_cast<InfoModel>(m))));
+      r.cell(col.max());
+      r.cell(col.mean());
     }
   }
-  emitTable(table, flags);
+  emitResult(table, flags);
   return 0;
 }

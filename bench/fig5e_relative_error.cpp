@@ -1,45 +1,42 @@
 // Figure 5(e): relative error of the delivered routing path length to the
-// shortest path, for E-cube, RB1, RB2 and RB3.
+// shortest path — by default E-cube, RB1, RB2 and RB3 as in the paper; any
+// registry-named line-up via --routers.
 #include <iostream>
 
 #include "harness/bench_main.h"
-#include "harness/routing_sweep.h"
+#include "harness/experiments.h"
 
 int main(int argc, char** argv) {
   using namespace meshrt;
   CliFlags flags;
-  defineSweepFlags(flags);
+  defineSweepFlags(flags, "ecube,rb1,rb2,rb3");
   if (!flags.parse(argc, argv)) return 1;
   const SweepConfig cfg = sweepFromFlags(flags);
+  const auto routers = routersFromFlags(flags);
 
-  std::cout << "Figure 5(e): relative error of routing path length vs the "
-               "shortest path, "
-            << cfg.meshSize << "x" << cfg.meshSize << " mesh, "
-            << cfg.configsPerLevel << " configs/level, "
-            << cfg.pairsPerConfig << " pairs/config, seed " << cfg.seed
-            << "\n\n";
-
-  const auto rows = runRoutingSweep(cfg);
-  Table table(
-      {"faults", "E-cube", "RB1", "RB2", "RB3", "deliv(E-cube)%"});
-  for (const auto& row : rows) {
-    table.row()
-        .cell(static_cast<std::int64_t>(row.faults))
-        .cell(row.relativeError[static_cast<std::size_t>(RouterKind::Ecube)]
-                  .mean(),
-              4)
-        .cell(row.relativeError[static_cast<std::size_t>(RouterKind::Rb1)]
-                  .mean(),
-              4)
-        .cell(row.relativeError[static_cast<std::size_t>(RouterKind::Rb2)]
-                  .mean(),
-              4)
-        .cell(row.relativeError[static_cast<std::size_t>(RouterKind::Rb3)]
-                  .mean(),
-              4)
-        .cell(row.delivered[static_cast<std::size_t>(RouterKind::Ecube)]
-                  .percent());
+  if (wantsBanner(flags)) {
+    std::cout << "Figure 5(e): relative error of routing path length vs the "
+                 "shortest path, "
+              << cfg.meshSize << "x" << cfg.meshSize << " mesh, "
+              << cfg.configsPerLevel << " configs/level, "
+              << cfg.pairsPerConfig << " pairs/config, seed " << cfg.seed
+              << "\n\n";
   }
-  emitTable(table, flags);
+
+  const auto rows = SweepEngine(cfg).run(RoutingExperiment(routers));
+
+  std::vector<std::string> header{"faults"};
+  for (const auto& key : routers) header.push_back(routerDisplay(key));
+  header.push_back("deliv(" + routerDisplay(routers.front()) + ")%");
+  Table table(header);
+  for (const auto& row : rows) {
+    Table& r = table.row();
+    r.cell(static_cast<std::int64_t>(row.faults));
+    for (const auto& key : routers) {
+      cellMean(r, row.metrics.acc(metric::relativeError(key)), 4);
+    }
+    cellRatio(r, row.metrics.ratio(metric::delivered(routers.front())));
+  }
+  emitResult(table, flags);
   return 0;
 }

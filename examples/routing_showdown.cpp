@@ -1,106 +1,76 @@
 // Routing showdown: one fault configuration, many source/destination
-// pairs, every router — prints the per-router score card the paper's
-// Figure 5(d)/(e) aggregates, plus one rendered example route per router.
+// pairs, every registry router — prints the per-router score card the
+// paper's Figure 5(d)/(e) aggregates, plus one rendered example route.
 //
-//   ./routing_showdown [--size N] [--faults K] [--pairs P] [--seed S]
+//   ./routing_showdown [--mesh N] [--faults K] [--pairs P] [--seed S]
+//                      [--routers ecube,rb2,...] [--format table|csv|json]
 #include <iostream>
 
-#include "common/cli.h"
-#include "common/rng.h"
-#include "common/table.h"
 #include "fault/analysis.h"
 #include "fault/injectors.h"
+#include "harness/bench_main.h"
+#include "harness/experiments.h"
 #include "mesh/ascii_grid.h"
-#include "route/bfs.h"
-#include "route/ecube.h"
-#include "route/optimal.h"
-#include "route/rb1.h"
-#include "route/rb2.h"
-#include "route/rb3.h"
-#include "route/safety_vector.h"
-#include "route/validate.h"
 
 int main(int argc, char** argv) {
   using namespace meshrt;
+  // Deliberately not defineSweepFlags(): this example inspects ONE fault
+  // configuration, so the multi-level sweep flags would be silently
+  // ignored — advertise only what is honored.
   CliFlags flags;
-  flags.define("size", "32", "mesh side length");
+  flags.define("mesh", "32", "mesh side length");
   flags.define("faults", "120", "number of random faults");
   flags.define("pairs", "200", "routed source/destination pairs");
-  flags.define("seed", "2007", "random seed");
+  flags.define("seed", "2007", "master random seed");
+  flags.define("threads", "0", "worker threads (0 = all cores)");
+  flags.define("routers", "ecube,safety,rb1,rb2,rb3",
+               "comma-separated router registry keys");
+  flags.define("format", "table", "output format: table, csv or json");
+  flags.define("out", "",
+               "also write the result to this file (.csv/.json pick the "
+               "format by extension)");
   if (!flags.parse(argc, argv)) return 1;
+  formatFromFlags(flags);  // validate --format before doing any work
 
-  const Mesh2D mesh = Mesh2D::square(static_cast<Coord>(
-      flags.integer("size")));
-  Rng rng(static_cast<std::uint64_t>(flags.integer("seed")));
-  const FaultSet faults = injectUniform(
-      mesh, static_cast<std::size_t>(flags.integer("faults")), rng);
-  const FaultAnalysis fa(faults);
+  SweepConfig cfg;
+  cfg.meshSize = static_cast<Coord>(flags.integer("mesh"));
+  cfg.pairsPerConfig = static_cast<std::size_t>(flags.integer("pairs"));
+  cfg.seed = static_cast<std::uint64_t>(flags.integer("seed"));
+  cfg.threads = static_cast<std::size_t>(flags.integer("threads"));
+  cfg.faultLevels = {static_cast<std::size_t>(flags.integer("faults"))};
+  cfg.configsPerLevel = 1;  // one configuration, inspected in detail
+  const auto routers = routersFromFlags(flags);
 
-  EcubeRouter ecube(faults);
-  SafetyVectorRouter sv(faults);
-  Rb1Router rb1(fa);
-  Rb2Router rb2(fa);
-  Rb3Router rb3(fa);
-  const std::vector<Router*> routers{&ecube, &sv, &rb1, &rb2, &rb3};
+  const auto rows = SweepEngine(cfg).run(RoutingExperiment(routers));
+  const MetricSet& metrics = rows.front().metrics;
+  const auto pairs = metrics.ratio(metric::success(routers.front())).total();
 
-  struct Score {
-    std::size_t delivered = 0;
-    std::size_t shortest = 0;
-    double relErrSum = 0;
-  };
-  std::vector<Score> scores(routers.size());
-  std::size_t cases = 0;
-
-  const auto pairsWanted = static_cast<std::size_t>(flags.integer("pairs"));
-  std::size_t guard = 0;
-  while (cases < pairsWanted && guard++ < pairsWanted * 50) {
-    const Point s{static_cast<Coord>(rng.below(
-                      static_cast<std::uint64_t>(mesh.width()))),
-                  static_cast<Coord>(rng.below(
-                      static_cast<std::uint64_t>(mesh.height())))};
-    const Point d{static_cast<Coord>(rng.below(
-                      static_cast<std::uint64_t>(mesh.width()))),
-                  static_cast<Coord>(rng.below(
-                      static_cast<std::uint64_t>(mesh.height())))};
-    if (s == d || faults.isFaulty(s) || faults.isFaulty(d)) continue;
-    const auto& qa = fa.forPair(s, d);
-    if (!qa.isSafeWorld(s) || !qa.isSafeWorld(d)) continue;
-    const auto safeDist =
-        safeDistances(qa.localMesh(), qa.labels(), qa.frame().toLocal(s));
-    const Distance opt = safeDist[qa.frame().toLocal(d)];
-    if (opt <= 0) continue;
-    ++cases;
-
-    for (std::size_t r = 0; r < routers.size(); ++r) {
-      const auto res = routers[r]->route(s, d);
-      if (!res.delivered || !isValidPath(faults, s, d, res.path)) continue;
-      ++scores[r].delivered;
-      if (res.hops() == opt) ++scores[r].shortest;
-      scores[r].relErrSum += static_cast<double>(res.hops() - opt) /
-                             static_cast<double>(opt);
-    }
+  if (wantsBanner(flags)) {
+    std::cout << "mesh " << cfg.meshSize << "x" << cfg.meshSize << ", "
+              << cfg.faultLevels.front() << " faults, " << pairs
+              << " pairs\n\n";
   }
 
-  std::cout << "mesh " << mesh.width() << "x" << mesh.height() << ", "
-            << faults.count() << " faults, " << cases << " pairs\n\n";
   Table table({"router", "delivered%", "shortest%", "avg rel err"});
-  for (std::size_t r = 0; r < routers.size(); ++r) {
-    table.row()
-        .cell(std::string(routers[r]->name()))
-        .cell(100.0 * static_cast<double>(scores[r].delivered) /
-              static_cast<double>(cases))
-        .cell(100.0 * static_cast<double>(scores[r].shortest) /
-              static_cast<double>(cases))
-        .cell(scores[r].delivered
-                  ? scores[r].relErrSum /
-                        static_cast<double>(scores[r].delivered)
-                  : 0.0,
-              4);
+  for (const auto& key : routers) {
+    Table& r = table.row().cell(routerDisplay(key));
+    cellRatio(r, metrics.ratio(metric::delivered(key)));
+    cellRatio(r, metrics.ratio(metric::success(key)));
+    cellMean(r, metrics.acc(metric::relativeError(key)), 4);
   }
-  table.print(std::cout);
+  emitResult(table, flags);
+  if (!wantsBanner(flags)) return 0;
 
-  // Render one interesting route: the first pair where RB2 must detour.
-  Rng rng2(static_cast<std::uint64_t>(flags.integer("seed")) + 1);
+  // Rebuild the engine cell's exact fault configuration (level 0, config 0
+  // = stream 0) and render the first pair where RB2 must detour.
+  const Mesh2D mesh = Mesh2D::square(cfg.meshSize);
+  Rng rng = Rng::forStream(cfg.seed, 0);
+  const FaultSet faults = injectUniform(mesh, cfg.faultLevels.front(), rng);
+  const FaultAnalysis fa(faults);
+  const RouterContext rctx{&faults, &fa};
+  const auto rb2 = RouterRegistry::global().create("rb2", rctx);
+
+  Rng rng2(cfg.seed + 1);
   for (int t = 0; t < 500; ++t) {
     const Point s{static_cast<Coord>(rng2.below(
                       static_cast<std::uint64_t>(mesh.width()))),
@@ -113,12 +83,12 @@ int main(int argc, char** argv) {
     if (s == d || faults.isFaulty(s) || faults.isFaulty(d)) continue;
     const auto& qa = fa.forPair(s, d);
     if (!qa.isSafeWorld(s) || !qa.isSafeWorld(d)) continue;
-    const auto res = rb2.route(s, d);
+    const auto res = rb2->route(s, d);
     if (!res.delivered || res.hops() == manhattan(s, d)) continue;
 
     std::cout << "\nRB2 detour example " << s.str() << " -> " << d.str()
-              << ": " << res.hops() << " hops (Manhattan "
-              << manhattan(s, d) << ", phases " << res.phases << ")\n";
+              << ": " << res.hops() << " hops (Manhattan " << manhattan(s, d)
+              << ", phases " << res.phases << ")\n";
     AsciiGrid grid(mesh);
     for (Coord y = 0; y < mesh.height(); ++y) {
       for (Coord x = 0; x < mesh.width(); ++x) {

@@ -6,6 +6,21 @@
 
 namespace meshrt {
 
+std::vector<std::string> splitCommaList(std::string_view csv) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t comma = csv.find(',', start);
+    if (comma == std::string_view::npos) comma = csv.size();
+    std::string_view item = csv.substr(start, comma - start);
+    while (!item.empty() && item.front() == ' ') item.remove_prefix(1);
+    while (!item.empty() && item.back() == ' ') item.remove_suffix(1);
+    if (!item.empty()) items.emplace_back(item);
+    start = comma + 1;
+  }
+  return items;
+}
+
 void CliFlags::define(const std::string& name, const std::string& defaultValue,
                       const std::string& help) {
   flags_[name] = Flag{defaultValue, help};

@@ -7,9 +7,14 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace meshrt {
+
+/// Splits a comma-separated list ("a, b,,c" -> {"a","b","c"}); entries are
+/// trimmed of spaces and empties dropped.
+std::vector<std::string> splitCommaList(std::string_view csv);
 
 class CliFlags {
  public:

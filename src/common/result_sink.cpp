@@ -1,0 +1,58 @@
+#include "common/result_sink.h"
+
+#include <fstream>
+#include <ostream>
+
+namespace meshrt {
+
+std::optional<ResultFormat> parseResultFormat(std::string_view name) {
+  if (name == "table") return ResultFormat::Table;
+  if (name == "csv") return ResultFormat::Csv;
+  if (name == "json") return ResultFormat::Json;
+  return std::nullopt;
+}
+
+std::string_view resultFormatName(ResultFormat format) {
+  switch (format) {
+    case ResultFormat::Table:
+      return "table";
+    case ResultFormat::Csv:
+      return "csv";
+    case ResultFormat::Json:
+      return "json";
+  }
+  return "?";
+}
+
+ResultFormat formatForPath(std::string_view path, ResultFormat fallback) {
+  if (path.ends_with(".csv")) return ResultFormat::Csv;
+  if (path.ends_with(".json")) return ResultFormat::Json;
+  return fallback;
+}
+
+void emitResult(const Table& table, ResultFormat format, std::ostream& os) {
+  switch (format) {
+    case ResultFormat::Table:
+      table.print(os);
+      break;
+    case ResultFormat::Csv:
+      table.writeCsv(os);
+      break;
+    case ResultFormat::Json:
+      table.writeJson(os);
+      break;
+  }
+}
+
+bool emitResultToFile(const Table& table, const std::string& path,
+                      ResultFormat fallback) {
+  std::ofstream out(path);
+  if (!out) return false;
+  emitResult(table, formatForPath(path, fallback), out);
+  // Flush before testing: a buffered write failure (full disk, quota)
+  // only surfaces at flush/close time.
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace meshrt

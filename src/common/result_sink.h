@@ -1,0 +1,35 @@
+// Result-sink layer: one switch point between a computed Table and its
+// serialized form. Every bench binary funnels output through here, so
+// `--format=table|csv|json` (and file mirroring with extension inference)
+// behaves identically across the suite.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/table.h"
+
+namespace meshrt {
+
+enum class ResultFormat : std::uint8_t { Table, Csv, Json };
+
+/// Parses "table" / "csv" / "json" (case-sensitive); nullopt otherwise.
+std::optional<ResultFormat> parseResultFormat(std::string_view name);
+
+std::string_view resultFormatName(ResultFormat format);
+
+/// Picks the format a file path implies from its extension (.csv, .json),
+/// falling back to `fallback` for anything else.
+ResultFormat formatForPath(std::string_view path, ResultFormat fallback);
+
+/// Serializes `table` in `format` to `os`.
+void emitResult(const Table& table, ResultFormat format, std::ostream& os);
+
+/// Serializes to `path` (format inferred from the extension, falling back
+/// to `fallback`); returns false on I/O failure.
+bool emitResultToFile(const Table& table, const std::string& path,
+                      ResultFormat fallback);
+
+}  // namespace meshrt

@@ -8,6 +8,51 @@
 
 namespace meshrt {
 
+namespace {
+
+void writeCsvField(std::ostream& os, const std::string& value) {
+  if (value.find_first_of(",\"\n\r") == std::string::npos) {
+    os << value;
+    return;
+  }
+  os << '"';
+  for (char c : value) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+void writeJsonString(std::ostream& os, const std::string& value) {
+  os << '"';
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
 std::string formatDouble(double value, int precision) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(precision) << value;
@@ -22,15 +67,22 @@ Table& Table::row() {
 }
 
 Table& Table::cell(const std::string& value) {
-  rows_.back().push_back(value);
+  rows_.back().push_back(Cell{value, /*numeric=*/false});
   return *this;
 }
 
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
 Table& Table::cell(double value, int precision) {
-  return cell(formatDouble(value, precision));
+  rows_.back().push_back(Cell{formatDouble(value, precision),
+                              /*numeric=*/true});
+  return *this;
 }
 
-Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::int64_t value) {
+  rows_.back().push_back(Cell{std::to_string(value), /*numeric=*/true});
+  return *this;
+}
 
 void Table::print(std::ostream& os) const {
   std::vector<std::size_t> widths(header_.size(), 0);
@@ -39,36 +91,67 @@ void Table::print(std::ostream& os) const {
   }
   for (const auto& r : rows_) {
     for (std::size_t i = 0; i < r.size() && i < widths.size(); ++i) {
-      widths[i] = std::max(widths[i], r[i].size());
+      widths[i] = std::max(widths[i], r[i].text.size());
     }
   }
-  auto emit = [&](const std::vector<std::string>& cells) {
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-      os << std::setw(static_cast<int>(widths[std::min(i, widths.size() - 1)]))
-         << cells[i];
-      if (i + 1 < cells.size()) os << "  ";
-    }
-    os << '\n';
+  auto pad = [&](const std::string& text, std::size_t i, bool last) {
+    os << std::setw(static_cast<int>(widths[std::min(i, widths.size() - 1)]))
+       << text;
+    if (!last) os << "  ";
   };
-  emit(header_);
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    pad(header_[i], i, i + 1 == header_.size());
+  }
+  os << '\n';
   std::size_t ruleWidth = 0;
   for (std::size_t i = 0; i < widths.size(); ++i) {
     ruleWidth += widths[i] + (i + 1 < widths.size() ? 2 : 0);
   }
   os << std::string(ruleWidth, '-') << '\n';
-  for (const auto& r : rows_) emit(r);
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      pad(r[i].text, i, i + 1 == r.size());
+    }
+    os << '\n';
+  }
 }
 
 void Table::writeCsv(std::ostream& os) const {
-  auto emit = [&](const std::vector<std::string>& cells) {
-    for (std::size_t i = 0; i < cells.size(); ++i) {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    writeCsvField(os, header_[i]);
+  }
+  os << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
       if (i) os << ',';
-      os << cells[i];
+      writeCsvField(os, r[i].text);
     }
     os << '\n';
-  };
-  emit(header_);
-  for (const auto& r : rows_) emit(r);
+  }
+}
+
+void Table::writeJson(std::ostream& os) const {
+  os << "[\n";
+  for (std::size_t ri = 0; ri < rows_.size(); ++ri) {
+    const auto& r = rows_[ri];
+    os << "  {";
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (i) os << ", ";
+      writeJsonString(os, i < header_.size() ? header_[i]
+                                             : "col" + std::to_string(i));
+      os << ": ";
+      if (r[i].numeric) {
+        os << r[i].text;
+      } else {
+        writeJsonString(os, r[i].text);
+      }
+    }
+    os << '}';
+    if (ri + 1 < rows_.size()) os << ',';
+    os << '\n';
+  }
+  os << "]\n";
 }
 
 bool Table::writeCsvFile(const std::string& path) const {

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace meshrt {
 
@@ -35,6 +36,11 @@ void ThreadPool::submit(std::function<void()> job) {
 void ThreadPool::wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   cvDone_.wait(lock, [this] { return inFlight_ == 0; });
+  if (firstError_) {
+    std::exception_ptr error = std::exchange(firstError_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::workerLoop() {
@@ -50,9 +56,15 @@ void ThreadPool::workerLoop() {
       job = std::move(jobs_.front());
       jobs_.pop();
     }
-    job();
+    std::exception_ptr error;
+    try {
+      job();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !firstError_) firstError_ = error;
       --inFlight_;
       if (inFlight_ == 0) cvDone_.notify_all();
     }

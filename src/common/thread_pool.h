@@ -8,6 +8,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -28,10 +29,12 @@ class ThreadPool {
 
   std::size_t threadCount() const { return workers_.size(); }
 
-  /// Enqueues a job; jobs must not throw (std::terminate otherwise).
+  /// Enqueues a job. A throwing job does not kill the worker: the first
+  /// exception is captured and rethrown from the next wait().
   void submit(std::function<void()> job);
 
-  /// Blocks until every submitted job has finished.
+  /// Blocks until every submitted job has finished, then rethrows the first
+  /// exception any job raised since the last wait() (if any).
   void wait();
 
  private:
@@ -43,6 +46,7 @@ class ThreadPool {
   std::condition_variable cvJob_;
   std::condition_variable cvDone_;
   std::size_t inFlight_ = 0;
+  std::exception_ptr firstError_;
   bool stop_ = false;
 };
 

@@ -1,52 +1,170 @@
-// Shared CLI scaffolding for the figure bench binaries.
+// Shared CLI scaffolding for the figure and ablation bench binaries.
+//
+// Every sweep binary speaks the same dialect:
+//   --mesh=100 --trials=20 --pairs=20 --fault-max=3000 --fault-step=250
+//   --seed=2007 --threads=N --routers=rb2,rb3 --format=table|csv|json
+//   --out=FILE
+// Router names resolve through the RouterRegistry; output flows through
+// the result-sink layer.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/cli.h"
+#include "common/result_sink.h"
+#include "common/stats.h"
 #include "common/table.h"
 #include "harness/experiment.h"
+#include "route/registry.h"
 
 namespace meshrt {
 
-/// Declares the standard sweep flags on `flags`.
-inline void defineSweepFlags(CliFlags& flags) {
-  flags.define("size", "100", "mesh side length");
+/// Declares the standard sweep flags on `flags`. When `defaultRouters` is
+/// non-empty the binary also takes `--routers` (a comma-separated list of
+/// registry keys).
+inline void defineSweepFlags(CliFlags& flags,
+                             const std::string& defaultRouters = "") {
+  flags.define("mesh", "100", "mesh side length");
   flags.define("trials", "20", "fault configurations per fault level");
   flags.define("pairs", "20", "routed pairs per configuration");
   flags.define("fault-max", "3000", "largest fault count");
   flags.define("fault-step", "250", "fault count step");
+  flags.define("fault-levels", "",
+               "explicit comma-separated fault counts (overrides "
+               "fault-max/fault-step)");
   flags.define("seed", "2007", "master random seed");
   flags.define("threads", "0", "worker threads (0 = all cores)");
-  flags.define("csv", "", "also write the table to this CSV file");
+  if (!defaultRouters.empty()) {
+    flags.define("routers", defaultRouters,
+                 "comma-separated router registry keys");
+  }
+  flags.define("format", "table", "output format: table, csv or json");
+  flags.define("out", "",
+               "also write the result to this file (.csv/.json pick the "
+               "format by extension)");
+}
+
+/// Parses one non-negative decimal list item; exits with a message naming
+/// `flag` on signs, garbage or overflow (benches reject bad experiment
+/// configs instead of silently running something else).
+inline std::size_t parseCount(const std::string& item, const char* flag) {
+  if (item.empty() ||
+      item.find_first_not_of("0123456789") != std::string::npos ||
+      item.size() > 15) {
+    std::cerr << "--" << flag << ": '" << item
+              << "' is not a non-negative number\n";
+    std::exit(1);
+  }
+  return static_cast<std::size_t>(std::strtoull(item.c_str(), nullptr, 10));
 }
 
 /// Builds the sweep config from parsed flags.
 inline SweepConfig sweepFromFlags(const CliFlags& flags) {
   SweepConfig cfg;
-  cfg.meshSize = static_cast<Coord>(flags.integer("size"));
+  cfg.meshSize = static_cast<Coord>(flags.integer("mesh"));
   cfg.configsPerLevel = static_cast<std::size_t>(flags.integer("trials"));
   cfg.pairsPerConfig = static_cast<std::size_t>(flags.integer("pairs"));
   cfg.seed = static_cast<std::uint64_t>(flags.integer("seed"));
   cfg.threads = static_cast<std::size_t>(flags.integer("threads"));
-  cfg.faultLevels = SweepConfig::defaultLevels(
-      static_cast<std::size_t>(flags.integer("fault-max")),
-      static_cast<std::size_t>(flags.integer("fault-step")));
+  const std::string explicitLevels = flags.str("fault-levels");
+  if (!explicitLevels.empty()) {
+    for (const std::string& item : splitCommaList(explicitLevels)) {
+      cfg.faultLevels.push_back(parseCount(item, "fault-levels"));
+    }
+    if (cfg.faultLevels.empty()) {
+      std::cerr << "--fault-levels: no fault counts given\n";
+      std::exit(1);
+    }
+  } else {
+    cfg.faultLevels = SweepConfig::defaultLevels(
+        static_cast<std::size_t>(flags.integer("fault-max")),
+        static_cast<std::size_t>(flags.integer("fault-step")));
+  }
   return cfg;
 }
 
-/// Prints the table and mirrors it to CSV when requested.
-inline void emitTable(const Table& table, const CliFlags& flags) {
-  table.print(std::cout);
-  const std::string csv = flags.str("csv");
-  if (!csv.empty()) {
-    if (table.writeCsvFile(csv)) {
-      std::cout << "(csv written to " << csv << ")\n";
-    } else {
-      std::cerr << "failed to write " << csv << "\n";
+/// Resolves --routers against the registry; exits with the list of known
+/// keys on a typo (same spirit as CliFlags' fatal unknown-flag handling).
+inline std::vector<std::string> routersFromFlags(const CliFlags& flags) {
+  const std::vector<std::string> keys = splitCommaList(flags.str("routers"));
+  if (keys.empty()) {
+    std::cerr << "--routers must name at least one router\n";
+    std::exit(1);
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (!RouterRegistry::global().contains(keys[i])) {
+      std::cerr << "unknown router '" << keys[i] << "'; known routers:\n";
+      for (const auto& e : RouterRegistry::global().entries()) {
+        std::cerr << "  " << e.key << " — " << e.help << "\n";
+      }
+      std::exit(1);
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (keys[j] == keys[i]) {
+        std::cerr << "--routers lists '" << keys[i]
+                  << "' twice; metrics would double-count\n";
+        std::exit(1);
+      }
     }
   }
+  return keys;
+}
+
+/// Table-header display name for a registry key.
+inline std::string routerDisplay(const std::string& key) {
+  return RouterRegistry::global().displayName(key);
+}
+
+/// Validated --format; exits on a typo. Every bench hits this before its
+/// sweep runs (via wantsBanner), so a bad format never wastes a full run.
+inline ResultFormat formatFromFlags(const CliFlags& flags) {
+  const auto format = parseResultFormat(flags.str("format"));
+  if (!format) {
+    std::cerr << "unknown --format '" << flags.str("format")
+              << "' (expected table, csv or json)\n";
+    std::exit(1);
+  }
+  return *format;
+}
+
+/// True when stdout gets the human-readable table — benches print their
+/// descriptive banner only then, keeping csv/json output machine-clean.
+inline bool wantsBanner(const CliFlags& flags) {
+  return formatFromFlags(flags) == ResultFormat::Table;
+}
+
+/// Serializes `table` per --format to stdout and mirrors it to --out.
+inline void emitResult(const Table& table, const CliFlags& flags) {
+  const ResultFormat format = formatFromFlags(flags);
+  emitResult(table, format, std::cout);
+  const std::string out = flags.str("out");
+  if (!out.empty()) {
+    if (emitResultToFile(table, out, format)) {
+      std::cerr << "(result written to " << out << ")\n";
+    } else {
+      std::cerr << "failed to write " << out << "\n";
+      std::exit(1);
+    }
+  }
+}
+
+/// Percentage cell, or "n/a" when the counter saw no samples — a bare
+/// 100.00 on zero data (RatioCounter's vacuous success) would fabricate a
+/// perfect score at saturating fault levels.
+inline Table& cellRatio(Table& row, const RatioCounter& counter) {
+  if (counter.total() == 0) return row.cell("n/a");
+  return row.cell(counter.percent());
+}
+
+/// Mean cell with `precision` digits, or "n/a" when the accumulator is
+/// empty.
+inline Table& cellMean(Table& row, const Accumulator& acc,
+                       int precision = 2) {
+  if (acc.empty()) return row.cell("n/a");
+  return row.cell(acc.mean(), precision);
 }
 
 }  // namespace meshrt

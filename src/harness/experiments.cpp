@@ -1,0 +1,133 @@
+#include "harness/experiments.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "fault/analysis.h"
+#include "fault/injectors.h"
+#include "info/knowledge.h"
+#include "route/bfs.h"
+#include "route/registry.h"
+#include "route/validate.h"
+
+namespace meshrt {
+
+namespace {
+
+Point randomHealthy(const FaultSet& faults, Rng& rng) {
+  const Mesh2D& mesh = faults.mesh();
+  for (;;) {
+    const Point p{static_cast<Coord>(
+                      rng.below(static_cast<std::uint64_t>(mesh.width()))),
+                  static_cast<Coord>(
+                      rng.below(static_cast<std::uint64_t>(mesh.height())))};
+    if (faults.isHealthy(p)) return p;
+  }
+}
+
+}  // namespace
+
+void faultMetricsCell(const SweepCellContext& ctx, Rng& rng, MetricSet& out) {
+  const FaultSet faults = injectUniform(ctx.mesh, ctx.faults, rng);
+  const QuadrantAnalysis qa(faults, Quadrant::NE);
+  out.acc(metric::kDisabledPct)
+      .add(100.0 * static_cast<double>(qa.unsafeCount()) /
+           static_cast<double>(ctx.mesh.nodeCount()));
+  out.acc(metric::kMccCount).add(static_cast<double>(qa.mccs().size()));
+}
+
+void infoMetricsCell(const SweepCellContext& ctx, Rng& rng, MetricSet& out) {
+  const FaultSet faults = injectUniform(ctx.mesh, ctx.faults, rng);
+  const QuadrantAnalysis qa(faults, Quadrant::NE);
+  // Figure 5(c) reports the propagation cost of one MCC's information
+  // (max/avg over MCCs), as a percentage of safe nodes.
+  for (int m = 0; m < 3; ++m) {
+    const auto model = static_cast<InfoModel>(m);
+    const QuadrantInfo info(qa, model);
+    Accumulator& col = out.acc(metric::involved(infoModelName(model)));
+    for (double p : info.perMccInvolvedPercent()) col.add(p);
+  }
+}
+
+RoutingExperiment::RoutingExperiment(std::vector<std::string> routerKeys)
+    : routerKeys_(std::move(routerKeys)) {
+  // Resolve every key up front so a typo fails at construction, not in a
+  // worker thread mid-sweep. Duplicates would double-count every metric
+  // under one column name, so they are rejected too.
+  for (std::size_t i = 0; i < routerKeys_.size(); ++i) {
+    RouterRegistry::global().at(routerKeys_[i]);
+    for (std::size_t j = 0; j < i; ++j) {
+      if (routerKeys_[j] == routerKeys_[i]) {
+        throw std::invalid_argument("router '" + routerKeys_[i] +
+                                    "' listed twice");
+      }
+    }
+  }
+}
+
+void RoutingExperiment::operator()(const SweepCellContext& ctx, Rng& rng,
+                                   MetricSet& out) const {
+  const FaultSet faults = injectUniform(ctx.mesh, ctx.faults, rng);
+  const FaultAnalysis fa(faults);
+  const RouterContext rctx{&faults, &fa};
+  const auto routers = makeRouters(routerKeys_, rctx);
+
+  // Create every column up front so each cell reports the same set even
+  // when no pair survives the sampling filters, caching the references
+  // (stable for the MetricSet's lifetime) to keep the per-pair loop free
+  // of name lookups.
+  RatioCounter& safeGap = out.ratio(metric::kSafeGap);
+  std::vector<RatioCounter*> successCols;
+  std::vector<Accumulator*> relErrCols;
+  std::vector<RatioCounter*> deliveredCols;
+  for (const std::string& key : routerKeys_) {
+    successCols.push_back(&out.ratio(metric::success(key)));
+    relErrCols.push_back(&out.acc(metric::relativeError(key)));
+    deliveredCols.push_back(&out.ratio(metric::delivered(key)));
+  }
+
+  // All-faulty meshes have no healthy endpoints to sample; bail before
+  // randomHealthy() would spin forever.
+  if (faults.count() >= static_cast<std::size_t>(ctx.mesh.nodeCount())) {
+    return;
+  }
+
+  std::size_t sampled = 0;
+  std::size_t attempts = 0;
+  const std::size_t maxAttempts = ctx.cfg.pairsPerConfig * 80;
+  while (sampled < ctx.cfg.pairsPerConfig && attempts++ < maxAttempts) {
+    const Point s = randomHealthy(faults, rng);
+    const Point d = randomHealthy(faults, rng);
+    if (s == d) continue;
+    const auto& qa = fa.forPair(s, d);
+    const Point sL = qa.frame().toLocal(s);
+    const Point dL = qa.frame().toLocal(d);
+    // The paper samples safe endpoints with an existing path; we
+    // additionally verify a safe path exists and record how often the
+    // healthy optimum beats the safe optimum (model-level gap).
+    if (!qa.labels().isSafe(sL) || !qa.labels().isSafe(dL)) continue;
+    const auto safeDist = safeDistances(qa.localMesh(), qa.labels(), sL);
+    if (safeDist[dL] == kUnreachable) continue;
+    const auto healthyDist = healthyDistances(faults, s);
+    if (healthyDist[d] <= 0) continue;
+    ++sampled;
+    // The paper's yardstick is its model's optimum: the shortest path over
+    // MCC-safe nodes (Theorem 1). The healthy-node optimum can be shorter
+    // in rare pocket configurations; safe_gap quantifies that.
+    const Distance opt = safeDist[dL];
+    safeGap.add(healthyDist[d] != opt);
+
+    for (std::size_t r = 0; r < routers.size(); ++r) {
+      const RouteResult res = routers[r]->route(s, d);
+      const bool ok = res.delivered && isValidPath(faults, s, d, res.path);
+      deliveredCols[r]->add(ok);
+      successCols[r]->add(ok && res.hops() == opt);
+      if (ok) {
+        relErrCols[r]->add(static_cast<double>(res.hops() - opt) /
+                           static_cast<double>(opt));
+      }
+    }
+  }
+}
+
+}  // namespace meshrt

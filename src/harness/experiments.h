@@ -1,0 +1,70 @@
+// Standard cell bodies for the SweepEngine: the paper's Figure-5 panels
+// expressed as pluggable metric producers.
+//
+//   faultMetricsCell  — Fig 5(a)/(b): disabled-area % and MCC counts
+//   infoMetricsCell   — Fig 5(c): propagation involvement per info model
+//   RoutingExperiment — Fig 5(d)/(e) and the routing ablations: any
+//                       registry-named router line-up, one success /
+//                       relative-error / delivered column per router
+//
+// Column names are stable strings (metric::success("rb2") == "success:rb2")
+// so benches and tests address results without positional arrays.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/sweep_engine.h"
+
+namespace meshrt {
+
+namespace metric {
+
+inline std::string success(std::string_view router) {
+  return "success:" + std::string(router);
+}
+inline std::string relativeError(std::string_view router) {
+  return "relerr:" + std::string(router);
+}
+inline std::string delivered(std::string_view router) {
+  return "delivered:" + std::string(router);
+}
+
+inline constexpr std::string_view kDisabledPct = "disabled_pct";
+inline constexpr std::string_view kMccCount = "mcc_count";
+inline constexpr std::string_view kSafeGap = "safe_gap";
+
+inline std::string involved(std::string_view model) {
+  return "involved:" + std::string(model);
+}
+
+}  // namespace metric
+
+/// Fig 5(a)/(b): injects `ctx.faults` uniform faults and records the
+/// disabled-area percentage (NE labeling) and the MCC count.
+void faultMetricsCell(const SweepCellContext& ctx, Rng& rng, MetricSet& out);
+
+/// Fig 5(c): per-MCC propagation involvement (% of safe nodes) for the
+/// information models B1, B2 and B3.
+void infoMetricsCell(const SweepCellContext& ctx, Rng& rng, MetricSet& out);
+
+/// Fig 5(d)/(e): routes cfg.pairsPerConfig random safe connected pairs with
+/// every router named in `routerKeys` (resolved through the RouterRegistry)
+/// and records, per router, shortest-path success, relative error over
+/// delivered routes, and delivery rate — plus the model-level "safe_gap"
+/// ratio (healthy-node optimum differs from the safe-node optimum; see
+/// DESIGN.md section 3 item 6).
+class RoutingExperiment {
+ public:
+  explicit RoutingExperiment(std::vector<std::string> routerKeys);
+
+  const std::vector<std::string>& routerKeys() const { return routerKeys_; }
+
+  void operator()(const SweepCellContext& ctx, Rng& rng, MetricSet& out) const;
+
+ private:
+  std::vector<std::string> routerKeys_;
+};
+
+}  // namespace meshrt

@@ -1,0 +1,114 @@
+#include "harness/sweep_engine.h"
+
+#include <stdexcept>
+
+#include "common/thread_pool.h"
+
+namespace meshrt {
+
+MetricSet::Column& MetricSet::column(std::string_view name, Kind kind) {
+  for (Column& c : columns_) {
+    if (c.name == name) {
+      if (c.kind != kind) {
+        throw std::logic_error("metric column '" + std::string(name) +
+                               "' accessed as both kinds");
+      }
+      return c;
+    }
+  }
+  columns_.push_back(Column{std::string(name), kind, {}, {}});
+  return columns_.back();
+}
+
+const MetricSet::Column* MetricSet::find(std::string_view name) const {
+  for (const Column& c : columns_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+Accumulator& MetricSet::acc(std::string_view name) {
+  return column(name, Kind::Acc).acc;
+}
+
+RatioCounter& MetricSet::ratio(std::string_view name) {
+  return column(name, Kind::Ratio).ratio;
+}
+
+const Accumulator& MetricSet::acc(std::string_view name) const {
+  const Column* c = find(name);
+  if (c == nullptr) {
+    throw std::out_of_range("no metric column '" + std::string(name) + "'");
+  }
+  if (c->kind != Kind::Acc) {
+    throw std::logic_error("metric column '" + std::string(name) +
+                           "' is not an accumulator");
+  }
+  return c->acc;
+}
+
+const RatioCounter& MetricSet::ratio(std::string_view name) const {
+  const Column* c = find(name);
+  if (c == nullptr) {
+    throw std::out_of_range("no metric column '" + std::string(name) + "'");
+  }
+  if (c->kind != Kind::Ratio) {
+    throw std::logic_error("metric column '" + std::string(name) +
+                           "' is not a ratio");
+  }
+  return c->ratio;
+}
+
+bool MetricSet::contains(std::string_view name) const {
+  return find(name) != nullptr;
+}
+
+std::vector<std::string> MetricSet::names() const {
+  std::vector<std::string> out;
+  out.reserve(columns_.size());
+  for (const Column& c : columns_) out.push_back(c.name);
+  return out;
+}
+
+void MetricSet::merge(const MetricSet& other) {
+  for (const Column& c : other.columns_) {
+    Column& mine = column(c.name, c.kind);
+    if (c.kind == Kind::Acc) {
+      mine.acc.merge(c.acc);
+    } else {
+      mine.ratio.merge(c.ratio);
+    }
+  }
+}
+
+std::vector<SweepRow> SweepEngine::run(const CellBody& body) const {
+  const Mesh2D mesh = Mesh2D::square(cfg_.meshSize);
+  const std::size_t levels = cfg_.faultLevels.size();
+  const std::size_t perLevel = cfg_.configsPerLevel;
+  const std::size_t cells = levels * perLevel;
+
+  // One result slot per cell; cells run in any order, the reduction below
+  // always folds them in (level, config) order.
+  std::vector<MetricSet> cellResults(cells);
+  ThreadPool pool(cfg_.threads);
+  parallelFor(pool, cells, [&](std::size_t cell) {
+    const std::size_t li = cell / perLevel;
+    const std::size_t ci = cell % perLevel;
+    // Stream ids match the historical per-trial derivation so sweep results
+    // stay comparable across engine versions.
+    Rng rng = Rng::forStream(cfg_.seed, li * 1000003 + ci);
+    const SweepCellContext ctx{mesh, cfg_, li, cfg_.faultLevels[li], ci};
+    body(ctx, rng, cellResults[cell]);
+  });
+
+  std::vector<SweepRow> rows(levels);
+  for (std::size_t li = 0; li < levels; ++li) {
+    rows[li].faults = cfg_.faultLevels[li];
+    for (std::size_t ci = 0; ci < perLevel; ++ci) {
+      rows[li].metrics.merge(cellResults[li * perLevel + ci]);
+    }
+  }
+  return rows;
+}
+
+}  // namespace meshrt

@@ -27,7 +27,16 @@ struct Point {
   }
 
   std::string str() const {
-    return "(" + std::to_string(x) + "," + std::to_string(y) + ")";
+    // Built up with append (not operator+ chains): gcc 12's -Wrestrict
+    // false-fires on rvalue string concatenation in -O2 (PR 105651).
+    std::string out;
+    out.reserve(16);
+    out.push_back('(');
+    out.append(std::to_string(x));
+    out.push_back(',');
+    out.append(std::to_string(y));
+    out.push_back(')');
+    return out;
   }
 };
 

@@ -2,8 +2,10 @@
 // thread pool.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/cli.h"
 #include "common/rng.h"
@@ -180,6 +182,15 @@ TEST(CliTest, RejectsUnknownFlag) {
   EXPECT_FALSE(flags.parse(3, const_cast<char**>(argv)));
 }
 
+TEST(CliTest, SplitCommaListTrimsAndDropsEmpties) {
+  const auto items = splitCommaList(" rb2 , rb3,,ecube ,");
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0], "rb2");
+  EXPECT_EQ(items[1], "rb3");
+  EXPECT_EQ(items[2], "ecube");
+  EXPECT_TRUE(splitCommaList("").empty());
+}
+
 TEST(CliTest, BareBooleanFlag) {
   CliFlags flags;
   flags.define("verbose", "false", "chatty");
@@ -217,6 +228,40 @@ TEST(ThreadPoolTest, ZeroCountIsNoop) {
   bool touched = false;
   parallelFor(pool, 0, [&](std::size_t) { touched = true; });
   EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstJobException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("job failed"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The error is consumed: the pool keeps working afterwards.
+  std::atomic<int> ran{0};
+  pool.submit([&] { ++ran; });
+  pool.wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallelFor(pool, 64,
+                  [](std::size_t i) {
+                    if (i == 33) throw std::invalid_argument("bad index");
+                  }),
+      std::invalid_argument);
+}
+
+TEST(TableTest, JsonKeepsNumbersUnquoted) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(std::int64_t{3});
+  t.row().cell("be\"ta").cell(1.5, 2);
+  std::ostringstream os;
+  t.writeJson(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"value\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 1.50"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("be\\\"ta"), std::string::npos);
 }
 
 }  // namespace

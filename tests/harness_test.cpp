@@ -1,10 +1,13 @@
-// Integration tests: the Figure-5 experiment harness end to end at small
-// scale — the full pipeline from fault injection through routing metrics.
+// Integration tests: the Figure-5 experiment engine end to end at small
+// scale — the full pipeline from fault injection through routing metrics,
+// plus the engine's bitwise-determinism guarantee across thread counts.
 #include <gtest/gtest.h>
 
-#include "harness/fault_sweep.h"
-#include "harness/info_sweep.h"
-#include "harness/routing_sweep.h"
+#include <string>
+#include <vector>
+
+#include "harness/experiments.h"
+#include "harness/sweep_engine.h"
 
 namespace meshrt {
 namespace {
@@ -20,71 +23,61 @@ SweepConfig tinyConfig() {
   return cfg;
 }
 
+const std::vector<std::string> kPaperRouters{"ecube", "rb1", "rb2", "rb3"};
+
 TEST(FaultSweepTest, DisabledAreaGrowsWithFaults) {
-  const auto rows = runFaultSweep(tinyConfig());
+  const auto rows = SweepEngine(tinyConfig()).run(faultMetricsCell);
   ASSERT_EQ(rows.size(), 4u);
-  EXPECT_EQ(rows[0].disabledPct.mean(), 0.0);
-  EXPECT_EQ(rows[0].mccCount.mean(), 0.0);
+  EXPECT_EQ(rows[0].metrics.acc(metric::kDisabledPct).mean(), 0.0);
+  EXPECT_EQ(rows[0].metrics.acc(metric::kMccCount).mean(), 0.0);
   // Disabled area is monotone in the fault count (in expectation; the
   // sweep uses enough trials for the tiny mesh).
-  EXPECT_LT(rows[1].disabledPct.mean(), rows[3].disabledPct.mean());
+  EXPECT_LT(rows[1].metrics.acc(metric::kDisabledPct).mean(),
+            rows[3].metrics.acc(metric::kDisabledPct).mean());
   // The disabled area always covers at least the faults themselves.
   const double area = 24.0 * 24.0;
-  EXPECT_GE(rows[3].disabledPct.mean(), 100.0 * 120.0 / area - 1e-9);
-}
-
-TEST(FaultSweepTest, DeterministicAcrossThreadCounts) {
-  SweepConfig a = tinyConfig();
-  a.threads = 1;
-  SweepConfig b = tinyConfig();
-  b.threads = 8;
-  const auto ra = runFaultSweep(a);
-  const auto rb = runFaultSweep(b);
-  for (std::size_t i = 0; i < ra.size(); ++i) {
-    EXPECT_DOUBLE_EQ(ra[i].disabledPct.mean(), rb[i].disabledPct.mean());
-    EXPECT_DOUBLE_EQ(ra[i].mccCount.max(), rb[i].mccCount.max());
-  }
+  EXPECT_GE(rows[3].metrics.acc(metric::kDisabledPct).mean(),
+            100.0 * 120.0 / area - 1e-9);
 }
 
 TEST(InfoSweepTest, B2CostsMostPerMcc) {
-  const auto rows = runInfoSweep(tinyConfig());
+  const auto rows = SweepEngine(tinyConfig()).run(infoMetricsCell);
   for (std::size_t i = 1; i < rows.size(); ++i) {
-    if (rows[i].involvedPct[1].empty()) continue;
-    EXPECT_GE(rows[i].involvedPct[1].mean(),
-              rows[i].involvedPct[2].mean())
-        << "B2 < B3 at level " << i;
-    EXPECT_GE(rows[i].involvedPct[2].mean() + 1e-9,
-              rows[i].involvedPct[0].mean())
-        << "B3 < B1 at level " << i;
+    const Accumulator& b1 = rows[i].metrics.acc(metric::involved("B1"));
+    const Accumulator& b2 = rows[i].metrics.acc(metric::involved("B2"));
+    const Accumulator& b3 = rows[i].metrics.acc(metric::involved("B3"));
+    if (b2.empty()) continue;
+    EXPECT_GE(b2.mean(), b3.mean()) << "B2 < B3 at level " << i;
+    EXPECT_GE(b3.mean() + 1e-9, b1.mean()) << "B3 < B1 at level " << i;
   }
 }
 
 TEST(RoutingSweepTest, Rb2AlwaysShortest) {
-  const auto rows = runRoutingSweep(tinyConfig());
+  const auto rows =
+      SweepEngine(tinyConfig()).run(RoutingExperiment(kPaperRouters));
   for (const auto& row : rows) {
-    const auto& rb2 = row.success[static_cast<std::size_t>(RouterKind::Rb2)];
+    const RatioCounter& rb2 = row.metrics.ratio(metric::success("rb2"));
     EXPECT_GT(rb2.total(), 0u);
     EXPECT_DOUBLE_EQ(rb2.percent(), 100.0) << row.faults << " faults";
     // RB2's relative error is identically zero.
-    EXPECT_DOUBLE_EQ(
-        row.relativeError[static_cast<std::size_t>(RouterKind::Rb2)].mean(),
-        0.0);
+    EXPECT_DOUBLE_EQ(row.metrics.acc(metric::relativeError("rb2")).mean(),
+                     0.0);
   }
 }
 
 TEST(RoutingSweepTest, OrderingHolds) {
-  const auto rows = runRoutingSweep(tinyConfig());
+  const auto rows =
+      SweepEngine(tinyConfig()).run(RoutingExperiment(kPaperRouters));
   double rb1 = 0;
   double rb2 = 0;
   double rb3 = 0;
   double ecube = 0;
   std::size_t levels = 0;
   for (const auto& row : rows) {
-    rb1 += row.success[static_cast<std::size_t>(RouterKind::Rb1)].percent();
-    rb2 += row.success[static_cast<std::size_t>(RouterKind::Rb2)].percent();
-    rb3 += row.success[static_cast<std::size_t>(RouterKind::Rb3)].percent();
-    ecube +=
-        row.success[static_cast<std::size_t>(RouterKind::Ecube)].percent();
+    rb1 += row.metrics.ratio(metric::success("rb1")).percent();
+    rb2 += row.metrics.ratio(metric::success("rb2")).percent();
+    rb3 += row.metrics.ratio(metric::success("rb3")).percent();
+    ecube += row.metrics.ratio(metric::success("ecube")).percent();
     ++levels;
   }
   ASSERT_GT(levels, 0u);
@@ -95,13 +88,118 @@ TEST(RoutingSweepTest, OrderingHolds) {
 }
 
 TEST(RoutingSweepTest, FaultFreeLevelIsPerfect) {
-  const auto rows = runRoutingSweep(tinyConfig());
+  const auto rows =
+      SweepEngine(tinyConfig()).run(RoutingExperiment(kPaperRouters));
   const auto& row = rows.front();
-  for (std::size_t r = 0; r < 4; ++r) {
-    EXPECT_DOUBLE_EQ(row.success[r].percent(), 100.0);
-    EXPECT_DOUBLE_EQ(row.relativeError[r].mean(), 0.0);
+  for (const auto& key : kPaperRouters) {
+    EXPECT_DOUBLE_EQ(row.metrics.ratio(metric::success(key)).percent(),
+                     100.0);
+    EXPECT_DOUBLE_EQ(row.metrics.acc(metric::relativeError(key)).mean(), 0.0);
   }
-  EXPECT_EQ(row.safeGap.hits(), 0u);
+  EXPECT_EQ(row.metrics.ratio(metric::kSafeGap).hits(), 0u);
+}
+
+// The engine's core guarantee: identical (seed, level, config) streams and
+// a serial deterministic reduction make results bitwise identical no
+// matter how cells are scheduled across threads.
+void expectBitwiseEqual(const std::vector<SweepRow>& a,
+                        const std::vector<SweepRow>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].faults, b[i].faults);
+    const auto names = a[i].metrics.names();
+    ASSERT_EQ(names, b[i].metrics.names());
+    for (const std::string& name : names) {
+      if (name.rfind("relerr:", 0) == 0) {  // the accumulator columns
+        const Accumulator& x = a[i].metrics.acc(name);
+        const Accumulator& y = b[i].metrics.acc(name);
+        EXPECT_EQ(x.count(), y.count()) << name;
+        EXPECT_EQ(x.min(), y.min()) << name;
+        EXPECT_EQ(x.max(), y.max()) << name;
+        EXPECT_EQ(x.mean(), y.mean()) << name;
+        EXPECT_EQ(x.variance(), y.variance()) << name;
+      } else {
+        const RatioCounter& x = a[i].metrics.ratio(name);
+        const RatioCounter& y = b[i].metrics.ratio(name);
+        EXPECT_EQ(x.hits(), y.hits()) << name;
+        EXPECT_EQ(x.total(), y.total()) << name;
+      }
+    }
+  }
+}
+
+TEST(SweepEngineTest, RoutingSweepBitwiseIdenticalAcrossThreadCounts) {
+  SweepConfig one = tinyConfig();
+  one.threads = 1;
+  SweepConfig four = tinyConfig();
+  four.threads = 4;
+  const RoutingExperiment experiment({"ecube", "rb2"});
+  const auto a = SweepEngine(one).run(experiment);
+  const auto b = SweepEngine(four).run(experiment);
+  expectBitwiseEqual(a, b);
+}
+
+TEST(SweepEngineTest, FaultSweepBitwiseIdenticalAcrossThreadCounts) {
+  SweepConfig one = tinyConfig();
+  one.threads = 1;
+  SweepConfig eight = tinyConfig();
+  eight.threads = 8;
+  const auto a = SweepEngine(one).run(faultMetricsCell);
+  const auto b = SweepEngine(eight).run(faultMetricsCell);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].metrics.acc(metric::kDisabledPct).mean(),
+              b[i].metrics.acc(metric::kDisabledPct).mean());
+    EXPECT_EQ(a[i].metrics.acc(metric::kDisabledPct).variance(),
+              b[i].metrics.acc(metric::kDisabledPct).variance());
+    EXPECT_EQ(a[i].metrics.acc(metric::kMccCount).max(),
+              b[i].metrics.acc(metric::kMccCount).max());
+  }
+}
+
+TEST(SweepEngineTest, CellExceptionPropagatesToCaller) {
+  SweepConfig cfg = tinyConfig();
+  cfg.threads = 3;
+  EXPECT_THROW(SweepEngine(cfg).run([](const SweepCellContext& ctx, Rng&,
+                                       MetricSet&) {
+                 if (ctx.levelIndex == 2) throw std::runtime_error("boom");
+               }),
+               std::runtime_error);
+}
+
+TEST(RoutingExperimentTest, DuplicateAndUnknownRouterKeysRejected) {
+  EXPECT_THROW(RoutingExperiment({"rb2", "rb2"}), std::invalid_argument);
+  EXPECT_THROW(RoutingExperiment({"no-such-router"}),
+               std::invalid_argument);
+}
+
+TEST(RoutingExperimentTest, AllFaultyMeshTerminatesWithEmptyMetrics) {
+  SweepConfig cfg;
+  cfg.meshSize = 6;
+  cfg.faultLevels = {36};  // every node faulty: nothing to sample
+  cfg.configsPerLevel = 2;
+  cfg.pairsPerConfig = 4;
+  cfg.threads = 2;
+  const auto rows =
+      SweepEngine(cfg).run(RoutingExperiment({"ecube", "rb2"}));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].metrics.ratio(metric::success("rb2")).total(), 0u);
+  EXPECT_EQ(rows[0].metrics.ratio(metric::kSafeGap).total(), 0u);
+}
+
+TEST(MetricSetTest, KindMismatchAndMissingColumnsFailLoudly) {
+  MetricSet m;
+  m.acc("a").add(1.0);
+  EXPECT_THROW(m.ratio("a"), std::logic_error);
+  const MetricSet& cm = m;
+  EXPECT_THROW(cm.acc("missing"), std::out_of_range);
+  m.ratio("r").add(true);
+  MetricSet other;
+  other.ratio("r").add(false);
+  other.acc("a").add(3.0);
+  m.merge(other);
+  EXPECT_EQ(cm.ratio("r").total(), 2u);
+  EXPECT_EQ(cm.acc("a").count(), 2u);
 }
 
 }  // namespace
