@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "fault/analysis.h"
+#include "fault/incremental.h"
 #include "fault/injectors.h"
 #include "info/knowledge.h"
 #include "route/bfs.h"
@@ -98,6 +99,76 @@ void BM_Rb2Route(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Rb2Route)->Arg(500)->Arg(1500)->Arg(2500);
+
+// --- incremental vs full relabeling under a single-fault delta ----------
+//
+// The dynamic-fault scenarios toggle one fault at a time; the incremental
+// path must beat rebuilding labels + MCCs from scratch by a wide margin
+// (the wavefront is local, the rebuild is O(mesh)). Same toggle in both
+// benchmarks so the numbers compare directly.
+
+void BM_IncrementalFaultDelta(benchmark::State& state) {
+  const auto size = static_cast<Coord>(state.range(0));
+  const auto faults = makeFaults(
+      size,
+      static_cast<std::size_t>(size) * static_cast<std::size_t>(size) / 10,
+      42);
+  const Mesh2D mesh = Mesh2D::square(size);
+  IncrementalLabeler labeler(mesh, faults);
+  Point toggle{size / 2, size / 2};
+  while (faults.isFaulty(toggle)) toggle.x += 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(labeler.addFault(toggle));
+    benchmark::DoNotOptimize(labeler.removeFault(toggle));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_IncrementalFaultDelta)->Arg(64)->Arg(100)->Arg(200);
+
+void BM_FullRelabelFaultDelta(benchmark::State& state) {
+  const auto size = static_cast<Coord>(state.range(0));
+  FaultSet faults = makeFaults(
+      size,
+      static_cast<std::size_t>(size) * static_cast<std::size_t>(size) / 10,
+      42);
+  const Mesh2D mesh = Mesh2D::square(size);
+  Point toggle{size / 2, size / 2};
+  while (faults.isFaulty(toggle)) toggle.x += 1;
+  for (auto _ : state) {
+    faults.add(toggle);
+    const auto labels = computeLabels(mesh, faults);
+    benchmark::DoNotOptimize(extractMccs(mesh, labels));
+    faults.remove(toggle);
+    const auto labels2 = computeLabels(mesh, faults);
+    benchmark::DoNotOptimize(extractMccs(mesh, labels2));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_FullRelabelFaultDelta)->Arg(64)->Arg(100)->Arg(200);
+
+void BM_KnowledgeRefreshDelta(benchmark::State& state) {
+  // One fault toggle through the versioned knowledge path (B3): sync cost
+  // of the delta-driven refresh, to compare with BM_KnowledgeBuild.
+  const Mesh2D mesh = Mesh2D::square(64);
+  DynamicFaultModel model(mesh);
+  {
+    Rng rng(42);
+    const FaultSet seed = injectUniform(mesh, 64 * 64 / 10, rng);
+    for (Point p : seed.toVector()) model.addFault(p);
+  }
+  const QuadrantAnalysis& qa = model.analysis().quadrant(Quadrant::NE);
+  QuadrantInfo info(qa, InfoModel::B3);
+  Point toggle{32, 32};
+  while (model.faults().isFaulty(toggle)) toggle.x += 1;
+  for (auto _ : state) {
+    model.addFault(toggle);
+    info.sync();
+    model.removeFault(toggle);
+    info.sync();
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_KnowledgeRefreshDelta);
 
 void BM_HealthyBfs(benchmark::State& state) {
   const auto faults = makeFaults(100, 1000, 42);

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   const Mesh2D mesh = Mesh2D::square(static_cast<Coord>(
       flags.integer("size")));
   Rng rng(static_cast<std::uint64_t>(flags.integer("seed")));
-  const FaultSet faults = injectUniform(
+  FaultSet faults = injectUniform(
       mesh, static_cast<std::size_t>(flags.integer("faults")), rng);
   const FaultAnalysis fa(faults);
 

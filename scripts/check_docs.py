@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links in README/DESIGN/docs.
+
+Checks every relative link target for existence and, when the target is a
+markdown file with a #fragment (or a bare same-file #fragment), that a
+matching heading exists. External links (http/https/mailto) are ignored.
+Run from anywhere; paths resolve against the repository root.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# [text](target) — good enough for these docs; skips fenced code blocks.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def doc_files():
+    files = [REPO / "README.md", REPO / "DESIGN.md"]
+    files += sorted((REPO / "docs").glob("**/*.md"))
+    return [f for f in files if f.exists()]
+
+
+def heading_slugs(path: Path):
+    """GitHub-style slugs of every heading in a markdown file."""
+    slugs = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        text = match.group(1).strip().lower()
+        slug = re.sub(r"[^\w\- ]", "", text).replace(" ", "-")
+        slugs.add(slug)
+    return slugs
+
+
+def links_in(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def main() -> int:
+    errors = []
+    for doc in doc_files():
+        for lineno, target in links_in(doc):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            where = f"{doc.relative_to(REPO)}:{lineno}"
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = (doc.parent / path_part).resolve()
+                if not resolved.exists():
+                    errors.append(f"{where}: broken link target '{target}'")
+                    continue
+            else:
+                resolved = doc
+            if fragment and resolved.suffix == ".md":
+                if fragment not in heading_slugs(resolved):
+                    errors.append(
+                        f"{where}: missing anchor '#{fragment}' in "
+                        f"{resolved.relative_to(REPO)}")
+
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} broken doc link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(doc_files())} docs, all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Extracts the README quickstart commands (the bash fence between the
+# quickstart:begin/end markers) and runs them VERBATIM from the repository
+# root — CI runs this so the README can never drift from a working build.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+commands=$(awk '
+  /<!-- quickstart:begin -->/ { marked = 1; next }
+  /<!-- quickstart:end -->/   { marked = 0 }
+  marked && /^```/            { fence = !fence; next }
+  marked && fence             { print }
+' README.md)
+
+if [ -z "$commands" ]; then
+  echo "no quickstart commands found between the README markers" >&2
+  exit 1
+fi
+
+echo "== README quickstart =="
+printf '%s\n' "$commands"
+echo "======================="
+
+bash -euxo pipefail -c "$commands"

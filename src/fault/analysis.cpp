@@ -6,14 +6,40 @@ QuadrantAnalysis::QuadrantAnalysis(const FaultSet& faults, Quadrant q)
     : quadrant_(q),
       frame_(Frame::forQuadrant(faults.mesh(), q)),
       localMesh_(frame_.localMesh()),
-      labels_(computeLabels(localMesh_, transformFaults(faults, frame_))),
-      extraction_(extractMccs(localMesh_, labels_)),
-      unsafeCount_(countUnsafe(localMesh_, labels_)) {}
+      labeler_(localMesh_, transformFaults(faults, frame_)) {}
 
 const QuadrantAnalysis& FaultAnalysis::quadrant(Quadrant q) const {
   auto& slot = cache_[static_cast<std::size_t>(q)];
   if (!slot) slot = std::make_unique<QuadrantAnalysis>(*faults_, q);
   return *slot;
+}
+
+void FaultAnalysis::applyAddFault(Point world) {
+  for (auto& slot : cache_) {
+    if (slot) slot->addFault(world);
+  }
+}
+
+void FaultAnalysis::applyRemoveFault(Point world) {
+  for (auto& slot : cache_) {
+    if (slot) slot->removeFault(world);
+  }
+}
+
+bool DynamicFaultModel::addFault(Point p) {
+  if (faults_.isFaulty(p)) return false;
+  faults_.add(p);
+  analysis_.applyAddFault(p);
+  ++version_;
+  return true;
+}
+
+bool DynamicFaultModel::removeFault(Point p) {
+  if (faults_.isHealthy(p)) return false;
+  faults_.remove(p);
+  analysis_.applyRemoveFault(p);
+  ++version_;
+  return true;
 }
 
 }  // namespace meshrt

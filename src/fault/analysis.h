@@ -2,12 +2,20 @@
 // normalized frame, plus the four-quadrant bundle a routing session uses.
 // Labels and MCC cells are invariant under transpose, so type-II analyses
 // reuse the same QuadrantAnalysis through transposed views.
+//
+// The labeling state lives in an IncrementalLabeler, so an analysis can be
+// patched in place when faults arrive or are repaired while the network
+// runs (DESIGN.md section 6). Static sweeps never call the mutators and
+// behave exactly as a bulk computeLabels + extractMccs. DynamicFaultModel
+// below is the front door for the online path: it owns the FaultSet and
+// keeps every materialized quadrant in step.
 #pragma once
 
 #include <array>
 #include <memory>
 
 #include "fault/fault_set.h"
+#include "fault/incremental.h"
 #include "fault/labeling.h"
 #include "fault/mcc.h"
 #include "mesh/frame.h"
@@ -22,29 +30,47 @@ class QuadrantAnalysis {
   /// Non-transposed local frame of this quadrant.
   const Frame& frame() const { return frame_; }
   const Mesh2D& localMesh() const { return localMesh_; }
-  const LabelGrid& labels() const { return labels_; }
-  const std::vector<Mcc>& mccs() const { return extraction_.mccs; }
+  const LabelGrid& labels() const { return labeler_.labels(); }
+
+  /// Id-indexed component storage. After dynamic deltas, retired slots
+  /// (id == -1) appear and must be skipped when iterating; static analyses
+  /// are always dense. mccCount() counts live components.
+  const std::vector<Mcc>& mccs() const { return labeler_.mccs(); }
+  std::size_t mccCount() const { return labeler_.mccCount(); }
 
   /// MCC id at a local-frame point, or -1.
-  int mccIndexAt(Point local) const { return extraction_.mccIndex[local]; }
+  int mccIndexAt(Point local) const { return labeler_.mccIndex()[local]; }
 
   /// The full id map (local frame).
-  const NodeMap<int>& mccIndex() const { return extraction_.mccIndex; }
+  const NodeMap<int>& mccIndex() const { return labeler_.mccIndex(); }
 
-  bool isSafeLocal(Point local) const { return labels_.isSafe(local); }
+  bool isSafeLocal(Point local) const { return labels().isSafe(local); }
   bool isSafeWorld(Point world) const {
-    return labels_.isSafe(frame_.toLocal(world));
+    return labels().isSafe(frame_.toLocal(world));
   }
 
-  std::size_t unsafeCount() const { return unsafeCount_; }
+  std::size_t unsafeCount() const { return labeler_.unsafeCount(); }
+
+  /// The labeling engine: version() and deltaLog() let knowledge bases
+  /// follow dynamic updates (QuadrantInfo::sync).
+  const IncrementalLabeler& labeler() const { return labeler_; }
+  std::uint64_t version() const { return labeler_.version(); }
+
+  /// Online fault arrival/repair in world coordinates. The returned delta
+  /// is in this quadrant's local frame. Callers normally go through
+  /// DynamicFaultModel, which also keeps the FaultSet in step.
+  LabelDelta addFault(Point world) {
+    return labeler_.addFault(frame_.toLocal(world));
+  }
+  LabelDelta removeFault(Point world) {
+    return labeler_.removeFault(frame_.toLocal(world));
+  }
 
  private:
   Quadrant quadrant_;
   Frame frame_;
   Mesh2D localMesh_;
-  LabelGrid labels_;
-  MccExtraction extraction_;
-  std::size_t unsafeCount_ = 0;
+  IncrementalLabeler labeler_;
 };
 
 /// Lazily materializes the four quadrant analyses of one fault set.
@@ -62,9 +88,48 @@ class FaultAnalysis {
 
   const FaultSet& faults() const { return *faults_; }
 
+  /// Patches every materialized quadrant after the underlying FaultSet
+  /// gained/lost `world`. The caller must mutate the FaultSet first so
+  /// quadrants materialized later agree with the patched ones (see
+  /// DynamicFaultModel, which owns that ordering).
+  void applyAddFault(Point world);
+  void applyRemoveFault(Point world);
+
  private:
   const FaultSet* faults_;
   mutable std::array<std::unique_ptr<QuadrantAnalysis>, 4> cache_;
+};
+
+/// Owns a FaultSet and its FaultAnalysis, keeping both in step under
+/// online fault arrival and repair — the object a dynamic routing session
+/// (DynamicSweep, NoC scenarios) holds instead of a frozen FaultSet.
+class DynamicFaultModel {
+ public:
+  explicit DynamicFaultModel(const Mesh2D& mesh)
+      : faults_(mesh), analysis_(faults_) {}
+  explicit DynamicFaultModel(const FaultSet& initial)
+      : faults_(initial), analysis_(faults_) {}
+
+  // The analysis points into faults_; pinning the object keeps
+  // RouterContext{&faults(), &analysis()} valid for the session.
+  DynamicFaultModel(const DynamicFaultModel&) = delete;
+  DynamicFaultModel& operator=(const DynamicFaultModel&) = delete;
+
+  const Mesh2D& mesh() const { return faults_.mesh(); }
+  const FaultSet& faults() const { return faults_; }
+  const FaultAnalysis& analysis() const { return analysis_; }
+
+  /// Number of effective add/remove events so far.
+  std::uint64_t version() const { return version_; }
+
+  /// Returns false when the toggle was a no-op (already faulty/healthy).
+  bool addFault(Point p);
+  bool removeFault(Point p);
+
+ private:
+  FaultSet faults_;
+  FaultAnalysis analysis_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace meshrt

@@ -1,6 +1,8 @@
 // The set of faulty nodes in a mesh. Link faults are handled per the paper
 // by disabling the adjacent nodes, so a node-fault set is the only fault
-// representation the library needs.
+// representation the library needs. Mutable both ways (add/remove) so the
+// dynamic-fault machinery can model online arrival and repair; see
+// DESIGN.md section 6.
 #pragma once
 
 #include <span>
@@ -27,6 +29,14 @@ class FaultSet {
     if (!faulty_[p]) {
       faulty_[p] = true;
       ++count_;
+    }
+  }
+
+  /// Repairs a node (online repair events in the dynamic sweeps).
+  void remove(Point p) {
+    if (faulty_[p]) {
+      faulty_[p] = false;
+      --count_;
     }
   }
 

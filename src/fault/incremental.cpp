@@ -1,0 +1,210 @@
+#include "fault/incremental.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace meshrt {
+
+IncrementalLabeler::IncrementalLabeler(const Mesh2D& localMesh)
+    : IncrementalLabeler(localMesh, FaultSet(localMesh)) {}
+
+IncrementalLabeler::IncrementalLabeler(const Mesh2D& localMesh,
+                                       const FaultSet& localFaults)
+    : mesh_(localMesh),
+      labels_(computeLabels(localMesh, localFaults)),
+      mccIndex_(localMesh, -1),
+      unsafeCount_(countUnsafe(localMesh, labels_)),
+      faultCount_(localFaults.count()),
+      touchEpoch_(localMesh, 0),
+      beforeRaw_(localMesh, 0) {
+  MccExtraction extraction = extractMccs(localMesh, labels_);
+  mccs_ = std::move(extraction.mccs);
+  mccIndex_ = std::move(extraction.mccIndex);
+  liveMccs_ = mccs_.size();
+}
+
+bool IncrementalLabeler::blockedForward(Point p) const {
+  if (!mesh_.contains(p)) return false;  // safe wall (DESIGN.md s3 item 1)
+  return labels_.isFaulty(p) || labels_.isUseless(p);
+}
+
+bool IncrementalLabeler::blockedBackward(Point p) const {
+  if (!mesh_.contains(p)) return false;
+  return labels_.isFaulty(p) || labels_.isCantReach(p);
+}
+
+void IncrementalLabeler::touch(Point p) {
+  if (touchEpoch_[p] != epoch_) {
+    touchEpoch_[p] = epoch_;
+    beforeRaw_[p] = labels_.raw(p);
+    touched_.push_back(p);
+  }
+}
+
+void IncrementalLabeler::setRaw(Point p, std::uint8_t bits) {
+  const std::uint8_t before = labels_.raw(p);
+  if (before == bits) return;
+  if (before == 0) {
+    ++unsafeCount_;
+  } else if (bits == 0) {
+    --unsafeCount_;
+  }
+  labels_.assign(p, bits);
+}
+
+void IncrementalLabeler::recheckUseless(Point q, std::vector<Point>& worklist) {
+  if (!mesh_.contains(q) || labels_.isFaulty(q)) return;
+  const bool want = blockedForward({q.x + 1, q.y}) &&
+                    blockedForward({q.x, q.y + 1});
+  if (want == labels_.isUseless(q)) return;
+  touch(q);
+  setRaw(q, labels_.raw(q) ^ kUselessBit);
+  // The nodes whose useless rule reads q.
+  worklist.push_back({q.x - 1, q.y});
+  worklist.push_back({q.x, q.y - 1});
+}
+
+void IncrementalLabeler::recheckCantReach(Point q,
+                                          std::vector<Point>& worklist) {
+  if (!mesh_.contains(q) || labels_.isFaulty(q)) return;
+  const bool want = blockedBackward({q.x - 1, q.y}) &&
+                    blockedBackward({q.x, q.y - 1});
+  if (want == labels_.isCantReach(q)) return;
+  touch(q);
+  setRaw(q, labels_.raw(q) ^ kCantReachBit);
+  worklist.push_back({q.x + 1, q.y});
+  worklist.push_back({q.x, q.y + 1});
+}
+
+void IncrementalLabeler::drainWavefront(std::vector<Point>& uselessWl,
+                                        std::vector<Point>& cantWl) {
+  // The two rules never read each other's bit, so the drains are
+  // independent; within each, dependencies are acyclic (strictly
+  // increasing x+y for useless, decreasing for can't-reach), so chaotic
+  // order converges to the unique fixpoint.
+  while (!uselessWl.empty()) {
+    const Point q = uselessWl.back();
+    uselessWl.pop_back();
+    recheckUseless(q, uselessWl);
+  }
+  while (!cantWl.empty()) {
+    const Point q = cantWl.back();
+    cantWl.pop_back();
+    recheckCantReach(q, cantWl);
+  }
+}
+
+LabelDelta IncrementalLabeler::addFault(Point p) {
+  LabelDelta delta;
+  delta.version = version_;
+  delta.fault = p;
+  delta.added = true;
+  if (labels_.isFaulty(p)) return delta;  // no-op
+
+  ++epoch_;
+  touched_.clear();
+  touch(p);
+  setRaw(p, kFaultyBit);  // faulty nodes carry only the faulty bit
+  ++faultCount_;
+
+  std::vector<Point> uselessWl{{p.x - 1, p.y}, {p.x, p.y - 1}};
+  std::vector<Point> cantWl{{p.x + 1, p.y}, {p.x, p.y + 1}};
+  drainWavefront(uselessWl, cantWl);
+  finalizeDelta(delta);
+  return delta;
+}
+
+LabelDelta IncrementalLabeler::removeFault(Point p) {
+  LabelDelta delta;
+  delta.version = version_;
+  delta.fault = p;
+  delta.added = false;
+  if (!labels_.isFaulty(p)) return delta;  // no-op
+
+  ++epoch_;
+  touched_.clear();
+  touch(p);
+  setRaw(p, 0);  // tentatively safe; the rechecks re-derive p's own labels
+  --faultCount_;
+
+  std::vector<Point> uselessWl{p, {p.x - 1, p.y}, {p.x, p.y - 1}};
+  std::vector<Point> cantWl{p, {p.x + 1, p.y}, {p.x, p.y + 1}};
+  drainWavefront(uselessWl, cantWl);
+  finalizeDelta(delta);
+  return delta;
+}
+
+void IncrementalLabeler::finalizeDelta(LabelDelta& delta) {
+  for (Point p : touched_) {
+    if (labels_.raw(p) != beforeRaw_[p]) delta.changed.push_back(p);
+  }
+  // An effective toggle always changes the toggled node's byte.
+  assert(!delta.changed.empty());
+  delta.version = ++version_;
+  patchMccs(delta);
+  log_.push_back(delta);
+  while (log_.size() > kDeltaLogCapacity) log_.pop_front();
+}
+
+int IncrementalLabeler::allocateId() {
+  if (!freeIds_.empty()) {
+    const int id = freeIds_.front();
+    freeIds_.erase(freeIds_.begin());
+    return id;
+  }
+  const int id = static_cast<int>(mccs_.size());
+  mccs_.emplace_back();
+  return id;
+}
+
+void IncrementalLabeler::patchMccs(LabelDelta& delta) {
+  // Retire every component that contains or 8-borders a changed cell.
+  // 4-neighbors pin down the components the change can merge with or split
+  // (two distinct components are never 4-adjacent); the diagonals matter
+  // because a component's corner metadata (cornerC/C'/NW/SE validity)
+  // reads the label at points diagonally adjacent to its cells, so a
+  // change there must rebuild the record even when no cell moved. Cells
+  // that left a component still carry its id in the index.
+  std::vector<int> affected;
+  auto addAffected = [&](int id) {
+    if (id >= 0 &&
+        std::find(affected.begin(), affected.end(), id) == affected.end()) {
+      affected.push_back(id);
+    }
+  };
+  for (Point c : delta.changed) {
+    for (Coord dy = -1; dy <= 1; ++dy) {
+      for (Coord dx = -1; dx <= 1; ++dx) {
+        const Point q{c.x + dx, c.y + dy};
+        if (mesh_.contains(q)) addAffected(mccIndex_[q]);
+      }
+    }
+  }
+
+  // The re-extraction region: the retired components' cells plus the
+  // changed cells. Closed under unsafe 4-connectivity (DESIGN.md s6).
+  std::vector<Point> region(delta.changed);
+  for (int id : affected) {
+    const std::vector<Point> cells =
+        mccs_[static_cast<std::size_t>(id)].shape.cells();
+    for (Point cell : cells) mccIndex_[cell] = -1;
+    region.insert(region.end(), cells.begin(), cells.end());
+    mccs_[static_cast<std::size_t>(id)] = Mcc{};  // tombstone (id == -1)
+    freeIds_.insert(
+        std::lower_bound(freeIds_.begin(), freeIds_.end(), id), id);
+    --liveMccs_;
+    delta.removedMccs.push_back(id);
+  }
+
+  std::vector<Point> cells;
+  for (Point seed : region) {
+    if (!labels_.isUnsafe(seed) || mccIndex_[seed] != -1) continue;
+    const int id = allocateId();
+    floodComponent(mesh_, labels_, mccIndex_, seed, id, cells);
+    mccs_[static_cast<std::size_t>(id)] = buildMcc(mesh_, labels_, cells, id);
+    ++liveMccs_;
+    delta.addedMccs.push_back(id);
+  }
+}
+
+}  // namespace meshrt

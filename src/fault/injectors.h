@@ -1,6 +1,10 @@
 // Fault-pattern generators. The paper's simulator uses uniformly random node
 // faults; the clustered and patch injectors support the ablation benches
-// (real machine failures correlate spatially).
+// (real machine failures correlate spatially). These produce *frozen*
+// configurations for the static sweeps; the online scenarios instead feed
+// faults one at a time through DynamicFaultModel / IncrementalLabeler
+// (fault/incremental.h), whose arrival process lives in
+// harness/dynamic_sweep.h. See DESIGN.md section 3 item 8 and section 6.
 #pragma once
 
 #include <cstddef>

@@ -9,9 +9,14 @@
 // Labels are iterated to fixpoint; faulty/useless/can't-reach nodes are
 // "unsafe" and their 4-connected components form the MCCs.
 //
+// computeLabels below is the full (bulk) fixpoint; for online fault
+// arrival/repair, fault/incremental.h maintains the same fixpoint by
+// re-running the rules only over the affected wavefront (see DESIGN.md
+// section 6) — the two are differentially tested to be bit-identical.
+//
 // Mesh borders: the paper leaves them undefined; off-mesh neighbors count as
 // *not* blocked (safe walls), otherwise entire border rows/columns would
-// cascade unsafe in a fault-free mesh. See DESIGN.md section 3.
+// cascade unsafe in a fault-free mesh. See DESIGN.md section 3 item 1.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +47,9 @@ class LabelGrid {
 
   std::uint8_t raw(Point p) const { return flags_[p]; }
   void set(Point p, std::uint8_t bits) { flags_[p] |= bits; }
+  /// Replaces the whole label byte (the incremental relabeler both sets and
+  /// clears bits; bulk labeling only ever sets them).
+  void assign(Point p, std::uint8_t bits) { flags_[p] = bits; }
 
  private:
   NodeMap<std::uint8_t> flags_;

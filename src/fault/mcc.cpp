@@ -26,58 +26,67 @@ Staircase transposeCells(const std::vector<Point>& cells) {
 
 }  // namespace
 
+Mcc buildMcc(const Mesh2D& localMesh, const LabelGrid& labels,
+             const std::vector<Point>& cells, int id) {
+  auto shape = Staircase::fromCells(cells);
+  if (!shape) {
+    // The labeling fixpoint guarantees the staircase property; reaching
+    // this line means the labeling implementation is broken.
+    throw std::logic_error("MCC violates staircase invariant");
+  }
+
+  Mcc mcc;
+  mcc.id = id;
+  mcc.shape = *shape;
+  mcc.shapeTransposed = transposeCells(cells);
+  mcc.cellCount = cells.size();
+  for (Point p : cells) {
+    if (labels.isFaulty(p)) ++mcc.faultyCells;
+  }
+
+  auto setIfUsable = [&](std::optional<Point>& slot, Point p) {
+    if (localMesh.contains(p) && labels.isSafe(p)) slot = p;
+  };
+  setIfUsable(mcc.cornerC, shape->initializationCorner());
+  setIfUsable(mcc.cornerCPrime, shape->oppositeCorner());
+  setIfUsable(mcc.cornerNW,
+              {shape->xmin() - 1, shape->span(shape->xmin()).hi + 1});
+  setIfUsable(mcc.cornerSE,
+              {shape->xmax() + 1, shape->span(shape->xmax()).lo - 1});
+  return mcc;
+}
+
+void floodComponent(const Mesh2D& localMesh, const LabelGrid& labels,
+                    NodeMap<int>& index, Point seed, int id,
+                    std::vector<Point>& cells) {
+  cells.clear();
+  std::vector<Point> stack{seed};
+  index[seed] = id;
+  while (!stack.empty()) {
+    const Point p = stack.back();
+    stack.pop_back();
+    cells.push_back(p);
+    localMesh.forEachNeighbor(p, [&](Point q) {
+      if (labels.isUnsafe(q) && index[q] == -1) {
+        index[q] = id;
+        stack.push_back(q);
+      }
+    });
+  }
+}
+
 MccExtraction extractMccs(const Mesh2D& localMesh, const LabelGrid& labels) {
   MccExtraction out{{}, NodeMap<int>(localMesh, -1)};
 
-  std::vector<Point> stack;
+  std::vector<Point> cells;
   for (Coord y0 = 0; y0 < localMesh.height(); ++y0) {
     for (Coord x0 = 0; x0 < localMesh.width(); ++x0) {
       const Point seed{x0, y0};
       if (!labels.isUnsafe(seed) || out.mccIndex[seed] != -1) continue;
 
       const int id = static_cast<int>(out.mccs.size());
-      std::vector<Point> cells;
-      std::size_t faulty = 0;
-      stack.assign(1, seed);
-      out.mccIndex[seed] = id;
-      while (!stack.empty()) {
-        const Point p = stack.back();
-        stack.pop_back();
-        cells.push_back(p);
-        if (labels.isFaulty(p)) ++faulty;
-        localMesh.forEachNeighbor(p, [&](Point q) {
-          if (labels.isUnsafe(q) && out.mccIndex[q] == -1) {
-            out.mccIndex[q] = id;
-            stack.push_back(q);
-          }
-        });
-      }
-
-      auto shape = Staircase::fromCells(cells);
-      if (!shape) {
-        // The labeling fixpoint guarantees the staircase property; reaching
-        // this line means the labeling implementation is broken.
-        throw std::logic_error("MCC violates staircase invariant");
-      }
-
-      Mcc mcc;
-      mcc.id = id;
-      mcc.shape = *shape;
-      mcc.shapeTransposed = transposeCells(cells);
-      mcc.cellCount = cells.size();
-      mcc.faultyCells = faulty;
-
-      auto setIfUsable = [&](std::optional<Point>& slot, Point p) {
-        if (localMesh.contains(p) && labels.isSafe(p)) slot = p;
-      };
-      setIfUsable(mcc.cornerC, shape->initializationCorner());
-      setIfUsable(mcc.cornerCPrime, shape->oppositeCorner());
-      setIfUsable(mcc.cornerNW,
-                  {shape->xmin() - 1, shape->span(shape->xmin()).hi + 1});
-      setIfUsable(mcc.cornerSE,
-                  {shape->xmax() + 1, shape->span(shape->xmax()).lo - 1});
-
-      out.mccs.push_back(std::move(mcc));
+      floodComponent(localMesh, labels, out.mccIndex, seed, id, cells);
+      out.mccs.push_back(buildMcc(localMesh, labels, cells, id));
     }
   }
   return out;

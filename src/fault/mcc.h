@@ -1,6 +1,10 @@
 // Extraction of Minimal Connected Components from a labeled grid: the
 // 4-connected components of unsafe nodes, each carrying its staircase shape
 // F(c), its initialization corner c, and its opposite corner c'.
+// extractMccs is the bulk path; fault/incremental.h patches an existing
+// extraction in place under fault arrival/repair (DESIGN.md section 6).
+// Corner validity follows DESIGN.md section 3 (off-mesh or unsafe corners
+// are absent).
 #pragma once
 
 #include <optional>
@@ -50,5 +54,23 @@ struct MccExtraction {
 /// component violates the staircase invariant, which the labeling fixpoint
 /// provably prevents.
 MccExtraction extractMccs(const Mesh2D& localMesh, const LabelGrid& labels);
+
+/// Builds the full Mcc record (shape, transposed shape, corners, counts)
+/// for one component's cells under `id`. Shared by extractMccs and the
+/// incremental patcher (fault/incremental.h), so both produce identical
+/// records. Throws std::logic_error when the cells violate the staircase
+/// invariant.
+Mcc buildMcc(const Mesh2D& localMesh, const LabelGrid& labels,
+             const std::vector<Point>& cells, int id);
+
+/// Collects the 4-connected unsafe component containing `seed` into
+/// `cells` (cleared first), stamping `id` into `index`. Precondition:
+/// `seed` is unsafe with index[seed] == -1. One traversal shared by
+/// extractMccs and the incremental patcher — cell order feeds Staircase
+/// construction, so both sides must walk identically for the differential
+/// bit-identity contract to hold.
+void floodComponent(const Mesh2D& localMesh, const LabelGrid& labels,
+                    NodeMap<int>& index, Point seed, int id,
+                    std::vector<Point>& cells);
 
 }  // namespace meshrt

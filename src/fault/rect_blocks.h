@@ -3,7 +3,8 @@
 // Fault components are grown to their bounding rectangles; rectangles that
 // touch or overlap merge until the blocks are pairwise non-adjacent.
 // Healthy nodes inside a block count as disabled — the waste the MCC model
-// eliminates (ablation bench `ablation_fault_models`).
+// eliminates (ablation bench `ablation_fault_models`). See DESIGN.md
+// section 3 item 5 for how the rect-block baseline is scoped.
 #pragma once
 
 #include <vector>

@@ -5,7 +5,8 @@
 //   --seed=2007 --threads=N --routers=rb2,rb3 --format=table|csv|json
 //   --out=FILE
 // Router names resolve through the RouterRegistry; output flows through
-// the result-sink layer.
+// the result-sink layer. See DESIGN.md section 5 and
+// docs/REPRODUCING.md for the full flag reference.
 #pragma once
 
 #include <cstdlib>

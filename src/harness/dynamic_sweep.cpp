@@ -1,0 +1,192 @@
+#include "harness/dynamic_sweep.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fault/analysis.h"
+#include "route/bfs.h"
+#include "route/registry.h"
+#include "route/validate.h"
+
+namespace meshrt {
+
+std::size_t poissonDraw(Rng& rng, double mean) {
+  if (mean <= 0.0) return 0;
+  // Knuth's product method underflows for large means; a Poisson of mean
+  // m1 + m2 is the sum of independent Poissons, so split recursively.
+  if (mean > 32.0) {
+    const double half = mean / 2.0;
+    return poissonDraw(rng, half) + poissonDraw(rng, mean - half);
+  }
+  const double limit = std::exp(-mean);
+  std::size_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.uniform01();
+  } while (p > limit);
+  return k - 1;
+}
+
+namespace {
+
+Point randomHealthy(const FaultSet& faults, Rng& rng) {
+  const Mesh2D& mesh = faults.mesh();
+  for (;;) {
+    const Point p{static_cast<Coord>(
+                      rng.below(static_cast<std::uint64_t>(mesh.width()))),
+                  static_cast<Coord>(
+                      rng.below(static_cast<std::uint64_t>(mesh.height())))};
+    if (faults.isHealthy(p)) return p;
+  }
+}
+
+}  // namespace
+
+DynamicSweep::DynamicSweep(DynamicSweepConfig cfg,
+                           std::vector<std::string> routerKeys)
+    : cfg_(std::move(cfg)), routerKeys_(std::move(routerKeys)) {
+  if (cfg_.epochs == 0) {
+    throw std::invalid_argument("DynamicSweep needs at least one epoch");
+  }
+  for (std::size_t i = 0; i < routerKeys_.size(); ++i) {
+    RouterRegistry::global().at(routerKeys_[i]);  // throws on unknown key
+    for (std::size_t j = 0; j < i; ++j) {
+      if (routerKeys_[j] == routerKeys_[i]) {
+        throw std::invalid_argument("router '" + routerKeys_[i] +
+                                    "' listed twice");
+      }
+    }
+  }
+}
+
+std::vector<SweepRow> DynamicSweep::run() const {
+  const std::size_t epochs = cfg_.epochs;
+  const double repairProb = cfg_.repairProbability;
+  const auto& keys = routerKeys_;
+
+  auto body = [&, epochs, repairProb](const SweepCellContext& ctx, Rng& rng,
+                                      MetricSet& out) {
+    // Create every column up front so all cells report the same set.
+    Accumulator& activeFaults = out.acc(metric::kActiveFaults);
+    RatioCounter& pairSurvived = out.ratio(metric::kPairSurvived);
+    std::vector<RatioCounter*> reroutedCols;
+    std::vector<RatioCounter*> deliveredCols;
+    std::vector<RatioCounter*> successCols;
+    std::vector<Accumulator*> extraCols;
+    for (const std::string& key : keys) {
+      reroutedCols.push_back(&out.ratio(metric::rerouted(key)));
+      deliveredCols.push_back(&out.ratio(metric::delivered(key)));
+      successCols.push_back(&out.ratio(metric::success(key)));
+      extraCols.push_back(&out.acc(metric::rerouteExtra(key)));
+    }
+
+    // The cell's whole point: one model, one router set, patched across
+    // every event instead of rebuilt.
+    DynamicFaultModel model(ctx.mesh);
+    const RouterContext rctx{&model.faults(), &model.analysis()};
+    const auto routers = makeRouters(keys, rctx);
+    const double arrivalsPerEpoch =
+        static_cast<double>(ctx.faults) / static_cast<double>(epochs);
+    const auto nodeCount = static_cast<std::size_t>(ctx.mesh.nodeCount());
+
+    struct PairRun {
+      Point s;
+      Point d;
+      std::vector<RouteResult> pre;
+      std::vector<bool> preOk;
+    };
+
+    for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+      if (model.faults().count() >= nodeCount) break;
+
+      // 1. The pre-fault batch: safe connected pairs under the current
+      // state, routed by every router.
+      std::vector<PairRun> batch;
+      std::size_t attempts = 0;
+      const std::size_t maxAttempts = ctx.cfg.pairsPerConfig * 80;
+      while (batch.size() < ctx.cfg.pairsPerConfig &&
+             attempts++ < maxAttempts) {
+        const Point s = randomHealthy(model.faults(), rng);
+        const Point d = randomHealthy(model.faults(), rng);
+        if (s == d) continue;
+        const auto& qa = model.analysis().forPair(s, d);
+        const Point sL = qa.frame().toLocal(s);
+        const Point dL = qa.frame().toLocal(d);
+        if (!qa.labels().isSafe(sL) || !qa.labels().isSafe(dL)) continue;
+        const auto dist = safeDistances(qa.localMesh(), qa.labels(), sL);
+        if (dist[dL] == kUnreachable) continue;
+
+        PairRun run{s, d, {}, {}};
+        for (const auto& router : routers) {
+          RouteResult res = router->route(s, d);
+          const bool ok =
+              res.delivered && isValidPath(model.faults(), s, d, res.path);
+          run.preOk.push_back(ok);
+          run.pre.push_back(std::move(res));
+        }
+        batch.push_back(std::move(run));
+      }
+
+      // 2. Fault arrivals (Poisson) and repairs, fed through the
+      // incremental path while the batch is conceptually in flight.
+      const std::size_t arrivals = poissonDraw(rng, arrivalsPerEpoch);
+      for (std::size_t a = 0; a < arrivals; ++a) {
+        if (model.faults().count() + 1 >= nodeCount) break;
+        model.addFault(randomHealthy(model.faults(), rng));
+      }
+      if (repairProb > 0.0) {
+        std::vector<Point> repaired;
+        for (Point p : model.faults().toVector()) {
+          if (rng.chance(repairProb)) repaired.push_back(p);
+        }
+        for (Point p : repaired) model.removeFault(p);
+      }
+      activeFaults.add(static_cast<double>(model.faults().count()));
+
+      // 3. Re-route the batch against the patched analysis.
+      for (const PairRun& run : batch) {
+        const bool endpointsAlive = model.faults().isHealthy(run.s) &&
+                                    model.faults().isHealthy(run.d);
+        bool survived = false;
+        Distance newOpt = kUnreachable;
+        if (endpointsAlive) {
+          const auto& qa = model.analysis().forPair(run.s, run.d);
+          const Point sL = qa.frame().toLocal(run.s);
+          const Point dL = qa.frame().toLocal(run.d);
+          if (qa.labels().isSafe(sL) && qa.labels().isSafe(dL)) {
+            const auto dist = safeDistances(qa.localMesh(), qa.labels(), sL);
+            if (dist[dL] != kUnreachable) {
+              survived = true;
+              newOpt = dist[dL];
+            }
+          }
+        }
+        pairSurvived.add(survived);
+        if (!survived) continue;
+
+        for (std::size_t r = 0; r < routers.size(); ++r) {
+          if (run.preOk[r]) {
+            const bool stillValid = isValidPath(model.faults(), run.s,
+                                                run.d, run.pre[r].path);
+            reroutedCols[r]->add(!stillValid);
+          }
+          const RouteResult post = routers[r]->route(run.s, run.d);
+          const bool ok = post.delivered &&
+                          isValidPath(model.faults(), run.s, run.d,
+                                      post.path);
+          deliveredCols[r]->add(ok);
+          successCols[r]->add(ok && post.hops() == newOpt);
+          if (ok && run.preOk[r]) {
+            extraCols[r]->add(static_cast<double>(post.hops()) -
+                              static_cast<double>(run.pre[r].hops()));
+          }
+        }
+      }
+    }
+  };
+
+  return SweepEngine(cfg_.base).run(body);
+}
+
+}  // namespace meshrt

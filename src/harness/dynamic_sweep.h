@@ -1,0 +1,84 @@
+// The dynamic-fault sweep: routing while faults arrive (and are repaired)
+// mid-batch, the online scenario the incremental labeler exists for.
+// See DESIGN.md section 6.
+//
+// Each sweep cell owns a DynamicFaultModel and a set of registry routers
+// built ONCE for the cell; the cell then plays `epochs` rounds of
+//
+//   1. sample safe connected pairs and route them (the pre-fault batch),
+//   2. draw Poisson(level / epochs) fault arrivals (plus optional repairs,
+//      each existing fault repaired with repairProbability) and feed them
+//      through DynamicFaultModel — labeling, MCC index and knowledge are
+//      patched, never rebuilt,
+//   3. re-route the batch against the patched analysis, recording which
+//      pre-fault routes the events invalidated (rerouted), whether the
+//      re-route still delivers (delivered) and reaches the new safe-node
+//      optimum (success), and the hop penalty of the re-route over the
+//      pre-fault route (reroute_extra, the path-level reroute latency).
+//
+// Runs on the SweepEngine, so the (level x config) cells shard across the
+// thread pool with per-cell RNG streams and a serial reduction: output is
+// bitwise identical for threads=1 and threads=N, same contract as every
+// static sweep (tested in tests/dynamic_sweep_test.cpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiments.h"
+#include "harness/sweep_engine.h"
+
+namespace meshrt {
+
+namespace metric {
+
+/// % of valid pre-fault routes invalidated by the epoch's events.
+inline std::string rerouted(std::string_view router) {
+  return "rerouted:" + std::string(router);
+}
+/// Mean extra hops of the post-event route over the pre-fault route.
+inline std::string rerouteExtra(std::string_view router) {
+  return "reroute_extra:" + std::string(router);
+}
+/// Mean number of active faults when the post-event batch routed.
+inline constexpr std::string_view kActiveFaults = "active_faults";
+/// % of pre-fault pairs still safe-connected after the events.
+inline constexpr std::string_view kPairSurvived = "pair_survived";
+
+}  // namespace metric
+
+struct DynamicSweepConfig {
+  /// The shared sweep grid. faultLevels is reinterpreted as the EXPECTED
+  /// TOTAL number of fault arrivals over the cell's lifetime; each epoch
+  /// draws Poisson(level / epochs) arrivals.
+  SweepConfig base;
+  /// Fault-arrival batches per cell.
+  std::size_t epochs = 10;
+  /// Per existing fault per epoch: probability it is repaired before the
+  /// post-event batch routes. 0 = faults only accumulate.
+  double repairProbability = 0.0;
+};
+
+class DynamicSweep {
+ public:
+  /// Router keys resolve through the RouterRegistry; throws
+  /// std::invalid_argument on unknown or duplicate keys (same contract as
+  /// RoutingExperiment).
+  DynamicSweep(DynamicSweepConfig cfg, std::vector<std::string> routerKeys);
+
+  const DynamicSweepConfig& config() const { return cfg_; }
+  const std::vector<std::string>& routerKeys() const { return routerKeys_; }
+
+  /// One row per arrival level, reduced in deterministic order.
+  std::vector<SweepRow> run() const;
+
+ private:
+  DynamicSweepConfig cfg_;
+  std::vector<std::string> routerKeys_;
+};
+
+/// Deterministic Poisson draw (Knuth's product method) from the cell's RNG
+/// stream; exposed for the tests.
+std::size_t poissonDraw(Rng& rng, double mean);
+
+}  // namespace meshrt

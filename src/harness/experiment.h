@@ -3,7 +3,9 @@
 // The paper's setup: a 100x100 mesh, uniformly random fault counts from 0 to
 // 3000 (beyond which the MCC model disables the whole mesh), random
 // source/destination pairs that are safe and connected. MAX/AVG series are
-// taken across random fault configurations per fault level.
+// taken across random fault configurations per fault level. See DESIGN.md
+// section 5 for the engine this configures (and section 3 item 8 for how
+// DynamicSweep reinterprets the fault levels).
 #pragma once
 
 #include <cstdint>

@@ -33,7 +33,7 @@ void faultMetricsCell(const SweepCellContext& ctx, Rng& rng, MetricSet& out) {
   out.acc(metric::kDisabledPct)
       .add(100.0 * static_cast<double>(qa.unsafeCount()) /
            static_cast<double>(ctx.mesh.nodeCount()));
-  out.acc(metric::kMccCount).add(static_cast<double>(qa.mccs().size()));
+  out.acc(metric::kMccCount).add(static_cast<double>(qa.mccCount()));
 }
 
 void infoMetricsCell(const SweepCellContext& ctx, Rng& rng, MetricSet& out) {

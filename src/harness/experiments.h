@@ -9,6 +9,9 @@
 //
 // Column names are stable strings (metric::success("rb2") == "success:rb2")
 // so benches and tests address results without positional arrays.
+// See DESIGN.md section 5 (engine) and section 3 items 6-7 (what the
+// routing metrics score against and how pairs are sampled); the dynamic
+// counterparts live in harness/dynamic_sweep.h.
 #pragma once
 
 #include <string>

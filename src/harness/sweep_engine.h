@@ -10,7 +10,9 @@
 //
 // What a cell computes is pluggable (see harness/experiments.h for the
 // standard bodies); which metric columns exist is decided by the body at
-// runtime, not by fixed-width arrays in the harness.
+// runtime, not by fixed-width arrays in the harness. See DESIGN.md
+// section 5; the determinism contract is restated for the dynamic sweeps
+// in section 6.3.
 #pragma once
 
 #include <cstdint>

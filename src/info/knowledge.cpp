@@ -14,64 +14,103 @@ constexpr std::uint8_t kModeEast = 1;   // travelling +X from the -X boundary
 constexpr std::uint8_t kModeWest = 2;   // travelling -X from the +X boundary
 constexpr std::uint8_t kModeNorth = 4;  // the +Y chains
 
+/// Chebyshev dilation radius used to decide which surviving MCCs a label
+/// delta can affect. Boundary walks and floods take node-local decisions
+/// from the 3x3 neighborhood of the nodes they visit, so any label change
+/// that can redirect a propagation lies within Chebyshev distance 2 of its
+/// recorded footprint (DESIGN.md section 6).
+constexpr Coord kTouchRadius = 2;
+
 }  // namespace
 
 void QuadrantInfo::markInvolved(Point p, int mccId) {
-  if (!involved_[p]) {
-    involved_[p] = true;
-    ++involvedCount_;
-  }
-  if (perMccStamp_[p] != mccId) {
-    perMccStamp_[p] = mccId;
-    ++perMccInvolved_[static_cast<std::size_t>(mccId)];
-  }
+  if (involveStamp_[p] == involveEpoch_) return;  // counted this pass
+  involveStamp_[p] = involveEpoch_;
+  footprint_[static_cast<std::size_t>(mccId)].push_back(p);
+  ++perMccInvolved_[static_cast<std::size_t>(mccId)];
+  if (involvedRefs_[p]++ == 0) ++involvedCount_;
 }
 
-void QuadrantInfo::addKnown(std::vector<std::vector<int>>& table, Point p,
-                            int id) {
+void QuadrantInfo::addKnown(std::vector<std::vector<int>>& table,
+                            std::vector<Point>& nodes, Point p, int id) {
   auto& list = table[static_cast<std::size_t>(analysis_->localMesh().id(p))];
-  if (list.empty() || list.back() != id) list.push_back(id);
+  const auto it = std::lower_bound(list.begin(), list.end(), id);
+  if (it != list.end() && *it == id) return;
+  list.insert(it, id);
+  nodes.push_back(p);
+}
+
+QuadrantInfo::TransposedView QuadrantInfo::makeView() const {
+  const Mesh2D& mesh = analysis_->localMesh();
+  return TransposedView{
+      meshT_, transposeLabels(mesh, analysis_->labels(), meshT_),
+      transposeIndex(mesh, analysis_->mccIndex(), meshT_)};
 }
 
 QuadrantInfo::QuadrantInfo(const QuadrantAnalysis& qa, InfoModel model)
     : analysis_(&qa),
       model_(model),
+      meshT_(qa.localMesh().height(), qa.localMesh().width()),
       knownI_(static_cast<std::size_t>(qa.localMesh().nodeCount())),
       knownII_(static_cast<std::size_t>(qa.localMesh().nodeCount())),
-      involved_(qa.localMesh(), false),
-      perMccStamp_(qa.localMesh(), -1),
-      perMccInvolved_(qa.mccs().size(), 0) {
-  const Mesh2D& mesh = qa.localMesh();
-  const LabelGrid& labels = qa.labels();
-  const Mesh2D meshT(mesh.height(), mesh.width());
-  const LabelGrid labelsT = transposeLabels(mesh, labels, meshT);
-  const NodeMap<int> indexT = transposeIndex(mesh, qa.mccIndex(), meshT);
+      involvedRefs_(qa.localMesh(), 0),
+      involveStamp_(qa.localMesh(), 0),
+      stamp_(qa.localMesh(), 0),
+      floodStamp_(qa.localMesh(), 0),
+      floodStampT_(meshT_, 0),
+      modeStamp_(qa.localMesh(), 0),
+      modes_(qa.localMesh(), 0),
+      modeStampT_(meshT_, 0),
+      modesT_(meshT_, 0) {
+  buildAll();
+}
 
-  // Per-MCC scratch for the B2 flood.
-  NodeMap<int> boundaryStamp(mesh, -1);
-  NodeMap<int> boundaryStampT(meshT, -1);
+void QuadrantInfo::growTo(std::size_t mccSlots) {
+  if (nodesI_.size() >= mccSlots) return;
+  nodesI_.resize(mccSlots);
+  nodesII_.resize(mccSlots);
+  footprint_.resize(mccSlots);
+  perMccInvolved_.resize(mccSlots, 0);
+}
 
-  auto transposeBack = [](Point p) { return Point{p.y, p.x}; };
-  const auto& mccs = qa.mccs();
+void QuadrantInfo::buildAll() {
+  growTo(analysis_->mccs().size());
+  const TransposedView view = makeView();
+  for (const Mcc& mcc : analysis_->mccs()) {
+    if (mcc.id < 0) continue;  // retired slot
+    buildFor(mcc.id, view);
+  }
+  version_ = analysis_->version();
+}
+
+void QuadrantInfo::buildFor(int id, const TransposedView& view) {
+  const Mesh2D& mesh = analysis_->localMesh();
+  const LabelGrid& labels = analysis_->labels();
+  const auto& mccs = analysis_->mccs();
+  const Mcc& mcc = mccs[static_cast<std::size_t>(id)];
+  auto& nodesI = nodesI_[static_cast<std::size_t>(id)];
+  auto& nodesII = nodesII_[static_cast<std::size_t>(id)];
+
+  ++involveEpoch_;  // involvement dedup scope = this (id, pass)
 
   // Corner accessors per frame (validity is frame-invariant).
-  auto cornerCIn = [&](int id, bool transposed) -> std::optional<Point> {
-    const auto& c = mccs[static_cast<std::size_t>(id)].cornerC;
+  auto cornerCIn = [&](int g, bool transposed) -> std::optional<Point> {
+    const auto& c = mccs[static_cast<std::size_t>(g)].cornerC;
     if (!c) return std::nullopt;
-    return transposed ? Point{c->y, c->x} : *c;
+    return transposed ? transposePoint(*c) : *c;
   };
-  auto cornerCpIn = [&](int id, bool transposed) -> std::optional<Point> {
-    const auto& c = mccs[static_cast<std::size_t>(id)].cornerCPrime;
+  auto cornerCpIn = [&](int g, bool transposed) -> std::optional<Point> {
+    const auto& c = mccs[static_cast<std::size_t>(g)].cornerCPrime;
     if (!c) return std::nullopt;
-    return transposed ? Point{c->y, c->x} : *c;
+    return transposed ? transposePoint(*c) : *c;
   };
 
-  // Boundary spreading for one MCC in one frame. B1 builds only the -X
+  // Boundary spreading for this MCC in one frame. B1 builds only the -X
   // boundary (Algorithm 1); B2/B3 add the +X boundary (Algorithm 4/6); B3
   // additionally forks at every intersected MCC: the split propagations
   // merge into the intersected MCC's own boundaries and carry the triple
   // onward (Algorithm 6 steps 3-4).
-  auto spread = [&](int id, const Mesh2D& m, const LabelGrid& lg,
+  auto spread = [&](const Mesh2D& m, const LabelGrid& lg,
                     const NodeMap<int>& idx, bool transposed,
                     std::vector<Point>* outL, std::vector<Point>* outR,
                     auto&& record) {
@@ -112,97 +151,206 @@ QuadrantInfo::QuadrantInfo(const QuadrantAnalysis& qa, InfoModel model)
     }
   };
 
-  for (const Mcc& mcc : qa.mccs()) {
-    const int id = mcc.id;
+  // Identification ring (Algorithm 1 step 1): the ring nodes relay the
+  // shape both ways, so they hold the triple under every model.
+  for (Point p : ringNodes(mesh, labels, mcc)) {
+    markInvolved(p, id);
+    addKnown(knownI_, nodesI, p, id);
+    addKnown(knownII_, nodesII, p, id);
+  }
 
-    // Identification ring (Algorithm 1 step 1): the ring nodes relay the
-    // shape both ways, so they hold the triple under every model.
-    for (Point p : ringNodes(mesh, labels, mcc)) {
-      markInvolved(p, id);
-      addKnown(knownI_, p, id);
-      addKnown(knownII_, p, id);
-    }
+  // Type-I boundaries in the normal frame.
+  std::vector<Point> walkL;
+  std::vector<Point> walkR;
+  spread(mesh, labels, analysis_->mccIndex(), /*transposed=*/false, &walkL,
+         &walkR, [&](Point p) {
+           markInvolved(p, id);
+           addKnown(knownI_, nodesI, p, id);
+         });
 
-    // Type-I boundaries in the normal frame.
-    std::vector<Point> walkL;
-    std::vector<Point> walkR;
-    spread(id, mesh, labels, qa.mccIndex(), /*transposed=*/false, &walkL,
-           &walkR, [&](Point p) {
-             markInvolved(p, id);
-             addKnown(knownI_, p, id);
-           });
+  // Type-II boundaries: the same construction in the transposed frame
+  // ("for the remaining situation ... simply rotating the mesh").
+  std::vector<Point> walkLT;
+  std::vector<Point> walkRT;
+  spread(view.meshT, view.labelsT, view.indexT, /*transposed=*/true, &walkLT,
+         &walkRT, [&](Point pt) {
+           const Point p = transposePoint(pt);
+           markInvolved(p, id);
+           addKnown(knownII_, nodesII, p, id);
+         });
 
-    // Type-II boundaries: the same construction in the transposed frame
-    // ("for the remaining situation ... simply rotating the mesh").
-    std::vector<Point> walkLT;
-    std::vector<Point> walkRT;
-    spread(id, meshT, labelsT, indexT, /*transposed=*/true, &walkLT, &walkRT,
-           [&](Point pt) {
-             const Point p = transposeBack(pt);
-             markInvolved(p, id);
-             addKnown(knownII_, p, id);
-           });
-
-    // B2 only: broadcast the triples through the forbidden region
-    // (Algorithm 4 step 5): east from the -X boundary, west from the +X
-    // boundary, each intermediate node re-sending +Y; chains stop at unsafe
-    // nodes, the mesh edge, or the other boundary. Duplicates are dropped.
-    if (model_ == InfoModel::B2) {
-      auto flood = [&](const Mesh2D& m, const LabelGrid& lg,
-                       NodeMap<int>& bstamp, const std::vector<Point>& left,
-                       const std::vector<Point>& right, Coord floorX,
-                       Coord ceilX, auto&& record) {
-        for (Point p : left) bstamp[p] = id;
-        for (Point p : right) bstamp[p] = id;
-        // When one boundary could not be constructed (corner at the mesh
-        // border or occupied), the broadcast is clipped at that side's
-        // natural boundary column — otherwise it has nothing to stop at.
-        const bool clipWest = left.empty();
-        const bool clipEast = right.empty();
-        NodeMap<std::uint8_t> modes(m, 0);
-        std::queue<std::pair<Point, std::uint8_t>> q;
-        auto push = [&](Point p, std::uint8_t mode) {
-          if (!m.contains(p) || lg.isUnsafe(p)) return;
-          if (clipWest && p.x < floorX) return;
-          if (clipEast && p.x > ceilX) return;
-          if (bstamp[p] == id) return;  // reached the other boundary
-          if ((modes[p] & mode) != 0) return;
-          modes[p] |= mode;
-          q.push({p, mode});
-        };
-        for (Point p : left) push(p + Point{1, 0}, kModeEast);
-        for (Point p : right) push(p + Point{-1, 0}, kModeWest);
-        while (!q.empty()) {
-          auto [p, mode] = q.front();
-          q.pop();
-          record(p);
-          if (mode == kModeEast) push(p + Point{1, 0}, kModeEast);
-          if (mode == kModeWest) push(p + Point{-1, 0}, kModeWest);
-          push(p + Point{0, 1}, kModeNorth);
+  // B2 only: broadcast the triples through the forbidden region
+  // (Algorithm 4 step 5): east from the -X boundary, west from the +X
+  // boundary, each intermediate node re-sending +Y; chains stop at unsafe
+  // nodes, the mesh edge, or the other boundary. Duplicates are dropped.
+  if (model_ == InfoModel::B2) {
+    auto flood = [&](const Mesh2D& m, const LabelGrid& lg,
+                     NodeMap<std::uint32_t>& bstamp,
+                     NodeMap<std::uint32_t>& mstamp,
+                     NodeMap<std::uint8_t>& mmodes,
+                     const std::vector<Point>& left,
+                     const std::vector<Point>& right, Coord floorX,
+                     Coord ceilX, auto&& record) {
+      ++epoch_;  // scope of this flood's boundary/mode marks
+      for (Point p : left) bstamp[p] = epoch_;
+      for (Point p : right) bstamp[p] = epoch_;
+      // When one boundary could not be constructed (corner at the mesh
+      // border or occupied), the broadcast is clipped at that side's
+      // natural boundary column — otherwise it has nothing to stop at.
+      const bool clipWest = left.empty();
+      const bool clipEast = right.empty();
+      std::queue<std::pair<Point, std::uint8_t>> q;
+      auto push = [&](Point p, std::uint8_t mode) {
+        if (!m.contains(p) || lg.isUnsafe(p)) return;
+        if (clipWest && p.x < floorX) return;
+        if (clipEast && p.x > ceilX) return;
+        if (bstamp[p] == epoch_) return;  // reached the other boundary
+        if (mstamp[p] != epoch_) {
+          mstamp[p] = epoch_;
+          mmodes[p] = 0;
         }
+        if ((mmodes[p] & mode) != 0) return;
+        mmodes[p] |= mode;
+        q.push({p, mode});
       };
+      for (Point p : left) push(p + Point{1, 0}, kModeEast);
+      for (Point p : right) push(p + Point{-1, 0}, kModeWest);
+      while (!q.empty()) {
+        auto [p, mode] = q.front();
+        q.pop();
+        record(p);
+        if (mode == kModeEast) push(p + Point{1, 0}, kModeEast);
+        if (mode == kModeWest) push(p + Point{-1, 0}, kModeWest);
+        push(p + Point{0, 1}, kModeNorth);
+      }
+    };
 
-      flood(mesh, labels, boundaryStamp, walkL, walkR,
-            mcc.shape.xmin() - 1, mcc.shape.xmax() + 1, [&](Point p) {
-              markInvolved(p, id);
-              addKnown(knownI_, p, id);
-            });
-      flood(meshT, labelsT, boundaryStampT, walkLT, walkRT,
-            mcc.shapeTransposed.xmin() - 1, mcc.shapeTransposed.xmax() + 1,
-            [&](Point pt) {
-              const Point p = transposeBack(pt);
-              markInvolved(p, id);
-              addKnown(knownII_, p, id);
-            });
+    flood(mesh, labels, floodStamp_, modeStamp_, modes_, walkL, walkR,
+          mcc.shape.xmin() - 1, mcc.shape.xmax() + 1, [&](Point p) {
+            markInvolved(p, id);
+            addKnown(knownI_, nodesI, p, id);
+          });
+    flood(view.meshT, view.labelsT, floodStampT_, modeStampT_, modesT_,
+          walkLT, walkRT, mcc.shapeTransposed.xmin() - 1,
+          mcc.shapeTransposed.xmax() + 1, [&](Point pt) {
+            const Point p = transposePoint(pt);
+            markInvolved(p, id);
+            addKnown(knownII_, nodesII, p, id);
+          });
+  }
+}
+
+void QuadrantInfo::dropFor(int id) {
+  const Mesh2D& mesh = analysis_->localMesh();
+  const auto slot = static_cast<std::size_t>(id);
+  auto eraseId = [&](std::vector<std::vector<int>>& table, Point p) {
+    auto& list = table[static_cast<std::size_t>(mesh.id(p))];
+    const auto it = std::lower_bound(list.begin(), list.end(), id);
+    if (it != list.end() && *it == id) list.erase(it);
+  };
+  for (Point p : nodesI_[slot]) eraseId(knownI_, p);
+  for (Point p : nodesII_[slot]) eraseId(knownII_, p);
+  for (Point p : footprint_[slot]) {
+    if (--involvedRefs_[p] == 0) --involvedCount_;
+  }
+  nodesI_[slot].clear();
+  nodesII_[slot].clear();
+  footprint_[slot].clear();
+  perMccInvolved_[slot] = 0;
+}
+
+void QuadrantInfo::refresh(const LabelDelta& delta) {
+  std::optional<TransposedView> viewCache;
+  refreshWith(delta, viewCache);
+}
+
+void QuadrantInfo::refreshWith(const LabelDelta& delta,
+                               std::optional<TransposedView>& viewCache) {
+  if (delta.version <= version_) return;  // no-op or already applied
+  const Mesh2D& mesh = analysis_->localMesh();
+  growTo(analysis_->mccs().size());
+
+  // The changed cells dilated by the touch radius: every propagation a
+  // surviving MCC would now take differently probes at least one of these
+  // nodes, so footprints intersecting the dilation are exactly the ones
+  // that may be stale.
+  ++epoch_;
+  std::vector<Point> marked;
+  for (Point c : delta.changed) {
+    for (Coord dy = -kTouchRadius; dy <= kTouchRadius; ++dy) {
+      for (Coord dx = -kTouchRadius; dx <= kTouchRadius; ++dx) {
+        const Point p{c.x + dx, c.y + dy};
+        if (!mesh.contains(p) || stamp_[p] == epoch_) continue;
+        stamp_[p] = epoch_;
+        marked.push_back(p);
+      }
     }
   }
 
-  // Deduplicate and order the per-node triple lists.
-  for (auto* table : {&knownI_, &knownII_}) {
-    for (auto& list : *table) {
-      std::sort(list.begin(), list.end());
-      list.erase(std::unique(list.begin(), list.end()), list.end());
+  std::vector<int> rebuild;
+  auto consider = [&](int id) {
+    if (id < 0) return;
+    if (std::find(delta.removedMccs.begin(), delta.removedMccs.end(), id) !=
+        delta.removedMccs.end()) {
+      return;  // dropped below anyway
     }
+    if (std::find(delta.addedMccs.begin(), delta.addedMccs.end(), id) !=
+        delta.addedMccs.end()) {
+      return;  // built below anyway
+    }
+    if (std::find(rebuild.begin(), rebuild.end(), id) == rebuild.end()) {
+      rebuild.push_back(id);
+    }
+  };
+  for (Point p : marked) {
+    for (int id : typeIKnown(p)) consider(id);
+    for (int id : typeIIKnown(p)) consider(id);
+    consider(analysis_->mccIndexAt(p));
+  }
+
+  for (int id : delta.removedMccs) dropFor(id);
+
+  std::vector<int> builds = rebuild;
+  builds.insert(builds.end(), delta.addedMccs.begin(),
+                delta.addedMccs.end());
+  std::sort(builds.begin(), builds.end());
+  if (!builds.empty() && !viewCache) viewCache = makeView();
+  for (int id : builds) {
+    // Drop before every build, including addedMccs: when sync() replays
+    // several deltas, refresh reads the FINAL analysis state, so an id
+    // created by a later logged delta can already surface (via the index
+    // lookup above) while replaying an earlier one — building it twice
+    // without the drop would double its footprint and involvement counts.
+    dropFor(id);
+    buildFor(id, *viewCache);
+  }
+  version_ = delta.version;
+}
+
+void QuadrantInfo::sync() {
+  const IncrementalLabeler& labeler = analysis_->labeler();
+  if (version_ == labeler.version()) return;
+  const auto& log = labeler.deltaLog();
+  if (log.empty() || log.front().version > version_ + 1) {
+    // Too far behind the trimmed log: rebuild from scratch.
+    const auto nodes =
+        static_cast<std::size_t>(analysis_->localMesh().nodeCount());
+    knownI_.assign(nodes, {});
+    knownII_.assign(nodes, {});
+    for (auto& list : nodesI_) list.clear();
+    for (auto& list : nodesII_) list.clear();
+    for (auto& list : footprint_) list.clear();
+    std::fill(perMccInvolved_.begin(), perMccInvolved_.end(), 0);
+    involvedRefs_.fill(0);
+    involvedCount_ = 0;
+    buildAll();
+    return;
+  }
+  // One transposed view serves every replay: each refresh reads the same
+  // final analysis state regardless of which logged delta it applies.
+  std::optional<TransposedView> viewCache;
+  for (const LabelDelta& delta : log) {
+    if (delta.version > version_) refreshWith(delta, viewCache);
   }
 }
 
@@ -220,8 +368,11 @@ std::vector<double> QuadrantInfo::perMccInvolvedPercent() const {
       analysis_->localMesh().nodeCount());
   const std::size_t safe = total - analysis_->unsafeCount();
   std::vector<double> out;
-  out.reserve(perMccInvolved_.size());
-  for (std::size_t count : perMccInvolved_) {
+  out.reserve(analysis_->mccCount());
+  for (const Mcc& mcc : analysis_->mccs()) {
+    if (mcc.id < 0) continue;
+    const std::size_t count =
+        perMccInvolved_[static_cast<std::size_t>(mcc.id)];
     out.push_back(safe == 0 ? 0.0
                             : 100.0 * static_cast<double>(count) /
                                   static_cast<double>(safe));

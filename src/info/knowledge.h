@@ -7,10 +7,20 @@
 // oracle knowledge == protocol knowledge node for node (tested property).
 // Also produces the Figure 5(c) metric: the set of nodes involved in the
 // information propagation.
+//
+// Versioned: when the underlying analysis is patched by online fault
+// arrival/repair (fault/incremental.h), refresh(delta)/sync() update the
+// knowledge from label deltas instead of rebuilding everything — retired
+// components are dropped, new ones propagated, and surviving components
+// whose information footprint the change touched are re-propagated
+// (DESIGN.md section 6). Equivalence with from-scratch construction is
+// property-tested.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "fault/analysis.h"
@@ -40,6 +50,20 @@ class QuadrantInfo {
 
   InfoModel model() const { return model_; }
 
+  /// Labeler version this knowledge reflects (see sync()).
+  std::uint64_t version() const { return version_; }
+
+  /// Applies one labeling delta, in version order: knowledge of retired
+  /// ids is dropped, new ids are propagated, and surviving MCCs whose
+  /// footprint the changed cells touch are re-propagated. Skips deltas
+  /// already applied.
+  void refresh(const LabelDelta& delta);
+
+  /// Catches up with the analysis' labeler: replays its delta log from
+  /// version(), or rebuilds from scratch when the log no longer reaches
+  /// back that far. Routers call this before reading (RB1/RB3).
+  void sync();
+
   /// MCC ids whose type-I triples (F, R_Y, R'_Y) are stored at p.
   std::span<const int> typeIKnown(Point p) const {
     return knownI_[static_cast<std::size_t>(analysis_->localMesh().id(p))];
@@ -56,7 +80,7 @@ class QuadrantInfo {
   /// Nodes that took part in any propagation (identification rings,
   /// boundary lines, and for B2 the forbidden-region broadcast).
   std::size_t involvedCount() const { return involvedCount_; }
-  bool wasInvolved(Point p) const { return involved_[p]; }
+  bool wasInvolved(Point p) const { return involvedRefs_[p] > 0; }
 
   /// Union involvement as a percentage of all safe nodes (network-wide
   /// communication footprint; see the ablation bench).
@@ -69,23 +93,71 @@ class QuadrantInfo {
     return perMccInvolved_[static_cast<std::size_t>(id)];
   }
 
-  /// Per-MCC involvement as percentages of the safe node count.
+  /// Per-MCC involvement as percentages of the safe node count, for live
+  /// MCCs in id order.
   std::vector<double> perMccInvolvedPercent() const;
 
   const QuadrantAnalysis& analysis() const { return *analysis_; }
 
  private:
+  /// Scratch for one refresh/build pass: the transposed frame the type-II
+  /// machinery runs in. Rebuilt per pass (labels mutate between passes).
+  struct TransposedView {
+    Mesh2D meshT;
+    LabelGrid labelsT;
+    NodeMap<int> indexT;
+  };
+  TransposedView makeView() const;
+
+  /// refresh() body; `viewCache` is filled on first need so one sync()
+  /// replaying many deltas builds the transposed view at most once (every
+  /// replay sees the same final analysis state).
+  void refreshWith(const LabelDelta& delta,
+                   std::optional<TransposedView>& viewCache);
+
+  void buildAll();
+  /// Propagates one MCC's information (ring, boundary walks, B2 flood)
+  /// and records its footprint for later removal.
+  void buildFor(int id, const TransposedView& view);
+  /// Removes every trace of one MCC's information.
+  void dropFor(int id);
+  void growTo(std::size_t mccSlots);
+
   void markInvolved(Point p, int mccId);
-  void addKnown(std::vector<std::vector<int>>& table, Point p, int id);
+  void addKnown(std::vector<std::vector<int>>& table,
+                std::vector<Point>& nodes, Point p, int id);
 
   const QuadrantAnalysis* analysis_;
   InfoModel model_;
+  std::uint64_t version_ = 0;
+  Mesh2D meshT_;
+
+  /// Per-node sorted id lists.
   std::vector<std::vector<int>> knownI_;
   std::vector<std::vector<int>> knownII_;
-  NodeMap<bool> involved_;
-  NodeMap<int> perMccStamp_;
+  /// Per-id reverse maps: the nodes holding the id's triples, and the
+  /// deduplicated involvement footprint (what dropFor undoes).
+  std::vector<std::vector<Point>> nodesI_;
+  std::vector<std::vector<Point>> nodesII_;
+  std::vector<std::vector<Point>> footprint_;
   std::vector<std::size_t> perMccInvolved_;
+
+  /// How many live MCCs involve each node; involvedCount_ counts nodes
+  /// with a positive refcount.
+  NodeMap<int> involvedRefs_;
   std::size_t involvedCount_ = 0;
+
+  // Epoch-stamped scratch grids (no O(mesh) clears per pass).
+  std::uint32_t involveEpoch_ = 0;
+  NodeMap<std::uint32_t> involveStamp_;
+  std::uint32_t epoch_ = 0;
+  NodeMap<std::uint32_t> stamp_;
+  NodeMap<std::uint32_t> floodStamp_;
+  NodeMap<std::uint32_t> floodStampT_;
+  NodeMap<std::uint32_t> modeStamp_;
+  NodeMap<std::uint8_t> modes_;
+  NodeMap<std::uint32_t> modeStampT_;
+  NodeMap<std::uint8_t> modesT_;
 };
 
 }  // namespace meshrt

@@ -16,9 +16,10 @@ constexpr std::array<Point, 4> kPortOffsets = {
 
 }  // namespace
 
-NocNetwork::NocNetwork(const FaultSet& faults, Router& router,
-                       NocConfig config)
+NocNetwork::NocNetwork(FaultSet& faults, Router& router, NocConfig config,
+                       FaultAnalysis* analysis)
     : faults_(&faults),
+      analysis_(analysis),
       router_(&router),
       cfg_(config),
       mesh_(faults.mesh()),
@@ -151,6 +152,9 @@ void NocNetwork::step() {
                            : portToward(here, flit.route.back());
         }
         if (vc.outPort == kLocal) return {kLocal, 0};
+        // A node that died mid-flight accepts no flits: the link into it
+        // is down, so the packet backs up here until recovery takes it.
+        if (faults_->isFaulty(neighborAt(here, vc.outPort))) return {-1, -1};
         if (vc.outVc < 0) {
           if (!isHead) return {-1, -1};
           const Point next = neighborAt(here, vc.outPort);
@@ -291,6 +295,12 @@ bool NocNetwork::recoverOnePacket() {
   for (const auto& queue : injectQueues_) consider(queue);
   if (victim < 0) return false;
 
+  removePacket(victim);
+  ++recovered_;
+  return true;
+}
+
+void NocNetwork::removePacket(std::int64_t victim) {
   // Strip the victim's flits everywhere, restoring upstream credits and VC
   // ownership.
   for (Coord y = 0; y < mesh_.height(); ++y) {
@@ -346,7 +356,41 @@ bool NocNetwork::recoverOnePacket() {
 
   assert(inFlight_ > 0);
   --inFlight_;
-  ++recovered_;
+}
+
+bool NocNetwork::failNode(Point p) {
+  if (faults_->isFaulty(p)) return false;
+  faults_->add(p);
+  // Keep the routing layer's labels in step with the fault model (the
+  // incremental path makes this cheap); without this, packets injected
+  // after the failure would still be routed through the dead node.
+  if (analysis_ != nullptr) analysis_->applyAddFault(p);
+
+  // Every packet with a flit buffered at the dead router loses it; the
+  // whole packet is destroyed (wormhole flits are useless without their
+  // head) rather than left to wedge the network.
+  const auto nodeIdx = static_cast<std::size_t>(mesh_.id(p));
+  std::vector<std::int64_t> victims;
+  auto collect = [&](const VcState& vc) {
+    for (const Flit& flit : vc.buffer) {
+      if (std::find(victims.begin(), victims.end(), flit.packetId) ==
+          victims.end()) {
+        victims.push_back(flit.packetId);
+      }
+    }
+  };
+  for (const auto& port : nodes_[nodeIdx].in) {
+    for (const auto& vc : port) collect(vc);
+  }
+  collect(injectQueues_[nodeIdx]);
+
+  for (std::int64_t victim : victims) {
+    removePacket(victim);
+    ++killed_;
+  }
+  // The kill is progress in the watchdog's sense: the network changed
+  // state, and stalls caused by the dead node get a fresh recovery window.
+  lastProgressCycle_ = cycle_;
   return true;
 }
 

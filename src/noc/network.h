@@ -9,7 +9,13 @@
 //
 // Deadlock: adaptive detours can in principle deadlock wormhole networks;
 // the simulator ships a progress watchdog and reports stalls rather than
-// pretending they cannot happen (see DESIGN.md).
+// pretending they cannot happen (see DESIGN.md section 4).
+//
+// Faults can arrive mid-simulation: failNode() kills a router while
+// packets are in flight — its buffered flits are lost, in-flight packets
+// routed through it stall at its neighbors until deadlock recovery aborts
+// them, and subsequently injected packets are steered around it by the
+// (incrementally updated) routing layer. See DESIGN.md section 6.
 #pragma once
 
 #include <array>
@@ -18,6 +24,7 @@
 #include <optional>
 #include <vector>
 
+#include "fault/analysis.h"
 #include "fault/fault_set.h"
 #include "noc/flit.h"
 #include "route/router.h"
@@ -44,12 +51,28 @@ struct NocConfig {
 
 class NocNetwork {
  public:
-  /// `router` supplies paths; it must outlive the network.
-  NocNetwork(const FaultSet& faults, Router& router, NocConfig config);
+  /// `router` supplies paths; it must outlive the network. The FaultSet is
+  /// non-const because failNode() records mid-simulation faults in it, so
+  /// routers reading the same set sense them immediately. When the router
+  /// caches label-derived state (RB1/RB2/RB3 over a FaultAnalysis), pass
+  /// that analysis too: failNode() then patches it through the incremental
+  /// path in the same call, so the fault model and the routing labels can
+  /// never diverge. The analysis must be the one built over `faults`.
+  NocNetwork(FaultSet& faults, Router& router, NocConfig config,
+             FaultAnalysis* analysis = nullptr);
 
   /// Queues a packet for injection at cycle >= now. Returns false when the
   /// routing function finds no path (packet counted as undeliverable).
   bool inject(Point src, Point dst);
+
+  /// Kills node p mid-simulation (no-op false when already faulty): adds p
+  /// to the FaultSet (and patches the attached FaultAnalysis, when given),
+  /// destroys every flit buffered at p (their packets are aborted and
+  /// counted in killedPackets()), and blocks all future link traversals
+  /// into p. In-flight packets whose source route crosses p back up behind
+  /// the dead node until deadlock recovery removes them — the
+  /// watchdog/recovery path, exercised deliberately.
+  bool failNode(Point p);
 
   /// Advances one cycle.
   void step();
@@ -64,6 +87,8 @@ class NocNetwork {
   bool stalled() const { return stalled_; }
   /// Packets aborted by deadlock recovery.
   std::size_t recoveredPackets() const { return recovered_; }
+  /// Packets destroyed because a failNode() took their buffered flits.
+  std::size_t killedPackets() const { return killed_; }
 
   /// Mean end-to-end latency (inject -> tail eject) over delivered packets.
   double averageLatency() const;
@@ -98,8 +123,14 @@ class NocNetwork {
   /// Aborts the oldest in-flight packet, freeing its buffers and credits.
   /// Returns false when nothing could be removed.
   bool recoverOnePacket();
+  /// Strips every flit of `packet` network-wide, restoring upstream
+  /// credits and VC ownership, and decrements inFlight_.
+  void removePacket(std::int64_t packet);
 
-  const FaultSet* faults_;
+  FaultSet* faults_;
+  /// Optional: the routing layer's cached analysis over faults_, patched
+  /// by failNode().
+  FaultAnalysis* analysis_;
   Router* router_;
   NocConfig cfg_;
   Mesh2D mesh_;
@@ -112,6 +143,7 @@ class NocNetwork {
   std::uint64_t lastProgressCycle_ = 0;
   bool stalled_ = false;
   std::size_t recovered_ = 0;
+  std::size_t killed_ = 0;
   std::int64_t nextPacketId_ = 0;
 };
 

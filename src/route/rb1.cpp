@@ -22,6 +22,10 @@ const QuadrantInfo& Rb1Router::info(Quadrant q) {
   if (!slot) {
     slot = std::make_unique<QuadrantInfo>(analysis_->quadrant(q),
                                           InfoModel::B1);
+  } else {
+    // The analysis may have been patched by online fault events since the
+    // knowledge was built; catch up from its delta log.
+    slot->sync();
   }
   return *slot;
 }

@@ -12,6 +12,9 @@ const QuadrantInfo& Rb3Router::info(Quadrant q) {
   if (!slot) {
     slot = std::make_unique<QuadrantInfo>(analysis_->quadrant(q),
                                           InfoModel::B3);
+  } else {
+    // Catch up with online fault events (see QuadrantInfo::sync).
+    slot->sync();
   }
   return *slot;
 }

@@ -73,6 +73,7 @@ class FrameProtocol {
       }
     };
     for (const Mcc& mcc : mccs_) {
+      if (mcc.id < 0) continue;  // retired slot (dynamic analyses)
       seed(mcc.id, /*prime=*/false, WalkHand::Left);
       if (wantPlusX) seed(mcc.id, /*prime=*/true, WalkHand::Right);
     }
@@ -264,6 +265,7 @@ void runRingStage(const QuadrantAnalysis& qa, PropagationResult& out,
   };
 
   for (const Mcc& mcc : qa.mccs()) {
+    if (mcc.id < 0) continue;  // retired slot (dynamic analyses)
     Msg m;
     m.kind = Msg::Kind::Ring;
     m.mccId = mcc.id;

@@ -1,0 +1,117 @@
+// Tests for the dynamic-fault sweep: the SweepEngine determinism contract
+// must survive the online fault path (bitwise-identical output for any
+// thread count), and the headline metrics must behave sanely.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/dynamic_sweep.h"
+
+namespace meshrt {
+namespace {
+
+DynamicSweepConfig tinyDynamicConfig() {
+  DynamicSweepConfig cfg;
+  cfg.base.meshSize = 20;
+  cfg.base.faultLevels = {0, 20, 40};
+  cfg.base.configsPerLevel = 3;
+  cfg.base.pairsPerConfig = 4;
+  cfg.base.seed = 424242;
+  cfg.base.threads = 2;
+  cfg.epochs = 4;
+  cfg.repairProbability = 0.1;
+  return cfg;
+}
+
+const std::vector<std::string> kRouters{"rb1", "rb2", "rb3"};
+
+void expectBitwiseEqual(const std::vector<SweepRow>& a,
+                        const std::vector<SweepRow>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].faults, b[i].faults);
+    const auto names = a[i].metrics.names();
+    ASSERT_EQ(names, b[i].metrics.names());
+    for (const std::string& name : names) {
+      if (name.rfind("reroute_extra:", 0) == 0 ||
+          name == metric::kActiveFaults) {
+        const Accumulator& x = a[i].metrics.acc(name);
+        const Accumulator& y = b[i].metrics.acc(name);
+        EXPECT_EQ(x.count(), y.count()) << name;
+        EXPECT_EQ(x.min(), y.min()) << name;
+        EXPECT_EQ(x.max(), y.max()) << name;
+        EXPECT_EQ(x.mean(), y.mean()) << name;
+        EXPECT_EQ(x.variance(), y.variance()) << name;
+      } else {
+        const RatioCounter& x = a[i].metrics.ratio(name);
+        const RatioCounter& y = b[i].metrics.ratio(name);
+        EXPECT_EQ(x.hits(), y.hits()) << name;
+        EXPECT_EQ(x.total(), y.total()) << name;
+      }
+    }
+  }
+}
+
+TEST(DynamicSweepTest, BitwiseIdenticalAcrossThreadCounts) {
+  DynamicSweepConfig one = tinyDynamicConfig();
+  one.base.threads = 1;
+  DynamicSweepConfig four = tinyDynamicConfig();
+  four.base.threads = 4;
+  const auto a = DynamicSweep(one, kRouters).run();
+  const auto b = DynamicSweep(four, kRouters).run();
+  expectBitwiseEqual(a, b);
+}
+
+TEST(DynamicSweepTest, Rb2SucceedsAndZeroArrivalsNeverReroute) {
+  const auto rows = DynamicSweep(tinyDynamicConfig(), kRouters).run();
+  ASSERT_EQ(rows.size(), 3u);
+
+  // Level 0: no arrivals, no repairs of anything, so every pre-fault
+  // route survives and succeeds.
+  const auto& calm = rows.front().metrics;
+  for (const std::string& key : kRouters) {
+    EXPECT_EQ(calm.ratio(metric::rerouted(key)).hits(), 0u) << key;
+    EXPECT_DOUBLE_EQ(calm.ratio(metric::success(key)).percent(), 100.0)
+        << key;
+  }
+  EXPECT_DOUBLE_EQ(calm.ratio(metric::kPairSurvived).percent(), 100.0);
+  EXPECT_DOUBLE_EQ(calm.acc(metric::kActiveFaults).max(), 0.0);
+
+  // Theorem 1 under churn: RB2 re-routes are always safe-node optimal.
+  for (const auto& row : rows) {
+    const RatioCounter& rb2 = row.metrics.ratio(metric::success("rb2"));
+    if (rb2.total() == 0) continue;
+    EXPECT_DOUBLE_EQ(rb2.percent(), 100.0) << row.faults << " arrivals";
+  }
+
+  // Faults actually arrived at the non-zero levels.
+  EXPECT_GT(rows.back().metrics.acc(metric::kActiveFaults).mean(), 0.0);
+}
+
+TEST(DynamicSweepTest, RejectsBadConfigs) {
+  DynamicSweepConfig cfg = tinyDynamicConfig();
+  cfg.epochs = 0;
+  EXPECT_THROW(DynamicSweep(cfg, kRouters), std::invalid_argument);
+  EXPECT_THROW(DynamicSweep(tinyDynamicConfig(), {"rb2", "rb2"}),
+               std::invalid_argument);
+  EXPECT_THROW(DynamicSweep(tinyDynamicConfig(), {"no-such-router"}),
+               std::invalid_argument);
+}
+
+TEST(DynamicSweepTest, PoissonDrawMatchesMeanRoughly) {
+  Rng rng(7);
+  for (double mean : {0.5, 4.0, 60.0, 300.0}) {
+    double sum = 0;
+    const int draws = 400;
+    for (int i = 0; i < draws; ++i) {
+      sum += static_cast<double>(poissonDraw(rng, mean));
+    }
+    const double avg = sum / draws;
+    EXPECT_NEAR(avg, mean, mean * 0.25 + 0.5) << "mean " << mean;
+  }
+  EXPECT_EQ(poissonDraw(rng, 0.0), 0u);
+}
+
+}  // namespace
+}  // namespace meshrt

@@ -1,0 +1,398 @@
+// Differential tests for the incremental fault-region maintenance engine:
+// random add/remove sequences must leave the IncrementalLabeler bit-
+// identical to a full computeLabels + extractMccs, and a synced
+// QuadrantInfo identical to one rebuilt from scratch (DESIGN.md section 6).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "fault/analysis.h"
+#include "fault/incremental.h"
+#include "info/knowledge.h"
+#include "route/bfs.h"
+#include "route/registry.h"
+#include "route/validate.h"
+#include "test_util.h"
+
+namespace meshrt {
+namespace {
+
+/// Canonical component form: sorted cell list keyed by its smallest cell,
+/// so MCC sets compare independently of id assignment order.
+std::map<Point, std::vector<Point>> canonicalComponents(
+    const std::vector<Mcc>& mccs) {
+  std::map<Point, std::vector<Point>> out;
+  for (const Mcc& mcc : mccs) {
+    if (mcc.id < 0) continue;
+    std::vector<Point> cells = mcc.shape.cells();
+    std::sort(cells.begin(), cells.end());
+    out.emplace(cells.front(), std::move(cells));
+  }
+  return out;
+}
+
+/// Full per-op equivalence check of labeler state against the bulk
+/// pipeline run on the mirrored fault set.
+void expectMatchesBulk(const Mesh2D& mesh, const IncrementalLabeler& labeler,
+                       const FaultSet& faults) {
+  const LabelGrid bulk = computeLabels(mesh, faults);
+  for (Coord y = 0; y < mesh.height(); ++y) {
+    for (Coord x = 0; x < mesh.width(); ++x) {
+      ASSERT_EQ(labeler.labels().raw({x, y}), bulk.raw({x, y}))
+          << "label mismatch at " << x << "," << y;
+    }
+  }
+  EXPECT_EQ(labeler.unsafeCount(), countUnsafe(mesh, bulk));
+  EXPECT_EQ(labeler.faultCount(), faults.count());
+
+  const MccExtraction extraction = extractMccs(mesh, bulk);
+  const auto incremental = canonicalComponents(labeler.mccs());
+  const auto scratch = canonicalComponents(extraction.mccs);
+  ASSERT_EQ(incremental.size(), scratch.size());
+  ASSERT_EQ(labeler.mccCount(), extraction.mccs.size());
+  for (const auto& [key, cells] : scratch) {
+    const auto it = incremental.find(key);
+    ASSERT_NE(it, incremental.end()) << "missing component at " << key;
+    EXPECT_EQ(it->second, cells);
+  }
+
+  // Full Mcc records must match too (shape, corners, counts), matched by
+  // canonical key.
+  std::map<Point, const Mcc*> scratchById;
+  for (const Mcc& mcc : extraction.mccs) {
+    std::vector<Point> cells = mcc.shape.cells();
+    scratchById.emplace(*std::min_element(cells.begin(), cells.end()), &mcc);
+  }
+  for (const Mcc& mcc : labeler.mccs()) {
+    if (mcc.id < 0) continue;
+    std::vector<Point> cells = mcc.shape.cells();
+    const Point key = *std::min_element(cells.begin(), cells.end());
+    const Mcc& ref = *scratchById.at(key);
+    EXPECT_EQ(mcc.shape, ref.shape);
+    EXPECT_EQ(mcc.shapeTransposed, ref.shapeTransposed);
+    EXPECT_EQ(mcc.cornerC, ref.cornerC);
+    EXPECT_EQ(mcc.cornerCPrime, ref.cornerCPrime);
+    EXPECT_EQ(mcc.cornerNW, ref.cornerNW);
+    EXPECT_EQ(mcc.cornerSE, ref.cornerSE);
+    EXPECT_EQ(mcc.cellCount, ref.cellCount);
+    EXPECT_EQ(mcc.faultyCells, ref.faultyCells);
+  }
+
+  // The id map must agree with the bulk extraction up to id renaming, and
+  // every live id must point at its own slot.
+  for (Coord y = 0; y < mesh.height(); ++y) {
+    for (Coord x = 0; x < mesh.width(); ++x) {
+      const Point p{x, y};
+      const int id = labeler.mccIndex()[p];
+      if (bulk.isSafe(p)) {
+        EXPECT_EQ(id, -1);
+      } else {
+        ASSERT_GE(id, 0);
+        const Mcc& mcc = labeler.mccs()[static_cast<std::size_t>(id)];
+        ASSERT_EQ(mcc.id, id);
+        EXPECT_TRUE(mcc.shape.contains(p));
+      }
+    }
+  }
+}
+
+Point randomPoint(const Mesh2D& mesh, Rng& rng) {
+  return {static_cast<Coord>(
+              rng.below(static_cast<std::uint64_t>(mesh.width()))),
+          static_cast<Coord>(
+              rng.below(static_cast<std::uint64_t>(mesh.height())))};
+}
+
+class IncrementalEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalEquivalence, RandomAddRemoveSequencesMatchFullRelabel) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const Mesh2D mesh = Mesh2D::square(20);
+  FaultSet mirror(mesh);
+  IncrementalLabeler labeler(mesh);
+
+  for (int op = 0; op < 150; ++op) {
+    const Point p = randomPoint(mesh, rng);
+    // Bias toward adds so fault density builds up and removals regularly
+    // split components.
+    if (rng.chance(0.6)) {
+      const LabelDelta delta = labeler.addFault(p);
+      EXPECT_EQ(delta.empty(), mirror.isFaulty(p));
+      mirror.add(p);
+    } else {
+      const LabelDelta delta = labeler.removeFault(p);
+      EXPECT_EQ(delta.empty(), mirror.isHealthy(p));
+      mirror.remove(p);
+    }
+    expectMatchesBulk(mesh, labeler, mirror);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalEquivalence,
+                         ::testing::Range(0, 8));
+
+TEST(IncrementalLabelerTest, BulkConstructionMatchesStaticPipeline) {
+  Rng rng(2024);
+  const Mesh2D mesh = Mesh2D::square(24);
+  const FaultSet faults = injectUniform(mesh, 90, rng);
+  const IncrementalLabeler labeler(mesh, faults);
+  expectMatchesBulk(mesh, labeler, faults);
+  EXPECT_EQ(labeler.version(), 0u);
+}
+
+TEST(IncrementalLabelerTest, NoOpTogglesKeepVersionAndLog) {
+  const Mesh2D mesh = Mesh2D::square(8);
+  IncrementalLabeler labeler(mesh);
+  EXPECT_TRUE(labeler.removeFault({3, 3}).empty());
+  EXPECT_EQ(labeler.version(), 0u);
+
+  const LabelDelta added = labeler.addFault({3, 3});
+  EXPECT_FALSE(added.empty());
+  EXPECT_TRUE(added.added);
+  EXPECT_EQ(added.version, 1u);
+  ASSERT_EQ(added.addedMccs.size(), 1u);
+  EXPECT_TRUE(added.removedMccs.empty());
+
+  EXPECT_TRUE(labeler.addFault({3, 3}).empty());
+  EXPECT_EQ(labeler.version(), 1u);
+  EXPECT_EQ(labeler.deltaLog().size(), 1u);
+
+  const LabelDelta removed = labeler.removeFault({3, 3});
+  EXPECT_FALSE(removed.empty());
+  EXPECT_EQ(removed.version, 2u);
+  EXPECT_EQ(removed.removedMccs, added.addedMccs);
+  EXPECT_TRUE(removed.addedMccs.empty());
+  EXPECT_EQ(labeler.mccCount(), 0u);
+  EXPECT_EQ(labeler.unsafeCount(), 0u);
+}
+
+TEST(IncrementalLabelerTest, DeltaLogIsTrimmed) {
+  const Mesh2D mesh = Mesh2D::square(40);
+  IncrementalLabeler labeler(mesh);
+  for (Coord x = 0; x < 40; ++x) {
+    labeler.addFault({x, 10});
+    labeler.addFault({x, 20});
+  }
+  EXPECT_EQ(labeler.version(), 80u);
+  EXPECT_EQ(labeler.deltaLog().size(),
+            IncrementalLabeler::kDeltaLogCapacity);
+  EXPECT_EQ(labeler.deltaLog().back().version, 80u);
+}
+
+TEST(IncrementalLabelerTest, MergeAndSplitAroundAntiDiagonal) {
+  // Two anti-diagonal faults close a 2x2 unsafe square (one component);
+  // removing one fault splits the labels back to a single faulty node.
+  const Mesh2D mesh = Mesh2D::square(10);
+  IncrementalLabeler labeler(mesh);
+  labeler.addFault({5, 6});
+  EXPECT_EQ(labeler.mccCount(), 1u);
+  const LabelDelta merged = labeler.addFault({6, 5});
+  EXPECT_EQ(labeler.mccCount(), 1u);
+  EXPECT_EQ(labeler.unsafeCount(), 4u);
+  EXPECT_EQ(merged.removedMccs.size(), 1u);  // the single-cell component
+  EXPECT_TRUE(labeler.labels().isUseless({5, 5}));
+  EXPECT_TRUE(labeler.labels().isCantReach({6, 6}));
+
+  const LabelDelta split = labeler.removeFault({5, 6});
+  EXPECT_EQ(labeler.mccCount(), 1u);
+  EXPECT_EQ(labeler.unsafeCount(), 1u);
+  EXPECT_EQ(split.removedMccs.size(), 1u);
+  EXPECT_EQ(split.addedMccs.size(), 1u);
+  EXPECT_TRUE(labeler.labels().isSafe({5, 5}));
+  EXPECT_TRUE(labeler.labels().isSafe({6, 6}));
+}
+
+// A fault repair in the middle of a wall must split one component into two
+// (the case full relabeling gets for free and the patcher must localize).
+TEST(IncrementalLabelerTest, RepairSplitsWallComponent) {
+  const Mesh2D mesh = Mesh2D::square(12);
+  IncrementalLabeler labeler(mesh);
+  for (Coord x = 2; x <= 8; ++x) labeler.addFault({x, 5});
+  EXPECT_EQ(labeler.mccCount(), 1u);
+  const LabelDelta delta = labeler.removeFault({5, 5});
+  EXPECT_EQ(labeler.mccCount(), 2u);
+  EXPECT_EQ(delta.removedMccs.size(), 1u);
+  EXPECT_EQ(delta.addedMccs.size(), 2u);
+
+  FaultSet mirror(mesh);
+  for (Coord x = 2; x <= 8; ++x) {
+    if (x != 5) mirror.add({x, 5});
+  }
+  expectMatchesBulk(mesh, labeler, mirror);
+}
+
+// --- knowledge refresh ----------------------------------------------------
+
+void expectSameKnowledge(const QuadrantAnalysis& qa, const QuadrantInfo& a,
+                         const QuadrantInfo& b) {
+  const Mesh2D& mesh = qa.localMesh();
+  EXPECT_EQ(a.involvedCount(), b.involvedCount());
+  for (Coord y = 0; y < mesh.height(); ++y) {
+    for (Coord x = 0; x < mesh.width(); ++x) {
+      const Point p{x, y};
+      const auto ai = a.typeIKnown(p);
+      const auto bi = b.typeIKnown(p);
+      ASSERT_TRUE(std::equal(ai.begin(), ai.end(), bi.begin(), bi.end()))
+          << "type-I knowledge differs at " << p.str();
+      const auto aii = a.typeIIKnown(p);
+      const auto bii = b.typeIIKnown(p);
+      ASSERT_TRUE(
+          std::equal(aii.begin(), aii.end(), bii.begin(), bii.end()))
+          << "type-II knowledge differs at " << p.str();
+      EXPECT_EQ(a.wasInvolved(p), b.wasInvolved(p)) << p.str();
+    }
+  }
+  for (const Mcc& mcc : qa.mccs()) {
+    if (mcc.id < 0) continue;
+    EXPECT_EQ(a.involvedForMcc(mcc.id), b.involvedForMcc(mcc.id))
+        << "per-MCC involvement differs for id " << mcc.id;
+  }
+  EXPECT_EQ(a.perMccInvolvedPercent(), b.perMccInvolvedPercent());
+}
+
+class KnowledgeRefresh : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnowledgeRefresh, SyncedKnowledgeMatchesRebuild) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1201 + 5);
+  const Mesh2D mesh = Mesh2D::square(16);
+  DynamicFaultModel model(mesh);
+  const QuadrantAnalysis& qa = model.analysis().quadrant(Quadrant::NE);
+
+  std::vector<QuadrantInfo> infos;
+  infos.emplace_back(qa, InfoModel::B1);
+  infos.emplace_back(qa, InfoModel::B2);
+  infos.emplace_back(qa, InfoModel::B3);
+
+  for (int op = 0; op < 40; ++op) {
+    const Point p = randomPoint(mesh, rng);
+    if (rng.chance(0.65)) {
+      model.addFault(p);
+    } else {
+      model.removeFault(p);
+    }
+    for (QuadrantInfo& info : infos) {
+      info.sync();
+      EXPECT_EQ(info.version(), qa.version());
+      const QuadrantInfo scratch(qa, info.model());
+      expectSameKnowledge(qa, info, scratch);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnowledgeRefresh, ::testing::Range(0, 6));
+
+// Regression: a sync that replays SEVERAL deltas sees the final analysis
+// state on every replay, so an id created by a later logged delta can
+// surface (via the index lookup) while an earlier delta is applied —
+// without a drop before every build it was built twice, doubling its
+// involvement counts. RB1/RB3 hit this shape whenever multiple fault
+// events land between route() calls.
+class KnowledgeBatchedRefresh : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnowledgeBatchedRefresh, SyncAfterSeveralEventsMatchesRebuild) {
+  const int batch = 2 + GetParam() % 4;  // sync every 2..5 events
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 947 + 3);
+  const Mesh2D mesh = Mesh2D::square(16);
+  DynamicFaultModel model(mesh);
+  const QuadrantAnalysis& qa = model.analysis().quadrant(Quadrant::NE);
+
+  std::vector<QuadrantInfo> infos;
+  infos.emplace_back(qa, InfoModel::B1);
+  infos.emplace_back(qa, InfoModel::B2);
+  infos.emplace_back(qa, InfoModel::B3);
+
+  for (int op = 0; op < 48; ++op) {
+    const Point p = randomPoint(mesh, rng);
+    if (rng.chance(0.65)) {
+      model.addFault(p);
+    } else {
+      model.removeFault(p);
+    }
+    if (op % batch != batch - 1) continue;
+    for (QuadrantInfo& info : infos) {
+      info.sync();
+      const QuadrantInfo scratch(qa, info.model());
+      expectSameKnowledge(qa, info, scratch);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnowledgeBatchedRefresh,
+                         ::testing::Range(0, 8));
+
+TEST(KnowledgeRefreshTest, SyncRebuildsWhenLogIsTooOld) {
+  Rng rng(77);
+  const Mesh2D mesh = Mesh2D::square(16);
+  DynamicFaultModel model(mesh);
+  const QuadrantAnalysis& qa = model.analysis().quadrant(Quadrant::NE);
+  QuadrantInfo info(qa, InfoModel::B2);
+
+  // More effective events than the delta log holds, without syncing.
+  std::size_t events = 0;
+  while (events < IncrementalLabeler::kDeltaLogCapacity + 10) {
+    if (model.addFault(randomPoint(mesh, rng))) ++events;
+  }
+  info.sync();
+  EXPECT_EQ(info.version(), qa.version());
+  const QuadrantInfo scratch(qa, InfoModel::B2);
+  expectSameKnowledge(qa, info, scratch);
+}
+
+// --- routers over a patched analysis --------------------------------------
+
+class DynamicRouting : public ::testing::TestWithParam<int> {};
+
+TEST_P(DynamicRouting, Rb2StaysShortestAndRb1Rb3StayValid) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 1);
+  const Mesh2D mesh = Mesh2D::square(20);
+  DynamicFaultModel model(mesh);
+  const RouterContext ctx{&model.faults(), &model.analysis()};
+  // Built once and reused across fault events: the routers must follow the
+  // patched analysis and the synced knowledge, not a frozen snapshot.
+  const auto routers = makeRouters({"rb1", "rb2", "rb3"}, ctx);
+
+  for (int round = 0; round < 12; ++round) {
+    for (int e = 0; e < 6; ++e) {
+      const Point p = randomPoint(mesh, rng);
+      if (rng.chance(0.7)) {
+        model.addFault(p);
+      } else {
+        model.removeFault(p);
+      }
+    }
+    for (int trial = 0; trial < 10; ++trial) {
+      const Point s = randomPoint(mesh, rng);
+      const Point d = randomPoint(mesh, rng);
+      if (s == d) continue;
+      const auto& qa = model.analysis().forPair(s, d);
+      const Point sL = qa.frame().toLocal(s);
+      const Point dL = qa.frame().toLocal(d);
+      if (!qa.labels().isSafe(sL) || !qa.labels().isSafe(dL)) continue;
+      const auto dist = safeDistances(qa.localMesh(), qa.labels(), sL);
+      if (dist[dL] == kUnreachable) continue;
+
+      for (const auto& router : routers) {
+        const RouteResult res = router->route(s, d);
+        if (router->name() == "RB2") {
+          // Theorem 1 must keep holding on the incrementally patched
+          // analysis.
+          ASSERT_TRUE(res.delivered)
+              << "RB2 failed " << s.str() << "->" << d.str() << " round "
+              << round;
+          EXPECT_EQ(res.hops(), dist[dL]);
+        }
+        if (res.delivered) {
+          EXPECT_TRUE(isValidPath(model.faults(), s, d, res.path))
+              << router->name() << " " << s.str() << "->" << d.str();
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicRouting, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace meshrt

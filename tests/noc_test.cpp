@@ -22,7 +22,7 @@ NocConfig smallConfig() {
 
 TEST(NocTest, SinglePacketZeroLoadLatency) {
   const Mesh2D mesh = Mesh2D::square(8);
-  const FaultSet faults(mesh);
+  FaultSet faults(mesh);
   EcubeRouter router(faults);
   NocNetwork net(faults, router, smallConfig());
   ASSERT_TRUE(net.inject({1, 1}, {5, 1}));
@@ -38,7 +38,7 @@ TEST(NocTest, SinglePacketZeroLoadLatency) {
 
 TEST(NocTest, AllPacketsDeliveredUnderLoad) {
   const Mesh2D mesh = Mesh2D::square(8);
-  const FaultSet faults(mesh);
+  FaultSet faults(mesh);
   EcubeRouter router(faults);
   NocNetwork net(faults, router, smallConfig());
   Rng rng(5);
@@ -61,7 +61,7 @@ TEST(NocTest, AllPacketsDeliveredUnderLoad) {
 
 TEST(NocTest, PacketsAvoidFaultyNodes) {
   const Mesh2D mesh = Mesh2D::square(10);
-  const FaultSet faults = testutil::faultsAt(mesh, {{5, 5}, {5, 6}, {5, 4}});
+  FaultSet faults = testutil::faultsAt(mesh, {{5, 5}, {5, 6}, {5, 4}});
   const FaultAnalysis fa(faults);
   Rb2Router router(fa);
   NocNetwork net(faults, router, smallConfig());
@@ -74,7 +74,7 @@ TEST(NocTest, PacketsAvoidFaultyNodes) {
 
 TEST(NocTest, InjectionToFaultyDestinationFails) {
   const Mesh2D mesh = Mesh2D::square(6);
-  const FaultSet faults = testutil::faultsAt(mesh, {{3, 3}});
+  FaultSet faults = testutil::faultsAt(mesh, {{3, 3}});
   EcubeRouter router(faults);
   NocNetwork net(faults, router, smallConfig());
   EXPECT_FALSE(net.inject({0, 0}, {3, 3}));
@@ -83,7 +83,7 @@ TEST(NocTest, InjectionToFaultyDestinationFails) {
 
 TEST(NocTest, SelfTrafficDeliversImmediately) {
   const Mesh2D mesh = Mesh2D::square(4);
-  const FaultSet faults(mesh);
+  FaultSet faults(mesh);
   EcubeRouter router(faults);
   NocNetwork net(faults, router, smallConfig());
   EXPECT_TRUE(net.inject({2, 2}, {2, 2}));
@@ -93,7 +93,7 @@ TEST(NocTest, SelfTrafficDeliversImmediately) {
 
 TEST(NocTest, ContentionIncreasesLatency) {
   const Mesh2D mesh = Mesh2D::square(8);
-  const FaultSet faults(mesh);
+  FaultSet faults(mesh);
   EcubeRouter router(faults);
 
   // Light load.
@@ -123,7 +123,7 @@ TEST(NocTest, XFirstRb2IsDeadlockFreeFaultFree) {
   // Dimension-ordered legs on a fault-free mesh == XY routing: no
   // recoveries, no stalls, even near saturation.
   const Mesh2D mesh = Mesh2D::square(8);
-  const FaultSet faults(mesh);
+  FaultSet faults(mesh);
   const FaultAnalysis fa(faults);
   Rb2Router router(fa, PathOrder::XFirst);
   NocNetwork net(faults, router, smallConfig());
@@ -143,7 +143,7 @@ TEST(NocTest, RecoveryKeepsNetworkLiveUnderAdaptivePaths) {
   // aborted packets instead of stalling.
   const Mesh2D mesh = Mesh2D::square(10);
   Rng frng(3);
-  const FaultSet faults = injectUniform(mesh, 8, frng);
+  FaultSet faults = injectUniform(mesh, 8, frng);
   const FaultAnalysis fa(faults);
   Rb2Router router(fa, PathOrder::Balanced);
   NocConfig cfg = smallConfig();
@@ -164,6 +164,72 @@ TEST(NocTest, RecoveryKeepsNetworkLiveUnderAdaptivePaths) {
     if (rec.delivered) ++delivered;
   }
   EXPECT_EQ(delivered + net.recoveredPackets(), injected);
+}
+
+TEST(NocTest, MidFlightFailNodeKillsBufferedFlitsAndReroutesNewTraffic) {
+  // A node dies while a packet stream crosses it: its buffered flits are
+  // destroyed, blocked packets behind it are taken by deadlock recovery,
+  // and traffic injected after the failure detours around the dead node
+  // because the routing layer is patched incrementally — the dynamic
+  // scenario of DESIGN.md section 6 at flit level.
+  const Mesh2D mesh = Mesh2D::square(10);
+  FaultSet faults(mesh);
+  FaultAnalysis fa(faults);
+  Rb2Router router(fa, PathOrder::XFirst);
+  NocConfig cfg = smallConfig();
+  cfg.recoveryCycles = 100;
+  // Attaching the analysis makes failNode() patch the routing labels in
+  // the same call — the fault model and the router can never diverge.
+  NocNetwork net(faults, router, cfg, &fa);
+
+  // Saturate row 5 with a back-to-back stream, then run until the first
+  // packet ejects: the pipe behind it is full when the middle node dies.
+  std::size_t accepted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (net.inject({0, 5}, {9, 5})) ++accepted;
+    net.step();
+  }
+  ASSERT_EQ(accepted, 10u);
+  while (!net.packets().front().delivered && net.cycle() < 1000) net.step();
+  ASSERT_TRUE(net.packets().front().delivered);
+
+  ASSERT_TRUE(net.failNode({5, 5}));
+  EXPECT_FALSE(net.failNode({5, 5}));  // already dead
+  EXPECT_GT(net.killedPackets(), 0u);  // the stream had flits at (5,5)
+
+  // New traffic detours around the dead node and still delivers.
+  const std::size_t firstPost = net.packets().size();
+  std::size_t postAccepted = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (net.inject({0, 5}, {9, 5})) ++postAccepted;
+    net.step();
+  }
+  EXPECT_EQ(postAccepted, 4u);
+  ASSERT_TRUE(net.drain());  // recovery keeps the network live
+
+  std::size_t delivered = 0;
+  for (const auto& rec : net.packets()) {
+    if (rec.delivered) ++delivered;
+  }
+  EXPECT_EQ(delivered + net.recoveredPackets() + net.killedPackets(),
+            accepted + postAccepted);
+  for (std::size_t i = firstPost; i < net.packets().size(); ++i) {
+    const auto& rec = net.packets()[i];
+    EXPECT_TRUE(rec.delivered);
+    EXPECT_GT(rec.hops, manhattan({0, 5}, {9, 5}));  // forced detour
+  }
+}
+
+TEST(NocTest, FailNodeWithEmptyBuffersKillsNothing) {
+  const Mesh2D mesh = Mesh2D::square(6);
+  FaultSet faults(mesh);
+  EcubeRouter router(faults);
+  NocNetwork net(faults, router, smallConfig());
+  EXPECT_TRUE(net.failNode({3, 3}));
+  EXPECT_EQ(net.killedPackets(), 0u);
+  EXPECT_TRUE(faults.isFaulty({3, 3}));
+  // Injection toward the dead node now fails up front.
+  EXPECT_FALSE(net.inject({0, 0}, {3, 3}));
 }
 
 TEST(NocTest, TransposeTrafficMapsCoordinates) {
