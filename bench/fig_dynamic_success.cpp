@@ -20,12 +20,17 @@ int main(int argc, char** argv) {
   flags.define("epochs", "10", "fault-arrival batches per configuration");
   flags.define("repair-prob", "0",
                "per-epoch repair probability of each active fault");
+  flags.define("pattern", "uniform",
+               "pair pattern: uniform, transpose, hotspot, bitcomp, "
+               "bitrev or tornado");
   if (!flags.parse(argc, argv)) return 1;
 
   DynamicSweepConfig cfg;
   cfg.base = sweepFromFlags(flags);
   cfg.epochs = static_cast<std::size_t>(flags.integer("epochs"));
   cfg.repairProbability = flags.real("repair-prob");
+  cfg.pattern =
+      patternFromFlags(flags, cfg.base.meshSize, cfg.base.meshSize);
   if (cfg.epochs == 0) {
     std::cerr << "--epochs must be at least 1\n";
     return 1;
@@ -41,8 +46,9 @@ int main(int argc, char** argv) {
               << cfg.base.meshSize << "x" << cfg.base.meshSize << " mesh, "
               << cfg.base.configsPerLevel << " configs/level, "
               << cfg.base.pairsPerConfig << " pairs/epoch, " << cfg.epochs
-              << " epochs, repair-prob " << cfg.repairProbability
-              << ", seed " << cfg.base.seed << "\n\n";
+              << " epochs, repair-prob " << cfg.repairProbability << ", "
+              << trafficPatternName(cfg.pattern) << " pairs, seed "
+              << cfg.base.seed << "\n\n";
   }
 
   const auto rows = DynamicSweep(cfg, routers).run();

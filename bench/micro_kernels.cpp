@@ -10,6 +10,8 @@
 #include "route/bfs.h"
 #include "route/planner.h"
 #include "route/rb2.h"
+#include "route/route_table.h"
+#include "service/route_service.h"
 
 namespace {
 
@@ -169,6 +171,80 @@ void BM_KnowledgeRefreshDelta(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2);
 }
 BENCHMARK(BM_KnowledgeRefreshDelta);
+
+// --- service table maintenance: delta patch vs full recompile -----------
+//
+// One fault toggle against a route service holding compiled next-hop
+// columns. The delta path (what applyAdd/RemoveFault does) patches only
+// the chase-affected entries of each column; the full path recompiles
+// every column from scratch. Same toggle and column set in both so the
+// numbers compare directly — this is the micro-proof that churn touches
+// only invalidated table state (DESIGN.md section 7.2).
+
+namespace {
+constexpr Coord kServiceMesh = 32;
+constexpr std::size_t kServiceColumns = 16;
+
+std::vector<Point> serviceDests(const FaultSet& faults) {
+  std::vector<Point> dests;
+  Rng rng(17);
+  while (dests.size() < kServiceColumns) {
+    const Point p{static_cast<Coord>(rng.below(
+                      static_cast<std::uint64_t>(kServiceMesh))),
+                  static_cast<Coord>(rng.below(
+                      static_cast<std::uint64_t>(kServiceMesh)))};
+    if (faults.isHealthy(p)) dests.push_back(p);
+  }
+  return dests;
+}
+}  // namespace
+
+void BM_ServiceDeltaPatchEvent(benchmark::State& state) {
+  const Mesh2D mesh = Mesh2D::square(kServiceMesh);
+  const auto faults = makeFaults(
+      kServiceMesh,
+      static_cast<std::size_t>(mesh.nodeCount()) / 10, 42);
+  ServiceConfig cfg;
+  cfg.threads = 1;
+  RouteService service(faults, cfg);
+  std::vector<Query> batch;
+  for (Point d : serviceDests(faults)) batch.push_back({{0, 0}, d});
+  service.serve(batch);  // compile the columns once
+  Point toggle{kServiceMesh / 2, kServiceMesh / 2};
+  while (faults.isFaulty(toggle)) toggle.x += 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.applyAddFault(toggle));
+    benchmark::DoNotOptimize(service.applyRemoveFault(toggle));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_ServiceDeltaPatchEvent);
+
+void BM_ServiceFullRecompileEvent(benchmark::State& state) {
+  const Mesh2D mesh = Mesh2D::square(kServiceMesh);
+  const auto initial = makeFaults(
+      kServiceMesh,
+      static_cast<std::size_t>(mesh.nodeCount()) / 10, 42);
+  DynamicFaultModel model(initial);
+  model.analysis().materializeAll();
+  const RouterContext ctx{&model.faults(), &model.analysis()};
+  const auto router = RouterRegistry::global().create("rb2", ctx);
+  const auto dests = serviceDests(initial);
+  Point toggle{kServiceMesh / 2, kServiceMesh / 2};
+  while (initial.isFaulty(toggle)) toggle.x += 1;
+  for (auto _ : state) {
+    model.addFault(toggle);
+    for (Point d : dests) {
+      benchmark::DoNotOptimize(compileRouteColumn(*router, model.faults(), d));
+    }
+    model.removeFault(toggle);
+    for (Point d : dests) {
+      benchmark::DoNotOptimize(compileRouteColumn(*router, model.faults(), d));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_ServiceFullRecompileEvent);
 
 void BM_HealthyBfs(benchmark::State& state) {
   const auto faults = makeFaults(100, 1000, 42);

@@ -1,0 +1,209 @@
+// Route-query service throughput: batched queries/sec served from
+// compiled next-hop tables (RouteService) vs the naive
+// construct-router-per-query baseline, across mesh sizes and fault churn
+// rates. The static rows measure steady-state serving; the dynamic rows
+// interleave add/remove fault events between batches, so their QPS
+// includes the epoch builds and entry patches the churn forces (and the
+// patch/carry counters show how little of the table each event touches).
+//
+//   ./service_qps --meshes 32,64 --threads 8 --churn 0,4
+//   ./service_qps --smoke              # seconds-fast CI configuration
+//
+// The headline check: at 8 threads on a 64x64 mesh the table path must
+// beat the naive path by >= 10x (see docs/REPRODUCING.md).
+#include <chrono>
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "fault/injectors.h"
+#include "harness/bench_main.h"
+#include "service/route_service.h"
+
+namespace {
+
+using namespace meshrt;
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace meshrt;
+  CliFlags flags;
+  flags.define("meshes", "64", "comma-separated mesh side lengths");
+  flags.define("fault-rate", "0.10", "initial fault fraction of nodes");
+  flags.define("router", "rb2", "registry key the tables compile");
+  flags.define("threads", "0", "service worker threads (0 = all cores)");
+  flags.define("queries", "100000", "queries per measured batch");
+  flags.define("dests", "64", "distinct destinations in the batch");
+  flags.define("batches", "5", "measured batches per row");
+  flags.define("churn", "0,4",
+               "comma-separated fault events applied between batches "
+               "(0 = static serving)");
+  flags.define("naive-queries", "20000",
+               "queries timed for the construct-router-per-query baseline");
+  flags.define("seed", "2007", "master random seed");
+  flags.define("smoke", "false",
+               "tiny configuration (16x16, 2k queries) for CI smoke runs");
+  flags.define("format", "table", "output format: table, csv or json");
+  flags.define("out", "",
+               "also write the result to this file (.csv/.json pick the "
+               "format by extension)");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const bool smoke = flags.boolean("smoke");
+  std::vector<std::size_t> meshes;
+  for (const std::string& item : splitCommaList(
+           smoke ? "16" : flags.str("meshes"))) {
+    meshes.push_back(parseCount(item, "meshes"));
+  }
+  std::vector<std::size_t> churnLevels;
+  for (const std::string& item : splitCommaList(
+           smoke ? "0,2" : flags.str("churn"))) {
+    churnLevels.push_back(parseCount(item, "churn"));
+  }
+  const std::size_t queries =
+      smoke ? 2000 : static_cast<std::size_t>(flags.integer("queries"));
+  const std::size_t destCount =
+      smoke ? 12 : static_cast<std::size_t>(flags.integer("dests"));
+  const std::size_t batches =
+      smoke ? 2 : static_cast<std::size_t>(flags.integer("batches"));
+  const std::size_t naiveQueries = std::min(
+      queries, smoke ? std::size_t{500}
+                     : static_cast<std::size_t>(
+                           flags.integer("naive-queries")));
+  const double faultRate = flags.real("fault-rate");
+  const std::string routerKey = flags.str("router");
+  const auto threads = static_cast<std::size_t>(flags.integer("threads"));
+  const auto seed = static_cast<std::uint64_t>(flags.integer("seed"));
+  if (!RouterRegistry::global().contains(routerKey)) {
+    std::cerr << "unknown --router '" << routerKey << "'\n";
+    return 1;
+  }
+
+  if (wantsBanner(flags)) {
+    std::cout << "Route-service QPS: compiled tables vs "
+                 "construct-router-per-query, router "
+              << routerKey << ", " << queries << " queries x " << batches
+              << " batches, " << destCount << " destinations, threads="
+              << threads << "\n(compile = table build for the batch's "
+                            "destinations; patched/carried = per-event "
+                            "column fate under churn)\n\n";
+  }
+
+  Table table({"mesh", "churn", "compile_ms", "table_qps", "naive_qps",
+               "speedup", "delivered", "patched", "carried", "entries/ev"});
+  for (std::size_t meshSize : meshes) {
+    const Mesh2D mesh = Mesh2D::square(static_cast<Coord>(meshSize));
+    Rng rng = Rng::forStream(seed, meshSize);
+    const auto faultCount = static_cast<std::size_t>(
+        static_cast<double>(mesh.nodeCount()) * faultRate);
+    const FaultSet faults = injectUniform(mesh, faultCount, rng);
+
+    // One shared batch per mesh: sources anywhere healthy, destinations
+    // from a pool (traffic concentrates on popular endpoints — the
+    // regime tables exist for).
+    std::vector<Point> destPool;
+    for (std::size_t i = 0; i < destCount; ++i) {
+      destPool.push_back(randomHealthy(faults, rng));
+    }
+    std::vector<Query> batch;
+    batch.reserve(queries);
+    for (std::size_t i = 0; i < queries; ++i) {
+      batch.push_back(
+          {randomHealthy(faults, rng), destPool[i % destPool.size()]});
+    }
+
+    // Naive baseline, measured once per mesh on the frozen fault set.
+    double naiveSeconds;
+    std::size_t naiveDelivered = 0;
+    {
+      const FaultAnalysis fa(faults);
+      const RouterContext ctx{&faults, &fa};
+      // Prime lazily built state (quadrants) so the baseline isn't
+      // charged for one-time analysis setup the service also skips.
+      RouterRegistry::global().create(routerKey, ctx)->route(
+          batch.front().s, batch.front().d);
+      const auto start = Clock::now();
+      for (std::size_t i = 0; i < naiveQueries; ++i) {
+        const auto router = RouterRegistry::global().create(routerKey, ctx);
+        naiveDelivered +=
+            router->route(batch[i].s, batch[i].d).delivered ? 1 : 0;
+      }
+      naiveSeconds = secondsSince(start);
+    }
+    const double naiveQps =
+        static_cast<double>(naiveQueries) / naiveSeconds;
+
+    for (std::size_t churn : churnLevels) {
+      ServiceConfig cfg;
+      cfg.routerKey = routerKey;
+      cfg.threads = threads;
+      RouteService service(faults, cfg);
+
+      // Compile phase: first serve builds every needed column.
+      const auto compileStart = Clock::now();
+      service.serve(batch, /*wantPaths=*/false);
+      const double compileMs = secondsSince(compileStart) * 1000.0;
+
+      Rng churnRng = Rng::forStream(seed ^ 0xC0FFEE, meshSize * 31 + churn);
+      const auto before = service.counters();
+      std::size_t delivered = 0;
+      const auto start = Clock::now();
+      for (std::size_t b = 0; b < batches; ++b) {
+        if (b > 0) {
+          for (std::size_t e = 0; e < churn; ++e) {
+            const Point p{
+                static_cast<Coord>(churnRng.below(
+                    static_cast<std::uint64_t>(mesh.width()))),
+                static_cast<Coord>(churnRng.below(
+                    static_cast<std::uint64_t>(mesh.height())))};
+            // Repair standing faults, fail healthy nodes: density hovers.
+            if (service.snapshot()->faults().isFaulty(p)) {
+              service.applyRemoveFault(p);
+            } else {
+              service.applyAddFault(p);
+            }
+          }
+        }
+        const BatchResult result =
+            service.serve(batch, /*wantPaths=*/false);
+        for (const ServedRoute& r : result.results) {
+          delivered += r.delivered() ? 1 : 0;
+        }
+      }
+      const double seconds = secondsSince(start);
+      const auto after = service.counters();
+      const double tableQps =
+          static_cast<double>(queries * batches) / seconds;
+      const std::size_t events = churn * (batches - 1);
+
+      Table& row = table.row();
+      row.cell(static_cast<std::int64_t>(meshSize));
+      row.cell(static_cast<std::int64_t>(churn));
+      row.cell(compileMs, 1);
+      row.cell(tableQps, 0);
+      row.cell(naiveQps, 0);
+      row.cell(tableQps / naiveQps, 1);
+      row.cell(100.0 * static_cast<double>(delivered) /
+                   static_cast<double>(queries * batches),
+               2);
+      row.cell(static_cast<std::int64_t>(after.columnsPatched -
+                                         before.columnsPatched));
+      row.cell(static_cast<std::int64_t>(after.columnsCarried -
+                                         before.columnsCarried));
+      row.cell(events == 0
+                   ? 0.0
+                   : static_cast<double>(after.entriesPatched -
+                                         before.entriesPatched) /
+                         static_cast<double>(events),
+               1);
+    }
+  }
+  emitResult(table, flags);
+  return 0;
+}

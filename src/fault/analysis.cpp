@@ -1,5 +1,7 @@
 #include "fault/analysis.h"
 
+#include <algorithm>
+
 namespace meshrt {
 
 QuadrantAnalysis::QuadrantAnalysis(const FaultSet& faults, Quadrant q)
@@ -14,32 +16,82 @@ const QuadrantAnalysis& FaultAnalysis::quadrant(Quadrant q) const {
   return *slot;
 }
 
-void FaultAnalysis::applyAddFault(Point world) {
-  for (auto& slot : cache_) {
-    if (slot) slot->addFault(world);
-  }
+void FaultAnalysis::materializeAll() const {
+  for (int q = 0; q < 4; ++q) quadrant(static_cast<Quadrant>(q));
 }
 
-void FaultAnalysis::applyRemoveFault(Point world) {
-  for (auto& slot : cache_) {
-    if (slot) slot->removeFault(world);
+std::unique_ptr<FaultAnalysis> FaultAnalysis::cloneFor(
+    const FaultSet& faults) const {
+  auto clone = std::make_unique<FaultAnalysis>(faults);
+  for (int q = 0; q < 4; ++q) {
+    const auto i = static_cast<std::size_t>(q);
+    if (cache_[i]) {
+      clone->cache_[i] = std::make_unique<QuadrantAnalysis>(*cache_[i]);
+    } else {
+      // Materialize from the new fault set so the clone is share-safe.
+      clone->cache_[i] = std::make_unique<QuadrantAnalysis>(
+          faults, static_cast<Quadrant>(q));
+    }
   }
+  return clone;
 }
 
-bool DynamicFaultModel::addFault(Point p) {
-  if (faults_.isFaulty(p)) return false;
+namespace {
+
+/// Folds one quadrant delta's changed cells into the world-coordinate
+/// union.
+void collectWorld(const QuadrantAnalysis& qa, const LabelDelta& delta,
+                  std::vector<Point>& out) {
+  for (Point local : delta.changed) out.push_back(qa.frame().toWorld(local));
+}
+
+void sortUnique(std::vector<Point>& cells) {
+  std::sort(cells.begin(), cells.end());
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+}
+
+}  // namespace
+
+std::vector<Point> FaultAnalysis::applyAddFault(Point world) {
+  std::vector<Point> changed;
+  for (auto& slot : cache_) {
+    if (slot) collectWorld(*slot, slot->addFault(world), changed);
+  }
+  sortUnique(changed);
+  return changed;
+}
+
+std::vector<Point> FaultAnalysis::applyRemoveFault(Point world) {
+  std::vector<Point> changed;
+  for (auto& slot : cache_) {
+    if (slot) collectWorld(*slot, slot->removeFault(world), changed);
+  }
+  sortUnique(changed);
+  return changed;
+}
+
+FaultEvent DynamicFaultModel::addFaultEvent(Point p) {
+  FaultEvent event;
+  event.fault = p;
+  event.added = true;
+  if (faults_.isFaulty(p)) return event;
   faults_.add(p);
-  analysis_.applyAddFault(p);
+  event.changedWorld = analysis_.applyAddFault(p);
+  event.applied = true;
   ++version_;
-  return true;
+  return event;
 }
 
-bool DynamicFaultModel::removeFault(Point p) {
-  if (faults_.isHealthy(p)) return false;
+FaultEvent DynamicFaultModel::removeFaultEvent(Point p) {
+  FaultEvent event;
+  event.fault = p;
+  event.added = false;
+  if (faults_.isHealthy(p)) return event;
   faults_.remove(p);
-  analysis_.applyRemoveFault(p);
+  event.changedWorld = analysis_.applyRemoveFault(p);
+  event.applied = true;
   ++version_;
-  return true;
+  return event;
 }
 
 }  // namespace meshrt

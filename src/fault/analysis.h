@@ -74,6 +74,12 @@ class QuadrantAnalysis {
 };
 
 /// Lazily materializes the four quadrant analyses of one fault set.
+///
+/// Lazy materialization mutates the cache under const, so concurrent
+/// first-touch from multiple threads is NOT safe; callers that share an
+/// analysis across threads (the route service's snapshots) must call
+/// materializeAll() while still single-threaded, after which every read
+/// path is const.
 class FaultAnalysis {
  public:
   explicit FaultAnalysis(const FaultSet& faults) : faults_(&faults) {}
@@ -88,16 +94,39 @@ class FaultAnalysis {
 
   const FaultSet& faults() const { return *faults_; }
 
+  /// Forces all four quadrants so later quadrant() calls are read-only.
+  void materializeAll() const;
+
+  /// Deep copy over `faults`, which must hold exactly the node set this
+  /// analysis reflects (the service snapshots a FaultSet copy and clones
+  /// the incrementally patched analysis onto it — no relabeling happens).
+  /// Quadrants are materialized in the clone so it is share-safe.
+  std::unique_ptr<FaultAnalysis> cloneFor(const FaultSet& faults) const;
+
   /// Patches every materialized quadrant after the underlying FaultSet
   /// gained/lost `world`. The caller must mutate the FaultSet first so
   /// quadrants materialized later agree with the patched ones (see
-  /// DynamicFaultModel, which owns that ordering).
-  void applyAddFault(Point world);
-  void applyRemoveFault(Point world);
+  /// DynamicFaultModel, which owns that ordering). Returns the union of
+  /// label-changed cells across the patched quadrants, mapped to world
+  /// coordinates (sorted, deduplicated) — what the route service
+  /// intersects against table-column regions to invalidate columns.
+  std::vector<Point> applyAddFault(Point world);
+  std::vector<Point> applyRemoveFault(Point world);
 
  private:
   const FaultSet* faults_;
   mutable std::array<std::unique_ptr<QuadrantAnalysis>, 4> cache_;
+};
+
+/// One effective fault toggle as seen by the route service: which node
+/// flipped, which way, and every world-coordinate cell whose label byte
+/// changed in any materialized quadrant (always includes `fault` when
+/// applied). A no-op toggle reports applied == false and empty cells.
+struct FaultEvent {
+  bool applied = false;
+  Point fault{};
+  bool added = false;
+  std::vector<Point> changedWorld;
 };
 
 /// Owns a FaultSet and its FaultAnalysis, keeping both in step under
@@ -123,8 +152,13 @@ class DynamicFaultModel {
   std::uint64_t version() const { return version_; }
 
   /// Returns false when the toggle was a no-op (already faulty/healthy).
-  bool addFault(Point p);
-  bool removeFault(Point p);
+  bool addFault(Point p) { return addFaultEvent(p).applied; }
+  bool removeFault(Point p) { return removeFaultEvent(p).applied; }
+
+  /// Like addFault/removeFault but also reports the world-coordinate
+  /// label-change footprint (see FaultEvent) for delta consumers.
+  FaultEvent addFaultEvent(Point p);
+  FaultEvent removeFaultEvent(Point p);
 
  private:
   FaultSet faults_;

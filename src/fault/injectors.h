@@ -27,4 +27,18 @@ FaultSet injectClustered(const Mesh2D& mesh, std::size_t count,
 FaultSet injectRectangles(const Mesh2D& mesh, std::size_t count,
                           Coord maxSide, Rng& rng);
 
+/// Uniformly random healthy node (rejection sampling). The caller must
+/// guarantee at least one healthy node exists or this spins forever —
+/// sweep bodies bail on all-faulty meshes before sampling.
+inline Point randomHealthy(const FaultSet& faults, Rng& rng) {
+  const Mesh2D& mesh = faults.mesh();
+  for (;;) {
+    const Point p{static_cast<Coord>(
+                      rng.below(static_cast<std::uint64_t>(mesh.width()))),
+                  static_cast<Coord>(
+                      rng.below(static_cast<std::uint64_t>(mesh.height())))};
+    if (faults.isHealthy(p)) return p;
+  }
+}
+
 }  // namespace meshrt

@@ -19,6 +19,7 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "harness/experiment.h"
+#include "noc/traffic.h"
 #include "route/registry.h"
 
 namespace meshrt {
@@ -150,6 +151,31 @@ inline void emitResult(const Table& table, const CliFlags& flags) {
       std::exit(1);
     }
   }
+}
+
+/// Validated --pattern (noc/traffic.h names); exits with the known list
+/// on a typo, and rejects bit-reversal on non-power-of-two meshes before
+/// any sweep runs.
+inline TrafficPattern patternFromFlags(const CliFlags& flags, Coord width,
+                                       Coord height) {
+  const std::string name = flags.str("pattern");
+  const auto pattern = parseTrafficPattern(name);
+  if (!pattern) {
+    std::cerr << "unknown --pattern '" << name << "' (expected";
+    for (TrafficPattern p : kAllTrafficPatterns) {
+      std::cerr << ' ' << trafficPatternName(p);
+    }
+    std::cerr << ")\n";
+    std::exit(1);
+  }
+  if (patternRequiresPow2(*pattern) &&
+      (!isPowerOfTwo(width) || !isPowerOfTwo(height))) {
+    std::cerr << "--pattern " << name
+              << " needs power-of-two mesh dimensions (got " << width << "x"
+              << height << ")\n";
+    std::exit(1);
+  }
+  return *pattern;
 }
 
 /// Percentage cell, or "n/a" when the counter saw no samples — a bare

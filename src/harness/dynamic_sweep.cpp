@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "fault/analysis.h"
+#include "fault/injectors.h"
 #include "route/bfs.h"
 #include "route/registry.h"
 #include "route/validate.h"
@@ -28,26 +29,20 @@ std::size_t poissonDraw(Rng& rng, double mean) {
   return k - 1;
 }
 
-namespace {
-
-Point randomHealthy(const FaultSet& faults, Rng& rng) {
-  const Mesh2D& mesh = faults.mesh();
-  for (;;) {
-    const Point p{static_cast<Coord>(
-                      rng.below(static_cast<std::uint64_t>(mesh.width()))),
-                  static_cast<Coord>(
-                      rng.below(static_cast<std::uint64_t>(mesh.height())))};
-    if (faults.isHealthy(p)) return p;
-  }
-}
-
-}  // namespace
-
 DynamicSweep::DynamicSweep(DynamicSweepConfig cfg,
                            std::vector<std::string> routerKeys)
     : cfg_(std::move(cfg)), routerKeys_(std::move(routerKeys)) {
   if (cfg_.epochs == 0) {
     throw std::invalid_argument("DynamicSweep needs at least one epoch");
+  }
+  // patternDestination's bit permutations index out of the mesh on
+  // non-power-of-two sizes; fail at construction like the CLI path does
+  // (bench_main.h patternFromFlags).
+  if (patternRequiresPow2(cfg_.pattern) &&
+      !isPowerOfTwo(cfg_.base.meshSize)) {
+    throw std::invalid_argument(
+        std::string(trafficPatternName(cfg_.pattern)) +
+        " traffic needs a power-of-two mesh size");
   }
   for (std::size_t i = 0; i < routerKeys_.size(); ++i) {
     RouterRegistry::global().at(routerKeys_[i]);  // throws on unknown key
@@ -63,10 +58,11 @@ DynamicSweep::DynamicSweep(DynamicSweepConfig cfg,
 std::vector<SweepRow> DynamicSweep::run() const {
   const std::size_t epochs = cfg_.epochs;
   const double repairProb = cfg_.repairProbability;
+  const TrafficPattern pattern = cfg_.pattern;
   const auto& keys = routerKeys_;
 
-  auto body = [&, epochs, repairProb](const SweepCellContext& ctx, Rng& rng,
-                                      MetricSet& out) {
+  auto body = [&, epochs, repairProb, pattern](const SweepCellContext& ctx,
+                                               Rng& rng, MetricSet& out) {
     // Create every column up front so all cells report the same set.
     Accumulator& activeFaults = out.acc(metric::kActiveFaults);
     RatioCounter& pairSurvived = out.ratio(metric::kPairSurvived);
@@ -105,11 +101,18 @@ std::vector<SweepRow> DynamicSweep::run() const {
       std::vector<PairRun> batch;
       std::size_t attempts = 0;
       const std::size_t maxAttempts = ctx.cfg.pairsPerConfig * 80;
+      const Point hotspot{ctx.mesh.width() / 2, ctx.mesh.height() / 2};
       while (batch.size() < ctx.cfg.pairsPerConfig &&
              attempts++ < maxAttempts) {
         const Point s = randomHealthy(model.faults(), rng);
-        const Point d = randomHealthy(model.faults(), rng);
-        if (s == d) continue;
+        // Uniform keeps the original both-endpoints-random draw (same RNG
+        // consumption); permutation patterns fix the destination and skip
+        // pairs the pattern lands on faults.
+        const Point d =
+            pattern == TrafficPattern::UniformRandom
+                ? randomHealthy(model.faults(), rng)
+                : patternDestination(ctx.mesh, pattern, s, rng, hotspot);
+        if (s == d || model.faults().isFaulty(d)) continue;
         const auto& qa = model.analysis().forPair(s, d);
         const Point sL = qa.frame().toLocal(s);
         const Point dL = qa.frame().toLocal(d);

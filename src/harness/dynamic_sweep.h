@@ -27,6 +27,7 @@
 
 #include "harness/experiments.h"
 #include "harness/sweep_engine.h"
+#include "noc/traffic.h"
 
 namespace meshrt {
 
@@ -57,6 +58,11 @@ struct DynamicSweepConfig {
   /// Per existing fault per epoch: probability it is repaired before the
   /// post-event batch routes. 0 = faults only accumulate.
   double repairProbability = 0.0;
+  /// How destinations pair with sampled sources (noc/traffic.h). The
+  /// default keeps the original both-endpoints-random sampling
+  /// bit-for-bit; the permutation patterns fix d = f(s) and skip pairs
+  /// whose destination lands on a fault or on s itself.
+  TrafficPattern pattern = TrafficPattern::UniformRandom;
 };
 
 class DynamicSweep {

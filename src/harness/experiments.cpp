@@ -12,21 +12,6 @@
 
 namespace meshrt {
 
-namespace {
-
-Point randomHealthy(const FaultSet& faults, Rng& rng) {
-  const Mesh2D& mesh = faults.mesh();
-  for (;;) {
-    const Point p{static_cast<Coord>(
-                      rng.below(static_cast<std::uint64_t>(mesh.width()))),
-                  static_cast<Coord>(
-                      rng.below(static_cast<std::uint64_t>(mesh.height())))};
-    if (faults.isHealthy(p)) return p;
-  }
-}
-
-}  // namespace
-
 void faultMetricsCell(const SweepCellContext& ctx, Rng& rng, MetricSet& out) {
   const FaultSet faults = injectUniform(ctx.mesh, ctx.faults, rng);
   const QuadrantAnalysis qa(faults, Quadrant::NE);

@@ -1,6 +1,7 @@
 #include "info/knowledge.h"
 
 #include <algorithm>
+#include <cassert>
 #include <queue>
 
 #include "info/boundary_walker.h"
@@ -387,6 +388,61 @@ double QuadrantInfo::involvedPercentOfSafe() const {
   if (safe == 0) return 0.0;
   return 100.0 * static_cast<double>(involvedCount_) /
          static_cast<double>(safe);
+}
+
+QuadrantInfo::QuadrantInfo(const QuadrantInfo& other,
+                           const QuadrantAnalysis& qa)
+    : QuadrantInfo(other) {
+  // The clone must read state identical to what the knowledge reflects,
+  // or served triples would disagree with the labels next to them.
+  assert(qa.localMesh() == other.analysis_->localMesh());
+  assert(qa.version() == other.version_);
+  analysis_ = &qa;
+}
+
+KnowledgeBundle::KnowledgeBundle(const FaultAnalysis& analysis,
+                                 const std::vector<InfoModel>& models)
+    : analysis_(&analysis), models_(models) {
+  analysis.materializeAll();
+  infos_.resize(models_.size());
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    for (int q = 0; q < 4; ++q) {
+      infos_[m][static_cast<std::size_t>(q)] = std::make_unique<QuadrantInfo>(
+          analysis.quadrant(static_cast<Quadrant>(q)), models_[m]);
+    }
+  }
+}
+
+void KnowledgeBundle::sync() {
+  for (auto& quadrants : infos_) {
+    for (auto& info : quadrants) info->sync();
+  }
+}
+
+std::unique_ptr<KnowledgeBundle> KnowledgeBundle::cloneFor(
+    const FaultAnalysis& analysis) const {
+  // Private default ctor keeps partially built bundles out of user hands.
+  std::unique_ptr<KnowledgeBundle> clone(new KnowledgeBundle());
+  clone->analysis_ = &analysis;
+  clone->models_ = models_;
+  clone->infos_.resize(models_.size());
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    for (int q = 0; q < 4; ++q) {
+      const auto i = static_cast<std::size_t>(q);
+      clone->infos_[m][i] = std::make_unique<QuadrantInfo>(
+          *infos_[m][i], analysis.quadrant(static_cast<Quadrant>(q)));
+    }
+  }
+  return clone;
+}
+
+const QuadrantInfo* KnowledgeBundle::find(Quadrant q, InfoModel model) const {
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    if (models_[m] == model) {
+      return infos_[m][static_cast<std::size_t>(q)].get();
+    }
+  }
+  return nullptr;
 }
 
 }  // namespace meshrt

@@ -48,6 +48,13 @@ class QuadrantInfo {
  public:
   QuadrantInfo(const QuadrantAnalysis& qa, InfoModel model);
 
+  /// Re-anchoring copy: duplicates `other`'s knowledge verbatim but reads
+  /// the (state-identical) analysis `qa` from now on. This is how service
+  /// snapshots capture quadrant knowledge without rebuilding: the writer's
+  /// synced QuadrantInfo is cloned onto the snapshot's cloned analysis.
+  /// `qa` must be at the same labeler version as other.analysis().
+  QuadrantInfo(const QuadrantInfo& other, const QuadrantAnalysis& qa);
+
   InfoModel model() const { return model_; }
 
   /// Labeler version this knowledge reflects (see sync()).
@@ -158,6 +165,46 @@ class QuadrantInfo {
   NodeMap<std::uint8_t> modes_;
   NodeMap<std::uint32_t> modeStampT_;
   NodeMap<std::uint8_t> modesT_;
+};
+
+/// Quadrant knowledge for a whole FaultAnalysis: one QuadrantInfo per
+/// (quadrant, captured model). The route service keeps a writer-side
+/// bundle in step with fault churn (sync()) and clones it into each epoch
+/// snapshot, so table compiles of RB1/RB3-family routers reuse the
+/// incrementally maintained knowledge instead of rebuilding it per column
+/// (RouterContext.knowledge; DESIGN.md section 7).
+class KnowledgeBundle {
+ public:
+  /// Builds knowledge for every quadrant under each requested model.
+  /// Materializes the analysis' quadrants.
+  KnowledgeBundle(const FaultAnalysis& analysis,
+                  const std::vector<InfoModel>& models);
+
+  /// Catches every QuadrantInfo up with its analysis' delta log (writer
+  /// side, after fault events).
+  void sync();
+
+  /// Re-anchoring deep copy onto `analysis` (a state-identical clone of
+  /// the bundle's analysis, see FaultAnalysis::cloneFor). The bundle must
+  /// be sync()ed first; the clone is immutable-by-convention and safe to
+  /// share across reader threads.
+  std::unique_ptr<KnowledgeBundle> cloneFor(
+      const FaultAnalysis& analysis) const;
+
+  /// The captured knowledge for (q, model), or nullptr when the model was
+  /// not requested at construction. Returned infos are pre-synced; callers
+  /// must not sync() them (that would race on shared snapshots).
+  const QuadrantInfo* find(Quadrant q, InfoModel model) const;
+
+  const std::vector<InfoModel>& models() const { return models_; }
+
+ private:
+  KnowledgeBundle() = default;
+
+  const FaultAnalysis* analysis_ = nullptr;
+  std::vector<InfoModel> models_;
+  /// models_ x quadrant, in registration order.
+  std::vector<std::array<std::unique_ptr<QuadrantInfo>, 4>> infos_;
 };
 
 }  // namespace meshrt

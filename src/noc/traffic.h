@@ -1,7 +1,13 @@
-// Synthetic traffic patterns for the wormhole network (the classical NoC
-// evaluation set: uniform random, transpose, hotspot).
+// Synthetic traffic patterns for the wormhole network and the dynamic
+// sweeps: the classical NoC evaluation set (uniform random, transpose,
+// hotspot) plus the permutation suite (bit-complement, bit-reversal,
+// tornado — BookSim conventions). Patterns parse from CLI strings
+// (--pattern) via parseTrafficPattern.
 #pragma once
 
+#include <array>
+#include <optional>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -10,7 +16,114 @@
 
 namespace meshrt {
 
-enum class TrafficPattern : std::uint8_t { UniformRandom, Transpose, HotSpot };
+enum class TrafficPattern : std::uint8_t {
+  UniformRandom,
+  Transpose,
+  HotSpot,
+  BitComplement,
+  BitReversal,
+  Tornado,
+};
+
+/// Every pattern, in CLI-listing order — the single source for parsing,
+/// help text and tests.
+inline constexpr std::array<TrafficPattern, 6> kAllTrafficPatterns = {
+    TrafficPattern::UniformRandom, TrafficPattern::Transpose,
+    TrafficPattern::HotSpot,       TrafficPattern::BitComplement,
+    TrafficPattern::BitReversal,   TrafficPattern::Tornado,
+};
+
+constexpr std::string_view trafficPatternName(TrafficPattern p) {
+  switch (p) {
+    case TrafficPattern::UniformRandom:
+      return "uniform";
+    case TrafficPattern::Transpose:
+      return "transpose";
+    case TrafficPattern::HotSpot:
+      return "hotspot";
+    case TrafficPattern::BitComplement:
+      return "bitcomp";
+    case TrafficPattern::BitReversal:
+      return "bitrev";
+    case TrafficPattern::Tornado:
+      return "tornado";
+  }
+  return "?";
+}
+
+/// CLI-name lookup (the names trafficPatternName prints); nullopt on an
+/// unknown name so benches can fail with the known-pattern list.
+inline std::optional<TrafficPattern> parseTrafficPattern(
+    std::string_view name) {
+  for (TrafficPattern p : kAllTrafficPatterns) {
+    if (name == trafficPatternName(p)) return p;
+  }
+  return std::nullopt;
+}
+
+constexpr bool isPowerOfTwo(Coord v) { return v > 0 && (v & (v - 1)) == 0; }
+
+/// Bit-reversal needs power-of-two coordinates to permute bits; every
+/// other pattern works on any mesh shape.
+constexpr bool patternRequiresPow2(TrafficPattern p) {
+  return p == TrafficPattern::BitReversal;
+}
+
+namespace detail {
+
+/// Reverses the low `bits` bits of v.
+constexpr Coord reverseBits(Coord v, int bits) {
+  Coord out = 0;
+  for (int i = 0; i < bits; ++i) {
+    out = (out << 1) | ((v >> i) & 1);
+  }
+  return out;
+}
+
+constexpr int log2Exact(Coord v) {
+  int bits = 0;
+  while ((Coord{1} << bits) < v) ++bits;
+  return bits;
+}
+
+}  // namespace detail
+
+/// Destination of `src` under `pattern`. Only UniformRandom and HotSpot
+/// consume randomness; the permutation patterns are pure functions of the
+/// source, so callers (DynamicSweep) stay deterministic per RNG stream.
+/// BitReversal requires power-of-two mesh dimensions
+/// (patternRequiresPow2); the returned destination may equal `src` (e.g.
+/// fixed points of the permutations) — callers skip those.
+inline Point patternDestination(const Mesh2D& mesh, TrafficPattern pattern,
+                                Point src, Rng& rng, Point hotspot) {
+  const Coord w = mesh.width();
+  const Coord h = mesh.height();
+  switch (pattern) {
+    case TrafficPattern::Transpose:
+      return {src.y * w / h, src.x * h / w};
+    case TrafficPattern::BitComplement:
+      // Complementing every address bit mirrors both coordinates.
+      return {w - 1 - src.x, h - 1 - src.y};
+    case TrafficPattern::BitReversal:
+      return {detail::reverseBits(src.x, detail::log2Exact(w)),
+              detail::reverseBits(src.y, detail::log2Exact(h))};
+    case TrafficPattern::Tornado:
+      // BookSim: halfway around each dimension, d_i = s_i + ceil(k/2) - 1
+      // (mod k) — the worst-case load pattern for rings, still a stressor
+      // on meshes.
+      return {static_cast<Coord>((src.x + (w + 1) / 2 - 1) % w),
+              static_cast<Coord>((src.y + (h + 1) / 2 - 1) % h)};
+    case TrafficPattern::HotSpot:
+      if (rng.chance(0.1)) return hotspot;
+      [[fallthrough]];
+    case TrafficPattern::UniformRandom:
+    default:
+      return {static_cast<Coord>(
+                  rng.below(static_cast<std::uint64_t>(w))),
+              static_cast<Coord>(
+                  rng.below(static_cast<std::uint64_t>(h)))};
+  }
+}
 
 class TrafficGenerator {
  public:
@@ -30,7 +143,8 @@ class TrafficGenerator {
       for (Coord x = 0; x < mesh_.width(); ++x) {
         if (!rng_.chance(rate_)) continue;
         const Point src{x, y};
-        Point dst = destinationFor(src);
+        const Point dst =
+            patternDestination(mesh_, pattern_, src, rng_, hotspot_);
         if (dst != src) out.push_back({src, dst});
       }
     }
@@ -38,23 +152,6 @@ class TrafficGenerator {
   }
 
  private:
-  Point destinationFor(Point src) {
-    switch (pattern_) {
-      case TrafficPattern::Transpose:
-        return {src.y * mesh_.width() / mesh_.height(),
-                src.x * mesh_.height() / mesh_.width()};
-      case TrafficPattern::HotSpot:
-        if (rng_.chance(0.1)) return hotspot_;
-        [[fallthrough]];
-      case TrafficPattern::UniformRandom:
-      default:
-        return {static_cast<Coord>(rng_.below(
-                    static_cast<std::uint64_t>(mesh_.width()))),
-                static_cast<Coord>(rng_.below(
-                    static_cast<std::uint64_t>(mesh_.height())))};
-    }
-  }
-
   Mesh2D mesh_;
   TrafficPattern pattern_;
   double rate_;

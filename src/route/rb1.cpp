@@ -18,6 +18,11 @@ struct PoseHash {
 }  // namespace
 
 const QuadrantInfo& Rb1Router::info(Quadrant q) {
+  if (shared_ != nullptr) {
+    // Pre-synced snapshot knowledge: read-only by contract, so no sync()
+    // (the shared bundle may be read by other threads concurrently).
+    if (const QuadrantInfo* qi = shared_->find(q, InfoModel::B1)) return *qi;
+  }
   auto& slot = info_[static_cast<std::size_t>(q)];
   if (!slot) {
     slot = std::make_unique<QuadrantInfo>(analysis_->quadrant(q),

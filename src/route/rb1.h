@@ -16,7 +16,14 @@ namespace meshrt {
 
 class Rb1Router : public Router {
  public:
-  explicit Rb1Router(const FaultAnalysis& analysis) : analysis_(&analysis) {}
+  /// `shared`: optional pre-synced knowledge (must cover InfoModel::B1 and
+  /// reflect `analysis`); when present the router reads it instead of
+  /// building and syncing its own QuadrantInfo, which makes the router
+  /// cheap to construct and safe to build concurrently against one frozen
+  /// snapshot (route service table compiles).
+  explicit Rb1Router(const FaultAnalysis& analysis,
+                     const KnowledgeBundle* shared = nullptr)
+      : analysis_(&analysis), shared_(shared) {}
 
   std::string_view name() const override { return "RB1"; }
 
@@ -26,6 +33,7 @@ class Rb1Router : public Router {
   const QuadrantInfo& info(Quadrant q);
 
   const FaultAnalysis* analysis_;
+  const KnowledgeBundle* shared_;
   std::array<std::unique_ptr<QuadrantInfo>, 4> info_;
 };
 

@@ -8,6 +8,11 @@
 namespace meshrt {
 
 const QuadrantInfo& Rb3Router::info(Quadrant q) {
+  if (shared_ != nullptr) {
+    // Pre-synced snapshot knowledge: read-only by contract, so no sync()
+    // (the shared bundle may be read by other threads concurrently).
+    if (const QuadrantInfo* qi = shared_->find(q, InfoModel::B3)) return *qi;
+  }
   auto& slot = info_[static_cast<std::size_t>(q)];
   if (!slot) {
     slot = std::make_unique<QuadrantInfo>(analysis_->quadrant(q),

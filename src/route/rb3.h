@@ -28,11 +28,19 @@ enum class Rb3Knowledge : std::uint8_t {
 
 class Rb3Router : public Router {
  public:
-  /// `order` shapes the Manhattan legs (see Rb2Router).
+  /// `order` shapes the Manhattan legs (see Rb2Router). `shared`: optional
+  /// pre-synced knowledge covering InfoModel::B3 for `analysis`; when
+  /// present the router reads it instead of building its own QuadrantInfo
+  /// (cheap construction, safe concurrent use against a frozen snapshot —
+  /// see Rb1Router).
   explicit Rb3Router(const FaultAnalysis& analysis,
                      PathOrder order = PathOrder::Balanced,
-                     Rb3Knowledge knowledge = Rb3Knowledge::Boundary)
-      : analysis_(&analysis), order_(order), knowledge_(knowledge) {}
+                     Rb3Knowledge knowledge = Rb3Knowledge::Boundary,
+                     const KnowledgeBundle* shared = nullptr)
+      : analysis_(&analysis),
+        order_(order),
+        knowledge_(knowledge),
+        shared_(shared) {}
 
   std::string_view name() const override { return "RB3"; }
 
@@ -44,6 +52,7 @@ class Rb3Router : public Router {
   const FaultAnalysis* analysis_;
   PathOrder order_;
   Rb3Knowledge knowledge_;
+  const KnowledgeBundle* shared_;
   std::array<std::unique_ptr<QuadrantInfo>, 4> info_;
 };
 

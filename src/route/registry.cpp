@@ -10,6 +10,7 @@
 #include "route/rb1.h"
 #include "route/rb2.h"
 #include "route/rb3.h"
+#include "route/route_table.h"
 #include "route/safety_vector.h"
 
 namespace meshrt {
@@ -46,7 +47,8 @@ void registerBuiltins(RouterRegistry& r) {
         });
   r.add("rb1", "RB1", "Algorithm 3 over the B1 boundary triples",
         [](const RouterContext& ctx) -> std::unique_ptr<Router> {
-          return std::make_unique<Rb1Router>(needAnalysis(ctx, "rb1"));
+          return std::make_unique<Rb1Router>(needAnalysis(ctx, "rb1"),
+                                             ctx.knowledge);
         });
   r.add("rb2", "RB2",
         "Algorithm 5 over full information B2 (exact-field verification)",
@@ -62,21 +64,26 @@ void registerBuiltins(RouterRegistry& r) {
         });
   r.add("rb3", "RB3", "Algorithm 7 over the B3 boundary stores",
         [](const RouterContext& ctx) -> std::unique_ptr<Router> {
-          return std::make_unique<Rb3Router>(needAnalysis(ctx, "rb3"));
+          return std::make_unique<Rb3Router>(needAnalysis(ctx, "rb3"),
+                                             PathOrder::Balanced,
+                                             Rb3Knowledge::Boundary,
+                                             ctx.knowledge);
         });
   r.add("rb3-contact", "RB3(sense)",
         "RB3 restricted to neighbor sensing (no stored triples)",
         [](const RouterContext& ctx) -> std::unique_ptr<Router> {
           return std::make_unique<Rb3Router>(needAnalysis(ctx, "rb3-contact"),
                                              PathOrder::Balanced,
-                                             Rb3Knowledge::ContactOnly);
+                                             Rb3Knowledge::ContactOnly,
+                                             ctx.knowledge);
         });
   r.add("rb3-full", "RB3(full)",
         "RB3 with complete information (degenerates to RB2)",
         [](const RouterContext& ctx) -> std::unique_ptr<Router> {
           return std::make_unique<Rb3Router>(needAnalysis(ctx, "rb3-full"),
                                              PathOrder::Balanced,
-                                             Rb3Knowledge::Full);
+                                             Rb3Knowledge::Full,
+                                             ctx.knowledge);
         });
   r.add("optimal", "Optimal", "global-knowledge BFS oracle (ground truth)",
         [](const RouterContext& ctx) -> std::unique_ptr<Router> {
@@ -94,6 +101,10 @@ RouterRegistry& RouterRegistry::global() {
   static RouterRegistry* instance = [] {
     auto* r = new RouterRegistry();
     registerBuiltins(*r);
+    // Every built-in also gets a compiled-table variant ("table:rb2", ...)
+    // so benches and sweeps can race tables against direct routing by
+    // name alone.
+    registerTableizedRouters(*r);
     return r;
   }();
   return *instance;

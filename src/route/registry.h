@@ -19,12 +19,20 @@ namespace meshrt {
 
 class FaultSet;
 class FaultAnalysis;
+class KnowledgeBundle;
 
 /// What a factory may consume. The context (and the FaultSet/FaultAnalysis
 /// it points to) must outlive every router created from it.
 struct RouterContext {
   const FaultSet* faults = nullptr;
   const FaultAnalysis* analysis = nullptr;
+  /// Optional pre-built, pre-synced quadrant knowledge (info/knowledge.h).
+  /// When the bundle captured the model a knowledge-based router needs,
+  /// the router reads it instead of building its own QuadrantInfo — the
+  /// route service fills this from its epoch snapshots so sharded table
+  /// compiles don't rebuild knowledge per column. Must stay in sync with
+  /// `analysis`; plain benches leave it null and lose nothing.
+  const KnowledgeBundle* knowledge = nullptr;
 };
 
 using RouterFactory =

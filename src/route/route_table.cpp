@@ -1,0 +1,190 @@
+#include "route/route_table.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace meshrt {
+
+RouteColumn::RouteColumn(const Mesh2D& mesh, Point dest)
+    : dest_(dest),
+      next_(static_cast<std::size_t>(mesh.nodeCount()), kNoRoute) {}
+
+void RouteColumn::recomputeEntry(Router& router, const FaultSet& faults,
+                                 Point s) {
+  const NodeId id = faults.mesh().id(s);
+  auto& slot = next_[static_cast<std::size_t>(id)];
+  if (slot != kNoRoute) {
+    --routedSources_;
+    slot = kNoRoute;
+  }
+  if (s == dest_ || faults.isFaulty(s) || faults.isFaulty(dest_)) return;
+  const RouteResult res = router.route(s, dest_);
+  if (!res.delivered || res.path.size() < 2) return;
+  // First hops are neighbor steps for every router in the registry;
+  // anything else would corrupt the byte encoding, so drop it.
+  const Point d4 = res.path[1] - s;
+  for (Dir dir : kAllDirs) {
+    if (offset(dir) == d4) {
+      slot = static_cast<std::uint8_t>(dir);
+      ++routedSources_;
+      break;
+    }
+  }
+}
+
+RouteColumn RouteColumn::patched(Router& router, const FaultSet& faults,
+                                 const std::vector<NodeId>& cells) const {
+  RouteColumn out = *this;
+  const Mesh2D& mesh = faults.mesh();
+  for (NodeId id : cells) out.recomputeEntry(router, faults, mesh.point(id));
+  return out;
+}
+
+RouteColumn compileRouteColumn(Router& router, const FaultSet& faults,
+                               Point dest) {
+  const Mesh2D& mesh = faults.mesh();
+  RouteColumn column(mesh, dest);
+  if (faults.isFaulty(dest)) return column;  // all-kNoRoute, never served
+  for (NodeId id = 0; id < mesh.nodeCount(); ++id) {
+    const Point s = mesh.point(id);
+    if (s == dest || faults.isFaulty(s)) continue;
+    column.recomputeEntry(router, faults, s);
+  }
+  return column;
+}
+
+ServedRoute chaseColumn(const RouteColumn& column, const Mesh2D& mesh,
+                        Point s, std::size_t maxSteps, bool wantPath) {
+  ServedRoute out;
+  if (wantPath) out.path.push_back(s);
+  Point u = s;
+  const Point d = column.dest();
+  for (std::size_t step = 0; step <= maxSteps; ++step) {
+    if (u == d) {
+      out.status = ServeStatus::Delivered;
+      out.hops = static_cast<Distance>(step);
+      return out;
+    }
+    const std::uint8_t hop = column.next(mesh.id(u));
+    if (hop == RouteColumn::kNoRoute) {
+      out.status = ServeStatus::NoRoute;
+      return out;
+    }
+    u = u + offset(static_cast<Dir>(hop));
+    if (wantPath) out.path.push_back(u);
+  }
+  out.status = ServeStatus::Diverged;
+  return out;
+}
+
+std::vector<NodeId> chaseUpstream(const RouteColumn& column,
+                                  const Mesh2D& mesh,
+                                  const NodeMap<std::uint8_t>& targetMask) {
+  const auto n = static_cast<std::size_t>(mesh.nodeCount());
+  // 0 = unknown, 1 = in progress, 2 = misses every target, 3 = touches.
+  std::vector<std::uint8_t> state(n, 0);
+  std::vector<NodeId> chain;
+  for (NodeId start = 0; start < mesh.nodeCount(); ++start) {
+    if (state[static_cast<std::size_t>(start)] != 0) continue;
+    chain.clear();
+    NodeId u = start;
+    std::uint8_t verdict = 2;
+    for (;;) {
+      const Point p = mesh.point(u);
+      if (targetMask[p] != 0) {
+        verdict = 3;
+        // The masked cell belongs to the upstream set itself (its label
+        // changed, so its own entry must refresh), not just its feeders.
+        if (state[static_cast<std::size_t>(u)] == 0) {
+          state[static_cast<std::size_t>(u)] = 3;
+        }
+        break;
+      }
+      const std::uint8_t seen = state[static_cast<std::size_t>(u)];
+      if (seen == 1) break;  // cycle in this chain: loops without a target
+      if (seen != 0) {
+        verdict = seen;
+        break;
+      }
+      state[static_cast<std::size_t>(u)] = 1;
+      chain.push_back(u);
+      const std::uint8_t hop = column.next(u);
+      if (hop == RouteColumn::kNoRoute) break;  // chase ends (or at dest)
+      u = mesh.id(p + offset(static_cast<Dir>(hop)));
+    }
+    for (NodeId c : chain) state[static_cast<std::size_t>(c)] = verdict;
+  }
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < mesh.nodeCount(); ++id) {
+    if (state[static_cast<std::size_t>(id)] == 3) out.push_back(id);
+  }
+  return out;
+}
+
+TableizedRouter::TableizedRouter(std::unique_ptr<Router> inner,
+                                 const FaultSet& faults)
+    : inner_(std::move(inner)), faults_(&faults) {
+  name_ = "table:" + std::string(inner_->name());
+}
+
+const RouteColumn& TableizedRouter::column(Point d) {
+  const NodeId id = faults_->mesh().id(d);
+  auto it = columns_.find(id);
+  if (it == columns_.end()) {
+    it = columns_.emplace(id, compileRouteColumn(*inner_, *faults_, d))
+             .first;
+  }
+  return it->second;
+}
+
+ServedRoute TableizedRouter::serve(Point s, Point d, bool wantPath) {
+  if (faults_->isFaulty(s) || faults_->isFaulty(d)) {
+    ServedRoute out;
+    out.status = ServeStatus::EndpointFaulty;
+    if (wantPath) out.path.push_back(s);
+    return out;
+  }
+  if (s == d) {
+    ServedRoute out;
+    out.status = ServeStatus::Delivered;
+    out.hops = 0;
+    if (wantPath) out.path.push_back(s);
+    return out;
+  }
+  const Mesh2D& mesh = faults_->mesh();
+  return chaseColumn(column(d), mesh, s,
+                     static_cast<std::size_t>(mesh.nodeCount()), wantPath);
+}
+
+RouteResult TableizedRouter::route(Point s, Point d) {
+  ServedRoute served = serve(s, d, /*wantPath=*/true);
+  RouteResult res;
+  res.delivered = served.delivered();
+  res.path = std::move(served.path);
+  return res;
+}
+
+void registerTableizedRouters(RouterRegistry& registry) {
+  // Snapshot the keys first: add() during iteration over entries() would
+  // wrap the wrappers.
+  const std::vector<std::string> keys = registry.keys();
+  for (const std::string& key : keys) {
+    if (key.starts_with("table:")) continue;
+    const RouterRegistry::Entry& entry = registry.at(key);
+    // Capture the inner factory itself (not a global() lookup) so
+    // wrappers registered on a custom registry keep working there.
+    registry.add(
+        "table:" + key, entry.display + "·tbl",
+        "compiled next-hop table over '" + key + "' (lazy per-destination)",
+        [key, inner = entry.factory](
+            const RouterContext& ctx) -> std::unique_ptr<Router> {
+          if (ctx.faults == nullptr) {
+            throw std::invalid_argument("router 'table:" + key +
+                                        "' requires RouterContext.faults");
+          }
+          return std::make_unique<TableizedRouter>(inner(ctx), *ctx.faults);
+        });
+  }
+}
+
+}  // namespace meshrt

@@ -1,0 +1,171 @@
+// Compiled next-hop tables: the serving-side representation of a router.
+//
+// A RouteColumn fixes one destination d and stores, for every node u, the
+// first hop of router.route(u, d) — one byte per node. Serving a query
+// (s, d) is then a chase: follow stored hops from s until d, O(1) per hop
+// with zero planning. The chase realizes the classic per-hop table
+// semantics (IP forwarding, NoC route tables): its path is the fixed
+// point of the router's first-hop function, which equals the router's own
+// path exactly when the router is hop-consistent (route(u,d)'s tail is
+// route(next,d) — true for the BFS oracle; the adaptive routers may pick
+// a different equal-length path per hop, and detouring routers can even
+// livelock, which the bounded chase converts into ChaseDiverged). See
+// DESIGN.md section 7.1.
+//
+// Under fault churn, columns are patched instead of recompiled: a fault
+// toggle can only affect entries whose chase trajectory touches the
+// delta's label-change footprint (chases are suffix-closed, so any chase
+// avoiding the footprint is byte-for-byte unaffected), and
+// chaseUpstream() finds exactly those entries in one O(mesh) functional-
+// graph pass. See DESIGN.md section 7.2 for the argument.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/fault_set.h"
+#include "route/registry.h"
+#include "route/router.h"
+
+namespace meshrt {
+
+/// How a table-served query ended.
+enum class ServeStatus : std::uint8_t {
+  Delivered = 0,
+  /// Source or destination faulty in the serving epoch.
+  EndpointFaulty = 1,
+  /// The chase hit a node whose entry says the router found no route.
+  NoRoute = 2,
+  /// The chase exceeded the step bound (a per-hop livelock of the
+  /// underlying router, e.g. e-cube ring detours chasing each other).
+  Diverged = 3,
+};
+
+constexpr std::string_view serveStatusName(ServeStatus s) {
+  switch (s) {
+    case ServeStatus::Delivered:
+      return "delivered";
+    case ServeStatus::EndpointFaulty:
+      return "endpoint-faulty";
+    case ServeStatus::NoRoute:
+      return "no-route";
+    case ServeStatus::Diverged:
+      return "diverged";
+  }
+  return "?";
+}
+
+/// One table-served route. `path` is filled only when the caller asked
+/// for paths; `hops` is always valid for Delivered results.
+struct ServedRoute {
+  ServeStatus status = ServeStatus::NoRoute;
+  Distance hops = 0;
+  std::vector<Point> path;
+
+  bool delivered() const { return status == ServeStatus::Delivered; }
+};
+
+/// Compiled next hops toward one destination. Immutable once handed to
+/// readers; patched() produces the successor version for a fault delta.
+class RouteColumn {
+ public:
+  /// next() value for nodes the router could not route from (faulty
+  /// sources, unreachable pockets, the destination itself).
+  static constexpr std::uint8_t kNoRoute = 0xFF;
+
+  RouteColumn(const Mesh2D& mesh, Point dest);
+
+  Point dest() const { return dest_; }
+
+  /// Stored hop byte for node id: a Dir cast, or kNoRoute.
+  std::uint8_t next(NodeId id) const {
+    return next_[static_cast<std::size_t>(id)];
+  }
+
+  /// Number of sources with a stored hop (serving coverage).
+  std::size_t routedSources() const { return routedSources_; }
+
+  /// Copy with the entries of `cells` recomputed as fresh first hops of
+  /// `router` (which must read the post-delta analysis); every other
+  /// entry is carried verbatim. The route service patches exactly
+  /// chaseUpstream(footprint) ∪ footprint per event.
+  RouteColumn patched(Router& router, const FaultSet& faults,
+                      const std::vector<NodeId>& cells) const;
+
+ private:
+  friend RouteColumn compileRouteColumn(Router& router,
+                                        const FaultSet& faults, Point dest);
+
+  /// (Re)computes one entry from a fresh route; keeps routedSources_.
+  void recomputeEntry(Router& router, const FaultSet& faults, Point s);
+
+  Point dest_;
+  std::vector<std::uint8_t> next_;
+  std::size_t routedSources_ = 0;
+};
+
+/// Compiles the column for `dest`: one router.route(u, dest) per healthy
+/// source u, storing first hops.
+RouteColumn compileRouteColumn(Router& router, const FaultSet& faults,
+                               Point dest);
+
+/// Serves (s, column.dest()) by chasing stored hops. `maxSteps` bounds the
+/// walk (pass mesh.nodeCount(); a livelock-free router's chase visits each
+/// node at most once). Endpoint fault checks are the caller's job — the
+/// chase itself never consults the fault set.
+ServedRoute chaseColumn(const RouteColumn& column, const Mesh2D& mesh,
+                        Point s, std::size_t maxSteps, bool wantPath);
+
+/// Every node whose chase trajectory in `column` touches a cell with
+/// targetMask != 0 (including the node itself), ascending NodeId order.
+/// One pass over the column's functional hop graph with memoized
+/// verdicts; cyclic (diverging) chases that never touch a target count as
+/// untouched. This is the set of entries a delta confined to the masked
+/// cells can possibly affect — see the suffix-closure argument in
+/// DESIGN.md section 7.2.
+std::vector<NodeId> chaseUpstream(const RouteColumn& column,
+                                  const Mesh2D& mesh,
+                                  const NodeMap<std::uint8_t>& targetMask);
+
+/// Router adapter serving from lazily compiled columns: the registry
+/// wrapper behind the "table:<key>" keys, and the single-threaded
+/// reference for the route service's sharded compiles. Columns compile on
+/// first query per destination and are cached for the router's lifetime —
+/// the context must stay frozen (no fault churn); the service layers
+/// epoch snapshots on top for the dynamic case.
+class TableizedRouter : public Router {
+ public:
+  TableizedRouter(std::unique_ptr<Router> inner, const FaultSet& faults);
+
+  std::string_view name() const override { return name_; }
+
+  /// Chases the compiled column; RouteResult.delivered mirrors
+  /// ServedRoute::delivered() and the path is the chase path (the
+  /// attempted prefix on failure), like any other router.
+  RouteResult route(Point s, Point d) override;
+
+  /// The served form, with the failure reason preserved.
+  ServedRoute serve(Point s, Point d, bool wantPath = true);
+
+  std::size_t columnsCompiled() const { return columns_.size(); }
+
+ private:
+  const RouteColumn& column(Point d);
+
+  std::unique_ptr<Router> inner_;
+  const FaultSet* faults_;
+  std::string name_;
+  std::unordered_map<NodeId, RouteColumn> columns_;
+};
+
+/// Registers "table:<key>" wrappers for every currently registered key on
+/// `registry`, so any router can be compiled and served from tables by
+/// name (benches: --routers table:rb2). Called once for the global
+/// registry at static init; call manually after registering custom
+/// routers if you want wrapped variants of those too.
+void registerTableizedRouters(RouterRegistry& registry);
+
+}  // namespace meshrt

@@ -1,0 +1,269 @@
+#include "service/route_service.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace meshrt {
+
+RouteService::RouteService(const FaultSet& initial, ServiceConfig cfg)
+    : cfg_(std::move(cfg)), model_(initial), pool_(cfg_.threads) {
+  if (cfg_.routerKey.starts_with("table:")) {
+    throw std::invalid_argument(
+        "RouteService compiles tables itself; pass the inner key instead "
+        "of '" +
+        cfg_.routerKey + "'");
+  }
+  RouterRegistry::global().at(cfg_.routerKey);  // throws on unknown key
+  // Materialize every quadrant while single-threaded: sharded compiles
+  // read the analysis concurrently, and lazy first-touch is not
+  // thread-safe (see FaultAnalysis).
+  model_.analysis().materializeAll();
+  if (!cfg_.captureKnowledge.empty()) {
+    knowledge_ = std::make_unique<KnowledgeBundle>(model_.analysis(),
+                                                   cfg_.captureKnowledge);
+  }
+  box_.publish(std::make_unique<const ServiceSnapshot>(0, model_,
+                                                       knowledge_.get()));
+  snapshotsPublished_.fetch_add(1);
+}
+
+std::uint64_t RouteService::epoch() const {
+  const auto snap = box_.acquire();
+  return snap->epoch();
+}
+
+std::uint64_t RouteService::applyAddFault(Point p) {
+  std::lock_guard<std::mutex> lock(writerMutex_);
+  return applyEvent(model_.addFaultEvent(p));
+}
+
+std::uint64_t RouteService::applyRemoveFault(Point p) {
+  std::lock_guard<std::mutex> lock(writerMutex_);
+  return applyEvent(model_.removeFaultEvent(p));
+}
+
+std::uint64_t RouteService::applyEvent(const FaultEvent& event) {
+  const auto current = box_.acquire();
+  if (!event.applied) return current->epoch();
+  // Fold this event's footprint into the pending set BEFORE anything can
+  // throw: if the epoch build below aborts (the shared pool's wait() can
+  // rethrow a concurrent serve()'s compile failure), model_ is already
+  // ahead of the published snapshot, and the next successful publish must
+  // migrate columns against the union of every unpublished footprint or
+  // carried columns could keep routing through the lost event's fault.
+  pendingChanged_.insert(pendingChanged_.end(), event.changedWorld.begin(),
+                         event.changedWorld.end());
+  pendingChanged_.push_back(event.fault);
+
+  if (knowledge_) knowledge_->sync();
+  auto next = std::make_unique<ServiceSnapshot>(current->epoch() + 1,
+                                                model_, knowledge_.get());
+
+  // Migrate compiled columns under the delta rule (see header). The mask
+  // holds every label-changed cell of every event since the last publish
+  // (which always includes the toggled nodes): an entry whose chase
+  // trajectory misses the mask cannot route into any new fault, so its
+  // bytes stay correct verbatim.
+  NodeMap<std::uint8_t> mask(mesh(), 0);
+  for (Point p : pendingChanged_) mask[p] = 1;
+
+  const auto oldColumns = current->allColumns();
+  std::vector<NodeId> present;
+  for (std::size_t i = 0; i < oldColumns.size(); ++i) {
+    if (oldColumns[i]) present.push_back(static_cast<NodeId>(i));
+  }
+  std::atomic<std::uint64_t> carried{0};
+  std::atomic<std::uint64_t> entries{0};
+  std::atomic<std::uint64_t> dropped{0};
+  const ServiceSnapshot& snap = *next;
+
+  // Phase 1 (router-free): classify every column — carry, drop, or
+  // collect its upstream patch set.
+  struct PatchWork {
+    NodeId id = kInvalidNode;
+    std::vector<NodeId> cells;
+  };
+  std::vector<PatchWork> work(present.size());
+  parallelFor(pool_, present.size(), [&](std::size_t k) {
+    const NodeId id = present[k];
+    const auto& old = oldColumns[static_cast<std::size_t>(id)];
+    if (snap.faults().isFaulty(snap.mesh().point(id))) {
+      dropped.fetch_add(1);
+      return;
+    }
+    auto cells = chaseUpstream(*old, snap.mesh(), mask);
+    if (cells.empty()) {
+      snap.installColumn(id, old);
+      carried.fetch_add(1);
+      return;
+    }
+    entries.fetch_add(cells.size());
+    work[k] = PatchWork{id, std::move(cells)};
+  });
+  std::erase_if(work, [](const PatchWork& w) { return w.id == kInvalidNode; });
+
+  // Phase 2: patch the affected columns, one router per chunk job.
+  forEachWithChunkRouter(snap, work.size(), [&](Router& router,
+                                                std::size_t i) {
+    const auto& old = oldColumns[static_cast<std::size_t>(work[i].id)];
+    snap.installColumn(work[i].id,
+                       std::make_shared<const RouteColumn>(old->patched(
+                           router, snap.faults(), work[i].cells)));
+  });
+  columnsCarried_.fetch_add(carried.load());
+  columnsPatched_.fetch_add(work.size());
+  entriesPatched_.fetch_add(entries.load());
+  columnsDropped_.fetch_add(dropped.load());
+
+  const std::uint64_t epoch = next->epoch();
+  box_.publish(std::unique_ptr<const ServiceSnapshot>(std::move(next)));
+  pendingChanged_.clear();
+  snapshotsPublished_.fetch_add(1);
+  return epoch;
+}
+
+void RouteService::forEachWithChunkRouter(
+    const ServiceSnapshot& snap, std::size_t count,
+    const std::function<void(Router&, std::size_t)>& body) {
+  if (count == 0) return;
+  // A handful of items per job: enough to amortize router construction,
+  // small enough to load-balance.
+  const std::size_t jobs =
+      std::min(count, std::max<std::size_t>(1, pool_.threadCount()) * 4);
+  const std::size_t chunk = (count + jobs - 1) / jobs;
+  for (std::size_t j = 0; j < jobs; ++j) {
+    const std::size_t begin = j * chunk;
+    const std::size_t end = std::min(count, begin + chunk);
+    if (begin >= end) break;
+    pool_.submit([this, &snap, &body, begin, end] {
+      const auto router =
+          RouterRegistry::global().create(cfg_.routerKey, snap.context());
+      for (std::size_t i = begin; i < end; ++i) body(*router, i);
+    });
+  }
+  pool_.wait();
+}
+
+void RouteService::compileColumns(const ServiceSnapshot& snap,
+                                  std::vector<NodeId> dests) {
+  forEachWithChunkRouter(snap, dests.size(), [&](Router& router,
+                                                 std::size_t i) {
+    const Point dest = snap.mesh().point(dests[i]);
+    snap.installColumn(dests[i],
+                       std::make_shared<const RouteColumn>(
+                           compileRouteColumn(router, snap.faults(), dest)));
+    columnsCompiled_.fetch_add(1);
+  });
+}
+
+BatchResult RouteService::serve(const std::vector<Query>& batch,
+                                bool wantPaths) {
+  const auto snap = box_.acquire();
+  const Mesh2D& m = snap->mesh();
+  const FaultSet& faults = snap->faults();
+
+  // Destinations that will need a column: healthy endpoints, non-self.
+  std::vector<NodeId> dests;
+  dests.reserve(batch.size());
+  for (const Query& q : batch) {
+    if (q.s == q.d || faults.isFaulty(q.s) || faults.isFaulty(q.d)) continue;
+    dests.push_back(m.id(q.d));
+  }
+  std::sort(dests.begin(), dests.end());
+  dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
+
+  std::vector<NodeId> missing;
+  {
+    const auto ptrs = snap->columnsFor(dests);
+    for (std::size_t i = 0; i < dests.size(); ++i) {
+      if (ptrs[i] == nullptr) missing.push_back(dests[i]);
+    }
+  }
+  compileColumns(*snap, std::move(missing));
+
+  // Pin raw pointers once; the serve loop then runs lock-free (the
+  // snapshot handle keeps every column alive). A slot can still be null
+  // here in one corner: the pool's wait() is a global barrier shared by
+  // concurrent serve() callers, so another batch's exception can be
+  // rethrown to us (and ours to them) with our compile job never run —
+  // fall back to compiling inline so a chase never dereferences null and
+  // our own failures surface on our own thread.
+  std::vector<const RouteColumn*> byDest(
+      static_cast<std::size_t>(m.nodeCount()), nullptr);
+  {
+    const auto ptrs = snap->columnsFor(dests);
+    std::unique_ptr<Router> fallbackRouter;
+    for (std::size_t i = 0; i < dests.size(); ++i) {
+      if (ptrs[i] == nullptr) {
+        if (!fallbackRouter) {
+          fallbackRouter =
+              RouterRegistry::global().create(cfg_.routerKey,
+                                              snap->context());
+        }
+        snap->installColumn(
+            dests[i], std::make_shared<const RouteColumn>(compileRouteColumn(
+                          *fallbackRouter, snap->faults(),
+                          m.point(dests[i]))));
+        columnsCompiled_.fetch_add(1);
+      }
+    }
+    const auto resolved = snap->columnsFor(dests);
+    for (std::size_t i = 0; i < dests.size(); ++i) {
+      byDest[static_cast<std::size_t>(dests[i])] = resolved[i];
+    }
+  }
+
+  BatchResult out;
+  out.epoch = snap->epoch();
+  out.results.resize(batch.size());
+  const auto maxSteps = static_cast<std::size_t>(m.nodeCount());
+  std::atomic<std::uint64_t> diverged{0};
+  parallelFor(pool_, batch.size(), [&](std::size_t i) {
+    const Query& q = batch[i];
+    ServedRoute& res = out.results[i];
+    if (faults.isFaulty(q.s) || faults.isFaulty(q.d)) {
+      res.status = ServeStatus::EndpointFaulty;
+      if (wantPaths) res.path.push_back(q.s);
+      return;
+    }
+    if (q.s == q.d) {
+      res.status = ServeStatus::Delivered;
+      res.hops = 0;
+      if (wantPaths) res.path.push_back(q.s);
+      return;
+    }
+    const RouteColumn* column = byDest[static_cast<std::size_t>(m.id(q.d))];
+    res = chaseColumn(*column, m, q.s, maxSteps, wantPaths);
+    if (res.status == ServeStatus::Diverged) diverged.fetch_add(1);
+  });
+  queriesServed_.fetch_add(batch.size());
+  chasesDiverged_.fetch_add(diverged.load());
+  return out;
+}
+
+void RouteService::precompileAll() {
+  const auto snap = box_.acquire();
+  std::vector<NodeId> missing;
+  for (NodeId id = 0; id < snap->mesh().nodeCount(); ++id) {
+    if (snap->faults().isHealthy(snap->mesh().point(id)) &&
+        snap->column(id) == nullptr) {
+      missing.push_back(id);
+    }
+  }
+  compileColumns(*snap, std::move(missing));
+}
+
+ServiceCounters RouteService::counters() const {
+  ServiceCounters c;
+  c.columnsCompiled = columnsCompiled_.load();
+  c.columnsCarried = columnsCarried_.load();
+  c.columnsPatched = columnsPatched_.load();
+  c.entriesPatched = entriesPatched_.load();
+  c.columnsDropped = columnsDropped_.load();
+  c.snapshotsPublished = snapshotsPublished_.load();
+  c.queriesServed = queriesServed_.load();
+  c.chasesDiverged = chasesDiverged_.load();
+  return c;
+}
+
+}  // namespace meshrt

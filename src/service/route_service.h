@@ -1,0 +1,163 @@
+// RouteService: the concurrent route-query front end. Compiles the
+// configured router into per-destination next-hop columns (sharded across
+// a thread pool), serves batched point-to-point queries with O(1) table
+// lookups per hop, and stays correct under live fault churn by serving
+// every batch from an immutable epoch snapshot while applyAddFault /
+// applyRemoveFault build the next epoch from the incremental labeler's
+// deltas — recompiling only the columns whose dependency region the delta
+// touched. This is the layer that turns the reproduction from "runs
+// experiments" into "answers traffic"; see DESIGN.md section 7.
+//
+// Threading model:
+//   - serve() may be called from any number of reader threads; each batch
+//     is answered entirely against one pinned snapshot, sharded over the
+//     service's pool, and reduced serially — results are bitwise
+//     identical for threads=1 and threads=N.
+//   - applyAddFault/applyRemoveFault are serialized internally (multiple
+//     writer threads are safe, though the intended shape is one writer).
+//   - Retired snapshots are reclaimed when their last reader drains
+//     (common/epoch.h); liveSnapshots() observes that.
+//   - Known limitation: the pool's wait() is a global idle barrier, so
+//     heavily overlapping batches throttle each other (they still
+//     complete correctly), and a job exception can surface on a
+//     different caller's wait — serve() compiles missing columns inline
+//     as a fallback and the writer keeps un-published event footprints
+//     (pendingChanged_), so correctness never depends on which caller an
+//     error lands on. Per-batch task groups would lift the throughput
+//     coupling (ROADMAP).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/epoch.h"
+#include "common/thread_pool.h"
+#include "service/snapshot.h"
+
+namespace meshrt {
+
+struct ServiceConfig {
+  /// Registry key of the router the tables compile ("rb2", "table:..."
+  /// keys excluded — the service IS the table layer).
+  std::string routerKey = "rb2";
+  /// Worker threads for column compiles and batched serves (0 = cores).
+  std::size_t threads = 0;
+  /// Info models to capture into snapshots (pass {InfoModel::B1} for
+  /// rb1, {InfoModel::B3} for the rb3 family); empty skips knowledge
+  /// capture entirely, which is right for rb2/ecube/optimal-class keys.
+  std::vector<InfoModel> captureKnowledge;
+};
+
+struct Query {
+  Point s;
+  Point d;
+};
+
+/// One served batch: every result was computed against the same epoch.
+struct BatchResult {
+  std::uint64_t epoch = 0;
+  std::vector<ServedRoute> results;
+};
+
+/// Monotonic counters for tests and benches (snapshot of the atomics).
+struct ServiceCounters {
+  /// Full column compiles (mesh-many routes each).
+  std::uint64_t columnsCompiled = 0;
+  /// Columns shared into a new epoch untouched (no chase crossed the
+  /// event's footprint).
+  std::uint64_t columnsCarried = 0;
+  /// Columns copied with only the affected entries recomputed.
+  std::uint64_t columnsPatched = 0;
+  /// Entries recomputed across all patches (the per-event work unit).
+  std::uint64_t entriesPatched = 0;
+  /// Columns dropped because their destination became faulty.
+  std::uint64_t columnsDropped = 0;
+  std::uint64_t snapshotsPublished = 0;
+  std::uint64_t queriesServed = 0;
+  std::uint64_t chasesDiverged = 0;
+};
+
+class RouteService {
+ public:
+  /// Starts at epoch 0 over a copy of `initial`. Throws
+  /// std::invalid_argument on an unknown router key.
+  explicit RouteService(const FaultSet& initial, ServiceConfig cfg = {});
+
+  const Mesh2D& mesh() const { return model_.mesh(); }
+  const ServiceConfig& config() const { return cfg_; }
+
+  /// Epoch of the currently published snapshot.
+  std::uint64_t epoch() const;
+
+  /// Pins the current snapshot (tests validate served paths against the
+  /// pinned epoch's fault set).
+  SnapshotBox<ServiceSnapshot>::Handle snapshot() const {
+    return box_.acquire();
+  }
+
+  /// Applies one fault event through the incremental labeler and
+  /// publishes the next epoch. Compiled columns migrate by the delta
+  /// rule: a column is shared untouched when no chase in it crosses the
+  /// event's label-change footprint, patched entry-wise when some do
+  /// (chaseUpstream), and dropped when its destination died. No-op
+  /// toggles publish nothing. Returns the epoch current after the call.
+  std::uint64_t applyAddFault(Point p);
+  std::uint64_t applyRemoveFault(Point p);
+
+  /// Serves a batch against one pinned snapshot: missing destination
+  /// columns compile first (sharded), then queries chase tables in
+  /// parallel. With wantPaths=false only status/hops are produced (the
+  /// high-QPS mode). Deterministic per (snapshot, batch) regardless of
+  /// thread count.
+  BatchResult serve(const std::vector<Query>& batch, bool wantPaths = false);
+
+  /// Compiles every healthy destination's column in the current snapshot
+  /// (bench warm-up / eager mode).
+  void precompileAll();
+
+  ServiceCounters counters() const;
+
+  /// Snapshots currently alive (current + retired-but-pinned).
+  std::uint64_t liveSnapshots() const { return box_.liveCount(); }
+
+ private:
+  std::uint64_t applyEvent(const FaultEvent& event);
+  /// Shards `count` work items into contiguous chunks across the pool,
+  /// builds ONE router per chunk job (construction is not free — rb1/rb3
+  /// without captured knowledge rebuild quadrant knowledge) and calls
+  /// body(router, index) for each item. Blocks until done.
+  void forEachWithChunkRouter(
+      const ServiceSnapshot& snap, std::size_t count,
+      const std::function<void(Router&, std::size_t)>& body);
+  /// Compiles the columns for `dests` (deduplicated NodeIds) into `snap`.
+  void compileColumns(const ServiceSnapshot& snap,
+                      std::vector<NodeId> dests);
+
+  ServiceConfig cfg_;
+  DynamicFaultModel model_;                       // writer-side state
+  std::unique_ptr<KnowledgeBundle> knowledge_;    // writer-side, optional
+  mutable ThreadPool pool_;
+  SnapshotBox<ServiceSnapshot> box_;
+  std::mutex writerMutex_;
+  /// Label-change footprints of events applied to model_ but not yet
+  /// covered by a successful publish (guarded by writerMutex_); cleared
+  /// after each publish so an aborted epoch build can never lose a
+  /// footprint from the next migration mask.
+  std::vector<Point> pendingChanged_;
+
+  std::atomic<std::uint64_t> columnsCompiled_{0};
+  std::atomic<std::uint64_t> columnsCarried_{0};
+  std::atomic<std::uint64_t> columnsPatched_{0};
+  std::atomic<std::uint64_t> entriesPatched_{0};
+  std::atomic<std::uint64_t> columnsDropped_{0};
+  std::atomic<std::uint64_t> snapshotsPublished_{0};
+  std::atomic<std::uint64_t> queriesServed_{0};
+  std::atomic<std::uint64_t> chasesDiverged_{0};
+};
+
+}  // namespace meshrt

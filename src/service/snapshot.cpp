@@ -1,0 +1,52 @@
+#include "service/snapshot.h"
+
+namespace meshrt {
+
+ServiceSnapshot::ServiceSnapshot(std::uint64_t epoch,
+                                 const DynamicFaultModel& model,
+                                 const KnowledgeBundle* knowledge)
+    : epoch_(epoch),
+      faults_(model.faults()),
+      analysis_(model.analysis().cloneFor(faults_)),
+      columns_(static_cast<std::size_t>(model.mesh().nodeCount())) {
+  if (knowledge != nullptr) knowledge_ = knowledge->cloneFor(*analysis_);
+}
+
+std::shared_ptr<const RouteColumn> ServiceSnapshot::column(
+    NodeId dest) const {
+  std::lock_guard<std::mutex> lock(columnMutex_);
+  return columns_[static_cast<std::size_t>(dest)];
+}
+
+void ServiceSnapshot::installColumn(
+    NodeId dest, std::shared_ptr<const RouteColumn> column) const {
+  std::lock_guard<std::mutex> lock(columnMutex_);
+  auto& slot = columns_[static_cast<std::size_t>(dest)];
+  if (!slot) slot = std::move(column);
+}
+
+std::vector<const RouteColumn*> ServiceSnapshot::columnsFor(
+    const std::vector<NodeId>& dests) const {
+  std::vector<const RouteColumn*> out;
+  out.reserve(dests.size());
+  std::lock_guard<std::mutex> lock(columnMutex_);
+  for (NodeId dest : dests) {
+    out.push_back(columns_[static_cast<std::size_t>(dest)].get());
+  }
+  return out;
+}
+
+std::vector<std::shared_ptr<const RouteColumn>> ServiceSnapshot::allColumns()
+    const {
+  std::lock_guard<std::mutex> lock(columnMutex_);
+  return columns_;
+}
+
+std::size_t ServiceSnapshot::compiledColumns() const {
+  std::lock_guard<std::mutex> lock(columnMutex_);
+  std::size_t n = 0;
+  for (const auto& c : columns_) n += (c != nullptr);
+  return n;
+}
+
+}  // namespace meshrt

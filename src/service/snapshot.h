@@ -1,0 +1,77 @@
+// One epoch of the route-query service: an immutable capture of the fault
+// state, its incrementally patched analysis, the quadrant knowledge, and
+// the compiled next-hop columns valid for that state.
+//
+// Snapshots are published through a SnapshotBox (common/epoch.h): readers
+// pin an epoch and serve from it while the writer builds the next one;
+// a retired epoch is reclaimed when its last reader drains. The column
+// cache is the one mutable part — columns compile lazily on first demand,
+// under a mutex, and are immutable once installed, so a snapshot converges
+// monotonically toward fully compiled without ever changing an answer.
+// See DESIGN.md section 7.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "fault/analysis.h"
+#include "info/knowledge.h"
+#include "route/registry.h"
+#include "route/route_table.h"
+
+namespace meshrt {
+
+class ServiceSnapshot {
+ public:
+  /// Captures `model`'s current state: copies the fault set, deep-copies
+  /// the (incrementally patched) analysis onto the copy — no relabeling —
+  /// and clones `knowledge` when non-null. Columns start empty; use
+  /// carryFrom to inherit the survivors of the previous epoch.
+  ServiceSnapshot(std::uint64_t epoch, const DynamicFaultModel& model,
+                  const KnowledgeBundle* knowledge);
+
+  std::uint64_t epoch() const { return epoch_; }
+  const Mesh2D& mesh() const { return faults_.mesh(); }
+  const FaultSet& faults() const { return faults_; }
+  const FaultAnalysis& analysis() const { return *analysis_; }
+
+  /// What a registry factory needs to build a router over this epoch.
+  RouterContext context() const {
+    return RouterContext{&faults_, analysis_.get(), knowledge_.get()};
+  }
+
+  /// The compiled column for destination id, or null when not yet
+  /// compiled. Thread-safe.
+  std::shared_ptr<const RouteColumn> column(NodeId dest) const;
+
+  /// Installs a compiled column; the first install wins (concurrent
+  /// compilers produce identical content, so dropping the loser is safe).
+  void installColumn(NodeId dest,
+                     std::shared_ptr<const RouteColumn> column) const;
+
+  /// Raw column pointers for `dests`, in order (null where missing),
+  /// resolved under one lock so a serve loop can run lock-free against
+  /// pointers pinned by the snapshot handle it holds.
+  std::vector<const RouteColumn*> columnsFor(
+      const std::vector<NodeId>& dests) const;
+
+  /// Every column slot, dest-id indexed (nulls included) — what the
+  /// writer walks to carry/patch columns into the next epoch.
+  std::vector<std::shared_ptr<const RouteColumn>> allColumns() const;
+
+  /// Number of compiled columns right now.
+  std::size_t compiledColumns() const;
+
+ private:
+  std::uint64_t epoch_;
+  FaultSet faults_;
+  std::unique_ptr<FaultAnalysis> analysis_;
+  std::unique_ptr<KnowledgeBundle> knowledge_;
+
+  mutable std::mutex columnMutex_;
+  mutable std::vector<std::shared_ptr<const RouteColumn>> columns_;
+};
+
+}  // namespace meshrt

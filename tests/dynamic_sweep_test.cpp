@@ -63,6 +63,29 @@ TEST(DynamicSweepTest, BitwiseIdenticalAcrossThreadCounts) {
   expectBitwiseEqual(a, b);
 }
 
+TEST(DynamicSweepTest, PermutationPatternsKeepDeterminismAndRb2Success) {
+  for (TrafficPattern pattern :
+       {TrafficPattern::Tornado, TrafficPattern::BitComplement}) {
+    DynamicSweepConfig one = tinyDynamicConfig();
+    one.pattern = pattern;
+    one.base.threads = 1;
+    DynamicSweepConfig four = one;
+    four.base.threads = 4;
+    const auto a = DynamicSweep(one, {"rb2"}).run();
+    const auto b = DynamicSweep(four, {"rb2"}).run();
+    expectBitwiseEqual(a, b);
+    // Theorem 1 does not care how the pairs were chosen: every routed
+    // safe-connected pair still hits the safe-node optimum.
+    for (const SweepRow& row : a) {
+      const RatioCounter& success =
+          row.metrics.ratio(metric::success("rb2"));
+      if (success.total() > 0) {
+        EXPECT_EQ(success.hits(), success.total());
+      }
+    }
+  }
+}
+
 TEST(DynamicSweepTest, Rb2SucceedsAndZeroArrivalsNeverReroute) {
   const auto rows = DynamicSweep(tinyDynamicConfig(), kRouters).run();
   ASSERT_EQ(rows.size(), 3u);
@@ -87,6 +110,14 @@ TEST(DynamicSweepTest, Rb2SucceedsAndZeroArrivalsNeverReroute) {
 
   // Faults actually arrived at the non-zero levels.
   EXPECT_GT(rows.back().metrics.acc(metric::kActiveFaults).mean(), 0.0);
+}
+
+TEST(DynamicSweepTest, RejectsBitReversalOnNonPow2Mesh) {
+  DynamicSweepConfig cfg = tinyDynamicConfig();  // meshSize 20
+  cfg.pattern = TrafficPattern::BitReversal;
+  EXPECT_THROW(DynamicSweep(cfg, {"rb2"}), std::invalid_argument);
+  cfg.base.meshSize = 16;
+  EXPECT_NO_THROW(DynamicSweep(cfg, {"rb2"}));
 }
 
 TEST(DynamicSweepTest, RejectsBadConfigs) {

@@ -241,5 +241,80 @@ TEST(NocTest, TransposeTrafficMapsCoordinates) {
   }
 }
 
+TEST(TrafficPatternTest, NamesRoundTripThroughParsing) {
+  for (TrafficPattern p : kAllTrafficPatterns) {
+    const auto parsed = parseTrafficPattern(trafficPatternName(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+    EXPECT_NE(trafficPatternName(p), "?");
+  }
+  EXPECT_FALSE(parseTrafficPattern("bogus").has_value());
+  EXPECT_TRUE(patternRequiresPow2(TrafficPattern::BitReversal));
+  EXPECT_FALSE(patternRequiresPow2(TrafficPattern::Tornado));
+}
+
+TEST(TrafficPatternTest, BitComplementIsAnInvolutionToTheMirror) {
+  const Mesh2D mesh = Mesh2D::square(8);
+  Rng rng(1);
+  for (Coord y = 0; y < 8; ++y) {
+    for (Coord x = 0; x < 8; ++x) {
+      const Point s{x, y};
+      const Point d = patternDestination(mesh, TrafficPattern::BitComplement,
+                                         s, rng, {4, 4});
+      EXPECT_EQ(d, (Point{7 - x, 7 - y}));
+      EXPECT_EQ(patternDestination(mesh, TrafficPattern::BitComplement, d,
+                                   rng, {4, 4}),
+                s);
+    }
+  }
+}
+
+TEST(TrafficPatternTest, BitReversalPermutesPow2Coordinates) {
+  const Mesh2D mesh = Mesh2D::square(8);  // 3 bits per coordinate
+  Rng rng(1);
+  const Point d = patternDestination(mesh, TrafficPattern::BitReversal,
+                                     {1, 4}, rng, {4, 4});
+  // 001 -> 100, 100 -> 001.
+  EXPECT_EQ(d, (Point{4, 1}));
+  // An involution: reversing twice restores the source.
+  for (Coord y = 0; y < 8; ++y) {
+    for (Coord x = 0; x < 8; ++x) {
+      const Point once = patternDestination(
+          mesh, TrafficPattern::BitReversal, {x, y}, rng, {4, 4});
+      EXPECT_EQ(patternDestination(mesh, TrafficPattern::BitReversal, once,
+                                   rng, {4, 4}),
+                (Point{x, y}));
+    }
+  }
+}
+
+TEST(TrafficPatternTest, TornadoShiftsHalfwayAroundEachDimension) {
+  const Mesh2D mesh = Mesh2D::square(8);
+  Rng rng(1);
+  const Point d = patternDestination(mesh, TrafficPattern::Tornado, {0, 0},
+                                     rng, {4, 4});
+  EXPECT_EQ(d, (Point{3, 3}));  // (0 + ceil(8/2) - 1) mod 8
+  // Every destination stays in the mesh even from the far border.
+  for (Coord y = 0; y < 8; ++y) {
+    for (Coord x = 0; x < 8; ++x) {
+      EXPECT_TRUE(mesh.contains(patternDestination(
+          mesh, TrafficPattern::Tornado, {x, y}, rng, {4, 4})));
+    }
+  }
+}
+
+TEST(TrafficPatternTest, GeneratorHonorsPermutationPatterns) {
+  const Mesh2D mesh = Mesh2D::square(8);
+  Rng rng(9);
+  TrafficGenerator gen(mesh, TrafficPattern::Tornado, 1.0, rng);
+  std::size_t pairs = 0;
+  for (auto [s, d] : gen.tick()) {
+    EXPECT_EQ(d, (Point{static_cast<Coord>((s.x + 3) % 8),
+                        static_cast<Coord>((s.y + 3) % 8)}));
+    ++pairs;
+  }
+  EXPECT_GT(pairs, 0u);
+}
+
 }  // namespace
 }  // namespace meshrt

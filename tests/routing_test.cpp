@@ -19,18 +19,6 @@ namespace {
 
 using testutil::faultsAt;
 
-/// Samples a healthy point uniformly.
-Point randomHealthy(const FaultSet& faults, Rng& rng) {
-  const Mesh2D& mesh = faults.mesh();
-  for (;;) {
-    const Point p{static_cast<Coord>(rng.below(
-                      static_cast<std::uint64_t>(mesh.width()))),
-                  static_cast<Coord>(rng.below(
-                      static_cast<std::uint64_t>(mesh.height())))};
-    if (faults.isHealthy(p)) return p;
-  }
-}
-
 /// True when both endpoints are safe under the pair's quadrant labeling.
 bool pairIsSafe(const FaultAnalysis& fa, Point s, Point d) {
   const auto& qa = fa.forPair(s, d);

@@ -1,0 +1,418 @@
+// Tests for the route-query service stack: compiled next-hop tables
+// (route/route_table.h), epoch snapshots with refcount reclamation
+// (common/epoch.h) and the concurrent RouteService (src/service/).
+//
+// The key contracts:
+//  - table-served results are bit-identical to the hop-router reference
+//    (iterated fresh first hops — the spec the table realizes) for EVERY
+//    registry key, and bit-identical to the router's own paths for the
+//    hop-consistent BFS oracle;
+//  - batched serving is bitwise deterministic across thread counts;
+//  - under live churn, every served path is valid against the epoch it
+//    was served from, and events patch only the chase-affected entries;
+//  - retired snapshots survive exactly until their last reader drains.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/epoch.h"
+#include "common/rng.h"
+#include "fault/injectors.h"
+#include "route/route_table.h"
+#include "route/validate.h"
+#include "service/route_service.h"
+
+namespace meshrt {
+namespace {
+
+// ---------------------------------------------------------------- helpers
+
+/// The mathematical spec of per-hop table serving: at every node ask the
+/// router afresh and take one hop. Table compile + chase must reproduce
+/// this exactly (same statuses, hops and paths), bounded the same way.
+ServedRoute hopReference(Router& router, const FaultSet& faults, Point s,
+                         Point d) {
+  ServedRoute out;
+  out.path.push_back(s);
+  if (faults.isFaulty(s) || faults.isFaulty(d)) {
+    out.status = ServeStatus::EndpointFaulty;
+    return out;
+  }
+  if (s == d) {
+    out.status = ServeStatus::Delivered;
+    return out;
+  }
+  Point u = s;
+  const auto maxSteps = static_cast<std::size_t>(faults.mesh().nodeCount());
+  for (std::size_t step = 0; step <= maxSteps; ++step) {
+    if (u == d) {
+      out.status = ServeStatus::Delivered;
+      out.hops = static_cast<Distance>(step);
+      return out;
+    }
+    const RouteResult res = router.route(u, d);
+    if (!res.delivered || res.path.size() < 2) {
+      out.status = ServeStatus::NoRoute;
+      return out;
+    }
+    u = res.path[1];
+    out.path.push_back(u);
+  }
+  out.status = ServeStatus::Diverged;
+  return out;
+}
+
+std::vector<Query> randomBatch(const Mesh2D& mesh, std::size_t count,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Query> batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    batch.push_back(
+        {{static_cast<Coord>(
+              rng.below(static_cast<std::uint64_t>(mesh.width()))),
+          static_cast<Coord>(
+              rng.below(static_cast<std::uint64_t>(mesh.height())))},
+         {static_cast<Coord>(
+              rng.below(static_cast<std::uint64_t>(mesh.width()))),
+          static_cast<Coord>(
+              rng.below(static_cast<std::uint64_t>(mesh.height())))}});
+  }
+  return batch;
+}
+
+void expectSameRoute(const ServedRoute& a, const ServedRoute& b,
+                     bool comparePaths = true) {
+  ASSERT_EQ(a.status, b.status);
+  if (a.delivered()) {
+    EXPECT_EQ(a.hops, b.hops);
+  }
+  if (comparePaths) {
+    EXPECT_EQ(a.path, b.path);
+  }
+}
+
+// ------------------------------------------------- epoch reclamation box
+
+TEST(SnapshotBoxTest, RetiredSnapshotSurvivesUntilLastReaderDrains) {
+  struct Payload {
+    explicit Payload(std::atomic<int>& gauge) : alive(&gauge) {
+      alive->fetch_add(1);
+    }
+    ~Payload() { alive->fetch_sub(1); }
+    std::atomic<int>* alive;
+  };
+  std::atomic<int> alive{0};
+  SnapshotBox<Payload> box;
+  box.publish(std::make_unique<const Payload>(alive));
+  EXPECT_EQ(box.liveCount(), 1u);
+
+  auto pinned = box.acquire();
+  box.publish(std::make_unique<const Payload>(alive));
+  box.publish(std::make_unique<const Payload>(alive));
+  // The pinned first epoch plus the current one are alive; the middle
+  // epoch had no readers and died on publish.
+  EXPECT_EQ(alive.load(), 2);
+  EXPECT_EQ(box.liveCount(), 2u);
+  EXPECT_EQ(box.published(), 3u);
+
+  pinned.reset();
+  EXPECT_EQ(alive.load(), 1);
+  EXPECT_EQ(box.liveCount(), 1u);
+}
+
+// ------------------------------------------------------------ route table
+
+TEST(RouteTableTest, TableServedMatchesHopReferenceForEveryRegistryKey) {
+  const Mesh2D mesh = Mesh2D::square(12);
+  for (std::uint64_t cfgSeed : {1u, 2u}) {
+    Rng rng = Rng::forStream(2024, cfgSeed);
+    const FaultSet faults = injectUniform(mesh, 18, rng);
+    const FaultAnalysis fa(faults);
+    const RouterContext ctx{&faults, &fa};
+    const auto batch = randomBatch(mesh, 90, 77 + cfgSeed);
+    for (const auto& key : RouterRegistry::global().keys()) {
+      if (key.starts_with("table:")) continue;
+      SCOPED_TRACE(key + " cfg " + std::to_string(cfgSeed));
+      const auto direct = RouterRegistry::global().create(key, ctx);
+      auto wrapped =
+          RouterRegistry::global().create("table:" + key, ctx);
+      auto* tableized = dynamic_cast<TableizedRouter*>(wrapped.get());
+      ASSERT_NE(tableized, nullptr);
+      for (const Query& q : batch) {
+        const ServedRoute ref = hopReference(*direct, faults, q.s, q.d);
+        const ServedRoute served = tableized->serve(q.s, q.d);
+        expectSameRoute(served, ref);
+      }
+    }
+  }
+}
+
+TEST(RouteTableTest, BfsOracleTablePreservesExactRouterPaths) {
+  // The BFS oracle is hop-consistent (route(u,d)'s tail IS route(next,d)),
+  // so its table must reproduce the router's own paths bit for bit, not
+  // just the hop-reference's.
+  const Mesh2D mesh = Mesh2D::square(12);
+  Rng rng(5);
+  const FaultSet faults = injectUniform(mesh, 20, rng);
+  const FaultAnalysis fa(faults);
+  const RouterContext ctx{&faults, &fa};
+  const auto direct = RouterRegistry::global().create("optimal", ctx);
+  auto wrapped = RouterRegistry::global().create("table:optimal", ctx);
+  auto* tableized = dynamic_cast<TableizedRouter*>(wrapped.get());
+  ASSERT_NE(tableized, nullptr);
+  for (const Query& q : randomBatch(mesh, 120, 9)) {
+    if (faults.isFaulty(q.s) || faults.isFaulty(q.d)) continue;
+    const RouteResult res = direct->route(q.s, q.d);
+    const ServedRoute served = tableized->serve(q.s, q.d);
+    ASSERT_EQ(served.delivered(), res.delivered);
+    if (res.delivered) {
+      EXPECT_EQ(served.path, res.path);
+    }
+  }
+}
+
+TEST(RouteTableTest, ChaseUpstreamFindsExactlyTheTrajectoriesThroughMask) {
+  const Mesh2D mesh = Mesh2D::square(10);
+  Rng rng(3);
+  const FaultSet faults = injectUniform(mesh, 12, rng);
+  const FaultAnalysis fa(faults);
+  const RouterContext ctx{&faults, &fa};
+  const auto router = RouterRegistry::global().create("rb2", ctx);
+  const Point dest{8, 8};
+  ASSERT_TRUE(faults.isHealthy(dest));
+  const RouteColumn column = compileRouteColumn(*router, faults, dest);
+
+  NodeMap<std::uint8_t> mask(mesh, 0);
+  const Point target{4, 4};
+  mask[target] = 1;
+  const auto upstream = chaseUpstream(column, mesh, mask);
+
+  // Oracle: chase every source and check whether the trajectory (the
+  // chase path, including the start) touches the target.
+  for (NodeId id = 0; id < mesh.nodeCount(); ++id) {
+    const Point s = mesh.point(id);
+    const ServedRoute chase = chaseColumn(
+        column, mesh, s, static_cast<std::size_t>(mesh.nodeCount()), true);
+    bool touches = false;
+    for (Point p : chase.path) touches |= (p == target);
+    const bool listed =
+        std::find(upstream.begin(), upstream.end(), id) != upstream.end();
+    EXPECT_EQ(listed, touches) << "node " << s.str();
+  }
+}
+
+// ---------------------------------------------------------- route service
+
+TEST(ServiceTest, BatchedServeMatchesTableizedRouterForEveryKey) {
+  const Mesh2D mesh = Mesh2D::square(12);
+  Rng rng(11);
+  const FaultSet faults = injectUniform(mesh, 20, rng);
+  const FaultAnalysis fa(faults);
+  const RouterContext ctx{&faults, &fa};
+  const auto batch = randomBatch(mesh, 80, 13);
+  std::vector<Query> queries = batch;
+  for (const auto& key : RouterRegistry::global().keys()) {
+    if (key.starts_with("table:")) continue;
+    SCOPED_TRACE(key);
+    ServiceConfig cfg;
+    cfg.routerKey = key;
+    cfg.threads = 2;
+    cfg.captureKnowledge = {InfoModel::B1, InfoModel::B3};
+    RouteService service(faults, cfg);
+    auto wrapped = RouterRegistry::global().create("table:" + key, ctx);
+    auto* tableized = dynamic_cast<TableizedRouter*>(wrapped.get());
+    ASSERT_NE(tableized, nullptr);
+    const BatchResult result = service.serve(queries, /*wantPaths=*/true);
+    EXPECT_EQ(result.epoch, 0u);
+    ASSERT_EQ(result.results.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      expectSameRoute(result.results[i],
+                      tableized->serve(queries[i].s, queries[i].d));
+    }
+  }
+}
+
+TEST(ServiceTest, BatchedServeBitwiseIdenticalAcrossThreadCounts) {
+  const Mesh2D mesh = Mesh2D::square(24);
+  Rng rng(21);
+  const FaultSet faults = injectUniform(mesh, 80, rng);
+  const auto queries = randomBatch(mesh, 300, 31);
+  std::vector<BatchResult> results;
+  for (std::size_t threads : {1u, 4u}) {
+    ServiceConfig cfg;
+    cfg.threads = threads;
+    RouteService service(faults, cfg);
+    results.push_back(service.serve(queries, /*wantPaths=*/true));
+  }
+  ASSERT_EQ(results[0].results.size(), results[1].results.size());
+  EXPECT_EQ(results[0].epoch, results[1].epoch);
+  for (std::size_t i = 0; i < results[0].results.size(); ++i) {
+    expectSameRoute(results[0].results[i], results[1].results[i]);
+  }
+}
+
+TEST(ServiceTest, EventsPatchOnlyChaseAffectedEntriesAndStayValid) {
+  const Mesh2D mesh = Mesh2D::square(24);
+  Rng rng(41);
+  const FaultSet faults = injectUniform(mesh, 40, rng);
+  ServiceConfig cfg;
+  cfg.threads = 2;
+  RouteService service(faults, cfg);
+  const auto queries = randomBatch(mesh, 200, 43);
+  service.serve(queries);
+  const auto before = service.counters();
+  const std::size_t compiledBefore =
+      service.snapshot()->compiledColumns();
+  ASSERT_GT(compiledBefore, 0u);
+
+  // One added fault: columns split into carried / patched / dropped, and
+  // the patch work is entries, not whole columns.
+  Point toggle{12, 12};
+  while (service.snapshot()->faults().isFaulty(toggle)) toggle.x += 1;
+  const std::uint64_t epoch = service.applyAddFault(toggle);
+  EXPECT_EQ(epoch, 1u);
+  const auto after = service.counters();
+  EXPECT_EQ(after.columnsCompiled, before.columnsCompiled);
+  EXPECT_EQ(after.columnsCarried + after.columnsPatched +
+                after.columnsDropped -
+                (before.columnsCarried + before.columnsPatched +
+                 before.columnsDropped),
+            compiledBefore);
+  const std::uint64_t patchedEntries =
+      after.entriesPatched - before.entriesPatched;
+  const std::uint64_t patchedColumns =
+      after.columnsPatched - before.columnsPatched;
+  EXPECT_GT(patchedColumns, 0u);
+  // The whole point: far fewer recomputed entries than a full recompile
+  // of the patched columns would cost.
+  EXPECT_LT(patchedEntries,
+            patchedColumns * static_cast<std::uint64_t>(mesh.nodeCount()));
+
+  // Served paths remain valid against the new epoch without recompiling.
+  const BatchResult result = service.serve(queries, /*wantPaths=*/true);
+  EXPECT_EQ(result.epoch, 1u);
+  const auto snap = service.snapshot();
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const ServedRoute& r = result.results[i];
+    if (!r.delivered()) continue;
+    EXPECT_TRUE(
+        isValidPath(snap->faults(), queries[i].s, queries[i].d, r.path));
+  }
+}
+
+TEST(ServiceTest, RepairedDestinationGetsAFreshColumn) {
+  const Mesh2D mesh = Mesh2D::square(12);
+  FaultSet faults(mesh);
+  const Point dead{6, 6};
+  faults.add(dead);
+  ServiceConfig cfg;
+  cfg.threads = 1;
+  RouteService service(faults, cfg);
+  const std::vector<Query> toDead{{{1, 1}, dead}};
+  BatchResult r = service.serve(toDead, true);
+  EXPECT_EQ(r.results[0].status, ServeStatus::EndpointFaulty);
+
+  service.applyRemoveFault(dead);
+  r = service.serve(toDead, true);
+  EXPECT_EQ(r.results[0].status, ServeStatus::Delivered);
+  EXPECT_EQ(r.results[0].hops, manhattan(Point{1, 1}, dead));
+  EXPECT_TRUE(isValidPath(service.snapshot()->faults(), {1, 1}, dead,
+                          r.results[0].path));
+}
+
+TEST(ServiceTest, SnapshotConsistencyUnderConcurrentChurn) {
+  // Reader threads serve batches while a writer applies add/remove
+  // events. Every delivered path must be valid against the fault set of
+  // the exact epoch it was served from — published epochs are recorded by
+  // the writer and checked after the threads join.
+  const Mesh2D mesh = Mesh2D::square(16);
+  Rng rng(71);
+  const FaultSet initial = injectUniform(mesh, 30, rng);
+  ServiceConfig cfg;
+  cfg.threads = 2;
+  RouteService service(initial, cfg);
+
+  std::map<std::uint64_t, FaultSet> published;
+  published.emplace(0, service.snapshot()->faults());
+
+  struct Observation {
+    Query query;
+    std::uint64_t epoch;
+    ServedRoute route;
+  };
+  std::vector<std::vector<Observation>> observed(3);
+  std::atomic<bool> readersDone{false};
+
+  // The writer churns for as long as the readers serve, so batches land
+  // on many different epochs. Epoch fault sets are recorded writer-side;
+  // observations are validated after the join, when the record is
+  // complete.
+  std::thread writer([&] {
+    Rng churnRng(73);
+    while (!readersDone.load()) {
+      const Point p{static_cast<Coord>(churnRng.below(16)),
+                    static_cast<Coord>(churnRng.below(16))};
+      const std::uint64_t epoch = churnRng.chance(0.4)
+                                      ? service.applyRemoveFault(p)
+                                      : service.applyAddFault(p);
+      if (!published.contains(epoch)) {
+        published.emplace(epoch, service.snapshot()->faults());
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (std::size_t t = 0; t < observed.size(); ++t) {
+    readers.emplace_back([&, t] {
+      const auto queries = randomBatch(mesh, 60, 100 + t);
+      for (int round = 0; round < 10; ++round) {
+        const BatchResult result =
+            service.serve(queries, /*wantPaths=*/true);
+        for (std::size_t i = 0; i < queries.size(); ++i) {
+          observed[t].push_back(
+              {queries[i], result.epoch, result.results[i]});
+        }
+      }
+    });
+  }
+  for (auto& reader : readers) reader.join();
+  readersDone.store(true);
+  writer.join();
+
+  std::size_t validated = 0;
+  for (const auto& perThread : observed) {
+    for (const Observation& ob : perThread) {
+      const auto it = published.find(ob.epoch);
+      ASSERT_NE(it, published.end()) << "unpublished epoch " << ob.epoch;
+      if (ob.route.delivered()) {
+        EXPECT_TRUE(isValidPath(it->second, ob.query.s, ob.query.d,
+                                ob.route.path))
+            << "epoch " << ob.epoch;
+        ++validated;
+      }
+    }
+  }
+  EXPECT_GT(validated, 0u);
+  // Single-digit live snapshots at rest: readers drained, retired epochs
+  // reclaimed.
+  EXPECT_EQ(service.liveSnapshots(), 1u);
+}
+
+TEST(ServiceTest, RejectsTableKeysAndUnknownKeys) {
+  const Mesh2D mesh = Mesh2D::square(6);
+  const FaultSet faults(mesh);
+  ServiceConfig unknown;
+  unknown.routerKey = "nope";
+  EXPECT_THROW(RouteService(faults, unknown), std::invalid_argument);
+  ServiceConfig nested;
+  nested.routerKey = "table:rb2";
+  EXPECT_THROW(RouteService(faults, nested), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace meshrt
