@@ -2,7 +2,10 @@
 // MCC extraction, knowledge construction, planning and BFS.
 #include <benchmark/benchmark.h>
 
+#include <unordered_map>
+
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "fault/analysis.h"
 #include "fault/incremental.h"
 #include "fault/injectors.h"
@@ -253,6 +256,132 @@ void BM_HealthyBfs(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HealthyBfs);
+
+// --- serve hot path: dense slot array vs hashed next-hop storage --------
+//
+// chaseColumn runs on a dense byte vector: one indexed load plus one id
+// add per step. BM_ChaseColumnHashed is the counterfactual the table
+// layer moved away from — the same chase against next hops stored in an
+// unordered_map, paying a hash probe per step. The pair quantifies the
+// columns_ flattening on the serving hot path.
+
+namespace {
+constexpr Coord kChaseMesh = 64;
+
+struct ChaseFixture {
+  FaultSet faults;
+  RouteColumn column;
+  std::vector<Point> sources;
+
+  ChaseFixture()
+      : faults(makeFaults(kChaseMesh,
+                          static_cast<std::size_t>(kChaseMesh) *
+                              static_cast<std::size_t>(kChaseMesh) / 10,
+                          42)),
+        column(faults.mesh(), Point{0, 0}) {
+    Point dest{kChaseMesh / 2, kChaseMesh / 2};
+    while (faults.isFaulty(dest)) dest.x += 1;
+    const FaultAnalysis fa(faults);
+    const RouterContext ctx{&faults, &fa};
+    const auto router = RouterRegistry::global().create("rb2", ctx);
+    column = compileRouteColumn(*router, faults, dest);
+    Rng rng(7);
+    while (sources.size() < 256) {
+      const Point s = randomHealthy(faults, rng);
+      if (s != dest) sources.push_back(s);
+    }
+  }
+};
+}  // namespace
+
+void BM_ChaseColumnDense(benchmark::State& state) {
+  static const ChaseFixture fx;
+  const Mesh2D& mesh = fx.faults.mesh();
+  const auto maxSteps = static_cast<std::size_t>(mesh.nodeCount());
+  std::size_t i = 0;
+  std::uint64_t hops = 0;
+  for (auto _ : state) {
+    const ServedRoute res = chaseColumn(
+        fx.column, mesh, fx.sources[i++ & 255], maxSteps, false);
+    hops += static_cast<std::uint64_t>(res.hops);
+    benchmark::DoNotOptimize(res.status);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(hops));  // per-hop rate
+}
+BENCHMARK(BM_ChaseColumnDense);
+
+void BM_ChaseColumnHashed(benchmark::State& state) {
+  static const ChaseFixture fx;
+  const Mesh2D& mesh = fx.faults.mesh();
+  std::unordered_map<NodeId, std::uint8_t> nextByNode;
+  for (NodeId id = 0; id < mesh.nodeCount(); ++id) {
+    nextByNode.emplace(id, fx.column.next(id));
+  }
+  const NodeId width = mesh.width();
+  const NodeId idStep[4] = {1, -1, width, -width};
+  const NodeId dest = mesh.id(fx.column.dest());
+  const auto maxSteps = static_cast<std::size_t>(mesh.nodeCount());
+  std::size_t i = 0;
+  std::uint64_t hops = 0;
+  for (auto _ : state) {
+    NodeId u = mesh.id(fx.sources[i++ & 255]);
+    ServeStatus status = ServeStatus::Diverged;
+    for (std::size_t step = 0; step <= maxSteps; ++step) {
+      if (u == dest) {
+        status = ServeStatus::Delivered;
+        hops += step;
+        break;
+      }
+      const std::uint8_t hop = nextByNode.find(u)->second;
+      if (hop == RouteColumn::kNoRoute) {
+        status = ServeStatus::NoRoute;
+        break;
+      }
+      u += idStep[hop];
+    }
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(hops));
+}
+BENCHMARK(BM_ChaseColumnHashed);
+
+// --- task-group executor overhead ---------------------------------------
+//
+// The cost of the per-batch wait discipline itself: submit N no-op jobs
+// and wait, on a FRESH TaskGroup per batch vs reusing the pool's
+// built-in default group (the submit()/wait() shorthand — itself group
+// machinery since the global-barrier pool was replaced, so the pair
+// isolates the per-batch group construction, not old-vs-new executors).
+// Arg(0) measures a bare create+wait on an empty group.
+
+void BM_TaskGroupOverhead(benchmark::State& state) {
+  ThreadPool pool(2);
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    TaskGroup group(pool);
+    for (std::size_t j = 0; j < jobs; ++j) {
+      group.submit([] {});
+    }
+    group.wait();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(jobs ? jobs : 1));
+}
+BENCHMARK(BM_TaskGroupOverhead)->Arg(0)->Arg(64);
+
+void BM_PoolWideWaitOverhead(benchmark::State& state) {
+  ThreadPool pool(2);
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    for (std::size_t j = 0; j < jobs; ++j) {
+      pool.submit([] {});
+    }
+    pool.wait();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(jobs ? jobs : 1));
+}
+BENCHMARK(BM_PoolWideWaitOverhead)->Arg(64);
 
 }  // namespace
 

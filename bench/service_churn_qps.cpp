@@ -1,0 +1,203 @@
+// Overlapped route-service throughput: N reader threads each serving
+// their own batches concurrently — against one RouteService and one
+// shared worker pool — while a churn writer applies fault events the
+// whole time. The headline is aggregate QPS across all readers: this is
+// the scenario the per-batch TaskGroup executor exists for (a global
+// pool barrier makes every batch wait for every other batch's jobs and
+// the writer's patch jobs; per-group waits let them interleave).
+//
+//   ./service_churn_qps --meshes 64 --readers 4 --threads 4
+//   ./service_churn_qps --smoke          # seconds-fast CI configuration
+//
+// The writers=0 row measures pure serve/serve overlap; the writers=1 row
+// adds continuous fault churn (epoch builds + column patches) under the
+// readers. Compare against bench/service_qps.cpp for the single-caller
+// static path. See docs/REPRODUCING.md.
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "fault/injectors.h"
+#include "harness/bench_main.h"
+#include "service/route_service.h"
+
+namespace {
+
+using namespace meshrt;
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace meshrt;
+  CliFlags flags;
+  flags.define("meshes", "64", "comma-separated mesh side lengths");
+  flags.define("fault-rate", "0.10", "initial fault fraction of nodes");
+  flags.define("router", "rb2", "registry key the tables compile");
+  flags.define("threads", "4", "service worker threads (0 = all cores)");
+  flags.define("readers", "4", "concurrent reader threads (one batch each)");
+  flags.define("writers", "0,1",
+               "comma-separated churn-writer counts per row (0 = overlap "
+               "only, 1 = overlap + live fault churn)");
+  flags.define("queries", "20000", "queries per served batch");
+  flags.define("dests", "64", "distinct destinations in the shared pool");
+  flags.define("rounds", "8", "measured batches per reader");
+  flags.define("seed", "2007", "master random seed");
+  flags.define("smoke", "false",
+               "tiny configuration (16x16, 2 readers) for CI smoke runs");
+  flags.define("format", "table", "output format: table, csv or json");
+  flags.define("out", "",
+               "also write the result to this file (.csv/.json pick the "
+               "format by extension)");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const bool smoke = flags.boolean("smoke");
+  std::vector<std::size_t> meshes;
+  for (const std::string& item :
+       splitCommaList(smoke ? "16" : flags.str("meshes"))) {
+    meshes.push_back(parseCount(item, "meshes"));
+  }
+  std::vector<std::size_t> writerCounts;
+  for (const std::string& item : splitCommaList(flags.str("writers"))) {
+    writerCounts.push_back(parseCount(item, "writers"));
+  }
+  const std::size_t readers =
+      smoke ? 2 : static_cast<std::size_t>(flags.integer("readers"));
+  const std::size_t queries =
+      smoke ? 2000 : static_cast<std::size_t>(flags.integer("queries"));
+  const std::size_t destCount =
+      smoke ? 12 : static_cast<std::size_t>(flags.integer("dests"));
+  const std::size_t rounds =
+      smoke ? 3 : static_cast<std::size_t>(flags.integer("rounds"));
+  const double faultRate = flags.real("fault-rate");
+  const std::string routerKey = flags.str("router");
+  const auto threads = static_cast<std::size_t>(flags.integer("threads"));
+  const auto seed = static_cast<std::uint64_t>(flags.integer("seed"));
+  if (!RouterRegistry::global().contains(routerKey)) {
+    std::cerr << "unknown --router '" << routerKey << "'\n";
+    return 1;
+  }
+  if (readers == 0 || rounds == 0 || queries == 0) {
+    std::cerr << "--readers, --rounds and --queries must be positive\n";
+    return 1;
+  }
+
+  if (wantsBanner(flags)) {
+    std::cout << "Overlapped route-service QPS: " << readers
+              << " concurrent readers x " << rounds << " batches x "
+              << queries << " queries, router " << routerKey
+              << ", threads=" << threads
+              << "\n(agg_qps = total served queries / wall time while all "
+                 "readers and the churn writer overlap)\n\n";
+  }
+
+  Table table({"mesh", "readers", "writers", "agg_qps", "reader_qps",
+               "events", "events/s", "delivered"});
+  for (std::size_t meshSize : meshes) {
+    const Mesh2D mesh = Mesh2D::square(static_cast<Coord>(meshSize));
+    Rng rng = Rng::forStream(seed, meshSize);
+    const auto faultCount = static_cast<std::size_t>(
+        static_cast<double>(mesh.nodeCount()) * faultRate);
+    const FaultSet faults = injectUniform(mesh, faultCount, rng);
+
+    // A shared destination pool (traffic concentrates on popular
+    // endpoints); each reader draws its own sources.
+    std::vector<Point> destPool;
+    for (std::size_t i = 0; i < destCount; ++i) {
+      destPool.push_back(randomHealthy(faults, rng));
+    }
+    std::vector<std::vector<Query>> batches(readers);
+    for (std::size_t r = 0; r < readers; ++r) {
+      Rng readerRng = Rng::forStream(seed ^ 0xBEEF, meshSize * 131 + r);
+      batches[r].reserve(queries);
+      for (std::size_t i = 0; i < queries; ++i) {
+        batches[r].push_back(
+            {randomHealthy(faults, readerRng), destPool[i % destPool.size()]});
+      }
+    }
+
+    for (std::size_t writers : writerCounts) {
+      ServiceConfig cfg;
+      cfg.routerKey = routerKey;
+      cfg.threads = threads;
+      RouteService service(faults, cfg);
+
+      // Warm-up: compile the destination columns once, off the clock.
+      service.serve(batches.front(), /*wantPaths=*/false);
+
+      std::atomic<bool> readersDone{false};
+      std::atomic<std::uint64_t> delivered{0};
+      std::atomic<std::uint64_t> events{0};
+
+      std::vector<std::thread> churners;
+      churners.reserve(writers);
+      for (std::size_t w = 0; w < writers; ++w) {
+        churners.emplace_back([&, w] {
+          Rng churnRng =
+              Rng::forStream(seed ^ 0xC0FFEE, meshSize * 31 + w);
+          while (!readersDone.load(std::memory_order_relaxed)) {
+            const Point p{
+                static_cast<Coord>(churnRng.below(
+                    static_cast<std::uint64_t>(mesh.width()))),
+                static_cast<Coord>(churnRng.below(
+                    static_cast<std::uint64_t>(mesh.height())))};
+            // Repair standing faults, fail healthy nodes: density hovers.
+            if (service.snapshot()->faults().isFaulty(p)) {
+              service.applyRemoveFault(p);
+            } else {
+              service.applyAddFault(p);
+            }
+            events.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::yield();
+          }
+        });
+      }
+
+      const auto start = Clock::now();
+      std::vector<std::thread> serving;
+      serving.reserve(readers);
+      for (std::size_t r = 0; r < readers; ++r) {
+        serving.emplace_back([&, r] {
+          std::uint64_t ok = 0;
+          for (std::size_t round = 0; round < rounds; ++round) {
+            const BatchResult result =
+                service.serve(batches[r], /*wantPaths=*/false);
+            for (const ServedRoute& res : result.results) {
+              ok += res.delivered() ? 1 : 0;
+            }
+          }
+          delivered.fetch_add(ok, std::memory_order_relaxed);
+        });
+      }
+      for (auto& t : serving) t.join();
+      const double seconds = secondsSince(start);
+      // Snapshot the event count inside the measured window: the writer
+      // may complete more events between the readers draining and it
+      // observing the stop flag, and those must not inflate events/s.
+      const std::uint64_t eventsInWindow = events.load();
+      readersDone.store(true);
+      for (auto& t : churners) t.join();
+
+      const auto total =
+          static_cast<double>(queries * rounds * readers);
+      Table& row = table.row();
+      row.cell(static_cast<std::int64_t>(meshSize));
+      row.cell(static_cast<std::int64_t>(readers));
+      row.cell(static_cast<std::int64_t>(writers));
+      row.cell(total / seconds, 0);
+      row.cell(total / seconds / static_cast<double>(readers), 0);
+      row.cell(static_cast<std::int64_t>(eventsInWindow));
+      row.cell(static_cast<double>(eventsInWindow) / seconds, 1);
+      row.cell(100.0 * static_cast<double>(delivered.load()) / total, 2);
+    }
+  }
+  emitResult(table, flags);
+  return 0;
+}

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Perf tracking for the route-service benches and hot-path kernels.
+
+Runs service_qps --smoke, service_churn_qps --smoke and the table/chase +
+executor micro kernels several times (median-of-N so one noisy run cannot
+move the record), and emits a machine- and commit-stamped JSON report.
+The committed BENCH_service.json at the repo root is the trajectory
+record: regenerate it on perf-relevant PRs and eyeball the diff.
+
+    python3 scripts/bench_report.py                 # median of 5, smoke
+    python3 scripts/bench_report.py --runs 1        # CI smoke (fast)
+    python3 scripts/bench_report.py --out BENCH_service.json
+
+micro_kernels is skipped with a note when the binary was not built
+(Google Benchmark not found at configure time). Exit code is non-zero
+when a bench binary exists but fails.
+"""
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+from datetime import datetime, timezone
+
+MICRO_FILTER = "ChaseColumn|TaskGroupOverhead|PoolWideWait"
+
+
+def run_json(cmd):
+    """Runs cmd, returns parsed JSON from stdout (benches keep json
+    machine-clean)."""
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    return json.loads(out.stdout)
+
+
+def median_by_key(rows_per_run, key_fields, value_fields):
+    """rows_per_run: list (one per run) of lists of row dicts. Returns one
+    row per key with the median of every value field across runs."""
+    keyed = {}
+    for rows in rows_per_run:
+        for row in rows:
+            key = tuple(row[k] for k in key_fields)
+            keyed.setdefault(key, []).append(row)
+    merged = []
+    for key, rows in sorted(keyed.items()):
+        out = {k: v for k, v in zip(key_fields, key)}
+        for field in value_fields:
+            out[field] = statistics.median(r[field] for r in rows)
+        merged.append(out)
+    return merged
+
+
+def git_commit(repo_root):
+    try:
+        return subprocess.run(
+            ["git", "-C", repo_root, "rev-parse", "--short", "HEAD"],
+            check=True, capture_output=True, text=True).stdout.strip()
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return "unknown"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="median-of-N service bench report")
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--runs", type=int, default=5)
+    parser.add_argument("--out", default="",
+                        help="write the report here (default: stdout)")
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    build = os.path.join(repo_root, args.build_dir)
+
+    def binary(name):
+        path = os.path.join(build, name)
+        return path if os.path.exists(path) else None
+
+    report = {
+        "generated_utc": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "commit": git_commit(repo_root),
+        "machine": {
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+        },
+        "runs": args.runs,
+        "note": "smoke configurations; medians across runs",
+    }
+
+    qps = binary("service_qps")
+    if not qps:
+        print("service_qps not built; run the README quickstart first",
+              file=sys.stderr)
+        return 1
+    runs = [run_json([qps, "--smoke", "--format", "json"])
+            for _ in range(args.runs)]
+    report["service_qps"] = median_by_key(
+        runs, ["mesh", "churn"],
+        ["compile_ms", "table_qps", "naive_qps", "speedup"])
+
+    churn = binary("service_churn_qps")
+    if not churn:
+        print("service_churn_qps not built", file=sys.stderr)
+        return 1
+    runs = [run_json([churn, "--smoke", "--format", "json"])
+            for _ in range(args.runs)]
+    report["service_churn_qps"] = median_by_key(
+        runs, ["mesh", "readers", "writers"],
+        ["agg_qps", "reader_qps", "events/s"])
+
+    micro = binary("micro_kernels")
+    if micro:
+        per_run = []
+        for _ in range(args.runs):
+            data = run_json([micro,
+                             f"--benchmark_filter={MICRO_FILTER}",
+                             "--benchmark_format=json"])
+            per_run.append([
+                {"name": b["name"], "cpu_ns": b["cpu_time"],
+                 "items_per_second": b.get("items_per_second", 0.0)}
+                for b in data["benchmarks"]])
+        report["micro_kernels"] = median_by_key(
+            per_run, ["name"], ["cpu_ns", "items_per_second"])
+    else:
+        report["micro_kernels"] = (
+            "skipped: micro_kernels not built (Google Benchmark missing)")
+
+    text = json.dumps(report, indent=2) + "\n"
+    if args.out:
+        with open(os.path.join(repo_root, args.out)
+                  if not os.path.isabs(args.out) else args.out, "w") as f:
+            f.write(text)
+        print(f"wrote {args.out} ({report['commit']})", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,9 +17,10 @@
 //      pre-fault route (reroute_extra, the path-level reroute latency).
 //
 // Runs on the SweepEngine, so the (level x config) cells shard across the
-// thread pool with per-cell RNG streams and a serial reduction: output is
-// bitwise identical for threads=1 and threads=N, same contract as every
-// static sweep (tested in tests/dynamic_sweep_test.cpp).
+// thread pool on the sweep's own task group (DESIGN.md section 8) with
+// per-cell RNG streams and a serial reduction: output is bitwise
+// identical for threads=1 and threads=N, same contract as every static
+// sweep (tested in tests/dynamic_sweep_test.cpp).
 #pragma once
 
 #include <string>

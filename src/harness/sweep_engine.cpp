@@ -87,8 +87,9 @@ std::vector<SweepRow> SweepEngine::run(const CellBody& body) const {
   const std::size_t perLevel = cfg_.configsPerLevel;
   const std::size_t cells = levels * perLevel;
 
-  // One result slot per cell; cells run in any order, the reduction below
-  // always folds them in (level, config) order.
+  // One result slot per cell; cells run in any order (parallelFor rides
+  // a private TaskGroup, so this wait covers exactly these cells), the
+  // reduction below always folds them in (level, config) order.
   std::vector<MetricSet> cellResults(cells);
   ThreadPool pool(cfg_.threads);
   parallelFor(pool, cells, [&](std::size_t cell) {

@@ -2,11 +2,13 @@
 //
 // A sweep is a grid of cells: (fault level) x (random configuration). The
 // engine shards individual cells — not whole levels — across the thread
-// pool, hands each cell its own deterministic RNG stream derived from
-// (seed, level, config), and collects one MetricSet per cell. Per-level
-// results are then reduced serially in (level, config) order, so the
-// output is bitwise identical for threads=1 and threads=N: floating-point
-// accumulation order never depends on scheduling.
+// pool on a private task group (parallelFor), hands each cell its own
+// deterministic RNG stream derived from (seed, level, config), and
+// collects one MetricSet per cell. Per-level results are then reduced
+// serially in (level, config) order, so the output is bitwise identical
+// for threads=1 and threads=N: floating-point accumulation order never
+// depends on scheduling, and concurrent sweeps sharing a pool would wait
+// only on their own cells (DESIGN.md section 8).
 //
 // What a cell computes is pluggable (see harness/experiments.h for the
 // standard bodies); which metric columns exist is decided by the body at

@@ -1,5 +1,6 @@
 #include "route/route_table.h"
 
+#include <cassert>
 #include <stdexcept>
 #include <utility>
 
@@ -57,21 +58,38 @@ ServedRoute chaseColumn(const RouteColumn& column, const Mesh2D& mesh,
                         Point s, std::size_t maxSteps, bool wantPath) {
   ServedRoute out;
   if (wantPath) out.path.push_back(s);
-  Point u = s;
-  const Point d = column.dest();
+  // The chase runs on NodeIds: one indexed load plus one add per step.
+  // Stored hops are always in-mesh neighbor steps (recomputeEntry only
+  // stores directions taken from real router paths), so the row-major id
+  // arithmetic can never step outside the mesh. Dir enumerators index
+  // idStep directly (+X, -X, +Y, -Y).
+  const NodeId width = mesh.width();
+  const NodeId idStep[4] = {1, -1, width, -width};
+  NodeId u = mesh.id(s);
+  const NodeId dest = mesh.id(column.dest());
+  Point p = s;  // tracked only for path capture
   for (std::size_t step = 0; step <= maxSteps; ++step) {
-    if (u == d) {
+    if (u == dest) {
       out.status = ServeStatus::Delivered;
       out.hops = static_cast<Distance>(step);
       return out;
     }
-    const std::uint8_t hop = column.next(mesh.id(u));
+    const std::uint8_t hop = column.next(u);
     if (hop == RouteColumn::kNoRoute) {
       out.status = ServeStatus::NoRoute;
       return out;
     }
-    u = u + offset(static_cast<Dir>(hop));
-    if (wantPath) out.path.push_back(u);
+    u += idStep[hop];
+    // Debug-only fail-fast on corrupt hop bytes (the Point-based chase
+    // got this from mesh.id()'s contains() assert): ids must stay in
+    // range and +/-X steps must not wrap across a row edge.
+    assert(u >= 0 && u < mesh.nodeCount());
+    assert(static_cast<Dir>(hop) != Dir::PlusX || u % width != 0);
+    assert(static_cast<Dir>(hop) != Dir::MinusX || u % width != width - 1);
+    if (wantPath) {
+      p = p + offset(static_cast<Dir>(hop));
+      out.path.push_back(p);
+    }
   }
   out.status = ServeStatus::Diverged;
   return out;
@@ -123,18 +141,20 @@ std::vector<NodeId> chaseUpstream(const RouteColumn& column,
 
 TableizedRouter::TableizedRouter(std::unique_ptr<Router> inner,
                                  const FaultSet& faults)
-    : inner_(std::move(inner)), faults_(&faults) {
+    : inner_(std::move(inner)),
+      faults_(&faults),
+      columns_(static_cast<std::size_t>(faults.mesh().nodeCount())) {
   name_ = "table:" + std::string(inner_->name());
 }
 
 const RouteColumn& TableizedRouter::column(Point d) {
-  const NodeId id = faults_->mesh().id(d);
-  auto it = columns_.find(id);
-  if (it == columns_.end()) {
-    it = columns_.emplace(id, compileRouteColumn(*inner_, *faults_, d))
-             .first;
+  auto& slot = columns_[static_cast<std::size_t>(faults_->mesh().id(d))];
+  if (!slot) {
+    slot = std::make_unique<const RouteColumn>(
+        compileRouteColumn(*inner_, *faults_, d));
+    ++compiled_;
   }
-  return it->second;
+  return *slot;
 }
 
 ServedRoute TableizedRouter::serve(Point s, Point d, bool wantPath) {

@@ -23,7 +23,6 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "fault/fault_set.h"
@@ -135,7 +134,9 @@ std::vector<NodeId> chaseUpstream(const RouteColumn& column,
 /// reference for the route service's sharded compiles. Columns compile on
 /// first query per destination and are cached for the router's lifetime —
 /// the context must stay frozen (no fault churn); the service layers
-/// epoch snapshots on top for the dynamic case.
+/// epoch snapshots on top for the dynamic case. The cache is a dense
+/// dest-id-indexed slot array, so the serve path costs one indexed load
+/// to find the column and one per chase step — no hashing anywhere.
 class TableizedRouter : public Router {
  public:
   TableizedRouter(std::unique_ptr<Router> inner, const FaultSet& faults);
@@ -150,7 +151,7 @@ class TableizedRouter : public Router {
   /// The served form, with the failure reason preserved.
   ServedRoute serve(Point s, Point d, bool wantPath = true);
 
-  std::size_t columnsCompiled() const { return columns_.size(); }
+  std::size_t columnsCompiled() const { return compiled_; }
 
  private:
   const RouteColumn& column(Point d);
@@ -158,7 +159,9 @@ class TableizedRouter : public Router {
   std::unique_ptr<Router> inner_;
   const FaultSet* faults_;
   std::string name_;
-  std::unordered_map<NodeId, RouteColumn> columns_;
+  /// Dest-id-indexed slots, null until first queried.
+  std::vector<std::unique_ptr<const RouteColumn>> columns_;
+  std::size_t compiled_ = 0;
 };
 
 /// Registers "table:<key>" wrappers for every currently registered key on

@@ -46,11 +46,12 @@ std::uint64_t RouteService::applyEvent(const FaultEvent& event) {
   const auto current = box_.acquire();
   if (!event.applied) return current->epoch();
   // Fold this event's footprint into the pending set BEFORE anything can
-  // throw: if the epoch build below aborts (the shared pool's wait() can
-  // rethrow a concurrent serve()'s compile failure), model_ is already
-  // ahead of the published snapshot, and the next successful publish must
-  // migrate columns against the union of every unpublished footprint or
-  // carried columns could keep routing through the lost event's fault.
+  // throw: if the epoch build below aborts (a patch job of OUR task group
+  // can fail — other callers' errors stay in their own groups), model_ is
+  // already ahead of the published snapshot, and the next successful
+  // publish must migrate columns against the union of every unpublished
+  // footprint or carried columns could keep routing through the lost
+  // event's fault.
   pendingChanged_.insert(pendingChanged_.end(), event.changedWorld.begin(),
                          event.changedWorld.end());
   pendingChanged_.push_back(event.fault);
@@ -127,7 +128,10 @@ void RouteService::forEachWithChunkRouter(
     const std::function<void(Router&, std::size_t)>& body) {
   if (count == 0) return;
   // A handful of items per job: enough to amortize router construction,
-  // small enough to load-balance.
+  // small enough to load-balance. The group scopes both the wait and any
+  // exception to THIS caller: concurrent batches and the writer neither
+  // throttle us nor see our errors.
+  TaskGroup group(pool_);
   const std::size_t jobs =
       std::min(count, std::max<std::size_t>(1, pool_.threadCount()) * 4);
   const std::size_t chunk = (count + jobs - 1) / jobs;
@@ -135,13 +139,13 @@ void RouteService::forEachWithChunkRouter(
     const std::size_t begin = j * chunk;
     const std::size_t end = std::min(count, begin + chunk);
     if (begin >= end) break;
-    pool_.submit([this, &snap, &body, begin, end] {
+    group.submit([this, &snap, &body, begin, end] {
       const auto router =
           RouterRegistry::global().create(cfg_.routerKey, snap.context());
       for (std::size_t i = begin; i < end; ++i) body(*router, i);
     });
   }
-  pool_.wait();
+  group.wait();
 }
 
 void RouteService::compileColumns(const ServiceSnapshot& snap,
@@ -163,14 +167,22 @@ BatchResult RouteService::serve(const std::vector<Query>& batch,
   const FaultSet& faults = snap->faults();
 
   // Destinations that will need a column: healthy endpoints, non-self.
+  // One linear pass with a seen-mask — a batch with k distinct
+  // destinations compiles and looks up exactly k columns, without
+  // sorting the whole batch.
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(m.nodeCount()), 0);
   std::vector<NodeId> dests;
-  dests.reserve(batch.size());
   for (const Query& q : batch) {
     if (q.s == q.d || faults.isFaulty(q.s) || faults.isFaulty(q.d)) continue;
-    dests.push_back(m.id(q.d));
+    const NodeId id = m.id(q.d);
+    auto& flag = seen[static_cast<std::size_t>(id)];
+    if (flag == 0) {
+      flag = 1;
+      dests.push_back(id);
+    }
   }
+  // Deterministic compile order (k entries, not batch-many).
   std::sort(dests.begin(), dests.end());
-  dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
 
   std::vector<NodeId> missing;
   {
@@ -182,31 +194,14 @@ BatchResult RouteService::serve(const std::vector<Query>& batch,
   compileColumns(*snap, std::move(missing));
 
   // Pin raw pointers once; the serve loop then runs lock-free (the
-  // snapshot handle keeps every column alive). A slot can still be null
-  // here in one corner: the pool's wait() is a global barrier shared by
-  // concurrent serve() callers, so another batch's exception can be
-  // rethrown to us (and ours to them) with our compile job never run —
-  // fall back to compiling inline so a chase never dereferences null and
-  // our own failures surface on our own thread.
+  // snapshot handle keeps every column alive). compileColumns waits on
+  // OUR task group only, and its exceptions are ours alone — after it
+  // returns, every requested column is installed (by us or by a
+  // concurrent batch that compiled it first), so a chase can never see a
+  // null column.
   std::vector<const RouteColumn*> byDest(
       static_cast<std::size_t>(m.nodeCount()), nullptr);
   {
-    const auto ptrs = snap->columnsFor(dests);
-    std::unique_ptr<Router> fallbackRouter;
-    for (std::size_t i = 0; i < dests.size(); ++i) {
-      if (ptrs[i] == nullptr) {
-        if (!fallbackRouter) {
-          fallbackRouter =
-              RouterRegistry::global().create(cfg_.routerKey,
-                                              snap->context());
-        }
-        snap->installColumn(
-            dests[i], std::make_shared<const RouteColumn>(compileRouteColumn(
-                          *fallbackRouter, snap->faults(),
-                          m.point(dests[i]))));
-        columnsCompiled_.fetch_add(1);
-      }
-    }
     const auto resolved = snap->columnsFor(dests);
     for (std::size_t i = 0; i < dests.size(); ++i) {
       byDest[static_cast<std::size_t>(dests[i])] = resolved[i];

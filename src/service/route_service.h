@@ -11,20 +11,19 @@
 // Threading model:
 //   - serve() may be called from any number of reader threads; each batch
 //     is answered entirely against one pinned snapshot, sharded over the
-//     service's pool, and reduced serially — results are bitwise
-//     identical for threads=1 and threads=N.
+//     service's pool on a per-batch TaskGroup, and reduced serially —
+//     results are bitwise identical for threads=1 and threads=N.
+//   - Overlapping batches and the churn writer share the pool's workers
+//     but wait only on their own groups, so they make independent
+//     progress (no global idle barrier), and a job exception surfaces
+//     only on the caller whose group raised it (DESIGN.md section 8).
 //   - applyAddFault/applyRemoveFault are serialized internally (multiple
-//     writer threads are safe, though the intended shape is one writer).
+//     writer threads are safe, though the intended shape is one writer);
+//     a failed epoch build keeps its un-published event footprints
+//     (pendingChanged_) so the next publish migrates columns against the
+//     full delta mask.
 //   - Retired snapshots are reclaimed when their last reader drains
 //     (common/epoch.h); liveSnapshots() observes that.
-//   - Known limitation: the pool's wait() is a global idle barrier, so
-//     heavily overlapping batches throttle each other (they still
-//     complete correctly), and a job exception can surface on a
-//     different caller's wait — serve() compiles missing columns inline
-//     as a fallback and the writer keeps un-published event footprints
-//     (pendingChanged_), so correctness never depends on which caller an
-//     error lands on. Per-batch task groups would lift the throughput
-//     coupling (ROADMAP).
 #pragma once
 
 #include <atomic>

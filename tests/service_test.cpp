@@ -13,8 +13,11 @@
 //  - retired snapshots survive exactly until their last reader drains.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <map>
+#include <memory>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -401,6 +404,189 @@ TEST(ServiceTest, SnapshotConsistencyUnderConcurrentChurn) {
   // Single-digit live snapshots at rest: readers drained, retired epochs
   // reclaimed.
   EXPECT_EQ(service.liveSnapshots(), 1u);
+}
+
+// ------------------------------------------- per-group exception scoping
+
+/// Armed => the poison factory throws instead of building a router.
+std::atomic<bool>& poisonArmed() {
+  static std::atomic<bool> armed{false};
+  return armed;
+}
+
+/// RAII arm/disarm so a failing assertion can never leave the registry
+/// poisoned for later tests.
+struct PoisonScope {
+  PoisonScope() { poisonArmed().store(true); }
+  ~PoisonScope() { poisonArmed().store(false); }
+};
+
+/// Registers "poison-when-armed" (plus its table: wrapper, so the
+/// iterate-every-key differential tests keep working): exactly rb2 while
+/// disarmed, throws from the factory while armed.
+void ensurePoisonRouterRegistered() {
+  static const bool once = [] {
+    auto factory = [](const RouterContext& ctx) -> std::unique_ptr<Router> {
+      if (poisonArmed().load()) {
+        throw std::runtime_error("poison-when-armed: armed");
+      }
+      return RouterRegistry::global().create("rb2", ctx);
+    };
+    auto& registry = RouterRegistry::global();
+    registry.add("poison-when-armed", "RB2(poison)",
+                 "rb2 whose construction throws while armed (test-only)",
+                 factory);
+    registry.add("table:poison-when-armed", "RB2(poison)·tbl",
+                 "compiled table over poison-when-armed (test-only)",
+                 [factory](const RouterContext& ctx)
+                     -> std::unique_ptr<Router> {
+                   return std::make_unique<TableizedRouter>(factory(ctx),
+                                                            *ctx.faults);
+                 });
+    return true;
+  }();
+  (void)once;
+}
+
+TEST(ServiceTest, ThrowingWriterCannotPoisonReaders) {
+  // Regression for the per-group exception contract: the writer's patch
+  // jobs throw (router construction fails while armed), which must
+  // surface ONLY on the writer's applyAddFault — concurrently serving
+  // readers share the same pool and must neither throw nor stall. Under
+  // the pre-TaskGroup global-barrier pool, the writer's exception could
+  // be rethrown from a reader's wait() instead.
+  ensurePoisonRouterRegistered();
+  const Mesh2D mesh = Mesh2D::square(16);
+  Rng rng(91);
+  const FaultSet initial = injectUniform(mesh, 24, rng);
+  ServiceConfig cfg;
+  cfg.routerKey = "poison-when-armed";
+  cfg.threads = 2;
+  RouteService service(initial, cfg);
+
+  // Compile the batch's columns while disarmed; armed readers then serve
+  // pure table chases (no router construction on their path).
+  const auto queries = randomBatch(mesh, 120, 93);
+  const BatchResult reference = service.serve(queries, /*wantPaths=*/true);
+
+  constexpr std::uint64_t kBatches = 10;  // 2 readers x 5 serves
+  std::atomic<std::uint64_t> readerErrors{0};
+  std::atomic<std::uint64_t> batchesServed{0};
+  std::uint64_t writerFailures = 0;
+  std::uint64_t writerAttempts = 0;
+  std::vector<Point> toggled;
+  {
+    PoisonScope armed;
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 2; ++t) {
+      readers.emplace_back([&] {
+        for (int round = 0; round < 5; ++round) {
+          try {
+            const BatchResult result =
+                service.serve(queries, /*wantPaths=*/true);
+            // The failed events never publish, so every batch must be
+            // served from epoch 0 with the reference results.
+            if (result.epoch != 0 ||
+                result.results.size() != reference.results.size()) {
+              readerErrors.fetch_add(1);
+            }
+            batchesServed.fetch_add(1);
+          } catch (...) {
+            readerErrors.fetch_add(1);
+          }
+        }
+      });
+    }
+    // The writer throws for as long as the readers serve (capped by the
+    // supply of fresh points): the poisoned waits overlap the reader
+    // waits on the shared pool. The writer-side model runs ahead of the
+    // never-published epoch 0 after each failed event, so avoid
+    // re-toggling an already-added point — that would be a no-op instead
+    // of a throwing patch attempt.
+    Rng toggleRng(97);
+    do {
+      Point p = randomHealthy(service.snapshot()->faults(), toggleRng);
+      while (std::find(toggled.begin(), toggled.end(), p) != toggled.end()) {
+        p = randomHealthy(service.snapshot()->faults(), toggleRng);
+      }
+      toggled.push_back(p);
+      ++writerAttempts;
+      try {
+        service.applyAddFault(p);
+      } catch (const std::runtime_error&) {
+        ++writerFailures;
+      }
+      std::this_thread::yield();
+    } while (batchesServed.load() < kBatches && writerAttempts < 150);
+    for (auto& r : readers) r.join();
+  }
+
+  // Every armed event needs patch routers (the toggled node's own entry
+  // is always in the patch set), so every attempt must have failed …
+  EXPECT_GE(writerAttempts, 1u);
+  EXPECT_EQ(writerFailures, writerAttempts);
+  EXPECT_EQ(service.epoch(), 0u);
+  // … while the readers kept serving, error-free.
+  EXPECT_EQ(readerErrors.load(), 0u);
+  EXPECT_EQ(batchesServed.load(), kBatches);
+
+  // Disarmed, the writer works again and serving reflects the new epoch
+  // (built against the union of every failed event's footprint).
+  Rng toggleRng(99);
+  Point p = randomHealthy(service.snapshot()->faults(), toggleRng);
+  while (std::find(toggled.begin(), toggled.end(), p) != toggled.end()) {
+    p = randomHealthy(service.snapshot()->faults(), toggleRng);
+  }
+  EXPECT_EQ(service.applyAddFault(p), 1u);
+  const BatchResult after = service.serve(queries, /*wantPaths=*/true);
+  EXPECT_EQ(after.epoch, 1u);
+  const auto snap = service.snapshot();
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (!after.results[i].delivered()) continue;
+    EXPECT_TRUE(isValidPath(snap->faults(), queries[i].s, queries[i].d,
+                            after.results[i].path));
+  }
+}
+
+TEST(ServiceTest, ConcurrentIdenticalBatchesMatchSerialReference) {
+  // Four reader threads serve the same batch concurrently on a shared
+  // pool (racing the lazy column compiles, first install wins); each
+  // result must equal the single-threaded reference bit for bit. This is
+  // the overlapping-batches stress for the TaskGroup serve path (runs
+  // under TSan in CI).
+  const Mesh2D mesh = Mesh2D::square(20);
+  Rng rng(81);
+  const FaultSet faults = injectUniform(mesh, 48, rng);
+  const auto queries = randomBatch(mesh, 150, 83);
+
+  BatchResult reference;
+  {
+    ServiceConfig cfg;
+    cfg.threads = 1;
+    RouteService serial(faults, cfg);
+    reference = serial.serve(queries, /*wantPaths=*/true);
+  }
+
+  ServiceConfig cfg;
+  cfg.threads = 2;
+  RouteService service(faults, cfg);
+  std::vector<BatchResult> results(4);
+  std::vector<std::thread> readers;
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    readers.emplace_back([&, t] {
+      for (int round = 0; round < 3; ++round) {
+        results[t] = service.serve(queries, /*wantPaths=*/true);
+      }
+    });
+  }
+  for (auto& r : readers) r.join();
+  for (const BatchResult& result : results) {
+    EXPECT_EQ(result.epoch, reference.epoch);
+    ASSERT_EQ(result.results.size(), reference.results.size());
+    for (std::size_t i = 0; i < reference.results.size(); ++i) {
+      expectSameRoute(result.results[i], reference.results[i]);
+    }
+  }
 }
 
 TEST(ServiceTest, RejectsTableKeysAndUnknownKeys) {

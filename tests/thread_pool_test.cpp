@@ -1,0 +1,250 @@
+// TaskGroup executor tests: per-batch waits on a shared worker pool.
+//
+// The contract under test (DESIGN.md section 8): group.wait() blocks only
+// on that group's jobs (overlapping groups make independent progress even
+// when the workers are saturated — the waiter helps run its own queue),
+// exceptions are captured per group and never leak to another caller's
+// wait, jobs may submit follow-on jobs into their own group, and waiting
+// on an empty group returns immediately. These suites also run under
+// ThreadSanitizer in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "common/thread_pool.h"
+
+namespace meshrt {
+namespace {
+
+/// Manually released gate the blocking jobs park on (no busy waiting, so
+/// the tests behave on single-core machines too).
+class Gate {
+ public:
+  void open() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void waitUntilOpen() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+TEST(TaskGroupTest, WaitOnEmptyGroupReturnsImmediately) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  group.wait();  // nothing submitted: must not block or throw
+  group.wait();  // and stays reusable
+}
+
+TEST(TaskGroupTest, RunsEveryJobBeforeWaitReturns) {
+  ThreadPool pool(3);
+  TaskGroup group(pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    group.submit([&ran] { ran.fetch_add(1); });
+  }
+  group.wait();
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(TaskGroupTest, OverlappingGroupsMakeIndependentProgress) {
+  // Group A's jobs occupy EVERY worker until released; group B must still
+  // complete its jobs and return from wait() — under a global-barrier
+  // pool this deadlocks (B's wait needs A's jobs to finish first).
+  ThreadPool pool(2);
+  Gate gate;
+  TaskGroup a(pool);
+  std::atomic<int> parked{0};
+  for (int i = 0; i < 2; ++i) {
+    a.submit([&] {
+      parked.fetch_add(1);
+      gate.waitUntilOpen();
+    });
+  }
+
+  TaskGroup b(pool);
+  std::atomic<int> bRan{0};
+  for (int i = 0; i < 8; ++i) {
+    b.submit([&bRan] { bRan.fetch_add(1); });
+  }
+  b.wait();  // must not wait for A (the waiter runs B's queue itself)
+  EXPECT_EQ(bRan.load(), 8);
+
+  gate.open();
+  a.wait();
+  EXPECT_EQ(parked.load(), 2);
+}
+
+TEST(TaskGroupTest, ExceptionsStayInTheirGroup) {
+  ThreadPool pool(2);
+  TaskGroup bad(pool);
+  TaskGroup good(pool);
+  std::atomic<int> ran{0};
+  bad.submit([] { throw std::runtime_error("bad group job"); });
+  for (int i = 0; i < 8; ++i) {
+    good.submit([&ran] { ran.fetch_add(1); });
+  }
+  good.wait();  // the other group's error must be invisible here
+  EXPECT_EQ(ran.load(), 8);
+  EXPECT_THROW(bad.wait(), std::runtime_error);
+  // The error is consumed: both groups keep working afterwards.
+  bad.submit([&ran] { ran.fetch_add(1); });
+  bad.wait();
+  EXPECT_EQ(ran.load(), 9);
+}
+
+TEST(TaskGroupTest, ExactlyOneExceptionDeliveredPerWait) {
+  // "First" means first to finish (scheduling decides between concurrent
+  // throwers); the contract is that ONE of the group's exceptions is
+  // delivered and the rest are dropped, leaving the group clean.
+  ThreadPool pool(1);
+  TaskGroup group(pool);
+  group.submit([] { throw std::runtime_error("either"); });
+  group.submit([] { throw std::logic_error("or"); });
+  try {
+    group.wait();
+    FAIL() << "wait() should have rethrown";
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    EXPECT_TRUE(what == "either" || what == "or") << what;
+  }
+  // The losing exception was dropped with the winner consumed: the next
+  // wait is clean.
+  std::atomic<int> ran{0};
+  group.submit([&ran] { ran.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(TaskGroupTest, NestedJobsAreHelpedWhileWaiterSleeps) {
+  // Regression: a nested job submitted AFTER the group's waiter went to
+  // sleep must still be helped by that waiter. Here both workers end up
+  // parked (one on group A's gate, one on B's own parent job), so B's
+  // nested job can complete only if B's sleeping waiter wakes up and
+  // runs it — the waker being the nested job's own enqueue.
+  ThreadPool pool(2);
+  Gate gate;
+  TaskGroup a(pool);
+  a.submit([&gate] { gate.waitUntilOpen(); });
+
+  TaskGroup b(pool);
+  std::atomic<bool> parentStarted{false};
+  std::atomic<int> nestedRan{0};
+  b.submit([&] {
+    parentStarted.store(true);
+    // Give the caller a moment to reach its cvDone sleep before the
+    // nested job exists, then park this worker too: only the waiter can
+    // run the nested job, and only the nested job opens the gate.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    b.submit([&] {
+      nestedRan.fetch_add(1);
+      gate.open();
+    });
+    gate.waitUntilOpen();
+  });
+  while (!parentStarted.load()) std::this_thread::yield();
+  b.wait();
+  EXPECT_EQ(nestedRan.load(), 1);
+  a.wait();
+}
+
+TEST(TaskGroupTest, JobsMaySubmitIntoTheirOwnGroup) {
+  // Nested fan-out: each root job spawns children, children spawn
+  // grandchildren; one wait() covers the whole tree.
+  ThreadPool pool(4);
+  TaskGroup group(pool);
+  std::atomic<int> ran{0};
+  for (int root = 0; root < 4; ++root) {
+    group.submit([&] {
+      ran.fetch_add(1);
+      for (int child = 0; child < 3; ++child) {
+        group.submit([&] {
+          ran.fetch_add(1);
+          group.submit([&] { ran.fetch_add(1); });
+        });
+      }
+    });
+  }
+  group.wait();
+  EXPECT_EQ(ran.load(), 4 + 4 * 3 + 4 * 3);
+}
+
+TEST(TaskGroupTest, DestructorDrainsWithoutRethrowing) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  {
+    TaskGroup group(pool);
+    for (int i = 0; i < 16; ++i) {
+      group.submit([&ran, i] {
+        if (i == 3) throw std::runtime_error("dropped on the floor");
+        ran.fetch_add(1);
+      });
+    }
+    // No wait(): the destructor must drain every job (their captures die
+    // with this scope) and swallow the error.
+  }
+  EXPECT_EQ(ran.load(), 15);
+}
+
+TEST(TaskGroupTest, ConcurrentWaitersFromManyThreads) {
+  // Eight caller threads, each with a private group on one shared pool —
+  // the route-service shape. Every caller must see exactly its own
+  // results. (Run under TSan in CI.)
+  ThreadPool pool(2);
+  std::vector<std::thread> callers;
+  std::vector<int> sums(8, 0);
+  for (int t = 0; t < 8; ++t) {
+    callers.emplace_back([&pool, &sums, t] {
+      for (int round = 0; round < 5; ++round) {
+        TaskGroup group(pool);
+        std::atomic<int> sum{0};
+        for (int i = 0; i < 16; ++i) {
+          group.submit([&sum, i] { sum.fetch_add(i); });
+        }
+        group.wait();
+        sums[static_cast<std::size_t>(t)] += sum.load();
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  for (int s : sums) EXPECT_EQ(s, 5 * 120);
+}
+
+TEST(TaskGroupTest, ParallelForCallsInterleaveAcrossThreads) {
+  // parallelFor rides a private group per call: concurrent calls on one
+  // pool must produce independent, correct results.
+  ThreadPool pool(2);
+  std::vector<std::thread> callers;
+  std::vector<std::vector<std::size_t>> out(4);
+  for (std::size_t t = 0; t < out.size(); ++t) {
+    out[t].resize(200, 0);
+    callers.emplace_back([&pool, &out, t] {
+      parallelFor(pool, out[t].size(),
+                  [&out, t](std::size_t i) { out[t][i] = i + t; });
+    });
+  }
+  for (auto& c : callers) c.join();
+  for (std::size_t t = 0; t < out.size(); ++t) {
+    for (std::size_t i = 0; i < out[t].size(); ++i) {
+      EXPECT_EQ(out[t][i], i + t);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace meshrt
