@@ -6,15 +6,28 @@
 // pool barrier makes every batch wait for every other batch's jobs and
 // the writer's patch jobs; per-group waits let them interleave).
 //
+// The writer side is instrumented too: every applyAdd/RemoveFault call
+// is timed and the p50/p99 publish latencies are reported per row —
+// this is the number the copy-on-write paged storage exists for, and
+// --storage cow,deep A/Bs it against the pre-COW deep-clone baseline
+// (same binary; see ServiceConfig::storage and DESIGN.md section 9).
+//
 //   ./service_churn_qps --meshes 64 --readers 4 --threads 4
+//   ./service_churn_qps --meshes 256,512 --readers 0 --writers 1
+//       --events 200 --storage cow,deep     # writer-only publish latency
 //   ./service_churn_qps --smoke          # seconds-fast CI configuration
 //
 // The writers=0 row measures pure serve/serve overlap; the writers=1 row
 // adds continuous fault churn (epoch builds + column patches) under the
-// readers. Compare against bench/service_qps.cpp for the single-caller
-// static path. See docs/REPRODUCING.md.
+// readers. --readers 0 flips to the writer-only mode: no serving, each
+// writer applies a fixed --events share — the cleanest view of the
+// storage layer's publish cost, since no column patches or reader
+// contention blur the percentiles. Compare against bench/service_qps.cpp
+// for the single-caller static path. See docs/REPRODUCING.md.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <thread>
 
@@ -33,6 +46,22 @@ double secondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+/// Nearest-rank percentile (q in [0, 100]) of SORTED samples; 0 when
+/// empty.
+double percentileUs(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+SnapshotStorage parseStorage(const std::string& name) {
+  if (name == "cow") return SnapshotStorage::Cow;
+  if (name == "deep") return SnapshotStorage::DeepClone;
+  std::cerr << "unknown --storage '" << name << "' (expected cow or deep)\n";
+  std::exit(1);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -42,10 +71,18 @@ int main(int argc, char** argv) {
   flags.define("fault-rate", "0.10", "initial fault fraction of nodes");
   flags.define("router", "rb2", "registry key the tables compile");
   flags.define("threads", "4", "service worker threads (0 = all cores)");
-  flags.define("readers", "4", "concurrent reader threads (one batch each)");
+  flags.define("readers", "4",
+               "concurrent reader threads (one batch each); 0 = writer-only "
+               "publish-latency mode (needs --writers >= 1)");
+  flags.define("events", "200",
+               "fault events per row in the writer-only mode (--readers 0)");
   flags.define("writers", "0,1",
                "comma-separated churn-writer counts per row (0 = overlap "
                "only, 1 = overlap + live fault churn)");
+  flags.define("storage", "cow",
+               "comma-separated snapshot storage modes per row: cow "
+               "(paged copy-on-write) and/or deep (pre-COW deep-clone "
+               "baseline)");
   flags.define("queries", "20000", "queries per served batch");
   flags.define("dests", "64", "distinct destinations in the shared pool");
   flags.define("rounds", "8", "measured batches per reader");
@@ -68,6 +105,10 @@ int main(int argc, char** argv) {
   for (const std::string& item : splitCommaList(flags.str("writers"))) {
     writerCounts.push_back(parseCount(item, "writers"));
   }
+  std::vector<SnapshotStorage> storages;
+  for (const std::string& item : splitCommaList(flags.str("storage"))) {
+    storages.push_back(parseStorage(item));
+  }
   const std::size_t readers =
       smoke ? 2 : static_cast<std::size_t>(flags.integer("readers"));
   const std::size_t queries =
@@ -80,13 +121,27 @@ int main(int argc, char** argv) {
   const std::string routerKey = flags.str("router");
   const auto threads = static_cast<std::size_t>(flags.integer("threads"));
   const auto seed = static_cast<std::uint64_t>(flags.integer("seed"));
+  const auto eventTarget =
+      static_cast<std::size_t>(flags.integer("events"));
   if (!RouterRegistry::global().contains(routerKey)) {
     std::cerr << "unknown --router '" << routerKey << "'\n";
     return 1;
   }
-  if (readers == 0 || rounds == 0 || queries == 0) {
-    std::cerr << "--readers, --rounds and --queries must be positive\n";
+  if (rounds == 0 || queries == 0) {
+    std::cerr << "--rounds and --queries must be positive\n";
     return 1;
+  }
+  if (readers == 0) {
+    if (eventTarget == 0) {
+      std::cerr << "--events must be positive with --readers 0\n";
+      return 1;
+    }
+    for (std::size_t writerCount : writerCounts) {
+      if (writerCount == 0) {
+        std::cerr << "--readers 0 (writer-only mode) needs --writers >= 1\n";
+        return 1;
+      }
+    }
   }
 
   if (wantsBanner(flags)) {
@@ -98,8 +153,9 @@ int main(int argc, char** argv) {
                  "readers and the churn writer overlap)\n\n";
   }
 
-  Table table({"mesh", "readers", "writers", "agg_qps", "reader_qps",
-               "events", "events/s", "delivered"});
+  Table table({"mesh", "readers", "writers", "storage", "agg_qps",
+               "reader_qps", "events", "events/s", "pub_p50_us",
+               "pub_p99_us", "delivered"});
   for (std::size_t meshSize : meshes) {
     const Mesh2D mesh = Mesh2D::square(static_cast<Coord>(meshSize));
     Rng rng = Rng::forStream(seed, meshSize);
@@ -124,66 +180,98 @@ int main(int argc, char** argv) {
     }
 
     for (std::size_t writers : writerCounts) {
+      for (SnapshotStorage storage : storages) {
+      // Storage only matters once epochs are published; a writers=0 row
+      // per storage mode would measure the same code path twice.
+      if (writers == 0 && storage != storages.front()) continue;
       ServiceConfig cfg;
       cfg.routerKey = routerKey;
       cfg.threads = threads;
+      cfg.storage = storage;
       RouteService service(faults, cfg);
 
-      // Warm-up: compile the destination columns once, off the clock.
-      service.serve(batches.front(), /*wantPaths=*/false);
+      // Warm-up: compile the destination columns once, off the clock
+      // (the writer-only mode serves nothing and compiles nothing — it
+      // measures the pure epoch-publish cost).
+      if (readers > 0) service.serve(batches.front(), /*wantPaths=*/false);
 
       std::atomic<bool> readersDone{false};
       std::atomic<std::uint64_t> delivered{0};
       std::atomic<std::uint64_t> events{0};
+      const std::size_t eventShare =
+          readers == 0 ? (eventTarget + writers - 1) / writers : 0;
 
       std::vector<std::thread> churners;
+      std::vector<std::vector<double>> publishUs(writers);
       churners.reserve(writers);
+      const auto writerStart = Clock::now();
       for (std::size_t w = 0; w < writers; ++w) {
         churners.emplace_back([&, w] {
           Rng churnRng =
               Rng::forStream(seed ^ 0xC0FFEE, meshSize * 31 + w);
-          while (!readersDone.load(std::memory_order_relaxed)) {
+          std::size_t applied = 0;
+          while (readers == 0
+                     ? applied < eventShare
+                     : !readersDone.load(std::memory_order_relaxed)) {
             const Point p{
                 static_cast<Coord>(churnRng.below(
                     static_cast<std::uint64_t>(mesh.width()))),
                 static_cast<Coord>(churnRng.below(
                     static_cast<std::uint64_t>(mesh.height())))};
             // Repair standing faults, fail healthy nodes: density hovers.
+            const auto eventStart = Clock::now();
             if (service.snapshot()->faults().isFaulty(p)) {
               service.applyRemoveFault(p);
             } else {
               service.applyAddFault(p);
             }
+            publishUs[w].push_back(secondsSince(eventStart) * 1e6);
+            ++applied;
             events.fetch_add(1, std::memory_order_relaxed);
-            std::this_thread::yield();
+            if (readers > 0) std::this_thread::yield();
           }
         });
       }
 
-      const auto start = Clock::now();
-      std::vector<std::thread> serving;
-      serving.reserve(readers);
-      for (std::size_t r = 0; r < readers; ++r) {
-        serving.emplace_back([&, r] {
-          std::uint64_t ok = 0;
-          for (std::size_t round = 0; round < rounds; ++round) {
-            const BatchResult result =
-                service.serve(batches[r], /*wantPaths=*/false);
-            for (const ServedRoute& res : result.results) {
-              ok += res.delivered() ? 1 : 0;
+      double seconds = 0.0;
+      std::uint64_t eventsInWindow = 0;
+      if (readers == 0) {
+        for (auto& t : churners) t.join();
+        seconds = secondsSince(writerStart);
+        eventsInWindow = events.load();
+      } else {
+        const auto start = Clock::now();
+        std::vector<std::thread> serving;
+        serving.reserve(readers);
+        for (std::size_t r = 0; r < readers; ++r) {
+          serving.emplace_back([&, r] {
+            std::uint64_t ok = 0;
+            for (std::size_t round = 0; round < rounds; ++round) {
+              const BatchResult result =
+                  service.serve(batches[r], /*wantPaths=*/false);
+              for (const ServedRoute& res : result.results) {
+                ok += res.delivered() ? 1 : 0;
+              }
             }
-          }
-          delivered.fetch_add(ok, std::memory_order_relaxed);
-        });
+            delivered.fetch_add(ok, std::memory_order_relaxed);
+          });
+        }
+        for (auto& t : serving) t.join();
+        seconds = secondsSince(start);
+        // Snapshot the event count inside the measured window: the writer
+        // may complete more events between the readers draining and it
+        // observing the stop flag, and those must not inflate events/s.
+        eventsInWindow = events.load();
+        readersDone.store(true);
+        for (auto& t : churners) t.join();
       }
-      for (auto& t : serving) t.join();
-      const double seconds = secondsSince(start);
-      // Snapshot the event count inside the measured window: the writer
-      // may complete more events between the readers draining and it
-      // observing the stop flag, and those must not inflate events/s.
-      const std::uint64_t eventsInWindow = events.load();
-      readersDone.store(true);
-      for (auto& t : churners) t.join();
+
+      std::vector<double> allPublishUs;
+      for (const auto& perWriter : publishUs) {
+        allPublishUs.insert(allPublishUs.end(), perWriter.begin(),
+                            perWriter.end());
+      }
+      std::sort(allPublishUs.begin(), allPublishUs.end());
 
       const auto total =
           static_cast<double>(queries * rounds * readers);
@@ -191,11 +279,20 @@ int main(int argc, char** argv) {
       row.cell(static_cast<std::int64_t>(meshSize));
       row.cell(static_cast<std::int64_t>(readers));
       row.cell(static_cast<std::int64_t>(writers));
+      row.cell(std::string(snapshotStorageName(storage)));
       row.cell(total / seconds, 0);
-      row.cell(total / seconds / static_cast<double>(readers), 0);
+      row.cell(readers == 0 ? 0.0
+                            : total / seconds / static_cast<double>(readers),
+               0);
       row.cell(static_cast<std::int64_t>(eventsInWindow));
       row.cell(static_cast<double>(eventsInWindow) / seconds, 1);
-      row.cell(100.0 * static_cast<double>(delivered.load()) / total, 2);
+      row.cell(percentileUs(allPublishUs, 50.0), 1);
+      row.cell(percentileUs(allPublishUs, 99.0), 1);
+      row.cell(readers == 0
+                   ? 0.0
+                   : 100.0 * static_cast<double>(delivered.load()) / total,
+               2);
+      }
     }
   }
   emitResult(table, flags);

@@ -1,11 +1,15 @@
 #!/usr/bin/env python3
 """Perf tracking for the route-service benches and hot-path kernels.
 
-Runs service_qps --smoke, service_churn_qps --smoke and the table/chase +
-executor micro kernels several times (median-of-N so one noisy run cannot
-move the record), and emits a machine- and commit-stamped JSON report.
-The committed BENCH_service.json at the repo root is the trajectory
-record: regenerate it on perf-relevant PRs and eyeball the diff.
+Runs service_qps --smoke, service_churn_qps --smoke (cow + deep-clone
+storage rows), the writer-only publish-latency sweep at 256x256 and
+512x512 (the copy-on-write paged storage A/B: pub_p50_us/pub_p99_us per
+applyEvent against the pre-COW deep-clone baseline), and the table/chase
++ executor micro kernels — several times each (median-of-N so one noisy
+run cannot move the record) — and emits a machine- and commit-stamped
+JSON report. The committed BENCH_service.json at the repo root is the
+trajectory record: regenerate it on perf-relevant PRs and eyeball the
+diff.
 
     python3 scripts/bench_report.py                 # median of 5, smoke
     python3 scripts/bench_report.py --runs 1        # CI smoke (fast)
@@ -105,11 +109,24 @@ def main():
     if not churn:
         print("service_churn_qps not built", file=sys.stderr)
         return 1
-    runs = [run_json([churn, "--smoke", "--format", "json"])
+    runs = [run_json([churn, "--smoke", "--storage", "cow,deep",
+                      "--format", "json"])
             for _ in range(args.runs)]
     report["service_churn_qps"] = median_by_key(
-        runs, ["mesh", "readers", "writers"],
+        runs, ["mesh", "readers", "writers", "storage"],
         ["agg_qps", "reader_qps", "events/s"])
+
+    # Writer-only publish latency: the COW-vs-deep-clone storage A/B at
+    # production-ish mesh sizes (no readers, no compiled columns — the
+    # isolated cost of publishing one epoch).
+    runs = [run_json([churn, "--meshes", "256,512", "--readers", "0",
+                      "--writers", "1", "--events", "200",
+                      "--threads", "4", "--storage", "cow,deep",
+                      "--format", "json"])
+            for _ in range(args.runs)]
+    report["service_publish_latency"] = median_by_key(
+        runs, ["mesh", "storage"],
+        ["pub_p50_us", "pub_p99_us", "events/s"])
 
     micro = binary("micro_kernels")
     if micro:

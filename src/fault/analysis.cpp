@@ -11,13 +11,26 @@ QuadrantAnalysis::QuadrantAnalysis(const FaultSet& faults, Quadrant q)
       labeler_(localMesh_, transformFaults(faults, frame_)) {}
 
 const QuadrantAnalysis& FaultAnalysis::quadrant(Quadrant q) const {
-  auto& slot = cache_[static_cast<std::size_t>(q)];
-  if (!slot) slot = std::make_unique<QuadrantAnalysis>(*faults_, q);
-  return *slot;
+  const auto i = static_cast<std::size_t>(q);
+  // Concurrent first touch is serialized per quadrant; once the flag has
+  // fired this is a single acquire load. Slots pre-filled by cloneFor
+  // arrive with an unfired flag, so the lambda no-ops on them.
+  std::call_once(once_[i], [&] {
+    if (!cache_[i]) {
+      cache_[i] = std::make_unique<QuadrantAnalysis>(*faults_, q);
+    }
+  });
+  return *cache_[i];
 }
 
 void FaultAnalysis::materializeAll() const {
   for (int q = 0; q < 4; ++q) quadrant(static_cast<Quadrant>(q));
+}
+
+void FaultAnalysis::detachPages() {
+  for (auto& slot : cache_) {
+    if (slot) slot->detachPages();
+  }
 }
 
 std::unique_ptr<FaultAnalysis> FaultAnalysis::cloneFor(
@@ -26,7 +39,8 @@ std::unique_ptr<FaultAnalysis> FaultAnalysis::cloneFor(
   for (int q = 0; q < 4; ++q) {
     const auto i = static_cast<std::size_t>(q);
     if (cache_[i]) {
-      clone->cache_[i] = std::make_unique<QuadrantAnalysis>(*cache_[i]);
+      clone->cache_[i] =
+          std::make_unique<QuadrantAnalysis>(*cache_[i], SnapshotCloneTag{});
     } else {
       // Materialize from the new fault set so the clone is share-safe.
       clone->cache_[i] = std::make_unique<QuadrantAnalysis>(

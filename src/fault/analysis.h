@@ -13,6 +13,7 @@
 
 #include <array>
 #include <memory>
+#include <mutex>
 
 #include "fault/fault_set.h"
 #include "fault/incremental.h"
@@ -25,6 +26,12 @@ namespace meshrt {
 class QuadrantAnalysis {
  public:
   QuadrantAnalysis(const FaultSet& faults, Quadrant q);
+  /// Read-only clone for epoch snapshots (see SnapshotCloneTag).
+  QuadrantAnalysis(const QuadrantAnalysis& other, SnapshotCloneTag tag)
+      : quadrant_(other.quadrant_),
+        frame_(other.frame_),
+        localMesh_(other.localMesh_),
+        labeler_(other.labeler_, tag) {}
 
   Quadrant quadrant() const { return quadrant_; }
   /// Non-transposed local frame of this quadrant.
@@ -33,16 +40,18 @@ class QuadrantAnalysis {
   const LabelGrid& labels() const { return labeler_.labels(); }
 
   /// Id-indexed component storage. After dynamic deltas, retired slots
-  /// (id == -1) appear and must be skipped when iterating; static analyses
-  /// are always dense. mccCount() counts live components.
-  const std::vector<Mcc>& mccs() const { return labeler_.mccs(); }
+  /// (id == -1) appear; iterate via liveMccs() unless you need the raw
+  /// id-indexed slots. mccCount() counts live components.
+  const MccSlots& mccs() const { return labeler_.mccs(); }
+  /// The live components only (retired tombstones skipped).
+  MccSlots::LiveRange liveMccs() const { return labeler_.liveMccs(); }
   std::size_t mccCount() const { return labeler_.mccCount(); }
 
   /// MCC id at a local-frame point, or -1.
   int mccIndexAt(Point local) const { return labeler_.mccIndex()[local]; }
 
   /// The full id map (local frame).
-  const NodeMap<int>& mccIndex() const { return labeler_.mccIndex(); }
+  const MccIndexGrid& mccIndex() const { return labeler_.mccIndex(); }
 
   bool isSafeLocal(Point local) const { return labels().isSafe(local); }
   bool isSafeWorld(Point world) const {
@@ -66,6 +75,9 @@ class QuadrantAnalysis {
     return labeler_.removeFault(frame_.toLocal(world));
   }
 
+  /// Forces every paged grid's pages unique (deep-clone baseline).
+  void detachPages() { labeler_.detachPages(); }
+
  private:
   Quadrant quadrant_;
   Frame frame_;
@@ -75,11 +87,12 @@ class QuadrantAnalysis {
 
 /// Lazily materializes the four quadrant analyses of one fault set.
 ///
-/// Lazy materialization mutates the cache under const, so concurrent
-/// first-touch from multiple threads is NOT safe; callers that share an
-/// analysis across threads (the route service's snapshots) must call
-/// materializeAll() while still single-threaded, after which every read
-/// path is const.
+/// Lazy materialization is thread-safe: concurrent first touch of a
+/// quadrant is serialized through a per-quadrant once_flag, so sharing an
+/// analysis across reader threads needs no ceremony. materializeAll() is
+/// merely a warm-up hint that front-loads the labeling work while the
+/// caller is still single-threaded (sharded column compiles would
+/// otherwise pay the first-touch latency inside one unlucky job).
 class FaultAnalysis {
  public:
   explicit FaultAnalysis(const FaultSet& faults) : faults_(&faults) {}
@@ -94,14 +107,20 @@ class FaultAnalysis {
 
   const FaultSet& faults() const { return *faults_; }
 
-  /// Forces all four quadrants so later quadrant() calls are read-only.
+  /// Warm-up hint: forces all four quadrants now, so later quadrant()
+  /// calls never pay first-touch labeling. Safe to skip.
   void materializeAll() const;
 
-  /// Deep copy over `faults`, which must hold exactly the node set this
+  /// Copy over `faults`, which must hold exactly the node set this
   /// analysis reflects (the service snapshots a FaultSet copy and clones
   /// the incrementally patched analysis onto it — no relabeling happens).
-  /// Quadrants are materialized in the clone so it is share-safe.
+  /// Quadrants are materialized in the clone; the copy shares label/index
+  /// pages with this analysis until either side writes (COW).
   std::unique_ptr<FaultAnalysis> cloneFor(const FaultSet& faults) const;
+
+  /// Forces every materialized quadrant's pages unique (the deep-clone
+  /// baseline's cost profile; see ServiceConfig::storage).
+  void detachPages();
 
   /// Patches every materialized quadrant after the underlying FaultSet
   /// gained/lost `world`. The caller must mutate the FaultSet first so
@@ -116,6 +135,10 @@ class FaultAnalysis {
  private:
   const FaultSet* faults_;
   mutable std::array<std::unique_ptr<QuadrantAnalysis>, 4> cache_;
+  /// Serializes concurrent first touch per quadrant. cloneFor fills
+  /// cache_ slots directly without firing these; the first quadrant()
+  /// call then runs an empty once-lambda and reads the slot.
+  mutable std::array<std::once_flag, 4> once_;
 };
 
 /// One effective fault toggle as seen by the route service: which node

@@ -2,11 +2,29 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace meshrt {
 
 IncrementalLabeler::IncrementalLabeler(const Mesh2D& localMesh)
     : IncrementalLabeler(localMesh, FaultSet(localMesh)) {}
+
+IncrementalLabeler::IncrementalLabeler(const IncrementalLabeler& other,
+                                       SnapshotCloneTag)
+    : mesh_(other.mesh_),
+      labels_(other.labels_),
+      mccs_(other.mccs_),
+      mccIndex_(other.mccIndex_),
+      freeIds_(other.freeIds_),
+      liveMccs_(other.liveMccs_),
+      unsafeCount_(other.unsafeCount_),
+      faultCount_(other.faultCount_),
+      version_(other.version_),
+      // Scratch starts empty (all-null page tables): read-only clones
+      // never run deltas, so carrying the writer's stamps would only add
+      // page-table refcount traffic to every publish.
+      touchEpoch_(other.mesh_, 0),
+      beforeRaw_(other.mesh_, 0) {}
 
 IncrementalLabeler::IncrementalLabeler(const Mesh2D& localMesh,
                                        const FaultSet& localFaults)
@@ -18,7 +36,7 @@ IncrementalLabeler::IncrementalLabeler(const Mesh2D& localMesh,
       touchEpoch_(localMesh, 0),
       beforeRaw_(localMesh, 0) {
   MccExtraction extraction = extractMccs(localMesh, labels_);
-  mccs_ = std::move(extraction.mccs);
+  mccs_ = MccSlots(std::move(extraction.mccs));
   mccIndex_ = std::move(extraction.mccIndex);
   liveMccs_ = mccs_.size();
 }
@@ -34,7 +52,7 @@ bool IncrementalLabeler::blockedBackward(Point p) const {
 }
 
 void IncrementalLabeler::touch(Point p) {
-  if (touchEpoch_[p] != epoch_) {
+  if (std::as_const(touchEpoch_)[p] != epoch_) {
     touchEpoch_[p] = epoch_;
     beforeRaw_[p] = labels_.raw(p);
     touched_.push_back(p);
@@ -136,7 +154,9 @@ LabelDelta IncrementalLabeler::removeFault(Point p) {
 
 void IncrementalLabeler::finalizeDelta(LabelDelta& delta) {
   for (Point p : touched_) {
-    if (labels_.raw(p) != beforeRaw_[p]) delta.changed.push_back(p);
+    if (labels_.raw(p) != std::as_const(beforeRaw_)[p]) {
+      delta.changed.push_back(p);
+    }
   }
   // An effective toggle always changes the toggled node's byte.
   assert(!delta.changed.empty());
@@ -152,9 +172,7 @@ int IncrementalLabeler::allocateId() {
     freeIds_.erase(freeIds_.begin());
     return id;
   }
-  const int id = static_cast<int>(mccs_.size());
-  mccs_.emplace_back();
-  return id;
+  return mccs_.append();
 }
 
 void IncrementalLabeler::patchMccs(LabelDelta& delta) {
@@ -176,7 +194,7 @@ void IncrementalLabeler::patchMccs(LabelDelta& delta) {
     for (Coord dy = -1; dy <= 1; ++dy) {
       for (Coord dx = -1; dx <= 1; ++dx) {
         const Point q{c.x + dx, c.y + dy};
-        if (mesh_.contains(q)) addAffected(mccIndex_[q]);
+        if (mesh_.contains(q)) addAffected(std::as_const(mccIndex_)[q]);
       }
     }
   }
@@ -189,7 +207,7 @@ void IncrementalLabeler::patchMccs(LabelDelta& delta) {
         mccs_[static_cast<std::size_t>(id)].shape.cells();
     for (Point cell : cells) mccIndex_[cell] = -1;
     region.insert(region.end(), cells.begin(), cells.end());
-    mccs_[static_cast<std::size_t>(id)] = Mcc{};  // tombstone (id == -1)
+    mccs_.retire(static_cast<std::size_t>(id));  // record stays shareable
     freeIds_.insert(
         std::lower_bound(freeIds_.begin(), freeIds_.end(), id), id);
     --liveMccs_;
@@ -198,10 +216,12 @@ void IncrementalLabeler::patchMccs(LabelDelta& delta) {
 
   std::vector<Point> cells;
   for (Point seed : region) {
-    if (!labels_.isUnsafe(seed) || mccIndex_[seed] != -1) continue;
+    if (!labels_.isUnsafe(seed) || std::as_const(mccIndex_)[seed] != -1) {
+      continue;
+    }
     const int id = allocateId();
     floodComponent(mesh_, labels_, mccIndex_, seed, id, cells);
-    mccs_[static_cast<std::size_t>(id)] = buildMcc(mesh_, labels_, cells, id);
+    mccs_.set(static_cast<std::size_t>(id), buildMcc(mesh_, labels_, cells, id));
     ++liveMccs_;
     delta.addedMccs.push_back(id);
   }

@@ -55,6 +55,13 @@ struct LabelDelta {
   bool empty() const { return changed.empty(); }
 };
 
+/// Tag selecting the read-only clone path: epoch snapshots share COW
+/// pages and MCC records with the writer but drop the delta-replay log
+/// and per-delta scratch lists — clones are pre-synced by contract
+/// (KnowledgeBundle::cloneFor), so the log would only be dead weight
+/// copied on every publish.
+struct SnapshotCloneTag {};
+
 class IncrementalLabeler {
  public:
   /// Fault-free mesh.
@@ -62,15 +69,24 @@ class IncrementalLabeler {
   /// Bulk initialization: runs the full computeLabels + extractMccs, so
   /// the starting state is exactly the static pipeline's.
   IncrementalLabeler(const Mesh2D& localMesh, const FaultSet& localFaults);
+  /// Read-only clone for epoch snapshots: label/index/scratch pages and
+  /// MCC records are shared COW; deltaLog() comes back empty (a clone at
+  /// version v with an empty log rebuilds-from-scratch if anyone ever
+  /// asks it to sync knowledge, but pre-synced consumers no-op).
+  IncrementalLabeler(const IncrementalLabeler& other, SnapshotCloneTag);
 
   const Mesh2D& mesh() const { return mesh_; }
   const LabelGrid& labels() const { return labels_; }
 
-  /// Id-indexed component storage. Retired slots have id == -1 and must be
-  /// skipped when iterating; live slots satisfy mccs()[id].id == id.
-  const std::vector<Mcc>& mccs() const { return mccs_; }
+  /// Id-indexed component storage (shared immutable records; see
+  /// MccSlots). Retired slots have id == -1; live slots satisfy
+  /// mccs()[id].id == id. Iterate via liveMccs() unless you need the raw
+  /// id-indexed slots.
+  const MccSlots& mccs() const { return mccs_; }
+  /// The live components only (retired tombstones skipped).
+  MccSlots::LiveRange liveMccs() const { return mccs_.live(); }
   /// Per-node component id (-1 for safe nodes).
-  const NodeMap<int>& mccIndex() const { return mccIndex_; }
+  const MccIndexGrid& mccIndex() const { return mccIndex_; }
   /// Number of live components (mccs() minus retired slots).
   std::size_t mccCount() const { return liveMccs_; }
 
@@ -96,6 +112,17 @@ class IncrementalLabeler {
   const std::deque<LabelDelta>& deltaLog() const { return log_; }
   static constexpr std::size_t kDeltaLogCapacity = 64;
 
+  /// Forces every paged grid's pages AND every shared MCC record unique
+  /// — the pre-COW deep clone duplicated all of it per epoch, so the A/B
+  /// baseline (ServiceConfig::storage) must too.
+  void detachPages() {
+    labels_.detachPages();
+    mccIndex_.detachAll();
+    touchEpoch_.detachAll();
+    beforeRaw_.detachAll();
+    mccs_.detachAll();
+  }
+
  private:
   bool blockedForward(Point p) const;
   bool blockedBackward(Point p) const;
@@ -118,8 +145,8 @@ class IncrementalLabeler {
 
   Mesh2D mesh_;
   LabelGrid labels_;
-  std::vector<Mcc> mccs_;
-  NodeMap<int> mccIndex_;
+  MccSlots mccs_;
+  MccIndexGrid mccIndex_;
   /// Retired ids available for reuse, kept sorted ascending (smallest id
   /// is reused first, deterministically).
   std::vector<int> freeIds_;
@@ -130,9 +157,11 @@ class IncrementalLabeler {
   std::deque<LabelDelta> log_;
 
   // Per-delta scratch, epoch-stamped so deltas never pay an O(mesh) clear.
+  // Paged like the real state: the scratch rides along in epoch clones
+  // (QuadrantAnalysis copies), so its copy must be O(pages) too.
   std::uint32_t epoch_ = 0;
-  NodeMap<std::uint32_t> touchEpoch_;
-  NodeMap<std::uint8_t> beforeRaw_;
+  PagedGrid<std::uint32_t> touchEpoch_;
+  PagedGrid<std::uint8_t> beforeRaw_;
   std::vector<Point> touched_;
 };
 

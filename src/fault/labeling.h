@@ -24,6 +24,7 @@
 #include "fault/fault_set.h"
 #include "mesh/frame.h"
 #include "mesh/mesh.h"
+#include "mesh/paged_grid.h"
 
 namespace meshrt {
 
@@ -34,6 +35,9 @@ enum LabelBits : std::uint8_t {
   kCantReachBit = 1u << 2,
 };
 
+/// Per-node label bytes on copy-on-write paged storage: copying a
+/// LabelGrid (epoch snapshots) costs O(pages), and a local fault delta
+/// detaches only the tiles its wavefront wrote (DESIGN.md section 9).
 class LabelGrid {
  public:
   explicit LabelGrid(const Mesh2D& mesh) : flags_(mesh, 0) {}
@@ -51,8 +55,13 @@ class LabelGrid {
   /// clears bits; bulk labeling only ever sets them).
   void assign(Point p, std::uint8_t bits) { flags_[p] = bits; }
 
+  /// The underlying paged storage (page-sharing stats in tests/benches).
+  const PagedGrid<std::uint8_t>& pages() const { return flags_; }
+  /// Forces every page unique (the deep-clone baseline's cost profile).
+  void detachPages() { flags_.detachAll(); }
+
  private:
-  NodeMap<std::uint8_t> flags_;
+  PagedGrid<std::uint8_t> flags_;
 };
 
 /// Computes the labeling fixpoint for faults already expressed in the local

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <utility>
 
 #include "mesh/rect.h"
 
@@ -9,6 +10,12 @@ namespace meshrt {
 
 Rect Mcc::bounds() const {
   return Rect{shape.xmin(), shape.ymin(), shape.xmax(), shape.ymax()};
+}
+
+const std::shared_ptr<const Mcc>& MccSlots::tombstone() {
+  static const std::shared_ptr<const Mcc> retired =
+      std::make_shared<const Mcc>();
+  return retired;
 }
 
 namespace {
@@ -57,7 +64,7 @@ Mcc buildMcc(const Mesh2D& localMesh, const LabelGrid& labels,
 }
 
 void floodComponent(const Mesh2D& localMesh, const LabelGrid& labels,
-                    NodeMap<int>& index, Point seed, int id,
+                    MccIndexGrid& index, Point seed, int id,
                     std::vector<Point>& cells) {
   cells.clear();
   std::vector<Point> stack{seed};
@@ -67,7 +74,7 @@ void floodComponent(const Mesh2D& localMesh, const LabelGrid& labels,
     stack.pop_back();
     cells.push_back(p);
     localMesh.forEachNeighbor(p, [&](Point q) {
-      if (labels.isUnsafe(q) && index[q] == -1) {
+      if (labels.isUnsafe(q) && std::as_const(index)[q] == -1) {
         index[q] = id;
         stack.push_back(q);
       }
@@ -76,13 +83,15 @@ void floodComponent(const Mesh2D& localMesh, const LabelGrid& labels,
 }
 
 MccExtraction extractMccs(const Mesh2D& localMesh, const LabelGrid& labels) {
-  MccExtraction out{{}, NodeMap<int>(localMesh, -1)};
+  MccExtraction out{{}, MccIndexGrid(localMesh, -1)};
 
   std::vector<Point> cells;
   for (Coord y0 = 0; y0 < localMesh.height(); ++y0) {
     for (Coord x0 = 0; x0 < localMesh.width(); ++x0) {
       const Point seed{x0, y0};
-      if (!labels.isUnsafe(seed) || out.mccIndex[seed] != -1) continue;
+      if (!labels.isUnsafe(seed) || std::as_const(out.mccIndex)[seed] != -1) {
+        continue;
+      }
 
       const int id = static_cast<int>(out.mccs.size());
       floodComponent(localMesh, labels, out.mccIndex, seed, id, cells);

@@ -21,7 +21,7 @@ struct PoseHash {
 std::optional<Point> boundaryStep(const Mesh2D& localMesh,
                                   const LabelGrid& labels, Point pos,
                                   WalkHand hand, BoundaryStepState& state,
-                                  const NodeMap<int>* mccIndex,
+                                  const MccIndexGrid* mccIndex,
                                   std::vector<int>* intersected) {
   auto free = [&](Point p) {
     return localMesh.contains(p) && labels.isSafe(p);
@@ -88,7 +88,7 @@ std::optional<Point> boundaryStep(const Mesh2D& localMesh,
 
 std::vector<Point> walkBoundary(const Mesh2D& localMesh,
                                 const LabelGrid& labels, Point start,
-                                WalkHand hand, const NodeMap<int>* mccIndex,
+                                WalkHand hand, const MccIndexGrid* mccIndex,
                                 std::vector<int>* intersected) {
   std::vector<Point> path;
   if (!localMesh.contains(start) || labels.isUnsafe(start)) return path;

@@ -45,7 +45,7 @@ struct BoundaryStepState {
 std::optional<Point> boundaryStep(const Mesh2D& localMesh,
                                   const LabelGrid& labels, Point pos,
                                   WalkHand hand, BoundaryStepState& state,
-                                  const NodeMap<int>* mccIndex = nullptr,
+                                  const MccIndexGrid* mccIndex = nullptr,
                                   std::vector<int>* intersected = nullptr);
 
 /// Nodes visited by the boundary walk starting at `start` (inclusive).
@@ -57,7 +57,7 @@ std::optional<Point> boundaryStep(const Mesh2D& localMesh,
 std::vector<Point> walkBoundary(const Mesh2D& localMesh,
                                 const LabelGrid& labels, Point start,
                                 WalkHand hand,
-                                const NodeMap<int>* mccIndex = nullptr,
+                                const MccIndexGrid* mccIndex = nullptr,
                                 std::vector<int>* intersected = nullptr);
 
 /// The identification ring of an MCC: every safe node 8-adjacent to one of

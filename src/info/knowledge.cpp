@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <queue>
+#include <utility>
 
 #include "info/boundary_walker.h"
 #include "info/transpose.h"
@@ -24,17 +25,18 @@ constexpr Coord kTouchRadius = 2;
 
 }  // namespace
 
-void QuadrantInfo::markInvolved(Point p, int mccId) {
-  if (involveStamp_[p] == involveEpoch_) return;  // counted this pass
+void QuadrantInfo::markInvolved(Point p, int mccId,
+                                std::vector<Point>& footprint) {
+  if (std::as_const(involveStamp_)[p] == involveEpoch_) return;  // counted
   involveStamp_[p] = involveEpoch_;
-  footprint_[static_cast<std::size_t>(mccId)].push_back(p);
+  footprint.push_back(p);
   ++perMccInvolved_[static_cast<std::size_t>(mccId)];
   if (involvedRefs_[p]++ == 0) ++involvedCount_;
 }
 
-void QuadrantInfo::addKnown(std::vector<std::vector<int>>& table,
+void QuadrantInfo::addKnown(PagedGrid<std::vector<int>>& table,
                             std::vector<Point>& nodes, Point p, int id) {
-  auto& list = table[static_cast<std::size_t>(analysis_->localMesh().id(p))];
+  auto& list = table[p];
   const auto it = std::lower_bound(list.begin(), list.end(), id);
   if (it != list.end() && *it == id) return;
   list.insert(it, id);
@@ -52,8 +54,8 @@ QuadrantInfo::QuadrantInfo(const QuadrantAnalysis& qa, InfoModel model)
     : analysis_(&qa),
       model_(model),
       meshT_(qa.localMesh().height(), qa.localMesh().width()),
-      knownI_(static_cast<std::size_t>(qa.localMesh().nodeCount())),
-      knownII_(static_cast<std::size_t>(qa.localMesh().nodeCount())),
+      knownI_(qa.localMesh()),
+      knownII_(qa.localMesh()),
       involvedRefs_(qa.localMesh(), 0),
       involveStamp_(qa.localMesh(), 0),
       stamp_(qa.localMesh(), 0),
@@ -77,10 +79,7 @@ void QuadrantInfo::growTo(std::size_t mccSlots) {
 void QuadrantInfo::buildAll() {
   growTo(analysis_->mccs().size());
   const TransposedView view = makeView();
-  for (const Mcc& mcc : analysis_->mccs()) {
-    if (mcc.id < 0) continue;  // retired slot
-    buildFor(mcc.id, view);
-  }
+  for (const Mcc& mcc : analysis_->liveMccs()) buildFor(mcc.id, view);
   version_ = analysis_->version();
 }
 
@@ -89,8 +88,11 @@ void QuadrantInfo::buildFor(int id, const TransposedView& view) {
   const LabelGrid& labels = analysis_->labels();
   const auto& mccs = analysis_->mccs();
   const Mcc& mcc = mccs[static_cast<std::size_t>(id)];
-  auto& nodesI = nodesI_[static_cast<std::size_t>(id)];
-  auto& nodesII = nodesII_[static_cast<std::size_t>(id)];
+  // Accumulated locally and installed wholesale below, so clones sharing
+  // the previous build's reverse maps never see a partial mutation.
+  std::vector<Point> nodesI;
+  std::vector<Point> nodesII;
+  std::vector<Point> footprint;
 
   ++involveEpoch_;  // involvement dedup scope = this (id, pass)
 
@@ -112,7 +114,7 @@ void QuadrantInfo::buildFor(int id, const TransposedView& view) {
   // merge into the intersected MCC's own boundaries and carry the triple
   // onward (Algorithm 6 steps 3-4).
   auto spread = [&](const Mesh2D& m, const LabelGrid& lg,
-                    const NodeMap<int>& idx, bool transposed,
+                    const MccIndexGrid& idx, bool transposed,
                     std::vector<Point>* outL, std::vector<Point>* outR,
                     auto&& record) {
     const bool wantPlusX = model_ != InfoModel::B1;
@@ -155,7 +157,7 @@ void QuadrantInfo::buildFor(int id, const TransposedView& view) {
   // Identification ring (Algorithm 1 step 1): the ring nodes relay the
   // shape both ways, so they hold the triple under every model.
   for (Point p : ringNodes(mesh, labels, mcc)) {
-    markInvolved(p, id);
+    markInvolved(p, id, footprint);
     addKnown(knownI_, nodesI, p, id);
     addKnown(knownII_, nodesII, p, id);
   }
@@ -165,7 +167,7 @@ void QuadrantInfo::buildFor(int id, const TransposedView& view) {
   std::vector<Point> walkR;
   spread(mesh, labels, analysis_->mccIndex(), /*transposed=*/false, &walkL,
          &walkR, [&](Point p) {
-           markInvolved(p, id);
+           markInvolved(p, id, footprint);
            addKnown(knownI_, nodesI, p, id);
          });
 
@@ -176,7 +178,7 @@ void QuadrantInfo::buildFor(int id, const TransposedView& view) {
   spread(view.meshT, view.labelsT, view.indexT, /*transposed=*/true, &walkLT,
          &walkRT, [&](Point pt) {
            const Point p = transposePoint(pt);
-           markInvolved(p, id);
+           markInvolved(p, id, footprint);
            addKnown(knownII_, nodesII, p, id);
          });
 
@@ -186,9 +188,9 @@ void QuadrantInfo::buildFor(int id, const TransposedView& view) {
   // nodes, the mesh edge, or the other boundary. Duplicates are dropped.
   if (model_ == InfoModel::B2) {
     auto flood = [&](const Mesh2D& m, const LabelGrid& lg,
-                     NodeMap<std::uint32_t>& bstamp,
-                     NodeMap<std::uint32_t>& mstamp,
-                     NodeMap<std::uint8_t>& mmodes,
+                     PagedGrid<std::uint32_t>& bstamp,
+                     PagedGrid<std::uint32_t>& mstamp,
+                     PagedGrid<std::uint8_t>& mmodes,
                      const std::vector<Point>& left,
                      const std::vector<Point>& right, Coord floorX,
                      Coord ceilX, auto&& record) {
@@ -205,12 +207,12 @@ void QuadrantInfo::buildFor(int id, const TransposedView& view) {
         if (!m.contains(p) || lg.isUnsafe(p)) return;
         if (clipWest && p.x < floorX) return;
         if (clipEast && p.x > ceilX) return;
-        if (bstamp[p] == epoch_) return;  // reached the other boundary
-        if (mstamp[p] != epoch_) {
+        if (std::as_const(bstamp)[p] == epoch_) return;  // other boundary
+        if (std::as_const(mstamp)[p] != epoch_) {
           mstamp[p] = epoch_;
           mmodes[p] = 0;
         }
-        if ((mmodes[p] & mode) != 0) return;
+        if ((std::as_const(mmodes)[p] & mode) != 0) return;
         mmodes[p] |= mode;
         q.push({p, mode});
       };
@@ -228,35 +230,50 @@ void QuadrantInfo::buildFor(int id, const TransposedView& view) {
 
     flood(mesh, labels, floodStamp_, modeStamp_, modes_, walkL, walkR,
           mcc.shape.xmin() - 1, mcc.shape.xmax() + 1, [&](Point p) {
-            markInvolved(p, id);
+            markInvolved(p, id, footprint);
             addKnown(knownI_, nodesI, p, id);
           });
     flood(view.meshT, view.labelsT, floodStampT_, modeStampT_, modesT_,
           walkLT, walkRT, mcc.shapeTransposed.xmin() - 1,
           mcc.shapeTransposed.xmax() + 1, [&](Point pt) {
             const Point p = transposePoint(pt);
-            markInvolved(p, id);
+            markInvolved(p, id, footprint);
             addKnown(knownII_, nodesII, p, id);
           });
   }
+
+  const auto slot = static_cast<std::size_t>(id);
+  auto install = [](std::vector<Point>&& points) {
+    return points.empty()
+               ? nullptr
+               : std::make_shared<const std::vector<Point>>(std::move(points));
+  };
+  nodesI_[slot] = install(std::move(nodesI));
+  nodesII_[slot] = install(std::move(nodesII));
+  footprint_[slot] = install(std::move(footprint));
 }
 
 void QuadrantInfo::dropFor(int id) {
-  const Mesh2D& mesh = analysis_->localMesh();
   const auto slot = static_cast<std::size_t>(id);
-  auto eraseId = [&](std::vector<std::vector<int>>& table, Point p) {
-    auto& list = table[static_cast<std::size_t>(mesh.id(p))];
+  auto eraseId = [&](PagedGrid<std::vector<int>>& table, Point p) {
+    auto& list = table[p];
     const auto it = std::lower_bound(list.begin(), list.end(), id);
     if (it != list.end() && *it == id) list.erase(it);
   };
-  for (Point p : nodesI_[slot]) eraseId(knownI_, p);
-  for (Point p : nodesII_[slot]) eraseId(knownII_, p);
-  for (Point p : footprint_[slot]) {
-    if (--involvedRefs_[p] == 0) --involvedCount_;
+  if (nodesI_[slot]) {
+    for (Point p : *nodesI_[slot]) eraseId(knownI_, p);
   }
-  nodesI_[slot].clear();
-  nodesII_[slot].clear();
-  footprint_[slot].clear();
+  if (nodesII_[slot]) {
+    for (Point p : *nodesII_[slot]) eraseId(knownII_, p);
+  }
+  if (footprint_[slot]) {
+    for (Point p : *footprint_[slot]) {
+      if (--involvedRefs_[p] == 0) --involvedCount_;
+    }
+  }
+  nodesI_[slot].reset();
+  nodesII_[slot].reset();
+  footprint_[slot].reset();
   perMccInvolved_[slot] = 0;
 }
 
@@ -281,7 +298,7 @@ void QuadrantInfo::refreshWith(const LabelDelta& delta,
     for (Coord dy = -kTouchRadius; dy <= kTouchRadius; ++dy) {
       for (Coord dx = -kTouchRadius; dx <= kTouchRadius; ++dx) {
         const Point p{c.x + dx, c.y + dy};
-        if (!mesh.contains(p) || stamp_[p] == epoch_) continue;
+        if (!mesh.contains(p) || std::as_const(stamp_)[p] == epoch_) continue;
         stamp_[p] = epoch_;
         marked.push_back(p);
       }
@@ -333,14 +350,13 @@ void QuadrantInfo::sync() {
   if (version_ == labeler.version()) return;
   const auto& log = labeler.deltaLog();
   if (log.empty() || log.front().version > version_ + 1) {
-    // Too far behind the trimmed log: rebuild from scratch.
-    const auto nodes =
-        static_cast<std::size_t>(analysis_->localMesh().nodeCount());
-    knownI_.assign(nodes, {});
-    knownII_.assign(nodes, {});
-    for (auto& list : nodesI_) list.clear();
-    for (auto& list : nodesII_) list.clear();
-    for (auto& list : footprint_) list.clear();
+    // Too far behind the trimmed log: rebuild from scratch. The paged
+    // fills drop whole pages — O(pages), not O(mesh).
+    knownI_.fill({});
+    knownII_.fill({});
+    for (auto& list : nodesI_) list.reset();
+    for (auto& list : nodesII_) list.reset();
+    for (auto& list : footprint_) list.reset();
     std::fill(perMccInvolved_.begin(), perMccInvolved_.end(), 0);
     involvedRefs_.fill(0);
     involvedCount_ = 0;
@@ -356,9 +372,8 @@ void QuadrantInfo::sync() {
 }
 
 std::vector<int> QuadrantInfo::knownUnion(Point p) const {
-  const auto i = static_cast<std::size_t>(analysis_->localMesh().id(p));
-  std::vector<int> out = knownI_[i];
-  out.insert(out.end(), knownII_[i].begin(), knownII_[i].end());
+  std::vector<int> out = knownI_[p];
+  out.insert(out.end(), knownII_[p].begin(), knownII_[p].end());
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
@@ -370,8 +385,7 @@ std::vector<double> QuadrantInfo::perMccInvolvedPercent() const {
   const std::size_t safe = total - analysis_->unsafeCount();
   std::vector<double> out;
   out.reserve(analysis_->mccCount());
-  for (const Mcc& mcc : analysis_->mccs()) {
-    if (mcc.id < 0) continue;
+  for (const Mcc& mcc : analysis_->liveMccs()) {
     const std::size_t count =
         perMccInvolved_[static_cast<std::size_t>(mcc.id)];
     out.push_back(safe == 0 ? 0.0
@@ -388,6 +402,29 @@ double QuadrantInfo::involvedPercentOfSafe() const {
   if (safe == 0) return 0.0;
   return 100.0 * static_cast<double>(involvedCount_) /
          static_cast<double>(safe);
+}
+
+void QuadrantInfo::detachPages() {
+  knownI_.detachAll();
+  knownII_.detachAll();
+  involvedRefs_.detachAll();
+  involveStamp_.detachAll();
+  stamp_.detachAll();
+  floodStamp_.detachAll();
+  floodStampT_.detachAll();
+  modeStamp_.detachAll();
+  modes_.detachAll();
+  modeStampT_.detachAll();
+  modesT_.detachAll();
+  auto unshare = [](std::vector<std::shared_ptr<const std::vector<Point>>>&
+                        lists) {
+    for (auto& list : lists) {
+      if (list) list = std::make_shared<const std::vector<Point>>(*list);
+    }
+  };
+  unshare(nodesI_);
+  unshare(nodesII_);
+  unshare(footprint_);
 }
 
 QuadrantInfo::QuadrantInfo(const QuadrantInfo& other,
@@ -434,6 +471,12 @@ std::unique_ptr<KnowledgeBundle> KnowledgeBundle::cloneFor(
     }
   }
   return clone;
+}
+
+void KnowledgeBundle::detachPages() {
+  for (auto& quadrants : infos_) {
+    for (auto& info : quadrants) info->detachPages();
+  }
 }
 
 const QuadrantInfo* KnowledgeBundle::find(Quadrant q, InfoModel model) const {

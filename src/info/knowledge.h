@@ -72,14 +72,10 @@ class QuadrantInfo {
   void sync();
 
   /// MCC ids whose type-I triples (F, R_Y, R'_Y) are stored at p.
-  std::span<const int> typeIKnown(Point p) const {
-    return knownI_[static_cast<std::size_t>(analysis_->localMesh().id(p))];
-  }
+  std::span<const int> typeIKnown(Point p) const { return knownI_[p]; }
 
   /// MCC ids whose type-II triples (F, R_X, R'_X) are stored at p.
-  std::span<const int> typeIIKnown(Point p) const {
-    return knownII_[static_cast<std::size_t>(analysis_->localMesh().id(p))];
-  }
+  std::span<const int> typeIIKnown(Point p) const { return knownII_[p]; }
 
   /// Union of both axes (sorted, deduplicated).
   std::vector<int> knownUnion(Point p) const;
@@ -106,13 +102,17 @@ class QuadrantInfo {
 
   const QuadrantAnalysis& analysis() const { return *analysis_; }
 
+  /// Forces every paged grid's pages unique and unshares the per-id
+  /// reverse maps (deep-clone baseline; see ServiceConfig::storage).
+  void detachPages();
+
  private:
   /// Scratch for one refresh/build pass: the transposed frame the type-II
   /// machinery runs in. Rebuilt per pass (labels mutate between passes).
   struct TransposedView {
     Mesh2D meshT;
     LabelGrid labelsT;
-    NodeMap<int> indexT;
+    MccIndexGrid indexT;
   };
   TransposedView makeView() const;
 
@@ -130,8 +130,8 @@ class QuadrantInfo {
   void dropFor(int id);
   void growTo(std::size_t mccSlots);
 
-  void markInvolved(Point p, int mccId);
-  void addKnown(std::vector<std::vector<int>>& table,
+  void markInvolved(Point p, int mccId, std::vector<Point>& footprint);
+  void addKnown(PagedGrid<std::vector<int>>& table,
                 std::vector<Point>& nodes, Point p, int id);
 
   const QuadrantAnalysis* analysis_;
@@ -139,32 +139,37 @@ class QuadrantInfo {
   std::uint64_t version_ = 0;
   Mesh2D meshT_;
 
-  /// Per-node sorted id lists.
-  std::vector<std::vector<int>> knownI_;
-  std::vector<std::vector<int>> knownII_;
+  /// Per-node sorted id lists, on COW pages: epoch clones share every
+  /// tile a refresh did not touch (DESIGN.md section 9).
+  PagedGrid<std::vector<int>> knownI_;
+  PagedGrid<std::vector<int>> knownII_;
   /// Per-id reverse maps: the nodes holding the id's triples, and the
-  /// deduplicated involvement footprint (what dropFor undoes).
-  std::vector<std::vector<Point>> nodesI_;
-  std::vector<std::vector<Point>> nodesII_;
-  std::vector<std::vector<Point>> footprint_;
+  /// deduplicated involvement footprint (what dropFor undoes). Installed
+  /// wholesale per (re)build and shared by clones, so copying a
+  /// QuadrantInfo costs O(id slots), never O(total footprint).
+  std::vector<std::shared_ptr<const std::vector<Point>>> nodesI_;
+  std::vector<std::shared_ptr<const std::vector<Point>>> nodesII_;
+  std::vector<std::shared_ptr<const std::vector<Point>>> footprint_;
   std::vector<std::size_t> perMccInvolved_;
 
   /// How many live MCCs involve each node; involvedCount_ counts nodes
   /// with a positive refcount.
-  NodeMap<int> involvedRefs_;
+  PagedGrid<int> involvedRefs_;
   std::size_t involvedCount_ = 0;
 
-  // Epoch-stamped scratch grids (no O(mesh) clears per pass).
+  // Epoch-stamped scratch grids (no O(mesh) clears per pass). Paged like
+  // the real state: they ride along in epoch clones, so their copy must
+  // be O(pages) too.
   std::uint32_t involveEpoch_ = 0;
-  NodeMap<std::uint32_t> involveStamp_;
+  PagedGrid<std::uint32_t> involveStamp_;
   std::uint32_t epoch_ = 0;
-  NodeMap<std::uint32_t> stamp_;
-  NodeMap<std::uint32_t> floodStamp_;
-  NodeMap<std::uint32_t> floodStampT_;
-  NodeMap<std::uint32_t> modeStamp_;
-  NodeMap<std::uint8_t> modes_;
-  NodeMap<std::uint32_t> modeStampT_;
-  NodeMap<std::uint8_t> modesT_;
+  PagedGrid<std::uint32_t> stamp_;
+  PagedGrid<std::uint32_t> floodStamp_;
+  PagedGrid<std::uint32_t> floodStampT_;
+  PagedGrid<std::uint32_t> modeStamp_;
+  PagedGrid<std::uint8_t> modes_;
+  PagedGrid<std::uint32_t> modeStampT_;
+  PagedGrid<std::uint8_t> modesT_;
 };
 
 /// Quadrant knowledge for a whole FaultAnalysis: one QuadrantInfo per
@@ -184,12 +189,16 @@ class KnowledgeBundle {
   /// side, after fault events).
   void sync();
 
-  /// Re-anchoring deep copy onto `analysis` (a state-identical clone of
-  /// the bundle's analysis, see FaultAnalysis::cloneFor). The bundle must
-  /// be sync()ed first; the clone is immutable-by-convention and safe to
-  /// share across reader threads.
+  /// Re-anchoring copy onto `analysis` (a state-identical clone of the
+  /// bundle's analysis, see FaultAnalysis::cloneFor). The bundle must be
+  /// sync()ed first; the clone is immutable-by-convention, safe to share
+  /// across reader threads, and shares knowledge pages with this bundle
+  /// until the writer's next refresh touches them (COW).
   std::unique_ptr<KnowledgeBundle> cloneFor(
       const FaultAnalysis& analysis) const;
+
+  /// Forces every quadrant info's pages unique (deep-clone baseline).
+  void detachPages();
 
   /// The captured knowledge for (q, model), or nullptr when the model was
   /// not requested at construction. Returned infos are pre-synced; callers

@@ -20,10 +20,10 @@ inline LabelGrid transposeLabels(const Mesh2D& mesh, const LabelGrid& labels,
 }
 
 /// MCC id map re-expressed with x and y swapped.
-inline NodeMap<int> transposeIndex(const Mesh2D& mesh,
-                                   const NodeMap<int>& index,
+inline MccIndexGrid transposeIndex(const Mesh2D& mesh,
+                                   const MccIndexGrid& index,
                                    const Mesh2D& meshT) {
-  NodeMap<int> out(meshT, -1);
+  MccIndexGrid out(meshT, -1);
   for (Coord y = 0; y < mesh.height(); ++y) {
     for (Coord x = 0; x < mesh.width(); ++x) {
       out[{y, x}] = index[{x, y}];

@@ -85,7 +85,7 @@ RouteResult Rb3Router::route(Point s, Point d) {
   };
 
   if (knowledge_ == Rb3Knowledge::Full) {
-    for (const Mcc& mcc : qa.mccs()) learn(mcc.id);
+    for (const Mcc& mcc : qa.liveMccs()) learn(mcc.id);
   }
   mergeAt(u);
   const std::size_t maxPhases = qa.mccs().size() * 8 + 32;

@@ -97,45 +97,57 @@ ServedRoute chaseColumn(const RouteColumn& column, const Mesh2D& mesh,
 
 std::vector<NodeId> chaseUpstream(const RouteColumn& column,
                                   const Mesh2D& mesh,
-                                  const NodeMap<std::uint8_t>& targetMask) {
+                                  const std::vector<NodeId>& maskedIds) {
+  // A chase from u touches a masked cell iff u reaches one following
+  // stored hops, i.e. iff a masked cell reaches u along REVERSED hop
+  // edges — and the reverse edges of w are exactly the <=4 neighbors
+  // whose stored hop points at w. BFS from the masked set is therefore
+  // output-sensitive: the nodes it visits are precisely the result. The
+  // masked cells themselves always belong to the set (their labels
+  // changed, so their own entries must refresh).
+  //
+  // Visited marks are epoch-stamped and thread-local: per-column patch
+  // jobs run concurrently on the pool, and repeated calls (one per
+  // present column per event) must not pay an O(mesh) clear each.
+  thread_local std::vector<std::uint32_t> stamp;
+  thread_local std::uint32_t epoch = 0;
   const auto n = static_cast<std::size_t>(mesh.nodeCount());
-  // 0 = unknown, 1 = in progress, 2 = misses every target, 3 = touches.
-  std::vector<std::uint8_t> state(n, 0);
-  std::vector<NodeId> chain;
-  for (NodeId start = 0; start < mesh.nodeCount(); ++start) {
-    if (state[static_cast<std::size_t>(start)] != 0) continue;
-    chain.clear();
-    NodeId u = start;
-    std::uint8_t verdict = 2;
-    for (;;) {
-      const Point p = mesh.point(u);
-      if (targetMask[p] != 0) {
-        verdict = 3;
-        // The masked cell belongs to the upstream set itself (its label
-        // changed, so its own entry must refresh), not just its feeders.
-        if (state[static_cast<std::size_t>(u)] == 0) {
-          state[static_cast<std::size_t>(u)] = 3;
-        }
-        break;
-      }
-      const std::uint8_t seen = state[static_cast<std::size_t>(u)];
-      if (seen == 1) break;  // cycle in this chain: loops without a target
-      if (seen != 0) {
-        verdict = seen;
-        break;
-      }
-      state[static_cast<std::size_t>(u)] = 1;
-      chain.push_back(u);
-      const std::uint8_t hop = column.next(u);
-      if (hop == RouteColumn::kNoRoute) break;  // chase ends (or at dest)
-      u = mesh.id(p + offset(static_cast<Dir>(hop)));
-    }
-    for (NodeId c : chain) state[static_cast<std::size_t>(c)] = verdict;
+  if (stamp.size() < n) stamp.assign(n, 0);
+  if (++epoch == 0) {  // stamp wrap: one real clear every 2^32 calls
+    std::fill(stamp.begin(), stamp.end(), 0);
+    epoch = 1;
   }
+
+  const NodeId width = mesh.width();
   std::vector<NodeId> out;
-  for (NodeId id = 0; id < mesh.nodeCount(); ++id) {
-    if (state[static_cast<std::size_t>(id)] == 3) out.push_back(id);
+  auto visit = [&](NodeId id) {
+    auto& mark = stamp[static_cast<std::size_t>(id)];
+    if (mark == epoch) return;
+    mark = epoch;
+    out.push_back(id);
+  };
+  for (NodeId id : maskedIds) visit(id);
+  for (std::size_t scan = 0; scan < out.size(); ++scan) {
+    const NodeId w = out[scan];
+    const NodeId wx = w % width;
+    // Dir enumerators index as +X, -X, +Y, -Y (see chaseColumn).
+    if (wx > 0 && column.next(w - 1) == static_cast<std::uint8_t>(Dir::PlusX)) {
+      visit(w - 1);
+    }
+    if (wx + 1 < width &&
+        column.next(w + 1) == static_cast<std::uint8_t>(Dir::MinusX)) {
+      visit(w + 1);
+    }
+    if (w >= width &&
+        column.next(w - width) == static_cast<std::uint8_t>(Dir::PlusY)) {
+      visit(w - width);
+    }
+    if (w + width < mesh.nodeCount() &&
+        column.next(w + width) == static_cast<std::uint8_t>(Dir::MinusY)) {
+      visit(w + width);
+    }
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -16,8 +16,10 @@
 // toggle can only affect entries whose chase trajectory touches the
 // delta's label-change footprint (chases are suffix-closed, so any chase
 // avoiding the footprint is byte-for-byte unaffected), and
-// chaseUpstream() finds exactly those entries in one O(mesh) functional-
-// graph pass. See DESIGN.md section 7.2 for the argument.
+// chaseUpstream() finds exactly those entries by reverse reachability
+// from the footprint over the column's hop graph — output-sensitive
+// O(|affected| + |footprint|), the table layer's half of the O(delta)
+// epoch-publishing contract. See DESIGN.md sections 7.2 and 9.
 #pragma once
 
 #include <cstdint>
@@ -118,16 +120,18 @@ RouteColumn compileRouteColumn(Router& router, const FaultSet& faults,
 ServedRoute chaseColumn(const RouteColumn& column, const Mesh2D& mesh,
                         Point s, std::size_t maxSteps, bool wantPath);
 
-/// Every node whose chase trajectory in `column` touches a cell with
-/// targetMask != 0 (including the node itself), ascending NodeId order.
-/// One pass over the column's functional hop graph with memoized
-/// verdicts; cyclic (diverging) chases that never touch a target count as
-/// untouched. This is the set of entries a delta confined to the masked
-/// cells can possibly affect — see the suffix-closure argument in
-/// DESIGN.md section 7.2.
+/// Every node whose chase trajectory in `column` touches a masked cell
+/// (including the masked cells themselves), ascending NodeId order.
+/// `maskedIds` may repeat and need not be sorted. Implemented as a
+/// reverse-reachability BFS from the masked cells over the column's
+/// functional hop graph, so the cost is O(|result| + |maskedIds|) — not
+/// O(mesh) — and cyclic (diverging) chases that never touch a masked
+/// cell are naturally skipped. This is the set of entries a delta
+/// confined to the masked cells can possibly affect — see the
+/// suffix-closure argument in DESIGN.md section 7.2.
 std::vector<NodeId> chaseUpstream(const RouteColumn& column,
                                   const Mesh2D& mesh,
-                                  const NodeMap<std::uint8_t>& targetMask);
+                                  const std::vector<NodeId>& maskedIds);
 
 /// Router adapter serving from lazily compiled columns: the registry
 /// wrapper behind the "table:<key>" keys, and the single-threaded

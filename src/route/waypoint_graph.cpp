@@ -8,8 +8,7 @@
 namespace meshrt {
 
 WaypointGraph::WaypointGraph(const QuadrantAnalysis& qa) : qa_(&qa) {
-  for (const Mcc& mcc : qa.mccs()) {
-    if (mcc.id < 0) continue;  // retired slot (dynamic analyses)
+  for (const Mcc& mcc : qa.liveMccs()) {
     for (const auto& corner :
          {mcc.cornerC, mcc.cornerCPrime, mcc.cornerNW, mcc.cornerSE}) {
       if (corner) corners_.push_back(*corner);

@@ -14,9 +14,9 @@ RouteService::RouteService(const FaultSet& initial, ServiceConfig cfg)
         cfg_.routerKey + "'");
   }
   RouterRegistry::global().at(cfg_.routerKey);  // throws on unknown key
-  // Materialize every quadrant while single-threaded: sharded compiles
-  // read the analysis concurrently, and lazy first-touch is not
-  // thread-safe (see FaultAnalysis).
+  // Warm-up: materialize every quadrant now so epoch clones share fully
+  // built analyses (cloneFor would otherwise label absent quadrants from
+  // scratch) and no sharded compile pays first-touch latency.
   model_.analysis().materializeAll();
   if (!cfg_.captureKnowledge.empty()) {
     knowledge_ = std::make_unique<KnowledgeBundle>(model_.analysis(),
@@ -57,64 +57,82 @@ std::uint64_t RouteService::applyEvent(const FaultEvent& event) {
   pendingChanged_.push_back(event.fault);
 
   if (knowledge_) knowledge_->sync();
-  auto next = std::make_unique<ServiceSnapshot>(current->epoch() + 1,
-                                                model_, knowledge_.get());
+  // The capture shares COW pages with the writer's state AND inherits the
+  // previous epoch's column table (another page-table copy), so building
+  // the snapshot is O(pages), not O(mesh). The deep-clone baseline then
+  // force-detaches every page — the pre-COW cost profile, for A/B runs.
+  auto next = std::make_unique<ServiceSnapshot>(
+      current->epoch() + 1, model_, knowledge_.get(), current.get());
+  if (cfg_.storage == SnapshotStorage::DeepClone) next->detachAllPages();
 
-  // Migrate compiled columns under the delta rule (see header). The mask
-  // holds every label-changed cell of every event since the last publish
-  // (which always includes the toggled nodes): an entry whose chase
-  // trajectory misses the mask cannot route into any new fault, so its
-  // bytes stay correct verbatim.
-  NodeMap<std::uint8_t> mask(mesh(), 0);
-  for (Point p : pendingChanged_) mask[p] = 1;
+  // Migrate inherited columns under the delta rule (see header). The
+  // masked set holds every label-changed cell of every event since the
+  // last publish (which always includes the toggled nodes): an entry
+  // whose chase trajectory misses it cannot route into any new fault, so
+  // its bytes stay correct verbatim and the inherited column stands.
+  std::vector<NodeId> masked;
+  masked.reserve(pendingChanged_.size());
+  for (Point p : pendingChanged_) masked.push_back(mesh().id(p));
+  std::sort(masked.begin(), masked.end());
+  masked.erase(std::unique(masked.begin(), masked.end()), masked.end());
 
-  const auto oldColumns = current->allColumns();
-  std::vector<NodeId> present;
-  for (std::size_t i = 0; i < oldColumns.size(); ++i) {
-    if (oldColumns[i]) present.push_back(static_cast<NodeId>(i));
-  }
+  const std::vector<NodeId> present = next->presentColumns();
+  const std::vector<const RouteColumn*> oldColumns =
+      next->columnsFor(present);
   std::atomic<std::uint64_t> carried{0};
   std::atomic<std::uint64_t> entries{0};
-  std::atomic<std::uint64_t> dropped{0};
-  const ServiceSnapshot& snap = *next;
+  ServiceSnapshot& snap = *next;
 
-  // Phase 1 (router-free): classify every column — carry, drop, or
-  // collect its upstream patch set.
+  // Phase 1 (router-free): classify every inherited column — stand (no
+  // chase crosses the masked set), drop (destination died), or collect
+  // its upstream patch set. chaseUpstream is reverse BFS from the masked
+  // cells, so the phase costs O(present x delta), not O(present x mesh).
   struct PatchWork {
     NodeId id = kInvalidNode;
+    bool drop = false;
     std::vector<NodeId> cells;
   };
   std::vector<PatchWork> work(present.size());
   parallelFor(pool_, present.size(), [&](std::size_t k) {
     const NodeId id = present[k];
-    const auto& old = oldColumns[static_cast<std::size_t>(id)];
     if (snap.faults().isFaulty(snap.mesh().point(id))) {
-      dropped.fetch_add(1);
+      work[k].id = id;
+      work[k].drop = true;
       return;
     }
-    auto cells = chaseUpstream(*old, snap.mesh(), mask);
+    auto cells = chaseUpstream(*oldColumns[k], snap.mesh(), masked);
     if (cells.empty()) {
-      snap.installColumn(id, old);
-      carried.fetch_add(1);
+      carried.fetch_add(1);  // the inherited column stands as-is
       return;
     }
     entries.fetch_add(cells.size());
-    work[k] = PatchWork{id, std::move(cells)};
+    work[k] = PatchWork{id, false, std::move(cells)};
   });
-  std::erase_if(work, [](const PatchWork& w) { return w.id == kInvalidNode; });
 
-  // Phase 2: patch the affected columns, one router per chunk job.
+  std::uint64_t dropped = 0;
+  for (const PatchWork& w : work) {
+    if (w.drop) {
+      snap.dropColumn(w.id);
+      ++dropped;
+    }
+  }
+  std::erase_if(work, [](const PatchWork& w) {
+    return w.id == kInvalidNode || w.drop;
+  });
+
+  // Phase 2: patch the affected columns, one router per chunk job. The
+  // patched successor REPLACES the inherited column.
   forEachWithChunkRouter(snap, work.size(), [&](Router& router,
                                                 std::size_t i) {
-    const auto& old = oldColumns[static_cast<std::size_t>(work[i].id)];
-    snap.installColumn(work[i].id,
+    const auto old = snap.column(work[i].id);
+    snap.replaceColumn(work[i].id,
                        std::make_shared<const RouteColumn>(old->patched(
                            router, snap.faults(), work[i].cells)));
   });
   columnsCarried_.fetch_add(carried.load());
   columnsPatched_.fetch_add(work.size());
   entriesPatched_.fetch_add(entries.load());
-  columnsDropped_.fetch_add(dropped.load());
+  columnsDropped_.fetch_add(dropped);
 
   const std::uint64_t epoch = next->epoch();
   box_.publish(std::unique_ptr<const ServiceSnapshot>(std::move(next)));

@@ -5,8 +5,12 @@
 // every batch from an immutable epoch snapshot while applyAddFault /
 // applyRemoveFault build the next epoch from the incremental labeler's
 // deltas — recompiling only the columns whose dependency region the delta
-// touched. This is the layer that turns the reproduction from "runs
-// experiments" into "answers traffic"; see DESIGN.md section 7.
+// touched. Epoch snapshots are copy-on-write paged end to end (fault set,
+// labels, MCC indices, knowledge, column table), so publishing an epoch
+// costs O(pages touched by the delta), not O(mesh) — the storage-side
+// mirror of the incremental compute. This is the layer that turns the
+// reproduction from "runs experiments" into "answers traffic"; see
+// DESIGN.md sections 7 and 9.
 //
 // Threading model:
 //   - serve() may be called from any number of reader threads; each batch
@@ -32,6 +36,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/epoch.h"
@@ -39,6 +44,21 @@
 #include "service/snapshot.h"
 
 namespace meshrt {
+
+/// How epoch snapshots capture the writer's state.
+enum class SnapshotStorage : std::uint8_t {
+  /// Copy-on-write paged sharing (the default): publishing costs
+  /// O(pages touched by the delta).
+  Cow = 0,
+  /// Every page force-detached after capture — the pre-COW deep clone's
+  /// O(mesh) cost profile, kept as an honest same-binary A/B baseline
+  /// for benches and regression tests.
+  DeepClone = 1,
+};
+
+constexpr std::string_view snapshotStorageName(SnapshotStorage s) {
+  return s == SnapshotStorage::Cow ? "cow" : "deep";
+}
 
 struct ServiceConfig {
   /// Registry key of the router the tables compile ("rb2", "table:..."
@@ -50,6 +70,8 @@ struct ServiceConfig {
   /// rb1, {InfoModel::B3} for the rb3 family); empty skips knowledge
   /// capture entirely, which is right for rb2/ecube/optimal-class keys.
   std::vector<InfoModel> captureKnowledge;
+  /// Epoch snapshot storage mode (benches A/B the deep-clone baseline).
+  SnapshotStorage storage = SnapshotStorage::Cow;
 };
 
 struct Query {
@@ -100,11 +122,13 @@ class RouteService {
   }
 
   /// Applies one fault event through the incremental labeler and
-  /// publishes the next epoch. Compiled columns migrate by the delta
-  /// rule: a column is shared untouched when no chase in it crosses the
-  /// event's label-change footprint, patched entry-wise when some do
-  /// (chaseUpstream), and dropped when its destination died. No-op
-  /// toggles publish nothing. Returns the epoch current after the call.
+  /// publishes the next epoch. The new snapshot inherits the previous
+  /// epoch's column table by COW page sharing; inherited columns then
+  /// migrate by the delta rule: a column stands untouched when no chase
+  /// in it crosses the event's label-change footprint, is replaced by an
+  /// entry-wise patched successor when some do (chaseUpstream), and is
+  /// dropped when its destination died. No-op toggles publish nothing.
+  /// Returns the epoch current after the call.
   std::uint64_t applyAddFault(Point p);
   std::uint64_t applyRemoveFault(Point p);
 

@@ -1,28 +1,57 @@
 #include "service/snapshot.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace meshrt {
+
+namespace {
+
+/// Copies the predecessor's column table under its lock (page-table copy,
+/// O(pages)); a fresh empty table for the first epoch.
+PagedGrid<std::shared_ptr<const RouteColumn>> inheritColumns(
+    const Mesh2D& mesh, const ServiceSnapshot* prev) {
+  if (prev == nullptr) {
+    return PagedGrid<std::shared_ptr<const RouteColumn>>(mesh);
+  }
+  return prev->columnPagesLocked();
+}
+
+}  // namespace
 
 ServiceSnapshot::ServiceSnapshot(std::uint64_t epoch,
                                  const DynamicFaultModel& model,
-                                 const KnowledgeBundle* knowledge)
+                                 const KnowledgeBundle* knowledge,
+                                 const ServiceSnapshot* prev)
     : epoch_(epoch),
       faults_(model.faults()),
       analysis_(model.analysis().cloneFor(faults_)),
-      columns_(static_cast<std::size_t>(model.mesh().nodeCount())) {
+      columns_(inheritColumns(model.mesh(), prev)) {
   if (knowledge != nullptr) knowledge_ = knowledge->cloneFor(*analysis_);
 }
 
 std::shared_ptr<const RouteColumn> ServiceSnapshot::column(
     NodeId dest) const {
   std::lock_guard<std::mutex> lock(columnMutex_);
-  return columns_[static_cast<std::size_t>(dest)];
+  return std::as_const(columns_)[mesh().point(dest)];
 }
 
 void ServiceSnapshot::installColumn(
     NodeId dest, std::shared_ptr<const RouteColumn> column) const {
   std::lock_guard<std::mutex> lock(columnMutex_);
-  auto& slot = columns_[static_cast<std::size_t>(dest)];
+  auto& slot = columns_[mesh().point(dest)];
   if (!slot) slot = std::move(column);
+}
+
+void ServiceSnapshot::dropColumn(NodeId dest) {
+  std::lock_guard<std::mutex> lock(columnMutex_);
+  columns_[mesh().point(dest)] = nullptr;
+}
+
+void ServiceSnapshot::replaceColumn(
+    NodeId dest, std::shared_ptr<const RouteColumn> column) {
+  std::lock_guard<std::mutex> lock(columnMutex_);
+  columns_[mesh().point(dest)] = std::move(column);
 }
 
 std::vector<const RouteColumn*> ServiceSnapshot::columnsFor(
@@ -31,22 +60,41 @@ std::vector<const RouteColumn*> ServiceSnapshot::columnsFor(
   out.reserve(dests.size());
   std::lock_guard<std::mutex> lock(columnMutex_);
   for (NodeId dest : dests) {
-    out.push_back(columns_[static_cast<std::size_t>(dest)].get());
+    out.push_back(std::as_const(columns_)[mesh().point(dest)].get());
   }
   return out;
 }
 
-std::vector<std::shared_ptr<const RouteColumn>> ServiceSnapshot::allColumns()
-    const {
+std::vector<NodeId> ServiceSnapshot::presentColumns() const {
+  std::vector<NodeId> out;
+  const Mesh2D& m = mesh();
   std::lock_guard<std::mutex> lock(columnMutex_);
-  return columns_;
+  std::as_const(columns_).forEachAllocated(
+      [&](Point p, const std::shared_ptr<const RouteColumn>& slot) {
+        if (slot) out.push_back(m.id(p));
+      });
+  // forEachAllocated walks tile-major; the writer's migration order (and
+  // thus counter/patch determinism) wants ascending dest ids.
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::size_t ServiceSnapshot::compiledColumns() const {
-  std::lock_guard<std::mutex> lock(columnMutex_);
   std::size_t n = 0;
-  for (const auto& c : columns_) n += (c != nullptr);
+  std::lock_guard<std::mutex> lock(columnMutex_);
+  std::as_const(columns_).forEachAllocated(
+      [&](Point, const std::shared_ptr<const RouteColumn>& slot) {
+        n += (slot != nullptr);
+      });
   return n;
+}
+
+void ServiceSnapshot::detachAllPages() {
+  faults_.detachPages();
+  analysis_->detachPages();
+  if (knowledge_) knowledge_->detachPages();
+  std::lock_guard<std::mutex> lock(columnMutex_);
+  columns_.detachAll();
 }
 
 }  // namespace meshrt

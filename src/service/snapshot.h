@@ -4,11 +4,17 @@
 //
 // Snapshots are published through a SnapshotBox (common/epoch.h): readers
 // pin an epoch and serve from it while the writer builds the next one;
-// a retired epoch is reclaimed when its last reader drains. The column
-// cache is the one mutable part — columns compile lazily on first demand,
-// under a mutex, and are immutable once installed, so a snapshot converges
-// monotonically toward fully compiled without ever changing an answer.
-// See DESIGN.md section 7.
+// a retired epoch is reclaimed when its last reader drains. Every piece
+// of captured state is copy-on-write paged (mesh/paged_grid.h): the fault
+// set, the per-quadrant labels/indices, the knowledge grids AND the
+// column table are cloned by copying page tables, so building epoch N+1
+// costs O(pages touched by the delta), not O(mesh) — see DESIGN.md
+// section 9. The column table is the one mutable part — columns compile
+// lazily on first demand, under a mutex, and are immutable once
+// installed, so a snapshot converges monotonically toward fully compiled
+// without ever changing an answer. The writer additionally drops and
+// replaces inherited columns on the NOT-YET-PUBLISHED successor; a
+// published snapshot's installed columns never change.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +24,7 @@
 
 #include "fault/analysis.h"
 #include "info/knowledge.h"
+#include "mesh/paged_grid.h"
 #include "route/registry.h"
 #include "route/route_table.h"
 
@@ -25,12 +32,15 @@ namespace meshrt {
 
 class ServiceSnapshot {
  public:
-  /// Captures `model`'s current state: copies the fault set, deep-copies
-  /// the (incrementally patched) analysis onto the copy — no relabeling —
-  /// and clones `knowledge` when non-null. Columns start empty; use
-  /// carryFrom to inherit the survivors of the previous epoch.
+  /// Captures `model`'s current state: copies the fault set, clones the
+  /// (incrementally patched) analysis onto the copy — no relabeling —
+  /// and clones `knowledge` when non-null, all sharing COW pages with
+  /// the writer's state. When `prev` is given the compiled column table
+  /// is inherited the same way (shared pages); the writer then drops or
+  /// replaces exactly the delta-affected columns before publishing.
   ServiceSnapshot(std::uint64_t epoch, const DynamicFaultModel& model,
-                  const KnowledgeBundle* knowledge);
+                  const KnowledgeBundle* knowledge,
+                  const ServiceSnapshot* prev = nullptr);
 
   std::uint64_t epoch() const { return epoch_; }
   const Mesh2D& mesh() const { return faults_.mesh(); }
@@ -51,18 +61,46 @@ class ServiceSnapshot {
   void installColumn(NodeId dest,
                      std::shared_ptr<const RouteColumn> column) const;
 
+  /// Writer-side, pre-publish only: removes an inherited column whose
+  /// destination died with this epoch's event.
+  void dropColumn(NodeId dest);
+
+  /// Writer-side, pre-publish only: swaps in the patched successor of an
+  /// inherited column (unlike installColumn, an existing slot LOSES).
+  void replaceColumn(NodeId dest, std::shared_ptr<const RouteColumn> column);
+
   /// Raw column pointers for `dests`, in order (null where missing),
   /// resolved under one lock so a serve loop can run lock-free against
   /// pointers pinned by the snapshot handle it holds.
   std::vector<const RouteColumn*> columnsFor(
       const std::vector<NodeId>& dests) const;
 
-  /// Every column slot, dest-id indexed (nulls included) — what the
-  /// writer walks to carry/patch columns into the next epoch.
-  std::vector<std::shared_ptr<const RouteColumn>> allColumns() const;
+  /// Destination ids with a compiled column, ascending — what the writer
+  /// walks to verify/drop/patch inherited columns. O(allocated pages),
+  /// not O(mesh): absent pages are skipped wholesale.
+  std::vector<NodeId> presentColumns() const;
 
   /// Number of compiled columns right now.
   std::size_t compiledColumns() const;
+
+  /// Forces every paged grid of the capture unique — the pre-COW deep
+  /// clone's cost profile, kept as an A/B baseline
+  /// (ServiceConfig::storage, bench/service_churn_qps --storage deep).
+  void detachAllPages();
+
+  /// The raw paged column table, for page-sharing stats. Only meaningful
+  /// on quiescent snapshots (tests/benches): lazy compiles mutate it
+  /// under the column mutex.
+  const PagedGrid<std::shared_ptr<const RouteColumn>>& columnPages() const {
+    return columns_;
+  }
+
+  /// A page-table copy taken under the lock: what a successor epoch
+  /// inherits (O(pages), shares every tile).
+  PagedGrid<std::shared_ptr<const RouteColumn>> columnPagesLocked() const {
+    std::lock_guard<std::mutex> lock(columnMutex_);
+    return columns_;
+  }
 
  private:
   std::uint64_t epoch_;
@@ -71,7 +109,9 @@ class ServiceSnapshot {
   std::unique_ptr<KnowledgeBundle> knowledge_;
 
   mutable std::mutex columnMutex_;
-  mutable std::vector<std::shared_ptr<const RouteColumn>> columns_;
+  /// Dest-indexed (row-major point of the dest id) COW pages of column
+  /// pointers; shared with the predecessor epoch until written.
+  mutable PagedGrid<std::shared_ptr<const RouteColumn>> columns_;
 };
 
 }  // namespace meshrt

@@ -36,7 +36,7 @@ bool containsId(const std::vector<int>& list, int id) {
 class FrameProtocol {
  public:
   FrameProtocol(const Mesh2D& mesh, const LabelGrid& labels,
-                const NodeMap<int>& index, const std::vector<Mcc>& mccs,
+                const MccIndexGrid& index, const MccSlots& mccs,
                 bool transposed, InfoModel model)
       : mesh_(mesh),
         labels_(labels),
@@ -72,8 +72,7 @@ class FrameProtocol {
         net.post(*p, m);
       }
     };
-    for (const Mcc& mcc : mccs_) {
-      if (mcc.id < 0) continue;  // retired slot (dynamic analyses)
+    for (const Mcc& mcc : mccs_.live()) {
       seed(mcc.id, /*prime=*/false, WalkHand::Left);
       if (wantPlusX) seed(mcc.id, /*prime=*/true, WalkHand::Right);
     }
@@ -231,8 +230,8 @@ class FrameProtocol {
 
   const Mesh2D& mesh_;
   const LabelGrid& labels_;
-  const NodeMap<int>& index_;
-  const std::vector<Mcc>& mccs_;
+  const MccIndexGrid& index_;
+  const MccSlots& mccs_;
   bool transposed_;
   InfoModel model_;
   std::vector<std::vector<int>> known_;
@@ -264,8 +263,7 @@ void runRingStage(const QuadrantAnalysis& qa, PropagationResult& out,
     return false;
   };
 
-  for (const Mcc& mcc : qa.mccs()) {
-    if (mcc.id < 0) continue;  // retired slot (dynamic analyses)
+  for (const Mcc& mcc : qa.liveMccs()) {
     Msg m;
     m.kind = Msg::Kind::Ring;
     m.mccId = mcc.id;
@@ -326,7 +324,7 @@ PropagationResult runInfoPropagation(const QuadrantAnalysis& qa,
   // Type-II boundaries in the transposed frame.
   const Mesh2D meshT(mesh.height(), mesh.width());
   const LabelGrid labelsT = transposeLabels(mesh, qa.labels(), meshT);
-  const NodeMap<int> indexT = transposeIndex(mesh, qa.mccIndex(), meshT);
+  const MccIndexGrid indexT = transposeIndex(mesh, qa.mccIndex(), meshT);
   FrameProtocol trans(meshT, labelsT, indexT, qa.mccs(), /*transposed=*/true,
                       model);
   trans.run();

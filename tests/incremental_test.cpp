@@ -20,9 +20,10 @@ namespace meshrt {
 namespace {
 
 /// Canonical component form: sorted cell list keyed by its smallest cell,
-/// so MCC sets compare independently of id assignment order.
-std::map<Point, std::vector<Point>> canonicalComponents(
-    const std::vector<Mcc>& mccs) {
+/// so MCC sets compare independently of id assignment order. Works over a
+/// std::vector<Mcc> (bulk extraction) and MccSlots (the labeler).
+template <typename Mccs>
+std::map<Point, std::vector<Point>> canonicalComponents(const Mccs& mccs) {
   std::map<Point, std::vector<Point>> out;
   for (const Mcc& mcc : mccs) {
     if (mcc.id < 0) continue;

@@ -189,10 +189,9 @@ TEST(RouteTableTest, ChaseUpstreamFindsExactlyTheTrajectoriesThroughMask) {
   ASSERT_TRUE(faults.isHealthy(dest));
   const RouteColumn column = compileRouteColumn(*router, faults, dest);
 
-  NodeMap<std::uint8_t> mask(mesh, 0);
   const Point target{4, 4};
-  mask[target] = 1;
-  const auto upstream = chaseUpstream(column, mesh, mask);
+  const auto upstream =
+      chaseUpstream(column, mesh, std::vector<NodeId>{mesh.id(target)});
 
   // Oracle: chase every source and check whether the trajectory (the
   // chase path, including the start) touches the target.
