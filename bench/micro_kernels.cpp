@@ -10,7 +10,9 @@
 #include "fault/incremental.h"
 #include "fault/injectors.h"
 #include "info/knowledge.h"
+#include "route/batch_chase.h"
 #include "route/bfs.h"
+#include "route/packed_column.h"
 #include "route/planner.h"
 #include "route/rb2.h"
 #include "route/route_table.h"
@@ -344,6 +346,168 @@ void BM_ChaseColumnHashed(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(hops));
 }
 BENCHMARK(BM_ChaseColumnHashed);
+
+// --- lockstep batch chase: packed 3-bit column, scalar vs AVX2 ----------
+//
+// BM_ChaseColumnPacked is the single-query chase over the half-footprint
+// packed encoding (same serial chain as Dense, nibble extraction per
+// step). The Lockstep/Simd pair chases the fixture's 256 sources as one
+// batch per iteration — the serving shape RouteService's fast path
+// feeds chaseBatch — and reports per-hop throughput like the scalar
+// rows, so the table reads as a ladder: hash probe -> dense byte ->
+// packed nibble -> 8-lane lockstep -> AVX2 gather lanes.
+
+namespace {
+struct PackedChaseFixture {
+  const ChaseFixture& base;
+  PackedRouteColumn packed;
+  std::vector<NodeId> sourceIds;
+  std::uint64_t totalHops = 0;
+
+  PackedChaseFixture()
+      : base(denseFixture()), packed(base.column, base.faults.mesh()) {
+    const Mesh2D& mesh = base.faults.mesh();
+    for (const Point s : base.sources) sourceIds.push_back(mesh.id(s));
+    for (const Point s : base.sources) {
+      const ServedRoute res =
+          chaseColumn(base.column, mesh, s,
+                      static_cast<std::size_t>(mesh.nodeCount()), false);
+      totalHops += static_cast<std::uint64_t>(res.hops);
+    }
+  }
+
+  static const ChaseFixture& denseFixture() {
+    static const ChaseFixture fx;
+    return fx;
+  }
+};
+}  // namespace
+
+void BM_ChaseColumnPacked(benchmark::State& state) {
+  static const PackedChaseFixture fx;
+  const Mesh2D& mesh = fx.base.faults.mesh();
+  const auto maxSteps = static_cast<std::size_t>(mesh.nodeCount());
+  std::size_t i = 0;
+  std::uint64_t hops = 0;
+  for (auto _ : state) {
+    const ServedRoute res = chaseColumn(
+        fx.packed, mesh, fx.base.sources[i++ & 255], maxSteps, false);
+    hops += static_cast<std::uint64_t>(res.hops);
+    benchmark::DoNotOptimize(res.status);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(hops));  // per-hop rate
+}
+BENCHMARK(BM_ChaseColumnPacked);
+
+void BM_ChaseColumnLockstep(benchmark::State& state) {
+  static const PackedChaseFixture fx;
+  std::vector<ServeStatus> status(fx.sourceIds.size());
+  std::vector<std::int32_t> hops(fx.sourceIds.size(), 0);
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    chaseBatchScalar(fx.packed, fx.sourceIds.data(), fx.sourceIds.size(),
+                     fx.packed.hopBound(), status.data(), hops.data());
+    benchmark::DoNotOptimize(status.data());
+    total += fx.totalHops;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_ChaseColumnLockstep);
+
+void BM_ChaseColumnSimd(benchmark::State& state) {
+  if (!chaseBatchSimdAvailable()) {
+    state.SkipWithError("AVX2 engine not available on this host");
+    return;
+  }
+  static const PackedChaseFixture fx;
+  std::vector<ServeStatus> status(fx.sourceIds.size());
+  std::vector<std::int32_t> hops(fx.sourceIds.size(), 0);
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    chaseBatchAvx2(fx.packed, fx.sourceIds.data(), fx.sourceIds.size(),
+                   fx.packed.hopBound(), status.data(), hops.data());
+    benchmark::DoNotOptimize(status.data());
+    total += fx.totalHops;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_ChaseColumnSimd);
+
+// --- hop-bound attribution: bounded vs unbounded on a diverging column --
+//
+// A column where almost every chase livelocks (+X everywhere, the east
+// edge bounces -X; only the destination's own row terminates). The
+// bounded row runs the lockstep loop for hopBound() steps — the longest
+// TERMINATING chase, width-1 — while the unbounded row uses the
+// nodeCount fallback a boundless encoding would need. The gap is what
+// the compile-maintained bound buys on livelock-heavy columns.
+
+namespace {
+class CycleRouter final : public Router {
+ public:
+  explicit CycleRouter(const Mesh2D& mesh) : mesh_(mesh) {}
+  std::string_view name() const override { return "bench-cycle"; }
+  RouteResult route(Point s, Point d) override {
+    (void)d;
+    RouteResult out;
+    out.delivered = true;
+    const Point next = s.x + 1 < mesh_.width() ? Point{s.x + 1, s.y}
+                                               : Point{s.x - 1, s.y};
+    out.path = {s, next};
+    return out;
+  }
+
+ private:
+  const Mesh2D& mesh_;
+};
+
+struct DivergingFixture {
+  FaultSet faults;
+  PackedRouteColumn packed;
+  std::vector<NodeId> sourceIds;
+
+  DivergingFixture()
+      : faults(Mesh2D::square(kChaseMesh)),
+        packed(makeColumn(faults), faults.mesh()) {
+    for (NodeId id = 0; id < faults.mesh().nodeCount(); ++id) {
+      sourceIds.push_back(id);
+    }
+  }
+
+  static RouteColumn makeColumn(const FaultSet& faults) {
+    CycleRouter router(faults.mesh());
+    return compileRouteColumn(router, faults,
+                              Point{kChaseMesh - 1, 0});
+  }
+};
+
+void chaseDivergingBatch(benchmark::State& state, std::size_t maxSteps) {
+  static const DivergingFixture fx;
+  std::vector<ServeStatus> status(fx.sourceIds.size());
+  std::vector<std::int32_t> hops(fx.sourceIds.size(), 0);
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    chaseBatchScalar(fx.packed, fx.sourceIds.data(), fx.sourceIds.size(),
+                     maxSteps, status.data(), hops.data());
+    benchmark::DoNotOptimize(status.data());
+    total += fx.sourceIds.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));  // per-query
+}
+}  // namespace
+
+void BM_ChaseDivergingBounded(benchmark::State& state) {
+  static const DivergingFixture fx;
+  chaseDivergingBatch(state, fx.packed.hopBound());
+}
+BENCHMARK(BM_ChaseDivergingBounded);
+
+void BM_ChaseDivergingUnbounded(benchmark::State& state) {
+  static const DivergingFixture fx;
+  chaseDivergingBatch(
+      state, static_cast<std::size_t>(fx.faults.mesh().nodeCount()));
+}
+BENCHMARK(BM_ChaseDivergingUnbounded);
 
 // --- task-group executor overhead ---------------------------------------
 //

@@ -62,6 +62,15 @@ SnapshotStorage parseStorage(const std::string& name) {
   std::exit(1);
 }
 
+ColumnEncoding parseEncoding(const std::string& name) {
+  if (name == "dense") return ColumnEncoding::Dense;
+  if (name == "packed") return ColumnEncoding::Packed;
+  if (name == "packed-scalar") return ColumnEncoding::PackedScalar;
+  std::cerr << "unknown --encoding '" << name
+            << "' (expected dense, packed or packed-scalar)\n";
+  std::exit(1);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -83,6 +92,9 @@ int main(int argc, char** argv) {
                "comma-separated snapshot storage modes per row: cow "
                "(paged copy-on-write) and/or deep (pre-COW deep-clone "
                "baseline)");
+  flags.define("encoding", "packed",
+               "comma-separated column encodings per row: dense, packed "
+               "and/or packed-scalar");
   flags.define("queries", "20000", "queries per served batch");
   flags.define("dests", "64", "distinct destinations in the shared pool");
   flags.define("rounds", "8", "measured batches per reader");
@@ -108,6 +120,10 @@ int main(int argc, char** argv) {
   std::vector<SnapshotStorage> storages;
   for (const std::string& item : splitCommaList(flags.str("storage"))) {
     storages.push_back(parseStorage(item));
+  }
+  std::vector<ColumnEncoding> encodings;
+  for (const std::string& item : splitCommaList(flags.str("encoding"))) {
+    encodings.push_back(parseEncoding(item));
   }
   const std::size_t readers =
       smoke ? 2 : static_cast<std::size_t>(flags.integer("readers"));
@@ -153,8 +169,8 @@ int main(int argc, char** argv) {
                  "readers and the churn writer overlap)\n\n";
   }
 
-  Table table({"mesh", "readers", "writers", "storage", "agg_qps",
-               "reader_qps", "events", "events/s", "pub_p50_us",
+  Table table({"mesh", "readers", "writers", "storage", "encoding",
+               "agg_qps", "reader_qps", "events", "events/s", "pub_p50_us",
                "pub_p99_us", "delivered"});
   for (std::size_t meshSize : meshes) {
     const Mesh2D mesh = Mesh2D::square(static_cast<Coord>(meshSize));
@@ -181,6 +197,7 @@ int main(int argc, char** argv) {
 
     for (std::size_t writers : writerCounts) {
       for (SnapshotStorage storage : storages) {
+      for (ColumnEncoding encoding : encodings) {
       // Storage only matters once epochs are published; a writers=0 row
       // per storage mode would measure the same code path twice.
       if (writers == 0 && storage != storages.front()) continue;
@@ -188,6 +205,7 @@ int main(int argc, char** argv) {
       cfg.routerKey = routerKey;
       cfg.threads = threads;
       cfg.storage = storage;
+      cfg.encoding = encoding;
       RouteService service(faults, cfg);
 
       // Warm-up: compile the destination columns once, off the clock
@@ -249,8 +267,8 @@ int main(int argc, char** argv) {
             for (std::size_t round = 0; round < rounds; ++round) {
               const BatchResult result =
                   service.serve(batches[r], /*wantPaths=*/false);
-              for (const ServedRoute& res : result.results) {
-                ok += res.delivered() ? 1 : 0;
+              for (std::size_t i = 0; i < result.size(); ++i) {
+                ok += result.delivered(i) ? 1 : 0;
               }
             }
             delivered.fetch_add(ok, std::memory_order_relaxed);
@@ -280,6 +298,7 @@ int main(int argc, char** argv) {
       row.cell(static_cast<std::int64_t>(readers));
       row.cell(static_cast<std::int64_t>(writers));
       row.cell(std::string(snapshotStorageName(storage)));
+      row.cell(std::string(columnEncodingName(encoding)));
       row.cell(total / seconds, 0);
       row.cell(readers == 0 ? 0.0
                             : total / seconds / static_cast<double>(readers),
@@ -292,6 +311,7 @@ int main(int argc, char** argv) {
                    ? 0.0
                    : 100.0 * static_cast<double>(delivered.load()) / total,
                2);
+      }
       }
     }
   }

@@ -38,6 +38,9 @@ int main(int argc, char** argv) {
   flags.define("fault-rate", "0.10", "initial fault fraction of nodes");
   flags.define("router", "rb2", "registry key the tables compile");
   flags.define("threads", "0", "service worker threads (0 = all cores)");
+  flags.define("encoding", "packed,dense",
+               "comma-separated column encodings to A/B: dense, packed, "
+               "packed-scalar");
   flags.define("queries", "100000", "queries per measured batch");
   flags.define("dests", "64", "distinct destinations in the batch");
   flags.define("batches", "5", "measured batches per row");
@@ -78,6 +81,19 @@ int main(int argc, char** argv) {
                            flags.integer("naive-queries")));
   const double faultRate = flags.real("fault-rate");
   const std::string routerKey = flags.str("router");
+  std::vector<ColumnEncoding> encodings;
+  for (const std::string& item : splitCommaList(flags.str("encoding"))) {
+    if (item == "dense") {
+      encodings.push_back(ColumnEncoding::Dense);
+    } else if (item == "packed") {
+      encodings.push_back(ColumnEncoding::Packed);
+    } else if (item == "packed-scalar") {
+      encodings.push_back(ColumnEncoding::PackedScalar);
+    } else {
+      std::cerr << "unknown --encoding '" << item << "'\n";
+      return 1;
+    }
+  }
   const auto threads = static_cast<std::size_t>(flags.integer("threads"));
   const auto seed = static_cast<std::uint64_t>(flags.integer("seed"));
   if (!RouterRegistry::global().contains(routerKey)) {
@@ -95,8 +111,9 @@ int main(int argc, char** argv) {
                             "column fate under churn)\n\n";
   }
 
-  Table table({"mesh", "churn", "compile_ms", "table_qps", "naive_qps",
-               "speedup", "delivered", "patched", "carried", "entries/ev"});
+  Table table({"mesh", "encoding", "churn", "compile_ms", "table_qps",
+               "naive_qps", "speedup", "delivered", "patched", "carried",
+               "entries/ev"});
   for (std::size_t meshSize : meshes) {
     const Mesh2D mesh = Mesh2D::square(static_cast<Coord>(meshSize));
     Rng rng = Rng::forStream(seed, meshSize);
@@ -139,10 +156,12 @@ int main(int argc, char** argv) {
     const double naiveQps =
         static_cast<double>(naiveQueries) / naiveSeconds;
 
+    for (ColumnEncoding encoding : encodings)
     for (std::size_t churn : churnLevels) {
       ServiceConfig cfg;
       cfg.routerKey = routerKey;
       cfg.threads = threads;
+      cfg.encoding = encoding;
       RouteService service(faults, cfg);
 
       // Compile phase: first serve builds every needed column.
@@ -172,8 +191,8 @@ int main(int argc, char** argv) {
         }
         const BatchResult result =
             service.serve(batch, /*wantPaths=*/false);
-        for (const ServedRoute& r : result.results) {
-          delivered += r.delivered() ? 1 : 0;
+        for (std::size_t i = 0; i < result.size(); ++i) {
+          delivered += result.delivered(i) ? 1 : 0;
         }
       }
       const double seconds = secondsSince(start);
@@ -184,6 +203,7 @@ int main(int argc, char** argv) {
 
       Table& row = table.row();
       row.cell(static_cast<std::int64_t>(meshSize));
+      row.cell(std::string(columnEncodingName(encoding)));
       row.cell(static_cast<std::int64_t>(churn));
       row.cell(compileMs, 1);
       row.cell(tableQps, 0);

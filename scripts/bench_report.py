@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
 """Perf tracking for the route-service benches and hot-path kernels.
 
-Runs service_qps --smoke, service_churn_qps --smoke (cow + deep-clone
-storage rows), the writer-only publish-latency sweep at 256x256 and
-512x512 (the copy-on-write paged storage A/B: pub_p50_us/pub_p99_us per
-applyEvent against the pre-COW deep-clone baseline), and the table/chase
-+ executor micro kernels — several times each (median-of-N so one noisy
+Runs service_qps --smoke, the single-core 64x64 encoding A/B
+(packed/AVX2 lockstep vs forced-scalar lockstep vs dense per-query
+chase, all from one binary), service_churn_qps --smoke (cow +
+deep-clone storage rows), the writer-only publish-latency sweep at
+256x256 and 512x512 (the copy-on-write paged storage A/B:
+pub_p50_us/pub_p99_us per applyEvent against the pre-COW deep-clone
+baseline), and the table/chase + executor micro kernels — several times each (median-of-N so one noisy
 run cannot move the record) — and emits a machine- and commit-stamped
 JSON report. The committed BENCH_service.json at the repo root is the
 trajectory record: regenerate it on perf-relevant PRs and eyeball the
@@ -29,7 +31,7 @@ import subprocess
 import sys
 from datetime import datetime, timezone
 
-MICRO_FILTER = "ChaseColumn|TaskGroupOverhead|PoolWideWait"
+MICRO_FILTER = "ChaseColumn|ChaseDiverging|TaskGroupOverhead|PoolWideWait"
 
 
 def run_json(cmd):
@@ -102,8 +104,22 @@ def main():
     runs = [run_json([qps, "--smoke", "--format", "json"])
             for _ in range(args.runs)]
     report["service_qps"] = median_by_key(
-        runs, ["mesh", "churn"],
+        runs, ["mesh", "encoding", "churn"],
         ["compile_ms", "table_qps", "naive_qps", "speedup"])
+
+    # Single-core batched serve throughput at 64x64, keyed by column
+    # encoding: the packed/AVX2 lockstep engine vs the forced-scalar
+    # lockstep fallback vs the dense per-query chase. This is the
+    # headline A/B for the SIMD batch-serving path — all three rows come
+    # from the same binary, so the dispatch itself is what moves.
+    runs = [run_json([qps, "--meshes", "64", "--threads", "1",
+                      "--encoding", "packed,packed-scalar,dense",
+                      "--churn", "0,4", "--batches", "3",
+                      "--format", "json"])
+            for _ in range(args.runs)]
+    report["service_batch_qps"] = median_by_key(
+        runs, ["mesh", "encoding", "churn"],
+        ["compile_ms", "table_qps", "speedup"])
 
     churn = binary("service_churn_qps")
     if not churn:

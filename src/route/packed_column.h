@@ -1,0 +1,116 @@
+// 3-bit packed next-hop columns: the cache-half-sized serving encoding.
+//
+// A RouteColumn entry has exactly five states (four Dir values plus
+// kNoRoute), which fit in 3 bits; PackedRouteColumn stores two entries
+// per byte (low and high nibble, 3 payload bits each), halving the cache
+// footprint of every column an epoch carries — a 64x64 column drops from
+// 4 KiB to 2 KiB, so a whole destination group's chases run out of L1.
+// The packed column compiles FROM a RouteColumn and patches through the
+// same firstHopByte() helper the dense encoding uses, so the two
+// encodings are bit-identical by construction (and by differential test:
+// tests/packed_column_test.cpp).
+//
+// Each column also carries its chase hop bound: the longest terminating
+// chase (delivered or no-route) over the column, derived during
+// compilation by resolving the functional hop graph and re-derived on
+// every patch. A terminating chase never revisits a node (revisiting
+// would cycle forever), so bound <= nodeCount, and a lockstep batch loop
+// can run exactly `bound` steps with NO per-lane step bookkeeping:
+// every lane still active afterwards would also still be active after
+// nodeCount steps, i.e. it diverged. That hoists the livelock guard out
+// of the hot loop and turns Diverged detection into an end-of-chase
+// mask check — see DESIGN.md section 10 and route/batch_chase.h.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "fault/fault_set.h"
+#include "route/route_table.h"
+
+namespace meshrt {
+
+/// Compiled next hops toward one destination, two 3-bit entries per
+/// byte. Immutable once handed to readers; patched() produces the
+/// successor version for a fault delta — the same contract as
+/// RouteColumn (chaseUpstream works on it unchanged, the service's COW
+/// column page table never sees the difference).
+class PackedRouteColumn {
+ public:
+  /// Raw nibble value standing for RouteColumn::kNoRoute (Dir values
+  /// occupy 0..3; anything with bit 2 set is "no route", and compiles
+  /// write exactly 7 so the SIMD lanes can test one constant).
+  static constexpr std::uint8_t kNoRouteNibble = 0x7;
+
+  /// Packs `dense` (compiled or patched by the usual route_table path).
+  /// The hop bound is derived here: one memoized pass over the hop
+  /// graph, O(nodeCount).
+  PackedRouteColumn(const RouteColumn& dense, const Mesh2D& mesh);
+
+  Point dest() const { return dest_; }
+  NodeId destId() const { return destId_; }
+  Coord width() const { return width_; }
+  NodeId nodeCount() const { return nodeCount_; }
+
+  /// Stored hop for node id in the RouteColumn byte convention: a Dir
+  /// cast, or RouteColumn::kNoRoute — so the generic chaseColumn /
+  /// chaseUpstream templates run on either encoding.
+  std::uint8_t next(NodeId id) const {
+    const std::uint8_t raw = nibble(id);
+    return (raw & 0x4) ? RouteColumn::kNoRoute : raw;
+  }
+
+  /// Raw 3-bit entry (a Dir value or kNoRouteNibble).
+  std::uint8_t nibble(NodeId id) const {
+    const auto i = static_cast<std::size_t>(id);
+    return static_cast<std::uint8_t>(
+        (nibbles_[i >> 1] >> ((i & 1) * 4)) & 0x7);
+  }
+
+  /// Base of the packed bytes for the batch-chase kernels. Padded with
+  /// 3 trailing bytes so a 4-byte gather load at the last entry's byte
+  /// offset stays in bounds.
+  const std::uint8_t* nibbleBytes() const { return nibbles_.data(); }
+
+  /// Number of sources with a stored hop (serving coverage).
+  std::size_t routedSources() const { return routedSources_; }
+
+  /// Steps after which every still-running chase is Diverged: the
+  /// longest terminating chase over live entries, <= nodeCount.
+  std::uint32_t hopBound() const { return hopBound_; }
+
+  /// Copy with the entries of `cells` recomputed as fresh first hops of
+  /// `router` (which must read the post-delta analysis); every other
+  /// entry is carried verbatim, the hop bound is re-derived. Mirrors
+  /// RouteColumn::patched entry for entry (same firstHopByte helper).
+  PackedRouteColumn patched(Router& router, const FaultSet& faults,
+                            const std::vector<NodeId>& cells) const;
+
+ private:
+  void setNibble(NodeId id, std::uint8_t value);
+  /// Resolves the functional hop graph: max finite chase length.
+  std::uint32_t deriveHopBound() const;
+
+  Point dest_;
+  NodeId destId_;
+  Coord width_;
+  NodeId nodeCount_;
+  std::vector<std::uint8_t> nibbles_;
+  std::size_t routedSources_ = 0;
+  std::uint32_t hopBound_ = 0;
+};
+
+/// Compiles the packed column for `dest` by packing the dense compile —
+/// identical entries to compileRouteColumn by construction.
+PackedRouteColumn compilePackedRouteColumn(Router& router,
+                                           const FaultSet& faults,
+                                           Point dest);
+
+/// One compiled column in either encoding. A service engages exactly one
+/// alternative for its whole lifetime (ServiceConfig::encoding), so the
+/// COW column page table stores shared_ptr<const ColumnVariant> slots
+/// and never mixes encodings within an epoch chain.
+using ColumnVariant = std::variant<RouteColumn, PackedRouteColumn>;
+
+}  // namespace meshrt

@@ -10,27 +10,31 @@ RouteColumn::RouteColumn(const Mesh2D& mesh, Point dest)
     : dest_(dest),
       next_(static_cast<std::size_t>(mesh.nodeCount()), kNoRoute) {}
 
+std::uint8_t firstHopByte(Router& router, const FaultSet& faults, Point s,
+                          Point dest) {
+  if (s == dest || faults.isFaulty(s) || faults.isFaulty(dest)) {
+    return RouteColumn::kNoRoute;
+  }
+  const RouteResult res = router.route(s, dest);
+  if (!res.delivered || res.path.size() < 2) return RouteColumn::kNoRoute;
+  // First hops are neighbor steps for every router in the registry;
+  // anything else would corrupt the byte encoding, so drop it.
+  const Point d4 = res.path[1] - s;
+  for (Dir dir : kAllDirs) {
+    if (offset(dir) == d4) return static_cast<std::uint8_t>(dir);
+  }
+  return RouteColumn::kNoRoute;
+}
+
 void RouteColumn::recomputeEntry(Router& router, const FaultSet& faults,
                                  Point s) {
   const NodeId id = faults.mesh().id(s);
   auto& slot = next_[static_cast<std::size_t>(id)];
   if (slot != kNoRoute) {
     --routedSources_;
-    slot = kNoRoute;
   }
-  if (s == dest_ || faults.isFaulty(s) || faults.isFaulty(dest_)) return;
-  const RouteResult res = router.route(s, dest_);
-  if (!res.delivered || res.path.size() < 2) return;
-  // First hops are neighbor steps for every router in the registry;
-  // anything else would corrupt the byte encoding, so drop it.
-  const Point d4 = res.path[1] - s;
-  for (Dir dir : kAllDirs) {
-    if (offset(dir) == d4) {
-      slot = static_cast<std::uint8_t>(dir);
-      ++routedSources_;
-      break;
-    }
-  }
+  slot = firstHopByte(router, faults, s, dest_);
+  if (slot != kNoRoute) ++routedSources_;
 }
 
 RouteColumn RouteColumn::patched(Router& router, const FaultSet& faults,
@@ -52,103 +56,6 @@ RouteColumn compileRouteColumn(Router& router, const FaultSet& faults,
     column.recomputeEntry(router, faults, s);
   }
   return column;
-}
-
-ServedRoute chaseColumn(const RouteColumn& column, const Mesh2D& mesh,
-                        Point s, std::size_t maxSteps, bool wantPath) {
-  ServedRoute out;
-  if (wantPath) out.path.push_back(s);
-  // The chase runs on NodeIds: one indexed load plus one add per step.
-  // Stored hops are always in-mesh neighbor steps (recomputeEntry only
-  // stores directions taken from real router paths), so the row-major id
-  // arithmetic can never step outside the mesh. Dir enumerators index
-  // idStep directly (+X, -X, +Y, -Y).
-  const NodeId width = mesh.width();
-  const NodeId idStep[4] = {1, -1, width, -width};
-  NodeId u = mesh.id(s);
-  const NodeId dest = mesh.id(column.dest());
-  Point p = s;  // tracked only for path capture
-  for (std::size_t step = 0; step <= maxSteps; ++step) {
-    if (u == dest) {
-      out.status = ServeStatus::Delivered;
-      out.hops = static_cast<Distance>(step);
-      return out;
-    }
-    const std::uint8_t hop = column.next(u);
-    if (hop == RouteColumn::kNoRoute) {
-      out.status = ServeStatus::NoRoute;
-      return out;
-    }
-    u += idStep[hop];
-    // Debug-only fail-fast on corrupt hop bytes (the Point-based chase
-    // got this from mesh.id()'s contains() assert): ids must stay in
-    // range and +/-X steps must not wrap across a row edge.
-    assert(u >= 0 && u < mesh.nodeCount());
-    assert(static_cast<Dir>(hop) != Dir::PlusX || u % width != 0);
-    assert(static_cast<Dir>(hop) != Dir::MinusX || u % width != width - 1);
-    if (wantPath) {
-      p = p + offset(static_cast<Dir>(hop));
-      out.path.push_back(p);
-    }
-  }
-  out.status = ServeStatus::Diverged;
-  return out;
-}
-
-std::vector<NodeId> chaseUpstream(const RouteColumn& column,
-                                  const Mesh2D& mesh,
-                                  const std::vector<NodeId>& maskedIds) {
-  // A chase from u touches a masked cell iff u reaches one following
-  // stored hops, i.e. iff a masked cell reaches u along REVERSED hop
-  // edges — and the reverse edges of w are exactly the <=4 neighbors
-  // whose stored hop points at w. BFS from the masked set is therefore
-  // output-sensitive: the nodes it visits are precisely the result. The
-  // masked cells themselves always belong to the set (their labels
-  // changed, so their own entries must refresh).
-  //
-  // Visited marks are epoch-stamped and thread-local: per-column patch
-  // jobs run concurrently on the pool, and repeated calls (one per
-  // present column per event) must not pay an O(mesh) clear each.
-  thread_local std::vector<std::uint32_t> stamp;
-  thread_local std::uint32_t epoch = 0;
-  const auto n = static_cast<std::size_t>(mesh.nodeCount());
-  if (stamp.size() < n) stamp.assign(n, 0);
-  if (++epoch == 0) {  // stamp wrap: one real clear every 2^32 calls
-    std::fill(stamp.begin(), stamp.end(), 0);
-    epoch = 1;
-  }
-
-  const NodeId width = mesh.width();
-  std::vector<NodeId> out;
-  auto visit = [&](NodeId id) {
-    auto& mark = stamp[static_cast<std::size_t>(id)];
-    if (mark == epoch) return;
-    mark = epoch;
-    out.push_back(id);
-  };
-  for (NodeId id : maskedIds) visit(id);
-  for (std::size_t scan = 0; scan < out.size(); ++scan) {
-    const NodeId w = out[scan];
-    const NodeId wx = w % width;
-    // Dir enumerators index as +X, -X, +Y, -Y (see chaseColumn).
-    if (wx > 0 && column.next(w - 1) == static_cast<std::uint8_t>(Dir::PlusX)) {
-      visit(w - 1);
-    }
-    if (wx + 1 < width &&
-        column.next(w + 1) == static_cast<std::uint8_t>(Dir::MinusX)) {
-      visit(w + 1);
-    }
-    if (w >= width &&
-        column.next(w - width) == static_cast<std::uint8_t>(Dir::PlusY)) {
-      visit(w - width);
-    }
-    if (w + width < mesh.nodeCount() &&
-        column.next(w + width) == static_cast<std::uint8_t>(Dir::MinusY)) {
-      visit(w + width);
-    }
-  }
-  std::sort(out.begin(), out.end());
-  return out;
 }
 
 TableizedRouter::TableizedRouter(std::unique_ptr<Router> inner,

@@ -22,6 +22,8 @@
 // epoch-publishing contract. See DESIGN.md sections 7.2 and 9.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -113,12 +115,61 @@ class RouteColumn {
 RouteColumn compileRouteColumn(Router& router, const FaultSet& faults,
                                Point dest);
 
+/// First hop of router.route(s, dest) as a stored hop byte: a Dir cast,
+/// or RouteColumn::kNoRoute when the router has no route (or s is the
+/// destination, or an endpoint is faulty). The single source of truth
+/// both column encodings compile and patch through — bit-identity of
+/// RouteColumn and PackedRouteColumn rests on this sharing.
+std::uint8_t firstHopByte(Router& router, const FaultSet& faults, Point s,
+                          Point dest);
+
 /// Serves (s, column.dest()) by chasing stored hops. `maxSteps` bounds the
 /// walk (pass mesh.nodeCount(); a livelock-free router's chase visits each
 /// node at most once). Endpoint fault checks are the caller's job — the
-/// chase itself never consults the fault set.
-ServedRoute chaseColumn(const RouteColumn& column, const Mesh2D& mesh,
-                        Point s, std::size_t maxSteps, bool wantPath);
+/// chase itself never consults the fault set. Works on either column
+/// encoding (anything with next()/dest() in the RouteColumn byte
+/// convention — RouteColumn or PackedRouteColumn).
+template <class Column>
+ServedRoute chaseColumn(const Column& column, const Mesh2D& mesh, Point s,
+                        std::size_t maxSteps, bool wantPath) {
+  ServedRoute out;
+  if (wantPath) out.path.push_back(s);
+  // The chase runs on NodeIds: one indexed load plus one add per step.
+  // Stored hops are always in-mesh neighbor steps (recomputeEntry only
+  // stores directions taken from real router paths), so the row-major id
+  // arithmetic can never step outside the mesh. Dir enumerators index
+  // idStep directly (+X, -X, +Y, -Y).
+  const NodeId width = mesh.width();
+  const NodeId idStep[4] = {1, -1, width, -width};
+  NodeId u = mesh.id(s);
+  const NodeId dest = mesh.id(column.dest());
+  Point p = s;  // tracked only for path capture
+  for (std::size_t step = 0; step <= maxSteps; ++step) {
+    if (u == dest) {
+      out.status = ServeStatus::Delivered;
+      out.hops = static_cast<Distance>(step);
+      return out;
+    }
+    const std::uint8_t hop = column.next(u);
+    if (hop == RouteColumn::kNoRoute) {
+      out.status = ServeStatus::NoRoute;
+      return out;
+    }
+    u += idStep[hop];
+    // Debug-only fail-fast on corrupt hop bytes (the Point-based chase
+    // got this from mesh.id()'s contains() assert): ids must stay in
+    // range and +/-X steps must not wrap across a row edge.
+    assert(u >= 0 && u < mesh.nodeCount());
+    assert(static_cast<Dir>(hop) != Dir::PlusX || u % width != 0);
+    assert(static_cast<Dir>(hop) != Dir::MinusX || u % width != width - 1);
+    if (wantPath) {
+      p = p + offset(static_cast<Dir>(hop));
+      out.path.push_back(p);
+    }
+  }
+  out.status = ServeStatus::Diverged;
+  return out;
+}
 
 /// Every node whose chase trajectory in `column` touches a masked cell
 /// (including the masked cells themselves), ascending NodeId order.
@@ -128,10 +179,63 @@ ServedRoute chaseColumn(const RouteColumn& column, const Mesh2D& mesh,
 /// O(mesh) — and cyclic (diverging) chases that never touch a masked
 /// cell are naturally skipped. This is the set of entries a delta
 /// confined to the masked cells can possibly affect — see the
-/// suffix-closure argument in DESIGN.md section 7.2.
-std::vector<NodeId> chaseUpstream(const RouteColumn& column,
-                                  const Mesh2D& mesh,
-                                  const std::vector<NodeId>& maskedIds);
+/// suffix-closure argument in DESIGN.md section 7.2. Works on either
+/// column encoding, like chaseColumn.
+template <class Column>
+std::vector<NodeId> chaseUpstream(const Column& column, const Mesh2D& mesh,
+                                  const std::vector<NodeId>& maskedIds) {
+  // A chase from u touches a masked cell iff u reaches one following
+  // stored hops, i.e. iff a masked cell reaches u along REVERSED hop
+  // edges — and the reverse edges of w are exactly the <=4 neighbors
+  // whose stored hop points at w. BFS from the masked set is therefore
+  // output-sensitive: the nodes it visits are precisely the result. The
+  // masked cells themselves always belong to the set (their labels
+  // changed, so their own entries must refresh).
+  //
+  // Visited marks are epoch-stamped and thread-local: per-column patch
+  // jobs run concurrently on the pool, and repeated calls (one per
+  // present column per event) must not pay an O(mesh) clear each.
+  thread_local std::vector<std::uint32_t> stamp;
+  thread_local std::uint32_t epoch = 0;
+  const auto n = static_cast<std::size_t>(mesh.nodeCount());
+  if (stamp.size() < n) stamp.assign(n, 0);
+  if (++epoch == 0) {  // stamp wrap: one real clear every 2^32 calls
+    std::fill(stamp.begin(), stamp.end(), 0);
+    epoch = 1;
+  }
+
+  const NodeId width = mesh.width();
+  std::vector<NodeId> out;
+  auto visit = [&](NodeId id) {
+    auto& mark = stamp[static_cast<std::size_t>(id)];
+    if (mark == epoch) return;
+    mark = epoch;
+    out.push_back(id);
+  };
+  for (NodeId id : maskedIds) visit(id);
+  for (std::size_t scan = 0; scan < out.size(); ++scan) {
+    const NodeId w = out[scan];
+    const NodeId wx = w % width;
+    // Dir enumerators index as +X, -X, +Y, -Y (see chaseColumn).
+    if (wx > 0 && column.next(w - 1) == static_cast<std::uint8_t>(Dir::PlusX)) {
+      visit(w - 1);
+    }
+    if (wx + 1 < width &&
+        column.next(w + 1) == static_cast<std::uint8_t>(Dir::MinusX)) {
+      visit(w + 1);
+    }
+    if (w >= width &&
+        column.next(w - width) == static_cast<std::uint8_t>(Dir::PlusY)) {
+      visit(w - width);
+    }
+    if (w + width < mesh.nodeCount() &&
+        column.next(w + width) == static_cast<std::uint8_t>(Dir::MinusY)) {
+      visit(w + width);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
 
 /// Router adapter serving from lazily compiled columns: the registry
 /// wrapper behind the "table:<key>" keys, and the single-threaded

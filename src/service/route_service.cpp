@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <variant>
+
+#include "route/batch_chase.h"
 
 namespace meshrt {
 
@@ -77,7 +80,7 @@ std::uint64_t RouteService::applyEvent(const FaultEvent& event) {
   masked.erase(std::unique(masked.begin(), masked.end()), masked.end());
 
   const std::vector<NodeId> present = next->presentColumns();
-  const std::vector<const RouteColumn*> oldColumns =
+  const std::vector<const ColumnVariant*> oldColumns =
       next->columnsFor(present);
   std::atomic<std::uint64_t> carried{0};
   std::atomic<std::uint64_t> entries{0};
@@ -100,7 +103,9 @@ std::uint64_t RouteService::applyEvent(const FaultEvent& event) {
       work[k].drop = true;
       return;
     }
-    auto cells = chaseUpstream(*oldColumns[k], snap.mesh(), masked);
+    auto cells = std::visit(
+        [&](const auto& c) { return chaseUpstream(c, snap.mesh(), masked); },
+        *oldColumns[k]);
     if (cells.empty()) {
       carried.fetch_add(1);  // the inherited column stands as-is
       return;
@@ -125,9 +130,17 @@ std::uint64_t RouteService::applyEvent(const FaultEvent& event) {
   forEachWithChunkRouter(snap, work.size(), [&](Router& router,
                                                 std::size_t i) {
     const auto old = snap.column(work[i].id);
-    snap.replaceColumn(work[i].id,
-                       std::make_shared<const RouteColumn>(old->patched(
-                           router, snap.faults(), work[i].cells)));
+    // patched() keeps the slot's alternative: a dense column patches to a
+    // dense successor, a packed one to a packed successor (with its hop
+    // bound re-derived) — both through the same firstHopByte helper.
+    auto successor = std::visit(
+        [&](const auto& c) {
+          return ColumnVariant(c.patched(router, snap.faults(),
+                                         work[i].cells));
+        },
+        *old);
+    snap.replaceColumn(work[i].id, std::make_shared<const ColumnVariant>(
+                                       std::move(successor)));
   });
   columnsCarried_.fetch_add(carried.load());
   columnsPatched_.fetch_add(work.size());
@@ -168,12 +181,21 @@ void RouteService::forEachWithChunkRouter(
 
 void RouteService::compileColumns(const ServiceSnapshot& snap,
                                   std::vector<NodeId> dests) {
+  const bool packed = cfg_.encoding != ColumnEncoding::Dense;
   forEachWithChunkRouter(snap, dests.size(), [&](Router& router,
                                                  std::size_t i) {
     const Point dest = snap.mesh().point(dests[i]);
-    snap.installColumn(dests[i],
-                       std::make_shared<const RouteColumn>(
-                           compileRouteColumn(router, snap.faults(), dest)));
+    // Both encodings flow through the same dense compile, so their
+    // entries are bit-identical by construction; packing afterwards only
+    // changes the storage format (and derives the chase hop bound).
+    RouteColumn dense = compileRouteColumn(router, snap.faults(), dest);
+    auto slot =
+        packed ? std::make_shared<const ColumnVariant>(
+                     std::in_place_type<PackedRouteColumn>, dense,
+                     snap.mesh())
+               : std::make_shared<const ColumnVariant>(
+                     std::in_place_type<RouteColumn>, std::move(dense));
+    snap.installColumn(dests[i], std::move(slot));
     columnsCompiled_.fetch_add(1);
   });
 }
@@ -184,19 +206,64 @@ BatchResult RouteService::serve(const std::vector<Query>& batch,
   const Mesh2D& m = snap->mesh();
   const FaultSet& faults = snap->faults();
 
-  // Destinations that will need a column: healthy endpoints, non-self.
-  // One linear pass with a seen-mask — a batch with k distinct
-  // destinations compiles and looks up exactly k columns, without
-  // sorting the whole batch.
-  std::vector<std::uint8_t> seen(static_cast<std::size_t>(m.nodeCount()), 0);
+  BatchResult out;
+  out.epoch = snap->epoch();
+  out.status.assign(batch.size(), ServeStatus::NoRoute);
+  out.hops.assign(batch.size(), 0);
+  if (wantPaths) out.paths.resize(batch.size());
+
+  // The lockstep engines produce status+hops only; whenever paths are
+  // wanted (or the table is dense) every query chases through the scalar
+  // template with the nodeCount bound, which keeps attempted-path
+  // prefixes of Diverged chases identical across encodings.
+  const bool lockstep =
+      cfg_.encoding != ColumnEncoding::Dense && !wantPaths;
+
+  // One classification pass: dedup the destinations that need a column
+  // (healthy endpoints, non-self) and — on the lockstep path — retire
+  // the specials into `out` right away while caching every chaseable
+  // query's (source, dest) ids and the per-destination counts, so no
+  // later pass repeats the fault lookups. countByDest doubles as the
+  // dedup mask.
+  constexpr std::uint32_t kSkipQuery = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> countByDest(
+      static_cast<std::size_t>(m.nodeCount()), 0);
+  std::vector<std::uint32_t> destOf;
+  std::vector<NodeId> srcOf;
+  std::size_t chaseable = 0;
   std::vector<NodeId> dests;
-  for (const Query& q : batch) {
-    if (q.s == q.d || faults.isFaulty(q.s) || faults.isFaulty(q.d)) continue;
-    const NodeId id = m.id(q.d);
-    auto& flag = seen[static_cast<std::size_t>(id)];
-    if (flag == 0) {
-      flag = 1;
-      dests.push_back(id);
+  if (lockstep) {
+    destOf.resize(batch.size());
+    srcOf.resize(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const Query& q = batch[i];
+      if (faults.isFaulty(q.s) || faults.isFaulty(q.d)) {
+        out.status[i] = ServeStatus::EndpointFaulty;
+        destOf[i] = kSkipQuery;
+        continue;
+      }
+      if (q.s == q.d) {
+        out.status[i] = ServeStatus::Delivered;
+        destOf[i] = kSkipQuery;
+        continue;
+      }
+      const NodeId id = m.id(q.d);
+      if (countByDest[static_cast<std::size_t>(id)]++ == 0) {
+        dests.push_back(id);
+      }
+      destOf[i] = static_cast<std::uint32_t>(id);
+      srcOf[i] = m.id(q.s);
+      ++chaseable;
+    }
+  } else {
+    for (const Query& q : batch) {
+      if (q.s == q.d || faults.isFaulty(q.s) || faults.isFaulty(q.d)) {
+        continue;
+      }
+      const NodeId id = m.id(q.d);
+      if (countByDest[static_cast<std::size_t>(id)]++ == 0) {
+        dests.push_back(id);
+      }
     }
   }
   // Deterministic compile order (k entries, not batch-many).
@@ -217,7 +284,7 @@ BatchResult RouteService::serve(const std::vector<Query>& batch,
   // returns, every requested column is installed (by us or by a
   // concurrent batch that compiled it first), so a chase can never see a
   // null column.
-  std::vector<const RouteColumn*> byDest(
+  std::vector<const ColumnVariant*> byDest(
       static_cast<std::size_t>(m.nodeCount()), nullptr);
   {
     const auto resolved = snap->columnsFor(dests);
@@ -226,28 +293,105 @@ BatchResult RouteService::serve(const std::vector<Query>& batch,
     }
   }
 
-  BatchResult out;
-  out.epoch = snap->epoch();
-  out.results.resize(batch.size());
   const auto maxSteps = static_cast<std::size_t>(m.nodeCount());
   std::atomic<std::uint64_t> diverged{0};
-  parallelFor(pool_, batch.size(), [&](std::size_t i) {
-    const Query& q = batch[i];
-    ServedRoute& res = out.results[i];
-    if (faults.isFaulty(q.s) || faults.isFaulty(q.d)) {
-      res.status = ServeStatus::EndpointFaulty;
-      if (wantPaths) res.path.push_back(q.s);
-      return;
+
+  if (!lockstep) {
+    parallelFor(pool_, batch.size(), [&](std::size_t i) {
+      const Query& q = batch[i];
+      if (faults.isFaulty(q.s) || faults.isFaulty(q.d)) {
+        out.status[i] = ServeStatus::EndpointFaulty;
+        if (wantPaths) out.paths[i].push_back(q.s);
+        return;
+      }
+      if (q.s == q.d) {
+        out.status[i] = ServeStatus::Delivered;
+        if (wantPaths) out.paths[i].push_back(q.s);
+        return;
+      }
+      const ColumnVariant* column =
+          byDest[static_cast<std::size_t>(m.id(q.d))];
+      ServedRoute res = std::visit(
+          [&](const auto& c) {
+            return chaseColumn(c, m, q.s, maxSteps, wantPaths);
+          },
+          *column);
+      out.status[i] = res.status;
+      if (res.status == ServeStatus::Delivered) {
+        out.hops[i] = static_cast<std::int32_t>(res.hops);
+      }
+      if (wantPaths) out.paths[i] = std::move(res.path);
+      if (res.status == ServeStatus::Diverged) diverged.fetch_add(1);
+    });
+    queriesServed_.fetch_add(batch.size());
+    chasesDiverged_.fetch_add(diverged.load());
+    return out;
+  }
+
+  // Lockstep path: bucket chaseable queries by destination (counting
+  // sort over the dedup'd dest list), so each group chases ONE packed
+  // column — one gather base, L1-resident at serving meshes — in 8-wide
+  // lanes. Specials (faulty endpoints, s == d) already retired in the
+  // classification pass above; the fill pass reuses its cached ids so
+  // the batch sees no second round of fault lookups.
+  std::vector<std::uint32_t> groupStart(
+      static_cast<std::size_t>(m.nodeCount()), 0);
+  {
+    std::uint32_t cursor = 0;
+    for (const NodeId d : dests) {
+      const auto di = static_cast<std::size_t>(d);
+      groupStart[di] = cursor;
+      cursor += countByDest[di];
+      countByDest[di] = 0;  // reused as the per-group fill cursor
     }
-    if (q.s == q.d) {
-      res.status = ServeStatus::Delivered;
-      res.hops = 0;
-      if (wantPaths) res.path.push_back(q.s);
-      return;
+  }
+  std::vector<std::uint32_t> queryOf(chaseable);   // grouped -> batch index
+  std::vector<NodeId> srcIds(chaseable);           // grouped source ids
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (destOf[i] == kSkipQuery) continue;
+    const auto di = static_cast<std::size_t>(destOf[i]);
+    const std::uint32_t pos = groupStart[di] + countByDest[di]++;
+    queryOf[pos] = static_cast<std::uint32_t>(i);
+    srcIds[pos] = srcOf[i];
+  }
+
+  // Slice the grouped layout into jobs that never split a destination
+  // mid-chunk beyond kChunk lanes; each job chases, then scatters its
+  // own disjoint result range — deterministic for any thread count.
+  struct ChaseJob {
+    const PackedRouteColumn* column;
+    std::uint32_t begin;
+    std::uint32_t end;
+  };
+  constexpr std::uint32_t kChunk = 4096;
+  std::vector<ChaseJob> jobs;
+  for (const NodeId d : dests) {
+    const auto di = static_cast<std::size_t>(d);
+    const std::uint32_t begin = groupStart[di];
+    const std::uint32_t end = begin + countByDest[di];
+    if (begin == end) continue;
+    const auto* column =
+        std::get_if<PackedRouteColumn>(byDest[di]);
+    for (std::uint32_t b = begin; b < end; b += kChunk) {
+      jobs.push_back(ChaseJob{column, b, std::min(end, b + kChunk)});
     }
-    const RouteColumn* column = byDest[static_cast<std::size_t>(m.id(q.d))];
-    res = chaseColumn(*column, m, q.s, maxSteps, wantPaths);
-    if (res.status == ServeStatus::Diverged) diverged.fetch_add(1);
+  }
+  const bool allowSimd = cfg_.encoding == ColumnEncoding::Packed;
+  std::vector<ServeStatus> groupStatus(chaseable);
+  std::vector<std::int32_t> groupHops(chaseable, 0);
+  parallelFor(pool_, jobs.size(), [&](std::size_t j) {
+    const ChaseJob& job = jobs[j];
+    chaseBatch(*job.column, srcIds.data() + job.begin, job.end - job.begin,
+               job.column->hopBound(), groupStatus.data() + job.begin,
+               groupHops.data() + job.begin, allowSimd);
+    std::uint64_t localDiverged = 0;
+    for (std::uint32_t p = job.begin; p < job.end; ++p) {
+      const std::uint32_t qi = queryOf[p];
+      out.status[qi] = groupStatus[p];
+      out.hops[qi] = groupHops[p];
+      if (groupStatus[p] == ServeStatus::Diverged) ++localDiverged;
+    }
+    if (localDiverged != 0) diverged.fetch_add(localDiverged);
   });
   queriesServed_.fetch_add(batch.size());
   chasesDiverged_.fetch_add(diverged.load());

@@ -60,6 +60,35 @@ constexpr std::string_view snapshotStorageName(SnapshotStorage s) {
   return s == SnapshotStorage::Cow ? "cow" : "deep";
 }
 
+/// How epoch snapshots encode compiled columns and serve batches from
+/// them. All three modes produce bit-identical serve results (the
+/// differential suites in tests/packed_column_test.cpp enforce it); they
+/// differ only in footprint and throughput.
+enum class ColumnEncoding : std::uint8_t {
+  /// Byte-per-node RouteColumn, per-query scalar chases — the pre-SIMD
+  /// serve path, kept as a same-binary A/B baseline.
+  Dense = 0,
+  /// 3-bit PackedRouteColumn (half the cache footprint), batched queries
+  /// chased in 8-lane lockstep per destination group, AVX2 gather lanes
+  /// when the CPU has them (the default).
+  Packed = 1,
+  /// Packed columns with the SIMD dispatch forced off: the portable
+  /// scalar-lockstep engine, for A/Bs and the CI differential jobs.
+  PackedScalar = 2,
+};
+
+constexpr std::string_view columnEncodingName(ColumnEncoding e) {
+  switch (e) {
+    case ColumnEncoding::Dense:
+      return "dense";
+    case ColumnEncoding::Packed:
+      return "packed";
+    case ColumnEncoding::PackedScalar:
+      return "packed-scalar";
+  }
+  return "?";
+}
+
 struct ServiceConfig {
   /// Registry key of the router the tables compile ("rb2", "table:..."
   /// keys excluded — the service IS the table layer).
@@ -72,6 +101,8 @@ struct ServiceConfig {
   std::vector<InfoModel> captureKnowledge;
   /// Epoch snapshot storage mode (benches A/B the deep-clone baseline).
   SnapshotStorage storage = SnapshotStorage::Cow;
+  /// Column encoding + batch serve engine (benches A/B dense vs packed).
+  ColumnEncoding encoding = ColumnEncoding::Packed;
 };
 
 struct Query {
@@ -79,10 +110,23 @@ struct Query {
   Point d;
 };
 
-/// One served batch: every result was computed against the same epoch.
+/// One served batch in SoA form: every result was computed against the
+/// same epoch. status and hops are always sized to the batch; paths are
+/// produced only when the caller asked for them (wantPaths), so the
+/// high-QPS mode never allocates per query — 5 bytes of flat state per
+/// result instead of a ServedRoute with a vector slot each.
 struct BatchResult {
   std::uint64_t epoch = 0;
-  std::vector<ServedRoute> results;
+  std::vector<ServeStatus> status;
+  /// Hop counts, valid where delivered (0 otherwise).
+  std::vector<std::int32_t> hops;
+  /// Chase paths, index-aligned with status; empty unless wantPaths.
+  std::vector<std::vector<Point>> paths;
+
+  std::size_t size() const { return status.size(); }
+  bool delivered(std::size_t i) const {
+    return status[i] == ServeStatus::Delivered;
+  }
 };
 
 /// Monotonic counters for tests and benches (snapshot of the atomics).

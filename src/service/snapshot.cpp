@@ -9,10 +9,10 @@ namespace {
 
 /// Copies the predecessor's column table under its lock (page-table copy,
 /// O(pages)); a fresh empty table for the first epoch.
-PagedGrid<std::shared_ptr<const RouteColumn>> inheritColumns(
+PagedGrid<std::shared_ptr<const ColumnVariant>> inheritColumns(
     const Mesh2D& mesh, const ServiceSnapshot* prev) {
   if (prev == nullptr) {
-    return PagedGrid<std::shared_ptr<const RouteColumn>>(mesh);
+    return PagedGrid<std::shared_ptr<const ColumnVariant>>(mesh);
   }
   return prev->columnPagesLocked();
 }
@@ -30,14 +30,14 @@ ServiceSnapshot::ServiceSnapshot(std::uint64_t epoch,
   if (knowledge != nullptr) knowledge_ = knowledge->cloneFor(*analysis_);
 }
 
-std::shared_ptr<const RouteColumn> ServiceSnapshot::column(
+std::shared_ptr<const ColumnVariant> ServiceSnapshot::column(
     NodeId dest) const {
   std::lock_guard<std::mutex> lock(columnMutex_);
   return std::as_const(columns_)[mesh().point(dest)];
 }
 
 void ServiceSnapshot::installColumn(
-    NodeId dest, std::shared_ptr<const RouteColumn> column) const {
+    NodeId dest, std::shared_ptr<const ColumnVariant> column) const {
   std::lock_guard<std::mutex> lock(columnMutex_);
   auto& slot = columns_[mesh().point(dest)];
   if (!slot) slot = std::move(column);
@@ -49,14 +49,14 @@ void ServiceSnapshot::dropColumn(NodeId dest) {
 }
 
 void ServiceSnapshot::replaceColumn(
-    NodeId dest, std::shared_ptr<const RouteColumn> column) {
+    NodeId dest, std::shared_ptr<const ColumnVariant> column) {
   std::lock_guard<std::mutex> lock(columnMutex_);
   columns_[mesh().point(dest)] = std::move(column);
 }
 
-std::vector<const RouteColumn*> ServiceSnapshot::columnsFor(
+std::vector<const ColumnVariant*> ServiceSnapshot::columnsFor(
     const std::vector<NodeId>& dests) const {
-  std::vector<const RouteColumn*> out;
+  std::vector<const ColumnVariant*> out;
   out.reserve(dests.size());
   std::lock_guard<std::mutex> lock(columnMutex_);
   for (NodeId dest : dests) {
@@ -70,7 +70,7 @@ std::vector<NodeId> ServiceSnapshot::presentColumns() const {
   const Mesh2D& m = mesh();
   std::lock_guard<std::mutex> lock(columnMutex_);
   std::as_const(columns_).forEachAllocated(
-      [&](Point p, const std::shared_ptr<const RouteColumn>& slot) {
+      [&](Point p, const std::shared_ptr<const ColumnVariant>& slot) {
         if (slot) out.push_back(m.id(p));
       });
   // forEachAllocated walks tile-major; the writer's migration order (and
@@ -83,7 +83,7 @@ std::size_t ServiceSnapshot::compiledColumns() const {
   std::size_t n = 0;
   std::lock_guard<std::mutex> lock(columnMutex_);
   std::as_const(columns_).forEachAllocated(
-      [&](Point, const std::shared_ptr<const RouteColumn>& slot) {
+      [&](Point, const std::shared_ptr<const ColumnVariant>& slot) {
         n += (slot != nullptr);
       });
   return n;

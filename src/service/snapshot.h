@@ -25,6 +25,7 @@
 #include "fault/analysis.h"
 #include "info/knowledge.h"
 #include "mesh/paged_grid.h"
+#include "route/packed_column.h"
 #include "route/registry.h"
 #include "route/route_table.h"
 
@@ -54,12 +55,12 @@ class ServiceSnapshot {
 
   /// The compiled column for destination id, or null when not yet
   /// compiled. Thread-safe.
-  std::shared_ptr<const RouteColumn> column(NodeId dest) const;
+  std::shared_ptr<const ColumnVariant> column(NodeId dest) const;
 
   /// Installs a compiled column; the first install wins (concurrent
   /// compilers produce identical content, so dropping the loser is safe).
   void installColumn(NodeId dest,
-                     std::shared_ptr<const RouteColumn> column) const;
+                     std::shared_ptr<const ColumnVariant> column) const;
 
   /// Writer-side, pre-publish only: removes an inherited column whose
   /// destination died with this epoch's event.
@@ -67,12 +68,12 @@ class ServiceSnapshot {
 
   /// Writer-side, pre-publish only: swaps in the patched successor of an
   /// inherited column (unlike installColumn, an existing slot LOSES).
-  void replaceColumn(NodeId dest, std::shared_ptr<const RouteColumn> column);
+  void replaceColumn(NodeId dest, std::shared_ptr<const ColumnVariant> column);
 
   /// Raw column pointers for `dests`, in order (null where missing),
   /// resolved under one lock so a serve loop can run lock-free against
   /// pointers pinned by the snapshot handle it holds.
-  std::vector<const RouteColumn*> columnsFor(
+  std::vector<const ColumnVariant*> columnsFor(
       const std::vector<NodeId>& dests) const;
 
   /// Destination ids with a compiled column, ascending — what the writer
@@ -91,13 +92,13 @@ class ServiceSnapshot {
   /// The raw paged column table, for page-sharing stats. Only meaningful
   /// on quiescent snapshots (tests/benches): lazy compiles mutate it
   /// under the column mutex.
-  const PagedGrid<std::shared_ptr<const RouteColumn>>& columnPages() const {
+  const PagedGrid<std::shared_ptr<const ColumnVariant>>& columnPages() const {
     return columns_;
   }
 
   /// A page-table copy taken under the lock: what a successor epoch
   /// inherits (O(pages), shares every tile).
-  PagedGrid<std::shared_ptr<const RouteColumn>> columnPagesLocked() const {
+  PagedGrid<std::shared_ptr<const ColumnVariant>> columnPagesLocked() const {
     std::lock_guard<std::mutex> lock(columnMutex_);
     return columns_;
   }
@@ -111,7 +112,7 @@ class ServiceSnapshot {
   mutable std::mutex columnMutex_;
   /// Dest-indexed (row-major point of the dest id) COW pages of column
   /// pointers; shared with the predecessor epoch until written.
-  mutable PagedGrid<std::shared_ptr<const RouteColumn>> columns_;
+  mutable PagedGrid<std::shared_ptr<const ColumnVariant>> columns_;
 };
 
 }  // namespace meshrt

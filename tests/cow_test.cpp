@@ -274,7 +274,7 @@ TEST(CowStorageTest, DeepCloneBaselineSharesNoPages) {
               0u);
   }
   EXPECT_EQ(
-      PagedGrid<std::shared_ptr<const RouteColumn>>::sharedPageCount(
+      PagedGrid<std::shared_ptr<const ColumnVariant>>::sharedPageCount(
           prev->columnPages(), next->columnPages()),
       0u);
 }
@@ -314,12 +314,9 @@ TEST(CowStorageTest, CowAndDeepCloneServicesServeBitIdentically) {
   ASSERT_EQ(cow.size(), deep.size());
   for (std::size_t r = 0; r < cow.size(); ++r) {
     ASSERT_EQ(cow[r].epoch, deep[r].epoch);
-    ASSERT_EQ(cow[r].results.size(), deep[r].results.size());
-    for (std::size_t i = 0; i < cow[r].results.size(); ++i) {
-      EXPECT_EQ(cow[r].results[i].status, deep[r].results[i].status);
-      EXPECT_EQ(cow[r].results[i].hops, deep[r].results[i].hops);
-      EXPECT_EQ(cow[r].results[i].path, deep[r].results[i].path);
-    }
+    ASSERT_EQ(cow[r].status, deep[r].status);
+    EXPECT_EQ(cow[r].hops, deep[r].hops);
+    EXPECT_EQ(cow[r].paths, deep[r].paths);
   }
 }
 

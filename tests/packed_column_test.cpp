@@ -1,0 +1,343 @@
+// Differential tests for the 3-bit packed column encoding and the
+// lockstep batch-chase engines (route/packed_column.h,
+// route/batch_chase.h).
+//
+// The contracts under test:
+//  - PackedRouteColumn compiles to and patches to exactly the dense
+//    RouteColumn's entries, for every registry router and under
+//    randomized fault churn + patch sequences (bit-identity by
+//    construction through the shared firstHopByte helper);
+//  - the per-column hop bound equals a from-scratch re-derivation after
+//    every patch, and bounds every terminating chase — the invariant
+//    that lets lockstep loops run `hopBound()` steps and call every
+//    still-active lane Diverged;
+//  - the scalar-lockstep and AVX2 batch engines both reproduce the
+//    scalar chaseColumn byte for byte, including NoRoute and Diverged
+//    lanes and sources equal to the destination;
+//  - RouteService serves bit-identical batches under dense, packed and
+//    packed-scalar encodings across live churn (the same-binary A/B the
+//    ServiceConfig knob exists for).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "fault/injectors.h"
+#include "route/batch_chase.h"
+#include "route/packed_column.h"
+#include "route/route_table.h"
+#include "service/route_service.h"
+
+namespace meshrt {
+namespace {
+
+std::vector<Query> randomBatch(const Mesh2D& mesh, std::size_t count,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Query> batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    batch.push_back(
+        {{static_cast<Coord>(
+              rng.below(static_cast<std::uint64_t>(mesh.width()))),
+          static_cast<Coord>(
+              rng.below(static_cast<std::uint64_t>(mesh.height())))},
+         {static_cast<Coord>(
+              rng.below(static_cast<std::uint64_t>(mesh.width()))),
+          static_cast<Coord>(
+              rng.below(static_cast<std::uint64_t>(mesh.height())))}});
+  }
+  return batch;
+}
+
+void expectColumnsBitIdentical(const RouteColumn& dense,
+                               const PackedRouteColumn& packed,
+                               const Mesh2D& mesh) {
+  ASSERT_EQ(packed.dest(), dense.dest());
+  ASSERT_EQ(packed.routedSources(), dense.routedSources());
+  for (NodeId id = 0; id < mesh.nodeCount(); ++id) {
+    ASSERT_EQ(packed.next(id), dense.next(id)) << "node " << id;
+  }
+}
+
+/// Runs every source through the batch engine and through the scalar
+/// chaseColumn serve contract (dense column, nodeCount bound), and
+/// asserts byte-for-byte agreement. `simd` picks the engine.
+void expectBatchMatchesScalarChase(const RouteColumn& dense,
+                                   const PackedRouteColumn& packed,
+                                   const Mesh2D& mesh, bool simd) {
+  const auto n = static_cast<std::size_t>(mesh.nodeCount());
+  std::vector<NodeId> sources(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sources[i] = static_cast<NodeId>(i);
+  }
+  std::vector<ServeStatus> status(n, ServeStatus::Delivered);
+  std::vector<std::int32_t> hops(n, 0);
+  if (simd) {
+    chaseBatchAvx2(packed, sources.data(), n, packed.hopBound(),
+                   status.data(), hops.data());
+  } else {
+    chaseBatchScalar(packed, sources.data(), n, packed.hopBound(),
+                     status.data(), hops.data());
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const ServedRoute ref = chaseColumn(dense, mesh, mesh.point(sources[i]),
+                                        n, /*wantPath=*/false);
+    ASSERT_EQ(status[i], ref.status) << "source " << sources[i];
+    if (ref.delivered()) {
+      ASSERT_EQ(hops[i], static_cast<std::int32_t>(ref.hops))
+          << "source " << sources[i];
+    }
+  }
+}
+
+// ----------------------------------------------------- compile identity
+
+TEST(PackedColumnTest, CompileMatchesDenseForEveryRegistryKey) {
+  const Mesh2D mesh = Mesh2D::square(12);
+  for (std::uint64_t cfgSeed : {1u, 2u}) {
+    Rng rng = Rng::forStream(3001, cfgSeed);
+    const FaultSet faults = injectUniform(mesh, 18, rng);
+    const FaultAnalysis fa(faults);
+    const RouterContext ctx{&faults, &fa};
+    Rng destRng(7 + cfgSeed);
+    for (const auto& key : RouterRegistry::global().keys()) {
+      if (key.starts_with("table:")) continue;
+      SCOPED_TRACE(key + " cfg " + std::to_string(cfgSeed));
+      const auto denseRouter = RouterRegistry::global().create(key, ctx);
+      const auto packedRouter = RouterRegistry::global().create(key, ctx);
+      for (int t = 0; t < 3; ++t) {
+        const Point dest = randomHealthy(faults, destRng);
+        const RouteColumn dense =
+            compileRouteColumn(*denseRouter, faults, dest);
+        const PackedRouteColumn packed =
+            compilePackedRouteColumn(*packedRouter, faults, dest);
+        expectColumnsBitIdentical(dense, packed, mesh);
+        // The generic chase template reads both encodings identically.
+        const auto maxSteps = static_cast<std::size_t>(mesh.nodeCount());
+        for (NodeId id = 0; id < mesh.nodeCount(); ++id) {
+          const ServedRoute a =
+              chaseColumn(dense, mesh, mesh.point(id), maxSteps, true);
+          const ServedRoute b =
+              chaseColumn(packed, mesh, mesh.point(id), maxSteps, true);
+          ASSERT_EQ(a.status, b.status) << "node " << id;
+          ASSERT_EQ(a.hops, b.hops) << "node " << id;
+          ASSERT_EQ(a.path, b.path) << "node " << id;
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------- patch identity + hop-bound oracle
+
+TEST(PackedColumnTest, RandomizedPatchSequencesStayBitIdentical) {
+  // Both encodings patch through firstHopByte; ANY common cell list must
+  // keep them bit-identical, and the carried hop bound must equal a
+  // from-scratch re-derivation (packing the patched dense column derives
+  // it fresh from the same entries). The bound must also dominate every
+  // terminating chase — the invariant the lockstep engines rely on.
+  const Mesh2D mesh = Mesh2D::square(16);
+  Rng rng(3301);
+  FaultSet faults = injectUniform(mesh, 24, rng);
+  const Point dest{13, 11};
+  ASSERT_TRUE(faults.isHealthy(dest));
+
+  RouteColumn dense = [&] {
+    const FaultAnalysis fa(faults);
+    const RouterContext ctx{&faults, &fa};
+    const auto router = RouterRegistry::global().create("rb2", ctx);
+    return compileRouteColumn(*router, faults, dest);
+  }();
+  PackedRouteColumn packed(dense, mesh);
+  expectColumnsBitIdentical(dense, packed, mesh);
+
+  Rng churn(3302);
+  for (int round = 0; round < 8; ++round) {
+    SCOPED_TRACE(round);
+    // Toggle one node (never the destination), rebuild the analysis the
+    // way the service's epoch build would.
+    Point p = dest;
+    while (p == dest) {
+      p = {static_cast<Coord>(churn.below(16)),
+           static_cast<Coord>(churn.below(16))};
+    }
+    if (faults.isFaulty(p)) {
+      faults.remove(p);
+    } else {
+      faults.add(p);
+    }
+    const FaultAnalysis fa(faults);
+    const RouterContext ctx{&faults, &fa};
+    const auto denseRouter = RouterRegistry::global().create("rb2", ctx);
+    const auto packedRouter = RouterRegistry::global().create("rb2", ctx);
+
+    std::vector<NodeId> cells;
+    cells.push_back(mesh.id(p));
+    for (int c = 0; c < 40; ++c) {
+      cells.push_back(static_cast<NodeId>(
+          churn.below(static_cast<std::uint64_t>(mesh.nodeCount()))));
+    }
+    std::sort(cells.begin(), cells.end());
+    cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+
+    dense = dense.patched(*denseRouter, faults, cells);
+    packed = packed.patched(*packedRouter, faults, cells);
+    expectColumnsBitIdentical(dense, packed, mesh);
+
+    // Hop-bound oracle: re-deriving from scratch must agree.
+    EXPECT_EQ(packed.hopBound(), PackedRouteColumn(dense, mesh).hopBound());
+
+    // Every terminating chase fits under the bound (delivered chases
+    // take `hops` advances, no-route chases path.size()-1).
+    const auto maxSteps = static_cast<std::size_t>(mesh.nodeCount());
+    for (NodeId id = 0; id < mesh.nodeCount(); ++id) {
+      const ServedRoute chase =
+          chaseColumn(packed, mesh, mesh.point(id), maxSteps, true);
+      if (chase.status == ServeStatus::Diverged) continue;
+      EXPECT_LE(chase.path.size() - 1,
+                static_cast<std::size_t>(packed.hopBound()))
+          << "node " << id;
+    }
+  }
+}
+
+// -------------------------------------------------- batch-chase engines
+
+TEST(BatchChaseTest, LockstepMatchesScalarChaseForEveryRegistryKey) {
+  const Mesh2D mesh = Mesh2D::square(20);
+  Rng rng(3401);
+  const FaultSet faults = injectUniform(mesh, 48, rng);
+  const FaultAnalysis fa(faults);
+  const RouterContext ctx{&faults, &fa};
+  Rng destRng(3402);
+  for (const auto& key : RouterRegistry::global().keys()) {
+    if (key.starts_with("table:")) continue;
+    SCOPED_TRACE(key);
+    const auto router = RouterRegistry::global().create(key, ctx);
+    for (int t = 0; t < 2; ++t) {
+      const Point dest = randomHealthy(faults, destRng);
+      const RouteColumn dense = compileRouteColumn(*router, faults, dest);
+      const PackedRouteColumn packed(dense, mesh);
+      expectBatchMatchesScalarChase(dense, packed, mesh, /*simd=*/false);
+    }
+  }
+}
+
+TEST(BatchChaseTest, SimdEngineMatchesScalarEngine) {
+  if (!chaseBatchSimdAvailable()) {
+    GTEST_SKIP() << "AVX2 engine not available on this host";
+  }
+  const Mesh2D mesh = Mesh2D::square(20);
+  Rng rng(3501);
+  const FaultSet faults = injectUniform(mesh, 48, rng);
+  const FaultAnalysis fa(faults);
+  const RouterContext ctx{&faults, &fa};
+  const auto router = RouterRegistry::global().create("rb2", ctx);
+  Rng destRng(3502);
+  for (int t = 0; t < 4; ++t) {
+    const Point dest = randomHealthy(faults, destRng);
+    const RouteColumn dense = compileRouteColumn(*router, faults, dest);
+    const PackedRouteColumn packed(dense, mesh);
+    expectBatchMatchesScalarChase(dense, packed, mesh, /*simd=*/true);
+  }
+}
+
+/// Router that pushes +X everywhere except the east edge, which pushes
+/// back -X: every chase that does not start on the destination's row
+/// (east-edge destination) livelocks between the last two columns —
+/// dense Diverged coverage for the hop-bound and lockstep contracts.
+class CycleRouter final : public Router {
+ public:
+  explicit CycleRouter(const Mesh2D& mesh) : mesh_(mesh) {}
+  std::string_view name() const override { return "test-cycle"; }
+  RouteResult route(Point s, Point d) override {
+    (void)d;
+    RouteResult out;
+    out.delivered = true;
+    const Point next = s.x + 1 < mesh_.width() ? Point{s.x + 1, s.y}
+                                               : Point{s.x - 1, s.y};
+    out.path = {s, next};
+    return out;
+  }
+
+ private:
+  const Mesh2D& mesh_;
+};
+
+TEST(BatchChaseTest, DivergingColumnRetiresByHopBound) {
+  const Mesh2D mesh = Mesh2D::square(16);
+  const FaultSet faults(mesh);
+  CycleRouter router(mesh);
+  const Point dest{15, 0};  // east edge: its row delivers, the rest cycle
+  const RouteColumn dense = compileRouteColumn(router, faults, dest);
+  const PackedRouteColumn packed(dense, mesh);
+  // Longest terminating chase: (0, 0) takes width-1 hops east. Every
+  // other row livelocks and must NOT stretch the bound — that is the
+  // hoisted-livelock-guard claim.
+  EXPECT_EQ(packed.hopBound(), 15u);
+  expectBatchMatchesScalarChase(dense, packed, mesh, /*simd=*/false);
+  if (chaseBatchSimdAvailable()) {
+    expectBatchMatchesScalarChase(dense, packed, mesh, /*simd=*/true);
+  }
+}
+
+// -------------------------------------------- service-level A/B identity
+
+TEST(ServiceEncodingTest, EncodingsServeBitIdenticallyUnderChurn) {
+  const Mesh2D mesh = Mesh2D::square(24);
+  Rng rng(3601);
+  const FaultSet faults = injectUniform(mesh, 50, rng);
+  // Unfiltered batch: includes faulty endpoints (EndpointFaulty lanes)
+  // and, occasionally, s == d — the inline specials of the lockstep
+  // path.
+  const auto batch = randomBatch(mesh, 200, 3602);
+
+  struct Round {
+    BatchResult flat;   // wantPaths=false: the lockstep fast path
+    BatchResult paths;  // wantPaths=true: the scalar template path
+  };
+  auto run = [&](ColumnEncoding encoding) {
+    ServiceConfig cfg;
+    cfg.threads = 2;
+    cfg.encoding = encoding;
+    RouteService service(faults, cfg);
+    std::vector<Round> rounds;
+    Rng churn(3603);
+    for (int round = 0; round < 6; ++round) {
+      Round r;
+      r.flat = service.serve(batch, /*wantPaths=*/false);
+      r.paths = service.serve(batch, /*wantPaths=*/true);
+      rounds.push_back(std::move(r));
+      const Point p{static_cast<Coord>(churn.below(24)),
+                    static_cast<Coord>(churn.below(24))};
+      if (service.snapshot()->faults().isFaulty(p)) {
+        service.applyRemoveFault(p);
+      } else {
+        service.applyAddFault(p);
+      }
+    }
+    return rounds;
+  };
+
+  const auto dense = run(ColumnEncoding::Dense);
+  for (ColumnEncoding other :
+       {ColumnEncoding::Packed, ColumnEncoding::PackedScalar}) {
+    SCOPED_TRACE(std::string(columnEncodingName(other)));
+    const auto rounds = run(other);
+    ASSERT_EQ(rounds.size(), dense.size());
+    for (std::size_t r = 0; r < rounds.size(); ++r) {
+      SCOPED_TRACE(r);
+      ASSERT_EQ(rounds[r].flat.epoch, dense[r].flat.epoch);
+      ASSERT_EQ(rounds[r].flat.status, dense[r].flat.status);
+      ASSERT_EQ(rounds[r].flat.hops, dense[r].flat.hops);
+      ASSERT_EQ(rounds[r].paths.status, dense[r].paths.status);
+      ASSERT_EQ(rounds[r].paths.hops, dense[r].paths.hops);
+      ASSERT_EQ(rounds[r].paths.paths, dense[r].paths.paths);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace meshrt

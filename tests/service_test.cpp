@@ -98,6 +98,27 @@ void expectSameRoute(const ServedRoute& a, const ServedRoute& b,
   }
 }
 
+/// Entry i of a SoA batch result against a ServedRoute reference.
+void expectSameRoute(const BatchResult& r, std::size_t i,
+                     const ServedRoute& b, bool comparePaths = true) {
+  ASSERT_EQ(r.status[i], b.status);
+  if (r.delivered(i)) {
+    EXPECT_EQ(r.hops[i], static_cast<std::int32_t>(b.hops));
+  }
+  if (comparePaths) {
+    ASSERT_LT(i, r.paths.size());
+    EXPECT_EQ(r.paths[i], b.path);
+  }
+}
+
+/// Whole-batch bitwise equality (the determinism contract).
+void expectSameBatch(const BatchResult& a, const BatchResult& b) {
+  EXPECT_EQ(a.epoch, b.epoch);
+  ASSERT_EQ(a.status, b.status);
+  EXPECT_EQ(a.hops, b.hops);
+  EXPECT_EQ(a.paths, b.paths);
+}
+
 // ------------------------------------------------- epoch reclamation box
 
 TEST(SnapshotBoxTest, RetiredSnapshotSurvivesUntilLastReaderDrains) {
@@ -230,9 +251,9 @@ TEST(ServiceTest, BatchedServeMatchesTableizedRouterForEveryKey) {
     ASSERT_NE(tableized, nullptr);
     const BatchResult result = service.serve(queries, /*wantPaths=*/true);
     EXPECT_EQ(result.epoch, 0u);
-    ASSERT_EQ(result.results.size(), queries.size());
+    ASSERT_EQ(result.size(), queries.size());
     for (std::size_t i = 0; i < queries.size(); ++i) {
-      expectSameRoute(result.results[i],
+      expectSameRoute(result, i,
                       tableized->serve(queries[i].s, queries[i].d));
     }
   }
@@ -250,11 +271,7 @@ TEST(ServiceTest, BatchedServeBitwiseIdenticalAcrossThreadCounts) {
     RouteService service(faults, cfg);
     results.push_back(service.serve(queries, /*wantPaths=*/true));
   }
-  ASSERT_EQ(results[0].results.size(), results[1].results.size());
-  EXPECT_EQ(results[0].epoch, results[1].epoch);
-  for (std::size_t i = 0; i < results[0].results.size(); ++i) {
-    expectSameRoute(results[0].results[i], results[1].results[i]);
-  }
+  expectSameBatch(results[0], results[1]);
 }
 
 TEST(ServiceTest, EventsPatchOnlyChaseAffectedEntriesAndStayValid) {
@@ -299,10 +316,9 @@ TEST(ServiceTest, EventsPatchOnlyChaseAffectedEntriesAndStayValid) {
   EXPECT_EQ(result.epoch, 1u);
   const auto snap = service.snapshot();
   for (std::size_t i = 0; i < queries.size(); ++i) {
-    const ServedRoute& r = result.results[i];
-    if (!r.delivered()) continue;
-    EXPECT_TRUE(
-        isValidPath(snap->faults(), queries[i].s, queries[i].d, r.path));
+    if (!result.delivered(i)) continue;
+    EXPECT_TRUE(isValidPath(snap->faults(), queries[i].s, queries[i].d,
+                            result.paths[i]));
   }
 }
 
@@ -316,14 +332,14 @@ TEST(ServiceTest, RepairedDestinationGetsAFreshColumn) {
   RouteService service(faults, cfg);
   const std::vector<Query> toDead{{{1, 1}, dead}};
   BatchResult r = service.serve(toDead, true);
-  EXPECT_EQ(r.results[0].status, ServeStatus::EndpointFaulty);
+  EXPECT_EQ(r.status[0], ServeStatus::EndpointFaulty);
 
   service.applyRemoveFault(dead);
   r = service.serve(toDead, true);
-  EXPECT_EQ(r.results[0].status, ServeStatus::Delivered);
-  EXPECT_EQ(r.results[0].hops, manhattan(Point{1, 1}, dead));
+  EXPECT_EQ(r.status[0], ServeStatus::Delivered);
+  EXPECT_EQ(r.hops[0], manhattan(Point{1, 1}, dead));
   EXPECT_TRUE(isValidPath(service.snapshot()->faults(), {1, 1}, dead,
-                          r.results[0].path));
+                          r.paths[0]));
 }
 
 TEST(ServiceTest, SnapshotConsistencyUnderConcurrentChurn) {
@@ -344,7 +360,8 @@ TEST(ServiceTest, SnapshotConsistencyUnderConcurrentChurn) {
   struct Observation {
     Query query;
     std::uint64_t epoch;
-    ServedRoute route;
+    ServeStatus status;
+    std::vector<Point> path;
   };
   std::vector<std::vector<Observation>> observed(3);
   std::atomic<bool> readersDone{false};
@@ -376,8 +393,8 @@ TEST(ServiceTest, SnapshotConsistencyUnderConcurrentChurn) {
         const BatchResult result =
             service.serve(queries, /*wantPaths=*/true);
         for (std::size_t i = 0; i < queries.size(); ++i) {
-          observed[t].push_back(
-              {queries[i], result.epoch, result.results[i]});
+          observed[t].push_back({queries[i], result.epoch,
+                                 result.status[i], result.paths[i]});
         }
       }
     });
@@ -391,9 +408,9 @@ TEST(ServiceTest, SnapshotConsistencyUnderConcurrentChurn) {
     for (const Observation& ob : perThread) {
       const auto it = published.find(ob.epoch);
       ASSERT_NE(it, published.end()) << "unpublished epoch " << ob.epoch;
-      if (ob.route.delivered()) {
-        EXPECT_TRUE(isValidPath(it->second, ob.query.s, ob.query.d,
-                                ob.route.path))
+      if (ob.status == ServeStatus::Delivered) {
+        EXPECT_TRUE(
+            isValidPath(it->second, ob.query.s, ob.query.d, ob.path))
             << "epoch " << ob.epoch;
         ++validated;
       }
@@ -485,8 +502,7 @@ TEST(ServiceTest, ThrowingWriterCannotPoisonReaders) {
                 service.serve(queries, /*wantPaths=*/true);
             // The failed events never publish, so every batch must be
             // served from epoch 0 with the reference results.
-            if (result.epoch != 0 ||
-                result.results.size() != reference.results.size()) {
+            if (result.epoch != 0 || result.size() != reference.size()) {
               readerErrors.fetch_add(1);
             }
             batchesServed.fetch_add(1);
@@ -541,9 +557,9 @@ TEST(ServiceTest, ThrowingWriterCannotPoisonReaders) {
   EXPECT_EQ(after.epoch, 1u);
   const auto snap = service.snapshot();
   for (std::size_t i = 0; i < queries.size(); ++i) {
-    if (!after.results[i].delivered()) continue;
+    if (!after.delivered(i)) continue;
     EXPECT_TRUE(isValidPath(snap->faults(), queries[i].s, queries[i].d,
-                            after.results[i].path));
+                            after.paths[i]));
   }
 }
 
@@ -580,11 +596,7 @@ TEST(ServiceTest, ConcurrentIdenticalBatchesMatchSerialReference) {
   }
   for (auto& r : readers) r.join();
   for (const BatchResult& result : results) {
-    EXPECT_EQ(result.epoch, reference.epoch);
-    ASSERT_EQ(result.results.size(), reference.results.size());
-    for (std::size_t i = 0; i < reference.results.size(); ++i) {
-      expectSameRoute(result.results[i], reference.results[i]);
-    }
+    expectSameBatch(result, reference);
   }
 }
 
