@@ -1,0 +1,371 @@
+// Sharded fleet throughput: the same mesh, readers, and churn served two
+// ways — one full-mesh RouteService (mode `single`) vs a ServiceFleet of
+// grid x grid shard services (mode `fleet`) — with per-shard fault
+// writers applying a FIXED event budget. The measured wall covers the
+// full reader workload AND the application of every fault event (fleet
+// rows drain the writer queues on the clock), so both modes are held to
+// the same freshness bar: a mode cannot buy QPS by letting fault events
+// rot in a queue. That is where the fleet wins — a single service pays
+// every event with a full-mesh epoch and full-size column patches for
+// the whole destination pool (and its writer starves behind reader pool
+// contention), while the fleet localizes each event to the owning shard
+// plus halo neighbors, leaving the other shards' columns untouched and
+// repatching at local-mesh size (DESIGN.md section 11).
+//
+// Each reader thread cycles through one intra-shard batch per shard plus
+// one mesh-wide mixed batch (cross-shard stitching included), timing
+// every serve. Rows are emitted per scope: `all` aggregates every batch
+// (aggregate QPS + p50/p99 batch latency), `shardK` isolates shard K's
+// intra-shard batches — the per-shard latency columns. The single-mode
+// shardK rows serve the SAME quadrant batches through the full-mesh
+// service, so the per-shard columns are a like-for-like A/B.
+//
+//   ./service_fleet_qps --meshes 256 --grid 2 --readers 24 --writers 0,1
+//   ./service_fleet_qps --smoke          # seconds-fast CI configuration
+//
+// Fleet churn goes through the submit* writer queues (the per-shard
+// applier threads publish asynchronously); single-mode churn uses the
+// synchronous apply* calls the service offers. See docs/REPRODUCING.md.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "fault/injectors.h"
+#include "harness/bench_main.h"
+#include "service/fleet.h"
+
+namespace {
+
+using namespace meshrt;
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Nearest-rank percentile (q in [0, 100]) of SORTED samples; 0 when
+/// empty.
+double percentileMs(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+Point randomOwnedHealthy(const ShardLayout& layout, std::size_t k,
+                         const FaultSet& faults, Rng& rng) {
+  const Rect& o = layout.owned(k);
+  while (true) {
+    const Point p{
+        static_cast<Coord>(o.x0 + static_cast<Coord>(rng.below(
+                                      static_cast<std::uint64_t>(
+                                          o.width())))),
+        static_cast<Coord>(o.y0 + static_cast<Coord>(rng.below(
+                                      static_cast<std::uint64_t>(
+                                          o.height()))))};
+    if (faults.isHealthy(p)) return p;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace meshrt;
+  CliFlags flags;
+  flags.define("meshes", "256", "comma-separated mesh side lengths");
+  flags.define("grid", "2", "shard grid side (grid x grid shards)");
+  flags.define("halo", "2", "halo width replicated into neighbor shards");
+  flags.define("fault-rate", "0.02", "initial fault fraction of nodes");
+  flags.define("router", "ecube", "registry key the columns compile");
+  flags.define("threads", "2", "worker threads per service");
+  flags.define("readers", "24", "concurrent reader threads");
+  flags.define("writers", "0,1,4",
+               "comma-separated churned-shard counts per row: 0 = static "
+               "faults, k = one toggling fault writer on each of the "
+               "first k shard regions (k = shards: uniform churn; small "
+               "k: the paper's localized fault-region churn, where the "
+               "fleet leaves the unchurned shards' columns untouched)");
+  flags.define("events", "128",
+               "fault events each churn writer applies (per shard; the "
+               "measured wall includes applying ALL of them)");
+  flags.define("queries", "1000", "queries per served batch");
+  flags.define("dests", "16", "destination-pool size per shard");
+  flags.define("rounds", "1", "measured cycles per reader (each cycle = "
+               "one batch per shard + one mixed batch)");
+  flags.define("seed", "2008", "master random seed");
+  flags.define("smoke", "false",
+               "tiny configuration (64x64, 6 readers) for CI smoke runs");
+  flags.define("format", "table", "output format: table, csv or json");
+  flags.define("out", "",
+               "also write the result to this file (.csv/.json pick the "
+               "format by extension)");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const bool smoke = flags.boolean("smoke");
+  std::vector<std::size_t> meshes;
+  for (const std::string& item :
+       splitCommaList(smoke ? "64" : flags.str("meshes"))) {
+    meshes.push_back(parseCount(item, "meshes"));
+  }
+  std::vector<std::size_t> writerModes;
+  for (const std::string& item : splitCommaList(flags.str("writers"))) {
+    writerModes.push_back(parseCount(item, "writers"));
+  }
+  const auto grid = static_cast<std::size_t>(flags.integer("grid"));
+  const auto halo = static_cast<Coord>(flags.integer("halo"));
+  const std::size_t readers =
+      smoke ? 6 : static_cast<std::size_t>(flags.integer("readers"));
+  const std::size_t queries =
+      smoke ? 400 : static_cast<std::size_t>(flags.integer("queries"));
+  const std::size_t destCount =
+      smoke ? 6 : static_cast<std::size_t>(flags.integer("dests"));
+  const std::size_t rounds =
+      smoke ? 2 : static_cast<std::size_t>(flags.integer("rounds"));
+  const std::size_t eventsPerShard =
+      smoke ? 4 : static_cast<std::size_t>(flags.integer("events"));
+  const double faultRate = flags.real("fault-rate");
+  const std::string routerKey = flags.str("router");
+  const auto threads = static_cast<std::size_t>(flags.integer("threads"));
+  const auto seed = static_cast<std::uint64_t>(flags.integer("seed"));
+  if (!RouterRegistry::global().contains(routerKey)) {
+    std::cerr << "unknown --router '" << routerKey << "'\n";
+    return 1;
+  }
+  if (grid < 2) {
+    std::cerr << "--grid must be >= 2 (the fleet rows need >= 4 shards; "
+                 "mode `single` is the one-service baseline)\n";
+    return 1;
+  }
+  if (readers == 0 || rounds == 0 || queries == 0) {
+    std::cerr << "--readers, --rounds and --queries must be positive\n";
+    return 1;
+  }
+
+  if (wantsBanner(flags)) {
+    std::cout << "Fleet vs single-service QPS: " << readers
+              << " readers x " << rounds << " cycles, " << queries
+              << " queries/batch, router " << routerKey << ", grid "
+              << grid << "x" << grid
+              << "\n(each cycle serves one intra-shard batch per shard + "
+                 "one mesh-wide mixed batch;\n qps = total served queries "
+                 "/ wall time; shardK rows = that shard's batches)\n\n";
+  }
+
+  Table table({"mesh", "mode", "scope", "readers", "writers", "qps",
+               "p50_ms", "p99_ms", "events/s", "delivered"});
+  for (std::size_t meshSize : meshes) {
+    const Mesh2D mesh = Mesh2D::square(static_cast<Coord>(meshSize));
+    const ShardLayout layout(mesh, grid, halo);
+    const std::size_t shards = layout.shardCount();
+    Rng rng = Rng::forStream(seed, meshSize);
+    const auto faultCount = static_cast<std::size_t>(
+        static_cast<double>(mesh.nodeCount()) * faultRate);
+    const FaultSet faults = injectUniform(mesh, faultCount, rng);
+
+    // Per-shard destination pools (traffic concentrates on popular
+    // endpoints inside each region) and per-reader batches: for every
+    // shard an intra-shard batch, plus one mesh-wide mixed batch whose
+    // cross-shard queries exercise the stitcher.
+    std::vector<std::vector<Point>> destPools(shards);
+    for (std::size_t k = 0; k < shards; ++k) {
+      for (std::size_t i = 0; i < destCount; ++i) {
+        destPools[k].push_back(randomOwnedHealthy(layout, k, faults, rng));
+      }
+    }
+    // batches[r][k] is reader r's batch for shard k; batches[r][shards]
+    // is its mixed batch.
+    std::vector<std::vector<std::vector<Query>>> batches(readers);
+    for (std::size_t r = 0; r < readers; ++r) {
+      Rng readerRng = Rng::forStream(seed ^ 0xBEEF, meshSize * 131 + r);
+      batches[r].resize(shards + 1);
+      for (std::size_t k = 0; k < shards; ++k) {
+        batches[r][k].reserve(queries);
+        for (std::size_t i = 0; i < queries; ++i) {
+          batches[r][k].push_back(
+              {randomOwnedHealthy(layout, k, faults, readerRng),
+               destPools[k][i % destPools[k].size()]});
+        }
+      }
+      batches[r][shards].reserve(queries);
+      for (std::size_t i = 0; i < queries; ++i) {
+        const std::size_t ks = readerRng.below(shards);
+        const std::size_t kd = readerRng.below(shards);
+        batches[r][shards].push_back(
+            {randomOwnedHealthy(layout, ks, faults, readerRng),
+             destPools[kd][i % destPools[kd].size()]});
+      }
+    }
+
+    // Per-shard toggle cells for the churn writers (owned rects are
+    // disjoint, so writers never race on a cell).
+    std::vector<std::vector<Point>> toggleCells(shards);
+    for (std::size_t k = 0; k < shards; ++k) {
+      Rng trng = Rng::forStream(seed ^ 0xC0FFEE, meshSize * 31 + k);
+      for (std::size_t i = 0; i < 32; ++i) {
+        toggleCells[k].push_back(
+            randomOwnedHealthy(layout, k, faults, trng));
+      }
+    }
+
+    ServiceConfig serviceCfg;
+    serviceCfg.routerKey = routerKey;
+    serviceCfg.threads = threads;
+
+    for (std::size_t writerMode : writerModes) {
+      const std::size_t writerCount = std::min(writerMode, shards);
+      for (const bool fleetMode : {false, true}) {
+        RouteService* single = nullptr;
+        ServiceFleet* fleet = nullptr;
+        RouteService singleService(faults, serviceCfg);
+        FleetConfig fleetCfg;
+        fleetCfg.service = serviceCfg;
+        fleetCfg.grid = grid;
+        fleetCfg.halo = halo;
+        ServiceFleet fleetService(faults, fleetCfg);
+        if (fleetMode) {
+          fleet = &fleetService;
+        } else {
+          single = &singleService;
+        }
+        const auto serveCount =
+            [&](const std::vector<Query>& batch) -> std::uint64_t {
+          std::uint64_t ok = 0;
+          if (fleet) {
+            const FleetBatchResult result = fleet->serve(batch);
+            for (std::size_t i = 0; i < result.size(); ++i) {
+              ok += result.delivered(i) ? 1 : 0;
+            }
+          } else {
+            const BatchResult result = single->serve(batch);
+            for (std::size_t i = 0; i < result.size(); ++i) {
+              ok += result.delivered(i) ? 1 : 0;
+            }
+          }
+          return ok;
+        };
+
+        // Warm-up: serve every reader's batch set once, off the clock.
+        // Each reader's mixed batch draws sources from its own shards,
+        // so reaching the steady state (all dest-pool AND waypoint
+        // columns compiled) needs the full cross product, not just one
+        // reader's batches.
+        for (std::size_t r = 0; r < readers; ++r) {
+          for (std::size_t k = 0; k <= shards; ++k) {
+            serveCount(batches[r][k]);
+          }
+        }
+
+        // Every churn writer applies a fixed event share; the measured
+        // window closes only after readers AND writers are done and (in
+        // fleet mode) the writer queues have drained — both modes pay
+        // for full event application, not just for serving.
+        std::atomic<std::uint64_t> events{0};
+        std::vector<std::thread> churners;
+        std::atomic<std::uint64_t> delivered{0};
+        // latencyMs[r][k] collects reader r's serve times for shard k's
+        // intra batches; index `shards` is the mixed batch.
+        std::vector<std::vector<std::vector<double>>> latencyMs(readers);
+        const auto start = Clock::now();
+        for (std::size_t w = 0; w < writerCount; ++w) {
+          churners.emplace_back([&, w] {
+            std::size_t next = 0;
+            std::vector<bool> added(toggleCells[w].size(), false);
+            for (std::size_t e = 0; e < eventsPerShard; ++e) {
+              const Point p = toggleCells[w][next];
+              if (fleet) {
+                if (added[next]) {
+                  fleet->submitRemoveFault(p);
+                } else {
+                  fleet->submitAddFault(p);
+                }
+              } else {
+                if (added[next]) {
+                  single->applyRemoveFault(p);
+                } else {
+                  single->applyAddFault(p);
+                }
+              }
+              added[next] = !added[next];
+              next = (next + 1) % toggleCells[w].size();
+              events.fetch_add(1, std::memory_order_relaxed);
+              std::this_thread::yield();
+            }
+          });
+        }
+        std::vector<std::thread> serving;
+        for (std::size_t r = 0; r < readers; ++r) {
+          serving.emplace_back([&, r] {
+            latencyMs[r].resize(shards + 1);
+            std::uint64_t ok = 0;
+            for (std::size_t round = 0; round < rounds; ++round) {
+              for (std::size_t k = 0; k <= shards; ++k) {
+                // Stagger shard order across readers so one shard's
+                // batches don't all land at once.
+                const std::size_t target = (k + r) % (shards + 1);
+                const auto batchStart = Clock::now();
+                ok += serveCount(batches[r][target]);
+                latencyMs[r][target].push_back(
+                    secondsSince(batchStart) * 1e3);
+              }
+            }
+            delivered.fetch_add(ok, std::memory_order_relaxed);
+          });
+        }
+        for (auto& t : serving) t.join();
+        for (auto& t : churners) t.join();
+        if (fleet) fleet->drainWriters();
+        const double seconds = secondsSince(start);
+        const std::uint64_t eventsInWindow = events.load();
+
+        const auto emitScope = [&](const std::string& scope,
+                                   std::vector<double> samples,
+                                   double qps, double deliveredPct) {
+          std::sort(samples.begin(), samples.end());
+          Table& row = table.row();
+          row.cell(static_cast<std::int64_t>(meshSize));
+          row.cell(std::string(fleet ? "fleet" : "single"));
+          row.cell(scope);
+          row.cell(static_cast<std::int64_t>(readers));
+          row.cell(static_cast<std::int64_t>(writerCount));
+          row.cell(qps, 0);
+          row.cell(percentileMs(samples, 50.0), 2);
+          row.cell(percentileMs(samples, 99.0), 2);
+          row.cell(static_cast<double>(eventsInWindow) / seconds, 1);
+          row.cell(deliveredPct, 2);
+        };
+
+        std::vector<double> allMs;
+        std::size_t totalBatches = 0;
+        for (std::size_t r = 0; r < readers; ++r) {
+          for (const auto& perTarget : latencyMs[r]) {
+            allMs.insert(allMs.end(), perTarget.begin(), perTarget.end());
+            totalBatches += perTarget.size();
+          }
+        }
+        const double total =
+            static_cast<double>(totalBatches) * static_cast<double>(queries);
+        emitScope("all", allMs, total / seconds,
+                  100.0 * static_cast<double>(delivered.load()) / total);
+        for (std::size_t k = 0; k < shards; ++k) {
+          std::vector<double> shardMs;
+          for (std::size_t r = 0; r < readers; ++r) {
+            shardMs.insert(shardMs.end(), latencyMs[r][k].begin(),
+                           latencyMs[r][k].end());
+          }
+          const double shardQueries =
+              static_cast<double>(shardMs.size()) *
+              static_cast<double>(queries);
+          emitScope("shard" + std::to_string(k), shardMs,
+                    shardQueries / seconds, 0.0);
+        }
+      }
+    }
+  }
+  emitResult(table, flags);
+  return 0;
+}

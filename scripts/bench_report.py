@@ -144,6 +144,28 @@ def main():
         runs, ["mesh", "storage"],
         ["pub_p50_us", "pub_p99_us", "events/s"])
 
+    # Sharded fleet vs single-service A/B at 256x256 under a fixed
+    # fault-event budget: both modes serve the same reader workload and
+    # the wall includes applying every event, so the fleet's localized
+    # patching is what the qps ratio measures. One run, not median-of-N:
+    # each row already aggregates readers x (shards + 1) timed batches
+    # and the run takes minutes.
+    fleet = binary("service_fleet_qps")
+    if not fleet:
+        print("service_fleet_qps not built", file=sys.stderr)
+        return 1
+    fleet_rows = run_json([fleet, "--format", "json"])
+    report["service_fleet"] = fleet_rows
+    by_writers = {}
+    for row in fleet_rows:
+        if row["scope"] == "all":
+            by_writers.setdefault(row["writers"], {})[row["mode"]] = (
+                row["qps"])
+    report["service_fleet_speedup"] = {
+        f"writers={w}": round(modes["fleet"] / modes["single"], 2)
+        for w, modes in sorted(by_writers.items())
+        if modes.get("single") and modes.get("fleet")}
+
     micro = binary("micro_kernels")
     if micro:
         per_run = []

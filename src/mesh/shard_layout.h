@@ -1,0 +1,254 @@
+// Region-sharded partition of a 2-D mesh: the geometry layer under the
+// route-service fleet (src/service/fleet.h).
+//
+// A ShardLayout splits a width x height mesh into a grid x grid array of
+// rectangular shards. Every node is OWNED by exactly one shard; each
+// shard's LOCAL mesh is its owned rectangle inflated by a halo of `halo`
+// rows/columns into the neighboring shards (clipped at the global mesh
+// edge). The halo is the replication contract of the fleet: a fault whose
+// owner is shard A also lands in every neighbor whose local rectangle
+// contains it, so each shard's labels and compiled columns are computed
+// against the true fault state of everything its local mesh can touch —
+// any path a shard serves within its local mesh is valid in the global
+// mesh. See DESIGN.md section 11.
+//
+// Pure geometry, no fault or service state: the boundary waypoint graph
+// (route/waypoint_graph.h) and the fleet both build on it, and tests can
+// reason about ownership without constructing services.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "mesh/mesh.h"
+#include "mesh/point.h"
+#include "mesh/rect.h"
+
+namespace meshrt {
+
+class ShardLayout {
+ public:
+  /// Splits `mesh` into grid x grid shards with a `halo`-wide replication
+  /// ring. Shard side lengths differ by at most one when the mesh does
+  /// not divide evenly (the first `width % grid` columns of shards are
+  /// one wider, same for rows). Requires grid >= 1, halo >= 0 and every
+  /// shard non-empty (grid <= min(width, height)).
+  ShardLayout(const Mesh2D& mesh, std::size_t grid, Coord halo = 1)
+      : mesh_(mesh), grid_(grid), halo_(halo) {
+    assert(grid >= 1);
+    assert(halo >= 0);
+    assert(static_cast<Coord>(grid) <= mesh.width() &&
+           static_cast<Coord>(grid) <= mesh.height());
+    xEdges_ = splitEdges(mesh.width(), grid);
+    yEdges_ = splitEdges(mesh.height(), grid);
+    owned_.reserve(grid * grid);
+    local_.reserve(grid * grid);
+    const Rect whole{0, 0, mesh.width() - 1, mesh.height() - 1};
+    for (std::size_t gy = 0; gy < grid; ++gy) {
+      for (std::size_t gx = 0; gx < grid; ++gx) {
+        const Rect owned{xEdges_[gx], yEdges_[gy], xEdges_[gx + 1] - 1,
+                         yEdges_[gy + 1] - 1};
+        owned_.push_back(owned);
+        Rect local = owned.inflated(halo);
+        local.x0 = std::max(local.x0, whole.x0);
+        local.y0 = std::max(local.y0, whole.y0);
+        local.x1 = std::min(local.x1, whole.x1);
+        local.y1 = std::min(local.y1, whole.y1);
+        local_.push_back(local);
+      }
+    }
+  }
+
+  const Mesh2D& mesh() const { return mesh_; }
+  std::size_t grid() const { return grid_; }
+  Coord halo() const { return halo_; }
+  std::size_t shardCount() const { return grid_ * grid_; }
+
+  /// Shard index of grid cell (gx, gy), row-major like node ids.
+  std::size_t shardAt(std::size_t gx, std::size_t gy) const {
+    return gy * grid_ + gx;
+  }
+  std::size_t gridX(std::size_t shard) const { return shard % grid_; }
+  std::size_t gridY(std::size_t shard) const { return shard / grid_; }
+
+  /// The rectangle shard k owns (disjoint across shards, covers the mesh).
+  const Rect& owned(std::size_t shard) const { return owned_[shard]; }
+
+  /// Shard k's local mesh rectangle: owned(k) plus the halo ring, clipped
+  /// at the global mesh edge. Faults anywhere in here replicate into k.
+  const Rect& local(std::size_t shard) const { return local_[shard]; }
+
+  /// Dimensions of shard k's local mesh.
+  Mesh2D localMesh(std::size_t shard) const {
+    return Mesh2D(local_[shard].width(), local_[shard].height());
+  }
+
+  /// The shard owning global point p.
+  std::size_t owner(Point p) const {
+    assert(mesh_.contains(p));
+    return shardAt(edgeIndex(xEdges_, p.x), edgeIndex(yEdges_, p.y));
+  }
+
+  /// Every shard whose LOCAL rectangle contains p: the owner plus each
+  /// neighbor holding p in its halo — exactly the shards a fault event at
+  /// p must be applied to. Ascending shard order.
+  std::vector<std::size_t> covering(Point p) const {
+    std::vector<std::size_t> out;
+    const std::size_t ogx = gridX(owner(p));
+    const std::size_t ogy = gridY(owner(p));
+    // Only the owner's grid neighborhood can hold p in a halo (the halo
+    // never spans a full shard: enforced implicitly by halo sizes used in
+    // practice; scan the 3x3 neighborhood plus fall back to a full scan
+    // when halos are unusually wide).
+    const bool wideHalo =
+        halo_ >= minShardSide();
+    if (wideHalo) {
+      for (std::size_t k = 0; k < shardCount(); ++k) {
+        if (local_[k].contains(p)) out.push_back(k);
+      }
+      return out;
+    }
+    for (std::size_t gy = ogy == 0 ? 0 : ogy - 1;
+         gy < std::min(grid_, ogy + 2); ++gy) {
+      for (std::size_t gx = ogx == 0 ? 0 : ogx - 1;
+           gx < std::min(grid_, ogx + 2); ++gx) {
+        const std::size_t k = shardAt(gx, gy);
+        if (local_[k].contains(p)) out.push_back(k);
+      }
+    }
+    return out;
+  }
+
+  /// Global -> shard-local coordinates (p must be inside local(shard)).
+  Point toLocal(std::size_t shard, Point p) const {
+    assert(local_[shard].contains(p));
+    return {p.x - local_[shard].x0, p.y - local_[shard].y0};
+  }
+
+  /// Shard-local -> global coordinates.
+  Point toGlobal(std::size_t shard, Point p) const {
+    return {p.x + local_[shard].x0, p.y + local_[shard].y0};
+  }
+
+  /// True when the sides of shard k's local rectangle at `side` (0=-X,
+  /// 1=+X, 2=-Y, 3=+Y) is an ARTIFICIAL wall — a cut through the global
+  /// mesh rather than the global mesh edge. Label distortions from
+  /// sub-mesh routing can only originate at artificial walls.
+  bool artificialWall(std::size_t shard, int side) const {
+    const Rect& l = local_[shard];
+    switch (side) {
+      case 0:
+        return l.x0 > 0;
+      case 1:
+        return l.x1 < mesh_.width() - 1;
+      case 2:
+        return l.y0 > 0;
+      default:
+        return l.y1 < mesh_.height() - 1;
+    }
+  }
+
+  /// One border crossing between two adjacent shards: global cells
+  /// (a, b) that are 4-neighbors with a owned by `from` and b owned by
+  /// `to`.
+  struct Crossing {
+    Point a;
+    Point b;
+  };
+
+  /// All crossings from shard `from` into shard `to` (empty unless the
+  /// two owned rectangles share an edge). Ordered along the border.
+  std::vector<Crossing> crossings(std::size_t from, std::size_t to) const {
+    std::vector<Crossing> out;
+    const Rect& ra = owned_[from];
+    const Rect& rb = owned_[to];
+    if (rb.x0 == ra.x1 + 1 && overlapY(ra, rb)) {  // to is right of from
+      for (Coord y = std::max(ra.y0, rb.y0); y <= std::min(ra.y1, rb.y1);
+           ++y) {
+        out.push_back({{ra.x1, y}, {rb.x0, y}});
+      }
+    } else if (ra.x0 == rb.x1 + 1 && overlapY(ra, rb)) {  // to is left
+      for (Coord y = std::max(ra.y0, rb.y0); y <= std::min(ra.y1, rb.y1);
+           ++y) {
+        out.push_back({{ra.x0, y}, {rb.x1, y}});
+      }
+    } else if (rb.y0 == ra.y1 + 1 && overlapX(ra, rb)) {  // to is below
+      for (Coord x = std::max(ra.x0, rb.x0); x <= std::min(ra.x1, rb.x1);
+           ++x) {
+        out.push_back({{x, ra.y1}, {x, rb.y0}});
+      }
+    } else if (ra.y0 == rb.y1 + 1 && overlapX(ra, rb)) {  // to is above
+      for (Coord x = std::max(ra.x0, rb.x0); x <= std::min(ra.x1, rb.x1);
+           ++x) {
+        out.push_back({{x, ra.y0}, {x, rb.y1}});
+      }
+    }
+    return out;
+  }
+
+  /// Shards whose owned rectangle shares an edge with shard k's
+  /// (4-neighborhood on the shard grid), ascending.
+  std::vector<std::size_t> neighbors(std::size_t shard) const {
+    std::vector<std::size_t> out;
+    const std::size_t gx = gridX(shard);
+    const std::size_t gy = gridY(shard);
+    if (gy > 0) out.push_back(shardAt(gx, gy - 1));
+    if (gx > 0) out.push_back(shardAt(gx - 1, gy));
+    if (gx + 1 < grid_) out.push_back(shardAt(gx + 1, gy));
+    if (gy + 1 < grid_) out.push_back(shardAt(gx, gy + 1));
+    return out;
+  }
+
+  Coord minShardSide() const {
+    Coord side = mesh_.width();
+    for (std::size_t i = 0; i + 1 < xEdges_.size(); ++i) {
+      side = std::min(side, xEdges_[i + 1] - xEdges_[i]);
+    }
+    for (std::size_t i = 0; i + 1 < yEdges_.size(); ++i) {
+      side = std::min(side, yEdges_[i + 1] - yEdges_[i]);
+    }
+    return side;
+  }
+
+ private:
+  /// grid+1 cut positions: the first (extent % grid) shards get the extra
+  /// cell.
+  static std::vector<Coord> splitEdges(Coord extent, std::size_t grid) {
+    std::vector<Coord> edges(grid + 1, 0);
+    const Coord base = extent / static_cast<Coord>(grid);
+    const Coord extra = extent % static_cast<Coord>(grid);
+    for (std::size_t i = 0; i < grid; ++i) {
+      edges[i + 1] = edges[i] + base + (static_cast<Coord>(i) < extra);
+    }
+    return edges;
+  }
+
+  /// Index i with edges[i] <= c < edges[i+1].
+  static std::size_t edgeIndex(const std::vector<Coord>& edges, Coord c) {
+    std::size_t lo = 0;
+    std::size_t hi = edges.size() - 1;
+    while (lo + 1 < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      (edges[mid] <= c ? lo : hi) = mid;
+    }
+    return lo;
+  }
+
+  static bool overlapY(const Rect& a, const Rect& b) {
+    return a.y0 <= b.y1 && b.y0 <= a.y1;
+  }
+  static bool overlapX(const Rect& a, const Rect& b) {
+    return a.x0 <= b.x1 && b.x0 <= a.x1;
+  }
+
+  Mesh2D mesh_;
+  std::size_t grid_;
+  Coord halo_;
+  std::vector<Coord> xEdges_;
+  std::vector<Coord> yEdges_;
+  std::vector<Rect> owned_;
+  std::vector<Rect> local_;
+};
+
+}  // namespace meshrt

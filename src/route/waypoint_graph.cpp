@@ -66,4 +66,80 @@ Distance WaypointGraph::distance(Point u, Point d) const {
   return dist[dst];
 }
 
+namespace {
+
+std::size_t borderKey(std::size_t a, std::size_t b, std::size_t shardCount) {
+  return std::min(a, b) * shardCount + std::max(a, b);
+}
+
+}  // namespace
+
+BoundaryWaypointGraph::BoundaryWaypointGraph(
+    const ShardLayout& layout, const std::function<bool(Point)>& healthy)
+    : layout_(&layout) {
+  const std::size_t count = layout.shardCount();
+  for (std::size_t from = 0; from < count; ++from) {
+    for (std::size_t to : layout.neighbors(from)) {
+      if (to < from) continue;  // each border once, canonical direction
+      std::vector<std::size_t> indices;
+      for (const ShardLayout::Crossing& c : layout.crossings(from, to)) {
+        if (!healthy(c.a) || !healthy(c.b)) continue;
+        indices.push_back(waypoints_.size());
+        waypoints_.push_back({c.a, c.b, from, to});
+      }
+      if (!indices.empty()) {
+        borders_.emplace_back(borderKey(from, to, count), std::move(indices));
+      }
+    }
+  }
+  std::sort(borders_.begin(), borders_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+const std::vector<std::size_t>& BoundaryWaypointGraph::border(
+    std::size_t from, std::size_t to) const {
+  static const std::vector<std::size_t> kEmpty;
+  const std::size_t key = borderKey(from, to, layout_->shardCount());
+  auto it = std::lower_bound(
+      borders_.begin(), borders_.end(), key,
+      [](const auto& entry, std::size_t k) { return entry.first < k; });
+  if (it == borders_.end() || it->first != key) return kEmpty;
+  return it->second;
+}
+
+std::vector<std::size_t> BoundaryWaypointGraph::shardPath(
+    std::size_t from, std::size_t to,
+    const std::vector<std::pair<std::size_t, std::size_t>>* blockedBorders)
+    const {
+  if (from == to) return {from};
+  auto blocked = [&](std::size_t a, std::size_t b) {
+    if (!blockedBorders) return false;
+    for (const auto& [u, v] : *blockedBorders) {
+      if ((u == a && v == b) || (u == b && v == a)) return true;
+    }
+    return false;
+  };
+  const std::size_t count = layout_->shardCount();
+  std::vector<std::size_t> parent(count, count);
+  std::queue<std::size_t> frontier;
+  parent[from] = from;
+  frontier.push(from);
+  while (!frontier.empty()) {
+    const std::size_t k = frontier.front();
+    frontier.pop();
+    if (k == to) break;
+    for (std::size_t n : layout_->neighbors(k)) {  // ascending: stable ties
+      if (parent[n] != count || blocked(k, n) || !adjacent(k, n)) continue;
+      parent[n] = k;
+      frontier.push(n);
+    }
+  }
+  if (parent[to] == count) return {};
+  std::vector<std::size_t> path;
+  for (std::size_t k = to; k != from; k = parent[k]) path.push_back(k);
+  path.push_back(from);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
 }  // namespace meshrt

@@ -1,0 +1,414 @@
+#include "service/fleet.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace meshrt {
+
+bool shardBorderClear(const ShardLayout& layout, std::size_t shard,
+                      const FaultSet& localFaults, Coord margin) {
+  const Coord lw = localFaults.mesh().width();
+  const Coord lh = localFaults.mesh().height();
+  const bool wall[4] = {
+      layout.artificialWall(shard, 0), layout.artificialWall(shard, 1),
+      layout.artificialWall(shard, 2), layout.artificialWall(shard, 3)};
+  if (!wall[0] && !wall[1] && !wall[2] && !wall[3]) return true;
+  for (const Point f : localFaults.toVector()) {
+    if (wall[0] && f.x < margin) return false;
+    if (wall[1] && f.x > lw - 1 - margin) return false;
+    if (wall[2] && f.y < margin) return false;
+    if (wall[3] && f.y > lh - 1 - margin) return false;
+  }
+  return true;
+}
+
+ServiceFleet::ServiceFleet(const FaultSet& initial, FleetConfig cfg)
+    : cfg_(std::move(cfg)), layout_(initial.mesh(), cfg_.grid, cfg_.halo) {
+  const std::vector<Point> faults = initial.toVector();
+  shards_.reserve(layout_.shardCount());
+  for (std::size_t k = 0; k < layout_.shardCount(); ++k) {
+    auto shard = std::make_unique<Shard>();
+    FaultSet slice(layout_.localMesh(k));
+    for (const Point p : faults) {
+      if (layout_.local(k).contains(p)) slice.add(layout_.toLocal(k, p));
+    }
+    shard->service = std::make_unique<RouteService>(slice, cfg_.service);
+    shards_.push_back(std::move(shard));
+  }
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    shards_[k]->applier = std::thread([this, k] { applierLoop(k); });
+  }
+}
+
+ServiceFleet::~ServiceFleet() {
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> guard(shard->mutex);
+      shard->stop = true;
+    }
+    shard->wake.notify_all();
+  }
+  for (auto& shard : shards_) {
+    if (shard->applier.joinable()) shard->applier.join();
+  }
+}
+
+void ServiceFleet::applierLoop(std::size_t k) {
+  Shard& shard = *shards_[k];
+  std::unique_lock<std::mutex> lock(shard.mutex);
+  for (;;) {
+    shard.wake.wait(lock,
+                    [&] { return shard.stop || !shard.queue.empty(); });
+    if (shard.queue.empty()) {
+      if (shard.stop) return;  // queue drained before exit: no lost events
+      continue;
+    }
+    const WriterEvent event = shard.queue.front();
+    shard.queue.pop_front();
+    shard.busy = true;
+    lock.unlock();
+    if (cfg_.applyHook) cfg_.applyHook(k);
+    if (event.add) {
+      shard.service->applyAddFault(event.local);
+    } else {
+      shard.service->applyRemoveFault(event.local);
+    }
+    eventsApplied_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+    shard.busy = false;
+    if (shard.queue.empty()) shard.idle.notify_all();
+  }
+}
+
+void ServiceFleet::applyAddFault(Point p) {
+  for (const std::size_t k : layout_.covering(p)) {
+    shards_[k]->service->applyAddFault(layout_.toLocal(k, p));
+    eventsApplied_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ServiceFleet::applyRemoveFault(Point p) {
+  for (const std::size_t k : layout_.covering(p)) {
+    shards_[k]->service->applyRemoveFault(layout_.toLocal(k, p));
+    eventsApplied_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ServiceFleet::submit(Point p, bool add) {
+  for (const std::size_t k : layout_.covering(p)) {
+    Shard& shard = *shards_[k];
+    {
+      std::lock_guard<std::mutex> guard(shard.mutex);
+      shard.queue.push_back({add, layout_.toLocal(k, p)});
+    }
+    shard.wake.notify_one();
+  }
+}
+
+void ServiceFleet::submitAddFault(Point p) { submit(p, true); }
+void ServiceFleet::submitRemoveFault(Point p) { submit(p, false); }
+
+void ServiceFleet::drainWriters() {
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mutex);
+    shard->idle.wait(lock,
+                     [&] { return shard->queue.empty() && !shard->busy; });
+  }
+}
+
+std::size_t ServiceFleet::writerQueueDepth(std::size_t k) const {
+  const Shard& shard = *shards_[k];
+  std::lock_guard<std::mutex> guard(shard.mutex);
+  return shard.queue.size() + (shard.busy ? 1 : 0);
+}
+
+bool ServiceFleet::overloaded(std::size_t k) const {
+  return cfg_.maxWriterQueue > 0 &&
+         writerQueueDepth(k) > cfg_.maxWriterQueue;
+}
+
+void ServiceFleet::precompileAll() {
+  for (auto& shard : shards_) shard->service->precompileAll();
+}
+
+FleetCounters ServiceFleet::counters() const {
+  FleetCounters c;
+  c.intraQueries = intraQueries_.load();
+  c.crossQueries = crossQueries_.load();
+  c.shedQueries = shedQueries_.load();
+  c.degradedQueries = degradedQueries_.load();
+  c.stitchRetries = stitchRetries_.load();
+  c.replans = replans_.load();
+  c.eventsApplied = eventsApplied_.load();
+  return c;
+}
+
+FleetBatchResult ServiceFleet::serve(const std::vector<Query>& batch,
+                                     bool wantPaths) {
+  const std::size_t count = shardCount();
+  FleetBatchResult out;
+  out.status.assign(batch.size(), ServeStatus::NoRoute);
+  out.hops.assign(batch.size(), 0);
+  out.flags.assign(batch.size(), 0);
+  if (wantPaths) {
+    out.paths.resize(batch.size());
+    out.segments.resize(batch.size());
+  }
+  out.pinned.reserve(count);
+  out.shardEpochs.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    out.pinned.push_back(shards_[k]->service->snapshot());
+    out.shardEpochs.push_back(out.pinned.back()->epoch());
+  }
+
+  // Admission control is sampled once per batch: the per-query flags
+  // describe the shard state the batch was admitted under, not a
+  // per-query race.
+  std::vector<bool> hot(count, false);
+  if (cfg_.maxWriterQueue > 0) {
+    for (std::size_t k = 0; k < count; ++k) hot[k] = overloaded(k);
+  }
+  const bool shedPolicy = cfg_.overload == OverloadPolicy::Shed;
+
+  std::vector<std::vector<std::uint32_t>> intra(count);
+  std::vector<std::uint32_t> cross;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::size_t ks = layout_.owner(batch[i].s);
+    const std::size_t kd = layout_.owner(batch[i].d);
+    if (ks == kd) {
+      intra[ks].push_back(static_cast<std::uint32_t>(i));
+    } else {
+      cross.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  for (std::size_t k = 0; k < count; ++k) {
+    if (intra[k].empty()) continue;
+    intraQueries_.fetch_add(intra[k].size(), std::memory_order_relaxed);
+    if (hot[k] && shedPolicy) {
+      for (const std::uint32_t i : intra[k]) out.flags[i] |= kFleetFlagShed;
+      shedQueries_.fetch_add(intra[k].size(), std::memory_order_relaxed);
+      continue;
+    }
+    std::vector<Query> sub;
+    sub.reserve(intra[k].size());
+    for (const std::uint32_t i : intra[k]) {
+      sub.push_back({layout_.toLocal(k, batch[i].s),
+                     layout_.toLocal(k, batch[i].d)});
+    }
+    BatchResult r = shards_[k]->service->serveOn(out.pinned[k], sub,
+                                                wantPaths);
+    for (std::size_t j = 0; j < sub.size(); ++j) {
+      const std::uint32_t i = intra[k][j];
+      out.status[i] = r.status[j];
+      out.hops[i] = r.hops[j];
+      if (hot[k]) {
+        out.flags[i] |= kFleetFlagStale;
+        degradedQueries_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (wantPaths) {
+        for (Point& p : r.paths[j]) p = layout_.toGlobal(k, p);
+        out.paths[i] = std::move(r.paths[j]);
+        if (out.status[i] == ServeStatus::Delivered) {
+          out.segments[i] = {{static_cast<std::uint32_t>(k), 0}};
+        }
+      }
+    }
+  }
+
+  if (!cross.empty()) {
+    crossQueries_.fetch_add(cross.size(), std::memory_order_relaxed);
+    // The graph is built from the SAME pinned handles the segments are
+    // served against, so "healthy waypoint" and "chaseable endpoint"
+    // agree within this batch by construction.
+    const BoundaryWaypointGraph graph(layout_, [&](Point p) {
+      const std::size_t k = layout_.owner(p);
+      return !out.pinned[k]->faults().isFaulty(layout_.toLocal(k, p));
+    });
+    SegmentMemo memo;
+    for (const std::uint32_t qi : cross) {
+      const std::size_t ks = layout_.owner(batch[qi].s);
+      const std::size_t kd = layout_.owner(batch[qi].d);
+      if (hot[ks] || hot[kd]) {
+        if (shedPolicy) {
+          out.flags[qi] |= kFleetFlagShed;
+          shedQueries_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        out.flags[qi] |= kFleetFlagStale;
+        degradedQueries_.fetch_add(1, std::memory_order_relaxed);
+      }
+      serveCross(graph, batch, qi, wantPaths, memo, out);
+    }
+  }
+  return out;
+}
+
+BatchResult ServiceFleet::serveSegment(std::size_t k, Point u, Point v,
+                                       bool wantPaths,
+                                       const FleetBatchResult& out) {
+  const std::vector<Query> one{
+      {layout_.toLocal(k, u), layout_.toLocal(k, v)}};
+  return shards_[k]->service->serveOn(out.pinned[k], one, wantPaths);
+}
+
+void ServiceFleet::serveCross(const BoundaryWaypointGraph& graph,
+                              const std::vector<Query>& batch,
+                              std::size_t qi, bool wantPaths,
+                              SegmentMemo& memo, FleetBatchResult& out) {
+  const Query& q = batch[qi];
+  const std::size_t ks = layout_.owner(q.s);
+  const std::size_t kd = layout_.owner(q.d);
+  const auto faultyIn = [&](std::size_t k, Point p) {
+    return out.pinned[k]->faults().isFaulty(layout_.toLocal(k, p));
+  };
+  if (faultyIn(ks, q.s) || faultyIn(kd, q.d)) {
+    out.status[qi] = ServeStatus::EndpointFaulty;
+    if (wantPaths) out.paths[qi] = {q.s};
+    return;
+  }
+
+  // Appends a segment path (shard-local coords) onto the stitched path.
+  // Consecutive segments share exactly their junction cell (the previous
+  // crossing's far cell is the next segment's head), so every append
+  // after the first drops the head.
+  const auto append = [&](std::vector<Point>& path, std::size_t k,
+                          const std::vector<Point>& segment) {
+    for (std::size_t i = path.empty() ? 0 : 1; i < segment.size(); ++i) {
+      path.push_back(layout_.toGlobal(k, segment[i]));
+    }
+  };
+
+  // Memoized segment chase: a (shard, from, to) chase that failed for
+  // an earlier query of this batch fails identically here (same pinned
+  // epoch), so skip the serve.
+  const auto chase = [&](std::size_t k, Point u, Point v,
+                         BatchResult& r) -> bool {
+    const auto key = std::make_tuple(k, u.x, u.y, v.x, v.y);
+    if (memo.contains(key)) return false;
+    r = serveSegment(k, u, v, wantPaths, out);
+    if (r.status[0] == ServeStatus::Delivered) return true;
+    memo.insert(key);
+    return false;
+  };
+
+  std::vector<std::pair<std::size_t, std::size_t>> blocked;
+  const std::size_t maxReplans = 1 + 2 * layout_.shardCount();
+  for (std::size_t attempt = 0; attempt < maxReplans; ++attempt) {
+    if (attempt > 0) replans_.fetch_add(1, std::memory_order_relaxed);
+    const std::vector<std::size_t> plan =
+        graph.shardPath(ks, kd, blocked.empty() ? nullptr : &blocked);
+    if (plan.empty()) {
+      out.status[qi] = ServeStatus::NoRoute;
+      return;
+    }
+
+    Point cur = q.s;
+    std::int32_t hops = 0;
+    std::vector<Point> path;
+    std::vector<FleetSegment> segs;
+    // Start of the segment about to be appended: the junction cell the
+    // previous crossing pushed (or 0 for the first segment).
+    const auto segmentStart = [&] {
+      return static_cast<std::uint32_t>(path.empty() ? 0 : path.size() - 1);
+    };
+    bool stitched = true;
+    bool blockable = false;
+    std::pair<std::size_t, std::size_t> failedBorder{};
+    for (std::size_t leg = 0; leg < plan.size(); ++leg) {
+      const std::size_t k = plan[leg];
+      if (leg + 1 == plan.size()) {
+        BatchResult r;
+        if (!chase(k, cur, q.d, r)) {
+          // The entry cell chosen at the previous border may be in a
+          // region the destination can't reach locally: retry around.
+          stitched = false;
+          blockable = plan.size() >= 2;
+          if (blockable) {
+            failedBorder = {std::min(plan[leg - 1], k),
+                            std::max(plan[leg - 1], k)};
+          }
+          break;
+        }
+        hops += r.hops[0];
+        if (wantPaths) {
+          segs.push_back({static_cast<std::uint32_t>(k), segmentStart()});
+          append(path, k, r.paths[0]);
+        }
+        break;
+      }
+      const std::size_t kn = plan[leg + 1];
+      const std::vector<std::size_t>& candidates = graph.border(k, kn);
+      // Candidate order is keyed to the DESTINATION only, never to
+      // `cur`: every query bound for the same destination tries the
+      // same waypoint sequence at this border, so the exit-cell columns
+      // compile once per epoch instead of once per query (pooled
+      // popular destinations are the serving-path common case; a
+      // cur-keyed order costs a column compile per distinct source
+      // position). Within a coarse distance band, portal anchors sort
+      // first (FleetConfig::portalSpacing): fewer distinct exit cells
+      // means fewer waypoint columns to compile and patch per epoch.
+      const Coord spacing = cfg_.portalSpacing;
+      const auto nonAnchor = [&](std::size_t w) {
+        if (spacing <= 0) return false;
+        const Point p = graph.cellIn(w, k);
+        return (p.x + p.y) % spacing != 0;
+      };
+      const Distance band =
+          spacing > 0 ? static_cast<Distance>(2 * spacing) : 1;
+      std::vector<std::size_t> order(candidates);
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const Distance sa = manhattan(graph.cellAcross(a, k), q.d);
+                  const Distance sb = manhattan(graph.cellAcross(b, k), q.d);
+                  if (sa / band != sb / band) return sa / band < sb / band;
+                  const bool na = nonAnchor(a);
+                  const bool nb = nonAnchor(b);
+                  if (na != nb) return nb;
+                  return sa != sb ? sa < sb : a < b;
+                });
+      if (order.size() > cfg_.waypointRetries) {
+        order.resize(cfg_.waypointRetries);
+      }
+      bool crossed = false;
+      for (const std::size_t w : order) {
+        const Point exit = graph.cellIn(w, k);
+        const Point entry = graph.cellAcross(w, k);
+        BatchResult r;
+        if (!chase(k, cur, exit, r)) {
+          stitchRetries_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        hops += r.hops[0] + 1;  // +1: the crossing hop exit -> entry
+        if (wantPaths) {
+          segs.push_back({static_cast<std::uint32_t>(k), segmentStart()});
+          append(path, k, r.paths[0]);
+          path.push_back(entry);
+        }
+        cur = entry;
+        crossed = true;
+        break;
+      }
+      if (!crossed) {
+        stitched = false;
+        blockable = true;
+        failedBorder = {std::min(k, kn), std::max(k, kn)};
+        break;
+      }
+    }
+    if (stitched) {
+      out.status[qi] = ServeStatus::Delivered;
+      out.hops[qi] = hops;
+      if (wantPaths) {
+        out.paths[qi] = std::move(path);
+        out.segments[qi] = std::move(segs);
+      }
+      return;
+    }
+    if (!blockable) break;
+    blocked.push_back(failedBorder);
+  }
+  out.status[qi] = ServeStatus::NoRoute;
+}
+
+}  // namespace meshrt

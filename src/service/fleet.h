@@ -1,0 +1,257 @@
+// ServiceFleet: a sharded route-service frontend for meshes too large
+// for one RouteService. The mesh is partitioned by a ShardLayout into
+// grid x grid region shards, each backed by its own RouteService over the
+// shard's LOCAL mesh (owned rectangle + halo): its own FaultSet slice,
+// its own incremental labeler, its own epoch stream. The frontend
+// classifies each query by endpoint ownership:
+//
+//   - intra-shard (both endpoints owned by one shard): delegated to that
+//     shard's batch serve against one pinned snapshot. Because the halo
+//     replicates the true fault state of everything the local mesh can
+//     touch, any path the shard serves is valid in the global mesh; on
+//     border-clear fault configurations (shardBorderClear) the answer is
+//     bit-for-bit the single-service answer (DESIGN.md section 11.3).
+//   - cross-shard: planned over the BoundaryWaypointGraph (a BFS on the
+//     healthy-border shard adjacency), then stitched from per-shard
+//     segment chases. Every segment runs against its shard's pinned
+//     epoch; crossing cells are healthy in the pinned epochs of BOTH
+//     shards they join, so the stitched path is valid under the
+//     per-segment epoch vector the result reports (section 11.4).
+//
+// Fault events route to every shard whose local rectangle holds the cell
+// (owner + halo neighbors): either synchronously (applyAddFault) or
+// through per-shard writer queues drained by per-shard applier threads
+// (submitAddFault). Admission control watches those queues: when a
+// shard's backlog exceeds maxWriterQueue, queries touching it are served
+// from the (stale) current epoch with a kStale flag (Degrade) or refused
+// with a kShed flag (Shed) — the fleet never blocks readers on a slow
+// writer, and never drops a fault event (section 11.5).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <tuple>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mesh/shard_layout.h"
+#include "route/waypoint_graph.h"
+#include "service/route_service.h"
+
+namespace meshrt {
+
+/// What the frontend does with queries touching a shard whose writer
+/// queue is deeper than maxWriterQueue.
+enum class OverloadPolicy : std::uint8_t {
+  /// Serve from the shard's current (stale) epoch, flagged kStale.
+  Degrade = 0,
+  /// Refuse: status NoRoute with the kShed flag set.
+  Shed = 1,
+};
+
+constexpr std::string_view overloadPolicyName(OverloadPolicy p) {
+  return p == OverloadPolicy::Degrade ? "degrade" : "shed";
+}
+
+struct FleetConfig {
+  /// Per-shard RouteService configuration (router key, encoding,
+  /// storage, per-shard pool threads).
+  ServiceConfig service;
+  /// Shard grid side: the mesh splits into grid x grid shards.
+  std::size_t grid = 2;
+  /// Halo width replicated into neighboring shards. 2 is the default the
+  /// differential suite certifies; 1 is the correctness minimum for
+  /// crossing hops (the far cell of every crossing must be in-halo).
+  Coord halo = 2;
+  /// Writer-queue depth beyond which a shard counts as overloaded;
+  /// 0 disables admission control (queues are still unbounded — events
+  /// are never dropped).
+  std::size_t maxWriterQueue = 0;
+  OverloadPolicy overload = OverloadPolicy::Degrade;
+  /// Waypoints tried per border before the border is declared blocked
+  /// and the shard path replanned.
+  std::size_t waypointRetries = 3;
+  /// Crossing cells whose (x + y) is a multiple of this spacing are
+  /// portal anchors: candidate exits prefer an anchor over a non-anchor
+  /// within the same coarse distance band (2 * spacing) of the
+  /// destination. Every distinct exit cell a stitch uses costs a
+  /// compiled column per epoch in the shard ahead of it — and a patch
+  /// of that column on every later fault event — so steering traffic
+  /// through a few portals per border bounds both. 0 disables
+  /// anchoring. Paths stay valid and at most one band longer.
+  Coord portalSpacing = 8;
+  /// Test seam: called by shard k's applier thread before each event is
+  /// applied (a Gate here stalls exactly one shard's writer).
+  std::function<void(std::size_t shard)> applyHook;
+};
+
+/// Per-query condition bits in FleetBatchResult::flags.
+inline constexpr std::uint8_t kFleetFlagStale = 1;
+inline constexpr std::uint8_t kFleetFlagShed = 2;
+
+/// One served fleet batch. status/hops/paths follow BatchResult
+/// conventions (paths only when wantPaths, global coordinates, endpoints
+/// included). shardEpochs[k] is the epoch shard k was pinned at for this
+/// batch and `pinned[k]` keeps that snapshot alive for callers that
+/// validate paths against it; every segment of every stitched path was
+/// chased against its serving shard's pinned epoch.
+/// One stitch segment of a served path: shard `shard` chased the path
+/// span starting at index `begin` (running to the next segment's begin,
+/// or the path end for the last segment). Consecutive segments join at a
+/// border crossing: the cell before a segment's begin and the cell at
+/// its begin are 4-adjacent and owned by the two shards — the crossing
+/// hop is validated by BOTH pinned epochs it joins.
+struct FleetSegment {
+  std::uint32_t shard = 0;
+  std::uint32_t begin = 0;
+};
+
+struct FleetBatchResult {
+  std::vector<ServeStatus> status;
+  std::vector<std::int32_t> hops;
+  std::vector<std::vector<Point>> paths;
+  std::vector<std::uint8_t> flags;
+  std::vector<std::uint64_t> shardEpochs;
+  std::vector<SnapshotBox<ServiceSnapshot>::Handle> pinned;
+  /// Index-aligned with paths; filled only when wantPaths. Intra-shard
+  /// queries have one segment (the owner); stitched queries one per
+  /// shard crossed. Empty for non-Delivered results.
+  std::vector<std::vector<FleetSegment>> segments;
+
+  std::size_t size() const { return status.size(); }
+  bool delivered(std::size_t i) const {
+    return status[i] == ServeStatus::Delivered;
+  }
+};
+
+struct FleetCounters {
+  std::uint64_t intraQueries = 0;
+  std::uint64_t crossQueries = 0;
+  std::uint64_t shedQueries = 0;
+  std::uint64_t degradedQueries = 0;
+  /// Waypoint candidates abandoned after a failed segment chase.
+  std::uint64_t stitchRetries = 0;
+  /// Shard-path replans after a border's candidates were exhausted.
+  std::uint64_t replans = 0;
+  std::uint64_t eventsApplied = 0;
+};
+
+/// True when no faulty cell of `localFaults` (shard-local coordinates)
+/// lies within `margin` cells of an ARTIFICIAL wall of the shard's local
+/// rectangle. Under this certificate every fault component the shard
+/// sees is complete (a global 8-connected component can only leave the
+/// local rectangle through a wall ring cell), so shard-local label
+/// distortion — the one mechanism by which a shard's answer can diverge
+/// from the full-mesh answer — cannot originate. The differential suite
+/// asserts bit-for-bit equality on certified shards and path validity
+/// otherwise.
+bool shardBorderClear(const ShardLayout& layout, std::size_t shard,
+                      const FaultSet& localFaults, Coord margin = 1);
+
+class ServiceFleet {
+ public:
+  /// Builds grid x grid shard services over slices of `initial`. Throws
+  /// std::invalid_argument on an unknown router key (from RouteService).
+  ServiceFleet(const FaultSet& initial, FleetConfig cfg = {});
+  ~ServiceFleet();
+
+  ServiceFleet(const ServiceFleet&) = delete;
+  ServiceFleet& operator=(const ServiceFleet&) = delete;
+
+  const ShardLayout& layout() const { return layout_; }
+  const FleetConfig& config() const { return cfg_; }
+  std::size_t shardCount() const { return layout_.shardCount(); }
+  RouteService& shard(std::size_t k) { return *shards_[k]->service; }
+  const RouteService& shard(std::size_t k) const {
+    return *shards_[k]->service;
+  }
+
+  /// Applies one global fault event synchronously to every covering
+  /// shard (owner + halo neighbors). Don't mix with submit* on the same
+  /// cells without drainWriters() in between: the two channels order
+  /// independently.
+  void applyAddFault(Point p);
+  void applyRemoveFault(Point p);
+
+  /// Enqueues the event on every covering shard's writer queue; the
+  /// per-shard applier threads publish asynchronously. Never blocks,
+  /// never drops.
+  void submitAddFault(Point p);
+  void submitRemoveFault(Point p);
+
+  /// Blocks until every shard's writer queue is empty and no event is
+  /// mid-application.
+  void drainWriters();
+
+  std::size_t writerQueueDepth(std::size_t k) const;
+  /// True when admission control is on and shard k's backlog exceeds it.
+  bool overloaded(std::size_t k) const;
+
+  /// Serves a batch: intra-shard queries delegate to the owning shard's
+  /// batch serve, cross-shard queries are stitched over the boundary
+  /// waypoint graph. All shards are pinned once at entry; the result
+  /// carries the epoch vector and the pinned handles.
+  FleetBatchResult serve(const std::vector<Query>& batch,
+                         bool wantPaths = false);
+
+  /// Precompiles every shard's columns (bench warm-up).
+  void precompileAll();
+
+  FleetCounters counters() const;
+
+ private:
+  struct WriterEvent {
+    bool add;
+    Point local;
+  };
+  struct Shard {
+    std::unique_ptr<RouteService> service;
+    /// Writer queue + applier thread state (queue guarded by mutex).
+    mutable std::mutex mutex;
+    std::condition_variable wake;
+    std::condition_variable idle;
+    std::deque<WriterEvent> queue;
+    bool busy = false;
+    bool stop = false;
+    std::thread applier;
+  };
+
+  void applierLoop(std::size_t k);
+  void submit(Point p, bool add);
+  /// Failed segment chases of ONE served batch, keyed (shard, from,
+  /// to) in global coordinates. Every segment in a batch runs against
+  /// the same pinned epoch, so a failed chase is failed for every query
+  /// that would repeat it — the memo turns the replan cascades of
+  /// unreachable destinations from per-query into per-batch cost
+  /// without changing a single result bit.
+  using SegmentMemo =
+      std::set<std::tuple<std::size_t, Coord, Coord, Coord, Coord>>;
+  /// Serves one cross-shard query (index qi of `batch`) by planning and
+  /// stitching; writes into `out`.
+  void serveCross(const BoundaryWaypointGraph& graph,
+                  const std::vector<Query>& batch, std::size_t qi,
+                  bool wantPaths, SegmentMemo& memo, FleetBatchResult& out);
+  /// One segment chase inside shard k from global u to global v against
+  /// the pinned handle in `out`.
+  BatchResult serveSegment(std::size_t k, Point u, Point v, bool wantPaths,
+                           const FleetBatchResult& out);
+
+  FleetConfig cfg_;
+  ShardLayout layout_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> intraQueries_{0};
+  std::atomic<std::uint64_t> crossQueries_{0};
+  std::atomic<std::uint64_t> shedQueries_{0};
+  std::atomic<std::uint64_t> degradedQueries_{0};
+  std::atomic<std::uint64_t> stitchRetries_{0};
+  std::atomic<std::uint64_t> replans_{0};
+  std::atomic<std::uint64_t> eventsApplied_{0};
+};
+
+}  // namespace meshrt

@@ -202,7 +202,12 @@ void RouteService::compileColumns(const ServiceSnapshot& snap,
 
 BatchResult RouteService::serve(const std::vector<Query>& batch,
                                 bool wantPaths) {
-  const auto snap = box_.acquire();
+  return serveOn(box_.acquire(), batch, wantPaths);
+}
+
+BatchResult RouteService::serveOn(
+    const SnapshotBox<ServiceSnapshot>::Handle& snap,
+    const std::vector<Query>& batch, bool wantPaths) {
   const Mesh2D& m = snap->mesh();
   const FaultSet& faults = snap->faults();
 
@@ -211,6 +216,82 @@ BatchResult RouteService::serve(const std::vector<Query>& batch,
   out.status.assign(batch.size(), ServeStatus::NoRoute);
   out.hops.assign(batch.size(), 0);
   if (wantPaths) out.paths.resize(batch.size());
+
+  // Tiny batches — the fleet stitcher's per-segment serves are 1-query
+  // calls — skip the O(nodeCount) classification scratch and the pool
+  // dispatch below: a handful of linear dedups and inline scalar chases
+  // cost microseconds where zeroing two nodeCount-sized vectors and a
+  // parallelFor round-trip cost hundreds per call. Outcomes are
+  // identical to the lockstep path (the encodings share one dense
+  // compile, and scalar-vs-lockstep chase parity is pinned by the
+  // packed-column tests).
+  constexpr std::size_t kInlineBatch = 8;
+  if (batch.size() <= kInlineBatch) {
+    std::vector<NodeId> dests;
+    for (const Query& q : batch) {
+      if (q.s == q.d || faults.isFaulty(q.s) || faults.isFaulty(q.d)) {
+        continue;
+      }
+      const NodeId id = m.id(q.d);
+      if (std::find(dests.begin(), dests.end(), id) == dests.end()) {
+        dests.push_back(id);
+      }
+    }
+    std::sort(dests.begin(), dests.end());
+    std::vector<NodeId> missing;
+    {
+      const auto ptrs = snap->columnsFor(dests);
+      for (std::size_t i = 0; i < dests.size(); ++i) {
+        if (ptrs[i] == nullptr) missing.push_back(dests[i]);
+      }
+    }
+    compileColumns(*snap, std::move(missing));
+    const auto resolved = snap->columnsFor(dests);
+    const auto bound = static_cast<std::size_t>(m.nodeCount());
+    std::uint64_t divergedInline = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const Query& q = batch[i];
+      if (faults.isFaulty(q.s) || faults.isFaulty(q.d)) {
+        out.status[i] = ServeStatus::EndpointFaulty;
+        if (wantPaths) out.paths[i].push_back(q.s);
+        continue;
+      }
+      if (q.s == q.d) {
+        out.status[i] = ServeStatus::Delivered;
+        if (wantPaths) out.paths[i].push_back(q.s);
+        continue;
+      }
+      const NodeId id = m.id(q.d);
+      const ColumnVariant* column = nullptr;
+      for (std::size_t d = 0; d < dests.size(); ++d) {
+        if (dests[d] == id) {
+          column = resolved[d];
+          break;
+        }
+      }
+      ServedRoute res = std::visit(
+          [&](const auto& c) {
+            // Without paths, mirror the lockstep engine's tight packed
+            // hop bound: a diverging chase then stops after the proven
+            // delivery bound instead of walking nodeCount steps.
+            std::size_t steps = bound;
+            if constexpr (requires { c.hopBound(); }) {
+              if (!wantPaths) steps = c.hopBound();
+            }
+            return chaseColumn(c, m, q.s, steps, wantPaths);
+          },
+          *column);
+      out.status[i] = res.status;
+      if (res.status == ServeStatus::Delivered) {
+        out.hops[i] = static_cast<std::int32_t>(res.hops);
+      }
+      if (wantPaths) out.paths[i] = std::move(res.path);
+      if (res.status == ServeStatus::Diverged) ++divergedInline;
+    }
+    queriesServed_.fetch_add(batch.size());
+    chasesDiverged_.fetch_add(divergedInline);
+    return out;
+  }
 
   // The lockstep engines produce status+hops only; whenever paths are
   // wanted (or the table is dense) every query chases through the scalar

@@ -183,6 +183,14 @@ class RouteService {
   /// thread count.
   BatchResult serve(const std::vector<Query>& batch, bool wantPaths = false);
 
+  /// serve() against an explicitly pinned snapshot handle (from
+  /// snapshot()) instead of the current epoch. The fleet frontend pins
+  /// one handle per shard per batch so every segment of a stitched path
+  /// is chased — and later validated — against the same epoch.
+  BatchResult serveOn(const SnapshotBox<ServiceSnapshot>::Handle& snap,
+                      const std::vector<Query>& batch,
+                      bool wantPaths = false);
+
   /// Compiles every healthy destination's column in the current snapshot
   /// (bench warm-up / eager mode).
   void precompileAll();

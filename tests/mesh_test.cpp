@@ -6,6 +6,7 @@
 #include "mesh/frame.h"
 #include "mesh/mesh.h"
 #include "mesh/rect.h"
+#include "mesh/shard_layout.h"
 #include "mesh/staircase.h"
 #include "test_util.h"
 
@@ -269,6 +270,132 @@ TEST_P(StaircaseBlocking, MatchesBruteForceOnRandomPairs) {
 
 INSTANTIATE_TEST_SUITE_P(RandomShapes, StaircaseBlocking,
                          ::testing::Range(0, 20));
+
+TEST(ShardLayoutTest, OwnedRectanglesPartitionTheMesh) {
+  const Mesh2D mesh(10, 7);
+  const ShardLayout layout(mesh, 3, 1);
+  for (Coord y = 0; y < mesh.height(); ++y) {
+    for (Coord x = 0; x < mesh.width(); ++x) {
+      const Point p{x, y};
+      std::size_t holders = 0;
+      for (std::size_t k = 0; k < layout.shardCount(); ++k) {
+        if (layout.owned(k).contains(p)) ++holders;
+      }
+      EXPECT_EQ(holders, 1u) << p.str();
+      EXPECT_TRUE(layout.owned(layout.owner(p)).contains(p)) << p.str();
+    }
+  }
+}
+
+TEST(ShardLayoutTest, UnevenSplitGivesFirstShardsTheExtraCell) {
+  // 10 columns over 3 shards: widths 4, 3, 3; 7 rows: heights 3, 2, 2.
+  const ShardLayout layout(Mesh2D(10, 7), 3, 0);
+  EXPECT_EQ(layout.owned(layout.shardAt(0, 0)).width(), 4);
+  EXPECT_EQ(layout.owned(layout.shardAt(1, 0)).width(), 3);
+  EXPECT_EQ(layout.owned(layout.shardAt(2, 0)).width(), 3);
+  EXPECT_EQ(layout.owned(layout.shardAt(0, 0)).height(), 3);
+  EXPECT_EQ(layout.owned(layout.shardAt(0, 1)).height(), 2);
+  EXPECT_EQ(layout.owned(layout.shardAt(0, 2)).height(), 2);
+  EXPECT_EQ(layout.minShardSide(), 2);
+}
+
+TEST(ShardLayoutTest, LocalIsOwnedPlusHaloClippedAtMeshEdge) {
+  const Mesh2D mesh = Mesh2D::square(12);
+  const ShardLayout layout(mesh, 2, 2);
+  // Corner shard (0,0): owns [0,5]x[0,5]; halo only extends into +X/+Y.
+  const std::size_t k = layout.shardAt(0, 0);
+  EXPECT_EQ(layout.owned(k), (Rect{0, 0, 5, 5}));
+  EXPECT_EQ(layout.local(k), (Rect{0, 0, 7, 7}));
+  EXPECT_FALSE(layout.artificialWall(k, 0));  // -X is the mesh edge
+  EXPECT_TRUE(layout.artificialWall(k, 1));   // +X cuts the mesh
+  EXPECT_FALSE(layout.artificialWall(k, 2));
+  EXPECT_TRUE(layout.artificialWall(k, 3));
+  const Mesh2D localMesh = layout.localMesh(k);
+  EXPECT_EQ(localMesh.width(), 8);
+  EXPECT_EQ(localMesh.height(), 8);
+}
+
+TEST(ShardLayoutTest, CoveringIsExactlyTheShardsWhoseLocalRectHoldsP) {
+  const Mesh2D mesh(11, 11);
+  const ShardLayout layout(mesh, 3, 1);
+  for (Coord y = 0; y < mesh.height(); ++y) {
+    for (Coord x = 0; x < mesh.width(); ++x) {
+      const Point p{x, y};
+      std::vector<std::size_t> expected;
+      for (std::size_t k = 0; k < layout.shardCount(); ++k) {
+        if (layout.local(k).contains(p)) expected.push_back(k);
+      }
+      EXPECT_EQ(layout.covering(p), expected) << p.str();
+    }
+  }
+}
+
+TEST(ShardLayoutTest, CoveringFallsBackToFullScanForWideHalos) {
+  // halo >= min shard side: a fault can land in non-neighbor shards too.
+  const ShardLayout layout(Mesh2D::square(9), 3, 3);
+  const std::vector<std::size_t> cover = layout.covering({4, 4});
+  EXPECT_EQ(cover.size(), layout.shardCount());  // center reaches everyone
+}
+
+TEST(ShardLayoutTest, LocalGlobalRoundTrip) {
+  const Mesh2D mesh(13, 9);
+  const ShardLayout layout(mesh, 3, 2);
+  for (std::size_t k = 0; k < layout.shardCount(); ++k) {
+    const Rect& l = layout.local(k);
+    for (Coord y = l.y0; y <= l.y1; ++y) {
+      for (Coord x = l.x0; x <= l.x1; ++x) {
+        const Point p{x, y};
+        const Point q = layout.toLocal(k, p);
+        EXPECT_TRUE(layout.localMesh(k).contains(q));
+        EXPECT_EQ(layout.toGlobal(k, q), p);
+      }
+    }
+  }
+}
+
+TEST(ShardLayoutTest, CrossingsAreAdjacentOwnedPairsAndMirror) {
+  const ShardLayout layout(Mesh2D::square(10), 2, 1);
+  for (std::size_t from = 0; from < layout.shardCount(); ++from) {
+    for (std::size_t to : layout.neighbors(from)) {
+      const auto fwd = layout.crossings(from, to);
+      const auto bwd = layout.crossings(to, from);
+      ASSERT_EQ(fwd.size(), bwd.size());
+      ASSERT_FALSE(fwd.empty());
+      for (std::size_t i = 0; i < fwd.size(); ++i) {
+        EXPECT_EQ(manhattan(fwd[i].a, fwd[i].b), 1);
+        EXPECT_EQ(layout.owner(fwd[i].a), from);
+        EXPECT_EQ(layout.owner(fwd[i].b), to);
+        EXPECT_EQ(fwd[i].a, bwd[i].b);
+        EXPECT_EQ(fwd[i].b, bwd[i].a);
+      }
+    }
+  }
+  // Diagonal shards share no edge: no crossings.
+  EXPECT_TRUE(
+      layout.crossings(layout.shardAt(0, 0), layout.shardAt(1, 1)).empty());
+}
+
+TEST(ShardLayoutTest, NeighborsMatchTheShardGrid) {
+  const ShardLayout layout(Mesh2D::square(9), 3, 1);
+  EXPECT_EQ(layout.neighbors(layout.shardAt(0, 0)).size(), 2u);
+  EXPECT_EQ(layout.neighbors(layout.shardAt(1, 0)).size(), 3u);
+  EXPECT_EQ(layout.neighbors(layout.shardAt(1, 1)).size(), 4u);
+  // Center shard's neighbors, ascending: up, left, right, down.
+  const std::vector<std::size_t> expected{1, 3, 5, 7};
+  EXPECT_EQ(layout.neighbors(4), expected);
+}
+
+TEST(ShardLayoutTest, SingleShardOwnsEverythingWithNoWalls) {
+  const Mesh2D mesh = Mesh2D::square(6);
+  const ShardLayout layout(mesh, 1, 2);
+  EXPECT_EQ(layout.shardCount(), 1u);
+  EXPECT_EQ(layout.owned(0), (Rect{0, 0, 5, 5}));
+  EXPECT_EQ(layout.local(0), layout.owned(0));
+  for (int side = 0; side < 4; ++side) {
+    EXPECT_FALSE(layout.artificialWall(0, side));
+  }
+  EXPECT_TRUE(layout.neighbors(0).empty());
+}
 
 }  // namespace
 }  // namespace meshrt
