@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
   flags.define("out", "",
                "also write the result to this file (.csv/.json pick the "
                "format by extension)");
+  defineMetricsFlags(flags);
   if (!flags.parse(argc, argv)) return 1;
 
   const Mesh2D mesh = Mesh2D::square(static_cast<Coord>(
@@ -92,6 +93,16 @@ int main(int argc, char** argv) {
       const auto router = RouterRegistry::global().create(key, rctx);
       NocConfig cfg;
       cfg.recoveryCycles = 300;
+      // Flit ledger per router key ("noc.<key>.flits_*"): the registry
+      // aggregates across rate cells, so a --metrics-out snapshot shows
+      // each router's totals over the whole sweep.
+      MetricsRegistry& reg = MetricsRegistry::global();
+      cfg.telemetry.flitsInjected = reg.counter("noc." + key +
+                                                ".flits_injected");
+      cfg.telemetry.flitsDelivered = reg.counter("noc." + key +
+                                                 ".flits_delivered");
+      cfg.telemetry.flitsKilled = reg.counter("noc." + key +
+                                              ".flits_killed");
       NocNetwork net(faults, *router, cfg);
       TrafficGenerator gen(mesh, pattern, rate,
                            Rng(static_cast<std::uint64_t>(
@@ -108,5 +119,6 @@ int main(int argc, char** argv) {
     }
   }
   emitResult(table, flags);
+  emitMetricsSnapshot(flags);
   return 0;
 }

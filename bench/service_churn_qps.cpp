@@ -105,6 +105,7 @@ int main(int argc, char** argv) {
   flags.define("out", "",
                "also write the result to this file (.csv/.json pick the "
                "format by extension)");
+  defineMetricsFlags(flags);
   if (!flags.parse(argc, argv)) return 1;
 
   const bool smoke = flags.boolean("smoke");
@@ -168,6 +169,12 @@ int main(int argc, char** argv) {
               << "\n(agg_qps = total served queries / wall time while all "
                  "readers and the churn writer overlap)\n\n";
   }
+
+  // Periodic JSONL metrics dump (inert unless --metrics-out AND
+  // --metrics-every are set); the final snapshot lands after the table.
+  MetricsDumper metricsDumper(
+      flags.str("metrics-out"),
+      static_cast<std::uint64_t>(flags.integer("metrics-every")));
 
   Table table({"mesh", "readers", "writers", "storage", "encoding",
                "agg_qps", "reader_qps", "events", "events/s", "pub_p50_us",
@@ -315,6 +322,8 @@ int main(int argc, char** argv) {
       }
     }
   }
+  metricsDumper.stop();
   emitResult(table, flags);
+  emitMetricsSnapshot(flags);
   return 0;
 }

@@ -104,6 +104,7 @@ int main(int argc, char** argv) {
   flags.define("out", "",
                "also write the result to this file (.csv/.json pick the "
                "format by extension)");
+  defineMetricsFlags(flags);
   if (!flags.parse(argc, argv)) return 1;
 
   const bool smoke = flags.boolean("smoke");
@@ -155,6 +156,12 @@ int main(int argc, char** argv) {
                  "one mesh-wide mixed batch;\n qps = total served queries "
                  "/ wall time; shardK rows = that shard's batches)\n\n";
   }
+
+  // Periodic JSONL metrics dump (inert unless --metrics-out AND
+  // --metrics-every are set); the final snapshot lands after the table.
+  MetricsDumper metricsDumper(
+      flags.str("metrics-out"),
+      static_cast<std::uint64_t>(flags.integer("metrics-every")));
 
   Table table({"mesh", "mode", "scope", "readers", "writers", "qps",
                "p50_ms", "p99_ms", "events/s", "delivered"});
@@ -366,6 +373,8 @@ int main(int argc, char** argv) {
       }
     }
   }
+  metricsDumper.stop();
   emitResult(table, flags);
+  emitMetricsSnapshot(flags);
   return 0;
 }

@@ -11,8 +11,10 @@
 //
 // The headline check: at 8 threads on a 64x64 mesh the table path must
 // beat the naive path by >= 10x (see docs/REPRODUCING.md).
+#include <algorithm>
 #include <chrono>
 #include <iostream>
+#include <vector>
 
 #include "common/cli.h"
 #include "common/rng.h"
@@ -44,6 +46,12 @@ int main(int argc, char** argv) {
   flags.define("queries", "100000", "queries per measured batch");
   flags.define("dests", "64", "distinct destinations in the batch");
   flags.define("batches", "5", "measured batches per row");
+  flags.define("telemetry-ab", "0",
+               "in-process telemetry A/B: run two services per row (stage "
+               "histograms explicitly on vs off), alternate this many "
+               "timed batch pairs milliseconds apart, and report the "
+               "median per-pair overhead (0 = normal rows). Robust where "
+               "a two-process env-var A/B drowns in machine noise");
   flags.define("churn", "0,4",
                "comma-separated fault events applied between batches "
                "(0 = static serving)");
@@ -56,6 +64,7 @@ int main(int argc, char** argv) {
   flags.define("out", "",
                "also write the result to this file (.csv/.json pick the "
                "format by extension)");
+  defineMetricsFlags(flags);
   if (!flags.parse(argc, argv)) return 1;
 
   const bool smoke = flags.boolean("smoke");
@@ -94,6 +103,8 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  const auto abPairs =
+      static_cast<std::size_t>(flags.integer("telemetry-ab"));
   const auto threads = static_cast<std::size_t>(flags.integer("threads"));
   const auto seed = static_cast<std::uint64_t>(flags.integer("seed"));
   if (!RouterRegistry::global().contains(routerKey)) {
@@ -111,9 +122,20 @@ int main(int argc, char** argv) {
                             "column fate under churn)\n\n";
   }
 
-  Table table({"mesh", "encoding", "churn", "compile_ms", "table_qps",
-               "naive_qps", "speedup", "delivered", "patched", "carried",
-               "entries/ev"});
+  // Periodic JSONL metrics dump (inert unless --metrics-out AND
+  // --metrics-every are set); the final snapshot lands after the table.
+  MetricsDumper metricsDumper(
+      flags.str("metrics-out"),
+      static_cast<std::uint64_t>(flags.integer("metrics-every")));
+
+  Table table(
+      abPairs > 0
+          ? std::vector<std::string>{"mesh", "encoding", "churn", "pairs",
+                                     "qps_on", "qps_off", "overhead_pct"}
+          : std::vector<std::string>{"mesh", "encoding", "churn",
+                                     "compile_ms", "table_qps", "naive_qps",
+                                     "speedup", "delivered", "patched",
+                                     "carried", "entries/ev"});
   for (std::size_t meshSize : meshes) {
     const Mesh2D mesh = Mesh2D::square(static_cast<Coord>(meshSize));
     Rng rng = Rng::forStream(seed, meshSize);
@@ -135,10 +157,11 @@ int main(int argc, char** argv) {
           {randomHealthy(faults, rng), destPool[i % destPool.size()]});
     }
 
-    // Naive baseline, measured once per mesh on the frozen fault set.
-    double naiveSeconds;
+    // Naive baseline, measured once per mesh on the frozen fault set
+    // (skipped in A/B mode, which compares the service against itself).
+    double naiveSeconds = 1.0;
     std::size_t naiveDelivered = 0;
-    {
+    if (abPairs == 0) {
       const FaultAnalysis fa(faults);
       const RouterContext ctx{&faults, &fa};
       // Prime lazily built state (quadrants) so the baseline isn't
@@ -158,6 +181,69 @@ int main(int argc, char** argv) {
 
     for (ColumnEncoding encoding : encodings)
     for (std::size_t churn : churnLevels) {
+      if (abPairs > 0) {
+        // In-process telemetry A/B: two services over the same fault set,
+        // one with stage histograms on and one off (counters/gauges stay
+        // live in both — that is the production contract). Each pair
+        // times one batch on each service back to back, so the two
+        // measurements sit milliseconds apart and slow machine drift
+        // cancels inside the pair; the median across pairs then shrugs
+        // off the fast jitter a two-process env-var A/B cannot escape.
+        ServiceConfig cfgOn;
+        cfgOn.routerKey = routerKey;
+        cfgOn.threads = threads;
+        cfgOn.encoding = encoding;
+        cfgOn.telemetry.enabled = true;
+        ServiceConfig cfgOff = cfgOn;
+        cfgOff.telemetry.enabled = false;
+        RouteService onSvc(faults, cfgOn);
+        RouteService offSvc(faults, cfgOff);
+        onSvc.serve(batch, /*wantPaths=*/false);   // compile + warm
+        offSvc.serve(batch, /*wantPaths=*/false);
+
+        Rng churnRng =
+            Rng::forStream(seed ^ 0xC0FFEE, meshSize * 31 + churn);
+        std::vector<double> overheadPcts, qpsOn, qpsOff;
+        for (std::size_t p = 0; p < abPairs; ++p) {
+          // Identical churn on both sides keeps the pair comparable.
+          for (std::size_t e = 0; e < churn; ++e) {
+            const Point pt{
+                static_cast<Coord>(churnRng.below(
+                    static_cast<std::uint64_t>(mesh.width()))),
+                static_cast<Coord>(churnRng.below(
+                    static_cast<std::uint64_t>(mesh.height())))};
+            if (onSvc.snapshot()->faults().isFaulty(pt)) {
+              onSvc.applyRemoveFault(pt);
+              offSvc.applyRemoveFault(pt);
+            } else {
+              onSvc.applyAddFault(pt);
+              offSvc.applyAddFault(pt);
+            }
+          }
+          const auto onStart = Clock::now();
+          onSvc.serve(batch, /*wantPaths=*/false);
+          const double onSec = secondsSince(onStart);
+          const auto offStart = Clock::now();
+          offSvc.serve(batch, /*wantPaths=*/false);
+          const double offSec = secondsSince(offStart);
+          overheadPcts.push_back(100.0 * (onSec - offSec) / offSec);
+          qpsOn.push_back(static_cast<double>(queries) / onSec);
+          qpsOff.push_back(static_cast<double>(queries) / offSec);
+        }
+        const auto median = [](std::vector<double> v) {
+          std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+          return v[v.size() / 2];
+        };
+        Table& row = table.row();
+        row.cell(static_cast<std::int64_t>(meshSize));
+        row.cell(std::string(columnEncodingName(encoding)));
+        row.cell(static_cast<std::int64_t>(churn));
+        row.cell(static_cast<std::int64_t>(abPairs));
+        row.cell(median(qpsOn), 0);
+        row.cell(median(qpsOff), 0);
+        row.cell(median(overheadPcts), 2);
+        continue;
+      }
       ServiceConfig cfg;
       cfg.routerKey = routerKey;
       cfg.threads = threads;
@@ -224,6 +310,8 @@ int main(int argc, char** argv) {
                1);
     }
   }
+  metricsDumper.stop();
   emitResult(table, flags);
+  emitMetricsSnapshot(flags);
   return 0;
 }

@@ -7,7 +7,10 @@ chase, all from one binary), service_churn_qps --smoke (cow +
 deep-clone storage rows), the writer-only publish-latency sweep at
 256x256 and 512x512 (the copy-on-write paged storage A/B:
 pub_p50_us/pub_p99_us per applyEvent against the pre-COW deep-clone
-baseline), and the table/chase + executor micro kernels — several times each (median-of-N so one noisy
+baseline), the in-process telemetry on/off overhead A/B at the
+single-core 64x64 packed point, and the table/chase + executor micro
+kernels —
+several times each (median-of-N so one noisy
 run cannot move the record) — and emits a machine- and commit-stamped
 JSON report. The committed BENCH_service.json at the repo root is the
 trajectory record: regenerate it on perf-relevant PRs and eyeball the
@@ -34,10 +37,15 @@ from datetime import datetime, timezone
 MICRO_FILTER = "ChaseColumn|ChaseDiverging|TaskGroupOverhead|PoolWideWait"
 
 
-def run_json(cmd):
+def run_json(cmd, extra_env=None):
     """Runs cmd, returns parsed JSON from stdout (benches keep json
-    machine-clean)."""
-    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    machine-clean). extra_env overlays the inherited environment."""
+    env = None
+    if extra_env:
+        env = dict(os.environ)
+        env.update(extra_env)
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True,
+                         env=env)
     return json.loads(out.stdout)
 
 
@@ -120,6 +128,30 @@ def main():
     report["service_batch_qps"] = median_by_key(
         runs, ["mesh", "encoding", "churn"],
         ["compile_ms", "table_qps", "speedup"])
+
+    # Telemetry overhead A/B at the single-core 64x64 packed serve point.
+    # service_qps --telemetry-ab holds two services in ONE process (stage
+    # histograms explicitly on vs off; counters/gauges live in both) and
+    # alternates timed batch pairs milliseconds apart, reporting the
+    # median per-pair overhead — a two-process MESHRT_TELEMETRY A/B
+    # drowns in machine noise (run-to-run QPS swings of +-15% dwarf the
+    # effect). The hot-path contract for the observability layer is
+    # overhead_pct <= 2 at this point.
+    overhead_cmd = [qps, "--meshes", "64", "--threads", "1",
+                    "--encoding", "packed", "--churn", "0",
+                    "--telemetry-ab", "50", "--format", "json"]
+    ab_rows = [run_json(overhead_cmd)[0] for _ in range(max(args.runs, 3))]
+    report["telemetry_overhead"] = {
+        "point": "64x64 packed, threads=1, churn=0, "
+                 "in-process alternating pairs",
+        "pairs_per_run": 50,
+        "qps_telemetry_on": statistics.median(
+            [r["qps_on"] for r in ab_rows]),
+        "qps_telemetry_off": statistics.median(
+            [r["qps_off"] for r in ab_rows]),
+        "overhead_pct": round(statistics.median(
+            [r["overhead_pct"] for r in ab_rows]), 2),
+    }
 
     churn = binary("service_churn_qps")
     if not churn:

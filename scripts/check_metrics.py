@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Schema validator for meshrt.metrics.v1 snapshots (--metrics-out).
+
+Validates the JSON the service benches emit via --metrics-out: the
+schema tag, the three instrument sections, non-negative counter and
+histogram values, ordered percentiles (p50 <= p90 <= p99), histogram
+bucket sums consistent with the sample count, and min <= mean <= max.
+A file with several lines is treated as a JSONL periodic dump
+(--metrics-every): every line must validate, and counters must be
+monotonically non-decreasing across lines (they are cumulative).
+
+In JSONL mode the bucket-sum check relaxes to bucketTotal >= count:
+Histogram::record publishes the bucket before the count, so a snapshot
+racing live traffic may see a bucket increment whose count increment
+has not landed yet. The final line of a drained run — and any
+single-document snapshot written after the workload — must balance
+exactly, which is what the strict mode asserts.
+
+    python3 scripts/check_metrics.py metrics.json
+    python3 scripts/check_metrics.py --require fleet.serve_ns,... m.json
+
+Exit code 0 when every check passes; 1 with a per-check message
+otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "meshrt.metrics.v1"
+
+
+class CheckFailure(Exception):
+    pass
+
+
+def fail(msg):
+    raise CheckFailure(msg)
+
+
+def check_histogram(name, h, strict):
+    for field in ("count", "sum", "min", "max", "mean",
+                  "p50", "p90", "p99", "buckets"):
+        if field not in h:
+            fail(f"histogram {name}: missing field '{field}'")
+    count = h["count"]
+    if count < 0:
+        fail(f"histogram {name}: negative count {count}")
+    bucket_total = 0
+    last_index = -1
+    for entry in h["buckets"]:
+        if not (isinstance(entry, list) and len(entry) == 2):
+            fail(f"histogram {name}: malformed bucket entry {entry!r}")
+        index, c = entry
+        if index <= last_index:
+            fail(f"histogram {name}: bucket indices not strictly "
+                 f"increasing at {index}")
+        if c <= 0:
+            fail(f"histogram {name}: non-positive bucket count at "
+                 f"index {index}")
+        last_index = index
+        bucket_total += c
+    if count == 0:
+        if bucket_total != 0:
+            fail(f"histogram {name}: empty count but {bucket_total} "
+                 "bucketed samples")
+        return
+    if strict:
+        if bucket_total != count:
+            fail(f"histogram {name}: bucket sum {bucket_total} != "
+                 f"count {count}")
+    elif bucket_total < count:
+        fail(f"histogram {name}: bucket sum {bucket_total} < "
+             f"count {count}")
+    if not (h["min"] <= h["mean"] <= h["max"]):
+        fail(f"histogram {name}: min/mean/max out of order "
+             f"({h['min']}/{h['mean']}/{h['max']})")
+    if not (h["min"] <= h["p50"] <= h["p90"] <= h["p99"] <= h["max"]):
+        fail(f"histogram {name}: percentiles out of order "
+             f"({h['p50']}/{h['p90']}/{h['p99']} in "
+             f"[{h['min']}, {h['max']}])")
+    if h["sum"] < 0:
+        fail(f"histogram {name}: negative sum")
+
+
+def check_snapshot(snap, strict, where):
+    try:
+        if snap.get("schema") != SCHEMA:
+            fail(f"schema is {snap.get('schema')!r}, expected {SCHEMA!r}")
+        for section in ("counters", "gauges", "histograms"):
+            if not isinstance(snap.get(section), dict):
+                fail(f"missing or malformed section '{section}'")
+        if not isinstance(snap.get("unix_ms"), int) or snap["unix_ms"] <= 0:
+            fail("missing or non-positive unix_ms")
+        for name, value in snap["counters"].items():
+            if value < 0:
+                fail(f"counter {name}: negative value {value}")
+        for name, h in snap["histograms"].items():
+            check_histogram(name, h, strict)
+    except CheckFailure as e:
+        fail(f"{where}: {e}")
+
+
+def check_monotonic(prev, cur, where):
+    for name, value in cur["counters"].items():
+        before = prev["counters"].get(name, 0)
+        if value < before:
+            fail(f"{where}: counter {name} went backwards "
+                 f"({before} -> {value})")
+    if cur["unix_ms"] < prev["unix_ms"]:
+        fail(f"{where}: unix_ms went backwards")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="validate a meshrt.metrics.v1 snapshot file")
+    parser.add_argument("file", help="snapshot JSON (or periodic JSONL)")
+    parser.add_argument("--require", default="",
+                        help="comma-separated instrument names that must "
+                             "be present (any section) in the final "
+                             "snapshot")
+    args = parser.parse_args()
+
+    with open(args.file) as f:
+        text = f.read()
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        print(f"{args.file}: empty file", file=sys.stderr)
+        return 1
+
+    try:
+        if len(lines) == 1 or text.lstrip().startswith("{\n"):
+            # One (possibly pretty-printed) document: the drained-run
+            # snapshot — bucket sums must balance exactly.
+            snaps = [json.loads(text)]
+            check_snapshot(snaps[0], True, args.file)
+        else:
+            # JSONL periodic dump: every line validates (relaxed),
+            # counters are cumulative so they never decrease.
+            snaps = [json.loads(ln) for ln in lines]
+            for i, snap in enumerate(snaps):
+                final = i == len(snaps) - 1
+                check_snapshot(snap, final, f"{args.file}:{i + 1}")
+                if i > 0:
+                    check_monotonic(snaps[i - 1], snap,
+                                    f"{args.file}:{i + 1}")
+    except json.JSONDecodeError as e:
+        print(f"{args.file}: invalid JSON: {e}", file=sys.stderr)
+        return 1
+    except CheckFailure as e:
+        print(str(e), file=sys.stderr)
+        return 1
+
+    final = snaps[-1]
+    present = (set(final["counters"]) | set(final["gauges"])
+               | set(final["histograms"]))
+    missing = [name for name in args.require.split(",")
+               if name and name not in present]
+    if missing:
+        print(f"{args.file}: required instruments missing: "
+              f"{', '.join(missing)}", file=sys.stderr)
+        return 1
+
+    kind = "snapshots" if len(snaps) > 1 else "snapshot"
+    print(f"{args.file}: {len(snaps)} {kind} ok — "
+          f"{len(final['counters'])} counters, "
+          f"{len(final['gauges'])} gauges, "
+          f"{len(final['histograms'])} histograms")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,370 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace meshrt {
+
+std::size_t telemetryShardIndex() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kTelemetryShards;
+  return slot;
+}
+
+std::uint64_t telemetryNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::int64_t telemetryUnixMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+bool telemetryDefaultEnabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("MESHRT_TELEMETRY");
+    if (env == nullptr) return true;
+    std::string v(env);
+    std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) {
+      return static_cast<char>(std::tolower(c));
+    });
+    return !(v == "off" || v == "0" || v == "false" || v == "no");
+  }();
+  return enabled;
+}
+
+namespace {
+
+/// floor(log2(v)) for v >= 1.
+inline std::uint32_t floorLog2(std::uint64_t v) {
+#if defined(__GNUC__) || defined(__clang__)
+  return 63u - static_cast<std::uint32_t>(__builtin_clzll(v));
+#else
+  std::uint32_t e = 0;
+  while (v >>= 1) ++e;
+  return e;
+#endif
+}
+
+}  // namespace
+
+std::uint32_t histogramBucketIndex(std::uint64_t value) {
+  if (value < 2 * kHistogramSubBuckets) {
+    return static_cast<std::uint32_t>(value);  // exact region 0..31
+  }
+  const std::uint32_t e = floorLog2(value);
+  if (e > kHistogramMaxExp) return kHistogramBuckets - 1;
+  const std::uint32_t shift = e - kHistogramSubBits;
+  const std::uint32_t sub = static_cast<std::uint32_t>(value >> shift) &
+                            (kHistogramSubBuckets - 1);
+  return (e - 3) * kHistogramSubBuckets + sub;
+}
+
+std::uint64_t histogramBucketLow(std::uint32_t index) {
+  if (index < 2 * kHistogramSubBuckets) return index;
+  const std::uint32_t e = index / kHistogramSubBuckets + 3;
+  const std::uint32_t shift = e - kHistogramSubBits;
+  const std::uint64_t sub = index & (kHistogramSubBuckets - 1);
+  return (std::uint64_t{1} << e) + (sub << shift);
+}
+
+std::uint64_t histogramBucketWidth(std::uint32_t index) {
+  if (index < 2 * kHistogramSubBuckets) return 1;
+  const std::uint32_t e = index / kHistogramSubBuckets + 3;
+  return std::uint64_t{1} << (e - kHistogramSubBits);
+}
+
+Histogram::Histogram() : buckets_(kHistogramBuckets) {}
+
+void Histogram::record(std::uint64_t value) {
+  // Bucket first, count (release) last: a snapshot that acquires the count
+  // and then reads buckets can never see a counted record whose bucket
+  // increment is still invisible — sum(buckets) >= count always holds.
+  buckets_[histogramBucketIndex(value)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  StatShard& s = shards_[telemetryShardIndex()];
+  s.sum.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t cur = s.min.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !s.min.compare_exchange_weak(cur, value, std::memory_order_relaxed,
+                                      std::memory_order_relaxed)) {
+  }
+  cur = s.max.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !s.max.compare_exchange_weak(cur, value, std::memory_order_relaxed,
+                                      std::memory_order_relaxed)) {
+  }
+  s.count.fetch_add(1, std::memory_order_release);
+}
+
+HistogramStats Histogram::stats() const {
+  HistogramStats out;
+  std::uint64_t lo = ~std::uint64_t{0};
+  for (const StatShard& s : shards_) {
+    const std::uint64_t c = s.count.load(std::memory_order_acquire);
+    if (c == 0) continue;
+    out.count += c;
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    lo = std::min(lo, s.min.load(std::memory_order_relaxed));
+    out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
+  }
+  out.min = out.count == 0 ? 0 : lo;
+  for (std::uint32_t i = 0; i < kHistogramBuckets; ++i) {
+    const std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c != 0) out.buckets.emplace_back(i, c);
+  }
+  return out;
+}
+
+std::uint64_t HistogramStats::bucketTotal() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets) total += b.second;
+  return total;
+}
+
+std::uint64_t HistogramStats::quantile(double q) const {
+  if (count == 0) return 0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  // QuantileSketch's nearest-rank convention over the bucket CDF.
+  const double rank = q * static_cast<double>(count - 1) + 0.5;
+  std::uint64_t target = static_cast<std::uint64_t>(rank);
+  if (target >= count) target = count - 1;
+  std::uint64_t cum = 0;
+  for (const auto& b : buckets) {
+    cum += b.second;
+    if (cum > target) {
+      const std::uint64_t rep =
+          histogramBucketLow(b.first) + histogramBucketWidth(b.first) / 2;
+      return std::clamp(rep, min, max);
+    }
+  }
+  return max;
+}
+
+void HistogramStats::merge(const HistogramStats& other) {
+  if (other.count == 0 && other.buckets.empty()) return;
+  if (other.count != 0) {
+    min = count == 0 ? other.min : std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < buckets.size() || j < other.buckets.size()) {
+    if (j == other.buckets.size() ||
+        (i < buckets.size() && buckets[i].first < other.buckets[j].first)) {
+      merged.push_back(buckets[i++]);
+    } else if (i == buckets.size() ||
+               other.buckets[j].first < buckets[i].first) {
+      merged.push_back(other.buckets[j++]);
+    } else {
+      merged.emplace_back(buckets[i].first,
+                          buckets[i].second + other.buckets[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  buckets = std::move(merged);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked: safe
+  return *registry;                                          // at exit
+}
+
+std::shared_ptr<Counter> MetricsRegistry::counter(const std::string& name) {
+  auto inst = std::make_shared<Counter>();
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name].push_back(inst);
+  return inst;
+}
+
+std::shared_ptr<Gauge> MetricsRegistry::gauge(const std::string& name) {
+  auto inst = std::make_shared<Gauge>();
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name].push_back(inst);
+  return inst;
+}
+
+std::shared_ptr<Histogram> MetricsRegistry::histogram(
+    const std::string& name) {
+  auto inst = std::make_shared<Histogram>();
+  std::lock_guard<std::mutex> lock(mutex_);
+  histograms_[name].push_back(inst);
+  return inst;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.unixMs = telemetryUnixMs();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : counters_) {
+    std::uint64_t total = 0;
+    for (const auto& inst : entry.second) total += inst->value();
+    snap.counters.emplace_back(entry.first, total);
+  }
+  for (const auto& entry : gauges_) {
+    std::int64_t total = 0;
+    for (const auto& inst : entry.second) total += inst->value();
+    snap.gauges.emplace_back(entry.first, total);
+  }
+  for (const auto& entry : histograms_) {
+    HistogramStats merged;
+    for (const auto& inst : entry.second) merged.merge(inst->stats());
+    snap.histograms.emplace_back(entry.first, std::move(merged));
+  }
+  return snap;
+}
+
+const std::uint64_t* MetricsSnapshot::counter(const std::string& name) const {
+  for (const auto& entry : counters) {
+    if (entry.first == name) return &entry.second;
+  }
+  return nullptr;
+}
+
+const std::int64_t* MetricsSnapshot::gauge(const std::string& name) const {
+  for (const auto& entry : gauges) {
+    if (entry.first == name) return &entry.second;
+  }
+  return nullptr;
+}
+
+const HistogramStats* MetricsSnapshot::histogram(
+    const std::string& name) const {
+  for (const auto& entry : histograms) {
+    if (entry.first == name) return &entry.second;
+  }
+  return nullptr;
+}
+
+Table MetricsSnapshot::toTable() const {
+  Table table({"instrument", "kind", "value", "count", "mean", "p50", "p90",
+               "p99", "min", "max"});
+  for (const auto& entry : counters) {
+    table.row()
+        .cell(entry.first)
+        .cell("counter")
+        .cell(static_cast<std::int64_t>(entry.second));
+    for (int i = 0; i < 7; ++i) table.cell("");
+  }
+  for (const auto& entry : gauges) {
+    table.row().cell(entry.first).cell("gauge").cell(entry.second);
+    for (int i = 0; i < 7; ++i) table.cell("");
+  }
+  for (const auto& entry : histograms) {
+    const HistogramStats& h = entry.second;
+    table.row()
+        .cell(entry.first)
+        .cell("histogram")
+        .cell(static_cast<std::int64_t>(h.sum))
+        .cell(static_cast<std::int64_t>(h.count))
+        .cell(h.mean(), 1)
+        .cell(static_cast<std::int64_t>(h.quantile(0.50)))
+        .cell(static_cast<std::int64_t>(h.quantile(0.90)))
+        .cell(static_cast<std::int64_t>(h.quantile(0.99)))
+        .cell(static_cast<std::int64_t>(h.min))
+        .cell(static_cast<std::int64_t>(h.max));
+  }
+  return table;
+}
+
+namespace {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricsSnapshot::writeJson(std::ostream& os, bool pretty) const {
+  const char* nl = pretty ? "\n" : "";
+  const char* pad = pretty ? "  " : "";
+  const char* pad2 = pretty ? "    " : "";
+  const char* sp = pretty ? " " : "";
+  os << '{' << nl;
+  os << pad << "\"schema\":" << sp << "\"meshrt.metrics.v1\"," << nl;
+  os << pad << "\"unix_ms\":" << sp << unixMs << ',' << nl;
+  os << pad << "\"counters\":" << sp << '{' << nl;
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    os << pad2 << '"' << jsonEscape(counters[i].first) << "\":" << sp
+       << counters[i].second << (i + 1 < counters.size() ? "," : "") << nl;
+  }
+  os << pad << "}," << nl;
+  os << pad << "\"gauges\":" << sp << '{' << nl;
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    os << pad2 << '"' << jsonEscape(gauges[i].first) << "\":" << sp
+       << gauges[i].second << (i + 1 < gauges.size() ? "," : "") << nl;
+  }
+  os << pad << "}," << nl;
+  os << pad << "\"histograms\":" << sp << '{' << nl;
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramStats& h = histograms[i].second;
+    os << pad2 << '"' << jsonEscape(histograms[i].first) << "\":" << sp
+       << "{\"count\":" << sp << h.count << "," << sp << "\"sum\":" << sp
+       << h.sum << "," << sp << "\"min\":" << sp << h.min << "," << sp
+       << "\"max\":" << sp << h.max << "," << sp << "\"mean\":" << sp
+       << formatDouble(h.mean(), 3) << "," << sp << "\"p50\":" << sp
+       << h.quantile(0.50) << "," << sp << "\"p90\":" << sp
+       << h.quantile(0.90) << "," << sp << "\"p99\":" << sp
+       << h.quantile(0.99) << "," << sp << "\"buckets\":" << sp << '[';
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      os << '[' << h.buckets[b].first << ',' << h.buckets[b].second << ']'
+         << (b + 1 < h.buckets.size() ? "," : "");
+    }
+    os << "]}" << (i + 1 < histograms.size() ? "," : "") << nl;
+  }
+  os << pad << '}' << nl;
+  os << '}' << '\n';
+}
+
+bool MetricsSnapshot::writeJsonFile(const std::string& path,
+                                    bool pretty) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  writeJson(out, pretty);
+  return static_cast<bool>(out.flush());
+}
+
+}  // namespace meshrt

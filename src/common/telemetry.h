@@ -1,0 +1,278 @@
+// Process-wide metrics registry with lock-free instruments.
+//
+// Three instrument kinds cover the stack's observability needs:
+//   Counter   — monotonic event count (queries served, columns patched).
+//   Gauge     — signed level that moves both ways (queue depth, epoch lag).
+//   Histogram — log-linear latency distribution with p50/p90/p99 readout.
+// All three shard their hot state across kTelemetryShards cache-line-padded
+// slots indexed by a thread-local round-robin id, so concurrent writers on
+// different threads never contend on a line; every write is a relaxed
+// atomic RMW. TraceSpan is the RAII feeder: it stamps a steady_clock
+// interval into a stage Histogram (or does nothing at all, including the
+// clock reads, when handed nullptr — the telemetry-off mode).
+//
+// MetricsRegistry hands out shared_ptr instruments. Each call mints a NEW
+// instance registered under the name, so every owner (e.g. each
+// RouteService in a fleet) keeps exact private counts for its accessor
+// APIs while snapshot() aggregates all instances per name: counters and
+// gauges sum, histograms merge exactly (integer bucket adds + min/max
+// pooling — the same merge-order-independent discipline as
+// stats.h::Accumulator, so threads=1 and threads=N reductions agree
+// bit-for-bit). The registry retains every instrument it ever minted, so
+// aggregate counters stay monotonic across owner destruction.
+//
+// Snapshot consistency: Histogram::record touches its bucket BEFORE the
+// count/sum/min/max block, and HistogramView reads count first and buckets
+// last, so a snapshot racing live writers always observes
+// sum(buckets) >= count — never a bucket-less count (the "torn read" a
+// validator would flag). See DESIGN.md section 12.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/table.h"
+
+namespace meshrt {
+
+/// Number of per-thread shards per instrument; threads map onto shards
+/// round-robin, so up to this many writers proceed with zero line sharing.
+inline constexpr std::size_t kTelemetryShards = 16;
+
+/// Stable shard slot for the calling thread (round-robin at first use).
+std::size_t telemetryShardIndex();
+
+/// Destination-size guess for one cache line; alignas() unit for shards.
+inline constexpr std::size_t kTelemetryLine = 64;
+
+/// Monotonic event counter. add() is a relaxed fetch_add on the caller's
+/// shard; value() sums shards (racy reads are fine: each shard is
+/// monotonic, so value() never goes backwards).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    shards_[telemetryShardIndex()].cell.fetch_add(n,
+                                                  std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.cell.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(kTelemetryLine) Shard {
+    std::atomic<std::uint64_t> cell{0};
+  };
+  Shard shards_[kTelemetryShards];
+};
+
+/// Signed level gauge. add()/sub() are sharded relaxed RMWs (safe from any
+/// thread); set() overwrites a dedicated level slot (single-writer
+/// semantics — the sharded deltas and the level compose additively, so use
+/// one style per gauge). value() = level + sum of shard deltas.
+class Gauge {
+ public:
+  void add(std::int64_t n = 1) {
+    shards_[telemetryShardIndex()].cell.fetch_add(n,
+                                                  std::memory_order_relaxed);
+  }
+  void sub(std::int64_t n = 1) { add(-n); }
+  void set(std::int64_t v) { level_.store(v, std::memory_order_relaxed); }
+  std::int64_t value() const {
+    std::int64_t total = level_.load(std::memory_order_relaxed);
+    for (const Shard& s : shards_) {
+      total += s.cell.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(kTelemetryLine) Shard {
+    std::atomic<std::int64_t> cell{0};
+  };
+  Shard shards_[kTelemetryShards];
+  std::atomic<std::int64_t> level_{0};
+};
+
+/// Log-linear histogram geometry: values 0..31 get exact unit buckets;
+/// above that each power-of-two octave splits into 16 sub-buckets, so any
+/// representative value is within 1/16 (6.25%) of the recorded one.
+/// 40 octaves cover ~1.1e12 — over 18 minutes when recording nanoseconds.
+inline constexpr std::uint32_t kHistogramSubBits = 4;
+inline constexpr std::uint32_t kHistogramSubBuckets = 1u
+                                                      << kHistogramSubBits;
+inline constexpr std::uint32_t kHistogramMaxExp = 40;
+inline constexpr std::uint32_t kHistogramBuckets =
+    (kHistogramMaxExp - 3) * kHistogramSubBuckets + kHistogramSubBuckets;
+
+/// Bucket index for a recorded value (clamps overflow to the last bucket).
+std::uint32_t histogramBucketIndex(std::uint64_t value);
+
+/// Inclusive lower bound of bucket `index`.
+std::uint64_t histogramBucketLow(std::uint32_t index);
+
+/// Width of bucket `index` (1 in the exact region).
+std::uint64_t histogramBucketWidth(std::uint32_t index);
+
+/// Plain-data histogram snapshot: exact integer state, safe to copy,
+/// merge, and serialize. Produced by Histogram::stats() and by
+/// MetricsSnapshot aggregation.
+struct HistogramStats {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< 0 when empty.
+  std::uint64_t max = 0;
+  /// Sparse (bucketIndex, count) pairs sorted by index.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+
+  bool empty() const { return count == 0; }
+  double mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+  }
+
+  /// Total across the sparse buckets. Equals `count` for a quiescent
+  /// histogram; may exceed it under concurrent recording (bucket lands
+  /// before count — see the header comment), never undershoots.
+  std::uint64_t bucketTotal() const;
+
+  /// Nearest-rank quantile over the buckets (same rank convention as
+  /// stats.h::QuantileSketch: rank = q*(n-1)+0.5). Exact below 32; within
+  /// 1/16 relative error above, clamped to the observed [min, max].
+  std::uint64_t quantile(double q) const;
+
+  /// Exact merge: integer bucket adds + min/max pooling. Associative and
+  /// commutative, so any merge tree gives identical results (the Chan
+  /// discipline from stats.h, exact here because all state is integral).
+  void merge(const HistogramStats& other);
+};
+
+/// Concurrent log-linear histogram. record() is wait-free: one relaxed
+/// fetch_add on the (shared) bucket array plus relaxed RMWs on the
+/// caller's padded stat shard. stats() folds shards and compacts buckets.
+class Histogram {
+ public:
+  Histogram();
+  void record(std::uint64_t value);
+  HistogramStats stats() const;
+
+ private:
+  struct alignas(kTelemetryLine) StatShard {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> min{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> max{0};
+  };
+  StatShard shards_[kTelemetryShards];
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+};
+
+/// Point-in-time aggregate of every instrument in a registry, grouped and
+/// summed/merged by name. Serializes as a flat Table (result_sink formats)
+/// or as the nested "meshrt.metrics.v1" JSON schema that
+/// scripts/check_metrics.py validates.
+struct MetricsSnapshot {
+  std::int64_t unixMs = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramStats>> histograms;
+
+  const std::uint64_t* counter(const std::string& name) const;
+  const std::int64_t* gauge(const std::string& name) const;
+  const HistogramStats* histogram(const std::string& name) const;
+
+  /// Flat [instrument, kind, value, count, mean, p50, p90, p99, min, max]
+  /// table for the result_sink layer.
+  Table toTable() const;
+
+  /// Nested JSON export. `pretty` indents; compact mode is a single line
+  /// (the JSONL periodic-dump format).
+  void writeJson(std::ostream& os, bool pretty = true) const;
+
+  /// writeJson to `path`; returns false on I/O failure.
+  bool writeJsonFile(const std::string& path, bool pretty = true) const;
+};
+
+/// Instrument factory + snapshot point. Instantiable for tests; most code
+/// uses global(). Minting is mutex-guarded (cold path); the instruments
+/// themselves are lock-free.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  std::shared_ptr<Counter> counter(const std::string& name);
+  std::shared_ptr<Gauge> gauge(const std::string& name);
+  std::shared_ptr<Histogram> histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::vector<std::shared_ptr<Counter>>> counters_;
+  std::map<std::string, std::vector<std::shared_ptr<Gauge>>> gauges_;
+  std::map<std::string, std::vector<std::shared_ptr<Histogram>>> histograms_;
+};
+
+/// Process-level default for TelemetryConfig::enabled: true unless the
+/// MESHRT_TELEMETRY env var says off/0/false (case-insensitive).
+bool telemetryDefaultEnabled();
+
+/// Per-component telemetry wiring. Counters and gauges are always live
+/// (they back accessor APIs and admission decisions); `enabled` gates the
+/// trace-span histograms — the part that reads clocks on the hot path.
+struct TelemetryConfig {
+  bool enabled = telemetryDefaultEnabled();
+  MetricsRegistry* registry = nullptr;  ///< nullptr -> global().
+
+  MetricsRegistry& resolve() const {
+    return registry != nullptr ? *registry : MetricsRegistry::global();
+  }
+  /// The stage-histogram handle: null when disabled, so TraceSpan
+  /// construction collapses to a pointer test.
+  std::shared_ptr<Histogram> stageHistogram(const std::string& name) const {
+    return enabled ? resolve().histogram(name) : nullptr;
+  }
+};
+
+/// Monotonic nanosecond clock for spans.
+std::uint64_t telemetryNowNs();
+
+/// Wall-clock milliseconds since the epoch (snapshot timestamps).
+std::int64_t telemetryUnixMs();
+
+/// RAII stage timer. Null histogram -> fully inert: no clock read at
+/// either end, which is what makes MESHRT_TELEMETRY=off a true A/B.
+class TraceSpan {
+ public:
+  explicit TraceSpan(Histogram* hist) : hist_(hist) {
+    if (hist_ != nullptr) start_ = telemetryNowNs();
+  }
+  explicit TraceSpan(const std::shared_ptr<Histogram>& hist)
+      : TraceSpan(hist.get()) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() { stop(); }
+
+  /// Records now; further stop() calls are no-ops.
+  void stop() {
+    if (hist_ != nullptr) {
+      hist_->record(telemetryNowNs() - start_);
+      hist_ = nullptr;
+    }
+  }
+
+ private:
+  Histogram* hist_;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace meshrt

@@ -5,8 +5,9 @@
 
 namespace meshrt {
 
-ThreadPool::ThreadPool(std::size_t threads)
-    : defaultGroup_(std::make_shared<detail::GroupState>()) {
+ThreadPool::ThreadPool(std::size_t threads, PoolTelemetry telemetry)
+    : defaultGroup_(std::make_shared<detail::GroupState>()),
+      telemetry_(std::move(telemetry)) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -42,6 +43,7 @@ void ThreadPool::enqueue(std::shared_ptr<detail::GroupState> group,
     std::lock_guard<std::mutex> lock(mutex_);
     jobs_.push_back(QueuedJob{std::move(job), std::move(group)});
   }
+  if (telemetry_.queueDepth) telemetry_.queueDepth->add(1);
   cvJob_.notify_one();
   {
     std::lock_guard<std::mutex> lock(state.mutex);
@@ -91,6 +93,8 @@ bool ThreadPool::tryPopGroupJob(const detail::GroupState& group,
 /// takes them sequentially, never nested the other way, so the order is
 /// acyclic.
 void ThreadPool::markDequeued(detail::GroupState& group) {
+  if (telemetry_.queueDepth) telemetry_.queueDepth->sub(1);
+  if (telemetry_.jobsExecuted) telemetry_.jobsExecuted->add(1);
   std::lock_guard<std::mutex> lock(group.mutex);
   --group.queued;
 }
@@ -106,6 +110,7 @@ void ThreadPool::helpUntilIdle(detail::GroupState& group) {
     // more of its jobs land in the queue (a job running on a worker may
     // submit nested jobs — we must wake and help those too, or they
     // could starve behind other groups' work on a saturated pool).
+    TraceSpan stall(telemetry_.waitStall.get());
     std::unique_lock<std::mutex> lock(group.mutex);
     group.cvDone.wait(lock, [&group] {
       return group.inFlight == 0 || group.queued > 0;

@@ -24,9 +24,20 @@
 #include <thread>
 #include <vector>
 
+#include "common/telemetry.h"
+
 namespace meshrt {
 
 class ThreadPool;
+
+/// Optional pool instrumentation (common/telemetry.h). Null members are
+/// simply not updated, so a default-constructed PoolTelemetry keeps the
+/// pool untouched.
+struct PoolTelemetry {
+  std::shared_ptr<Counter> jobsExecuted;  ///< jobs dequeued for running
+  std::shared_ptr<Gauge> queueDepth;      ///< jobs sitting in the queue
+  std::shared_ptr<Histogram> waitStall;   ///< ns a waiter slept per doze
+};
 
 namespace detail {
 
@@ -58,7 +69,7 @@ struct GroupState {
 class ThreadPool {
  public:
   /// `threads == 0` selects hardware_concurrency (at least 1).
-  explicit ThreadPool(std::size_t threads = 0);
+  explicit ThreadPool(std::size_t threads = 0, PoolTelemetry telemetry = {});
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -98,8 +109,9 @@ class ThreadPool {
   /// path of TaskGroup::wait()).
   bool tryPopGroupJob(const detail::GroupState& group, QueuedJob& out);
 
-  /// Maintains GroupState::queued when a job leaves the pool queue.
-  static void markDequeued(detail::GroupState& group);
+  /// Maintains GroupState::queued (and the depth/executed instruments)
+  /// when a job leaves the pool queue.
+  void markDequeued(detail::GroupState& group);
 
   /// Blocks until `group` is idle, running its queued jobs on the caller
   /// meanwhile. Does not rethrow (callers decide what to do with the
@@ -113,6 +125,7 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cvJob_;
   std::shared_ptr<detail::GroupState> defaultGroup_;
+  PoolTelemetry telemetry_;
   bool stop_ = false;
 };
 

@@ -66,10 +66,25 @@ void sortUnique(std::vector<Point>& cells) {
 
 }  // namespace
 
+void FaultAnalysis::recordDelta(const LabelDelta& delta) {
+  if (telemetry_.cellsRelabeled && !delta.changed.empty()) {
+    telemetry_.cellsRelabeled->add(delta.changed.size());
+  }
+  if (telemetry_.mccsRetired && !delta.removedMccs.empty()) {
+    telemetry_.mccsRetired->add(delta.removedMccs.size());
+  }
+  if (telemetry_.mccsBuilt && !delta.addedMccs.empty()) {
+    telemetry_.mccsBuilt->add(delta.addedMccs.size());
+  }
+}
+
 std::vector<Point> FaultAnalysis::applyAddFault(Point world) {
   std::vector<Point> changed;
   for (auto& slot : cache_) {
-    if (slot) collectWorld(*slot, slot->addFault(world), changed);
+    if (!slot) continue;
+    const LabelDelta delta = slot->addFault(world);
+    recordDelta(delta);
+    collectWorld(*slot, delta, changed);
   }
   sortUnique(changed);
   return changed;
@@ -78,7 +93,10 @@ std::vector<Point> FaultAnalysis::applyAddFault(Point world) {
 std::vector<Point> FaultAnalysis::applyRemoveFault(Point world) {
   std::vector<Point> changed;
   for (auto& slot : cache_) {
-    if (slot) collectWorld(*slot, slot->removeFault(world), changed);
+    if (!slot) continue;
+    const LabelDelta delta = slot->removeFault(world);
+    recordDelta(delta);
+    collectWorld(*slot, delta, changed);
   }
   sortUnique(changed);
   return changed;

@@ -15,6 +15,7 @@
 #include <memory>
 #include <mutex>
 
+#include "common/telemetry.h"
 #include "fault/fault_set.h"
 #include "fault/incremental.h"
 #include "fault/labeling.h"
@@ -22,6 +23,15 @@
 #include "mesh/frame.h"
 
 namespace meshrt {
+
+/// Optional labeler instrumentation, fed per LabelDelta as dynamic fault
+/// toggles patch the materialized quadrants. Null members are skipped; a
+/// default-constructed value is inert.
+struct LabelerTelemetry {
+  std::shared_ptr<Counter> cellsRelabeled;  ///< label bytes changed
+  std::shared_ptr<Counter> mccsRetired;     ///< component slots retired
+  std::shared_ptr<Counter> mccsBuilt;       ///< components created
+};
 
 class QuadrantAnalysis {
  public:
@@ -132,7 +142,16 @@ class FaultAnalysis {
   std::vector<Point> applyAddFault(Point world);
   std::vector<Point> applyRemoveFault(Point world);
 
+  /// Binds per-delta instruments (counted once per quadrant delta on the
+  /// apply path — the single-writer side, so plain increments suffice).
+  void setTelemetry(LabelerTelemetry telemetry) {
+    telemetry_ = std::move(telemetry);
+  }
+
  private:
+  void recordDelta(const LabelDelta& delta);
+
+  LabelerTelemetry telemetry_;
   const FaultSet* faults_;
   mutable std::array<std::unique_ptr<QuadrantAnalysis>, 4> cache_;
   /// Serializes concurrent first touch per quadrant. cloneFor fills
@@ -182,6 +201,11 @@ class DynamicFaultModel {
   /// label-change footprint (see FaultEvent) for delta consumers.
   FaultEvent addFaultEvent(Point p);
   FaultEvent removeFaultEvent(Point p);
+
+  /// Binds per-delta labeler instruments (see FaultAnalysis::setTelemetry).
+  void setTelemetry(LabelerTelemetry telemetry) {
+    analysis_.setTelemetry(std::move(telemetry));
+  }
 
  private:
   FaultSet faults_;

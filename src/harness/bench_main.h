@@ -9,15 +9,21 @@
 // docs/REPRODUCING.md for the full flag reference.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/cli.h"
 #include "common/result_sink.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "common/telemetry.h"
 #include "harness/experiment.h"
 #include "noc/traffic.h"
 #include "route/registry.h"
@@ -192,6 +198,105 @@ inline Table& cellMean(Table& row, const Accumulator& acc,
                        int precision = 2) {
   if (acc.empty()) return row.cell("n/a");
   return row.cell(acc.mean(), precision);
+}
+
+/// Declares the metrics-export flags the service benches share:
+/// `--metrics-out FILE` dumps the global registry as a
+/// "meshrt.metrics.v1" JSON snapshot at exit; `--metrics-every MS`
+/// switches the file to JSONL with one compact snapshot line per
+/// interval while the bench runs (plus a final line at exit).
+inline void defineMetricsFlags(CliFlags& flags) {
+  flags.define("metrics-out", "",
+               "write a snapshot of every registered instrument to this "
+               "file at exit: meshrt.metrics.v1 JSON, or the flat "
+               "instrument table when the extension says .csv");
+  flags.define("metrics-every", "0",
+               "with --metrics-out: append a compact snapshot line every "
+               "N ms while running (JSONL periodic-dump mode; 0 = one "
+               "pretty snapshot at exit)");
+}
+
+/// Background JSONL dumper for --metrics-every: truncates `path` at
+/// start, then appends one compact global-registry snapshot per interval
+/// until stop() (or destruction). Inert when the interval is 0 or the
+/// path empty.
+class MetricsDumper {
+ public:
+  MetricsDumper(std::string path, std::uint64_t everyMs)
+      : path_(std::move(path)), everyMs_(everyMs) {
+    if (!active()) return;
+    std::ofstream truncate(path_);  // the run's lines, not last run's
+    worker_ = std::thread([this] { loop(); });
+  }
+  ~MetricsDumper() { stop(); }
+  MetricsDumper(const MetricsDumper&) = delete;
+  MetricsDumper& operator=(const MetricsDumper&) = delete;
+
+  bool active() const { return everyMs_ > 0 && !path_.empty(); }
+
+  void stop() {
+    if (!worker_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+  }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      if (cv_.wait_for(lock, std::chrono::milliseconds(everyMs_),
+                       [this] { return stop_; })) {
+        break;
+      }
+      lock.unlock();
+      appendLine();
+      lock.lock();
+    }
+  }
+  void appendLine() {
+    std::ofstream out(path_, std::ios::app);
+    if (out) MetricsRegistry::global().snapshot().writeJson(out, false);
+  }
+
+  std::string path_;
+  std::uint64_t everyMs_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+/// Final --metrics-out dump: appends one compact line in JSONL mode
+/// (`everyMs > 0`), else writes the whole file as one pretty snapshot —
+/// or as the flat instrument table through the result-sink layer when
+/// the extension asks for .csv. Exits with a message on I/O failure
+/// (same spirit as emitResult).
+inline void emitMetricsSnapshot(const CliFlags& flags) {
+  const std::string path = flags.str("metrics-out");
+  if (path.empty()) return;
+  const bool jsonl = flags.integer("metrics-every") > 0;
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  bool ok = false;
+  if (jsonl) {
+    std::ofstream out(path, std::ios::app);
+    if (out) {
+      snap.writeJson(out, /*pretty=*/false);
+      ok = static_cast<bool>(out.flush());
+    }
+  } else if (formatForPath(path, ResultFormat::Json) == ResultFormat::Csv) {
+    ok = emitResultToFile(snap.toTable(), path, ResultFormat::Csv);
+  } else {
+    ok = snap.writeJsonFile(path);
+  }
+  if (!ok) {
+    std::cerr << "failed to write " << path << "\n";
+    std::exit(1);
+  }
+  std::cerr << "(metrics written to " << path << ")\n";
 }
 
 }  // namespace meshrt

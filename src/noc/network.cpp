@@ -115,6 +115,9 @@ bool NocNetwork::inject(Point src, Point dst) {
     queue.buffer.push_back(std::move(flit));
   }
   ++inFlight_;
+  if (cfg_.telemetry.flitsInjected) {
+    cfg_.telemetry.flitsInjected->add(cfg_.packetLength);
+  }
   return true;
 }
 
@@ -247,6 +250,9 @@ void NocNetwork::step() {
         rec.ejectedCycle = cycle_ + 1;
         assert(inFlight_ > 0);
         --inFlight_;
+        if (cfg_.telemetry.flitsDelivered) {
+          cfg_.telemetry.flitsDelivered->add(rec.length);
+        }
       }
       continue;
     }
@@ -387,6 +393,9 @@ bool NocNetwork::failNode(Point p) {
   for (std::int64_t victim : victims) {
     removePacket(victim);
     ++killed_;
+    if (cfg_.telemetry.flitsKilled) {
+      cfg_.telemetry.flitsKilled->add(cfg_.packetLength);
+    }
   }
   // The kill is progress in the watchdog's sense: the network changed
   // state, and stalls caused by the dead node get a fresh recovery window.

@@ -31,6 +31,16 @@
 
 namespace meshrt {
 
+/// Optional flit-level instrumentation (common/telemetry.h). Null members
+/// are skipped. Delivered/killed count whole packets' worth of flits, so
+/// injected == delivered + killed + in-flight x packetLength on a drained
+/// network without recovery aborts.
+struct NocTelemetry {
+  std::shared_ptr<Counter> flitsInjected;
+  std::shared_ptr<Counter> flitsDelivered;
+  std::shared_ptr<Counter> flitsKilled;  ///< lost to failNode() kills
+};
+
 struct NocConfig {
   std::uint8_t vcsPerPort = 2;
   std::uint8_t vcDepth = 8;       // flits per VC buffer
@@ -47,6 +57,7 @@ struct NocConfig {
   /// progress, the oldest blocked packet is removed and counted in
   /// recoveredPackets(). 0 disables recovery.
   std::uint64_t recoveryCycles = 1000;
+  NocTelemetry telemetry;
 };
 
 class NocNetwork {

@@ -24,10 +24,28 @@ bool shardBorderClear(const ShardLayout& layout, std::size_t shard,
 
 ServiceFleet::ServiceFleet(const FaultSet& initial, FleetConfig cfg)
     : cfg_(std::move(cfg)), layout_(initial.mesh(), cfg_.grid, cfg_.halo) {
+  const TelemetryConfig& telemetry = cfg_.service.telemetry;
+  MetricsRegistry& reg = telemetry.resolve();
+  intraQueries_ = reg.counter("fleet.queries_intra");
+  crossQueries_ = reg.counter("fleet.queries_cross");
+  shedQueries_ = reg.counter("fleet.queries_shed");
+  degradedQueries_ = reg.counter("fleet.queries_degraded");
+  stitchRetries_ = reg.counter("fleet.stitch_retries");
+  replans_ = reg.counter("fleet.replans");
+  eventsApplied_ = reg.counter("fleet.events_applied");
+  stitchSegments_ = reg.counter("fleet.stitch_segments");
+  serveNs_ = telemetry.stageHistogram("fleet.serve_ns");
+  stitchNs_ = telemetry.stageHistogram("fleet.stitch_ns");
+  queueWaitNs_ = telemetry.stageHistogram("fleet.queue_wait_ns");
+  applyNs_ = telemetry.stageHistogram("fleet.apply_ns");
   const std::vector<Point> faults = initial.toVector();
   shards_.reserve(layout_.shardCount());
   for (std::size_t k = 0; k < layout_.shardCount(); ++k) {
     auto shard = std::make_unique<Shard>();
+    const std::string prefix = "fleet.shard" + std::to_string(k);
+    shard->queueDepth = reg.gauge(prefix + ".queue_depth");
+    shard->epochLag = reg.gauge(prefix + ".epoch_lag");
+    shard->epoch = reg.gauge(prefix + ".epoch");
     FaultSet slice(layout_.localMesh(k));
     for (const Point p : faults) {
       if (layout_.local(k).contains(p)) slice.add(layout_.toLocal(k, p));
@@ -66,40 +84,60 @@ void ServiceFleet::applierLoop(std::size_t k) {
     const WriterEvent event = shard.queue.front();
     shard.queue.pop_front();
     shard.busy = true;
+    shard.queueDepth->sub(1);
     lock.unlock();
-    if (cfg_.applyHook) cfg_.applyHook(k);
-    if (event.add) {
-      shard.service->applyAddFault(event.local);
-    } else {
-      shard.service->applyRemoveFault(event.local);
+    if (queueWaitNs_ && event.enqueueNs != 0) {
+      queueWaitNs_->record(telemetryNowNs() - event.enqueueNs);
     }
-    eventsApplied_.fetch_add(1, std::memory_order_relaxed);
+    if (cfg_.applyHook) cfg_.applyHook(k);
+    {
+      TraceSpan applySpan(applyNs_.get());
+      if (event.add) {
+        shard.service->applyAddFault(event.local);
+      } else {
+        shard.service->applyRemoveFault(event.local);
+      }
+    }
+    eventsApplied_->add(1);
+    shard.epoch->set(
+        static_cast<std::int64_t>(shard.service->epoch()));
     lock.lock();
     shard.busy = false;
+    // The lag gauge mirrors queue + busy, so it drops only once the
+    // event is fully applied — under the mutex, on the same transition
+    // the writerQueueDepth() oracle observes.
+    shard.epochLag->sub(1);
     if (shard.queue.empty()) shard.idle.notify_all();
   }
 }
 
 void ServiceFleet::applyAddFault(Point p) {
   for (const std::size_t k : layout_.covering(p)) {
-    shards_[k]->service->applyAddFault(layout_.toLocal(k, p));
-    eventsApplied_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t epoch =
+        shards_[k]->service->applyAddFault(layout_.toLocal(k, p));
+    shards_[k]->epoch->set(static_cast<std::int64_t>(epoch));
+    eventsApplied_->add(1);
   }
 }
 
 void ServiceFleet::applyRemoveFault(Point p) {
   for (const std::size_t k : layout_.covering(p)) {
-    shards_[k]->service->applyRemoveFault(layout_.toLocal(k, p));
-    eventsApplied_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t epoch =
+        shards_[k]->service->applyRemoveFault(layout_.toLocal(k, p));
+    shards_[k]->epoch->set(static_cast<std::int64_t>(epoch));
+    eventsApplied_->add(1);
   }
 }
 
 void ServiceFleet::submit(Point p, bool add) {
+  const std::uint64_t now = queueWaitNs_ ? telemetryNowNs() : 0;
   for (const std::size_t k : layout_.covering(p)) {
     Shard& shard = *shards_[k];
     {
       std::lock_guard<std::mutex> guard(shard.mutex);
-      shard.queue.push_back({add, layout_.toLocal(k, p)});
+      shard.queue.push_back({add, layout_.toLocal(k, p), now});
+      shard.queueDepth->add(1);
+      shard.epochLag->add(1);
     }
     shard.wake.notify_one();
   }
@@ -123,8 +161,10 @@ std::size_t ServiceFleet::writerQueueDepth(std::size_t k) const {
 }
 
 bool ServiceFleet::overloaded(std::size_t k) const {
-  return cfg_.maxWriterQueue > 0 &&
-         writerQueueDepth(k) > cfg_.maxWriterQueue;
+  if (cfg_.maxWriterQueue == 0) return false;
+  const std::int64_t lag = shards_[k]->epochLag->value();
+  return lag > 0 &&
+         static_cast<std::size_t>(lag) > cfg_.maxWriterQueue;
 }
 
 void ServiceFleet::precompileAll() {
@@ -133,18 +173,20 @@ void ServiceFleet::precompileAll() {
 
 FleetCounters ServiceFleet::counters() const {
   FleetCounters c;
-  c.intraQueries = intraQueries_.load();
-  c.crossQueries = crossQueries_.load();
-  c.shedQueries = shedQueries_.load();
-  c.degradedQueries = degradedQueries_.load();
-  c.stitchRetries = stitchRetries_.load();
-  c.replans = replans_.load();
-  c.eventsApplied = eventsApplied_.load();
+  c.intraQueries = intraQueries_->value();
+  c.crossQueries = crossQueries_->value();
+  c.shedQueries = shedQueries_->value();
+  c.degradedQueries = degradedQueries_->value();
+  c.stitchRetries = stitchRetries_->value();
+  c.replans = replans_->value();
+  c.eventsApplied = eventsApplied_->value();
+  c.stitchSegments = stitchSegments_->value();
   return c;
 }
 
 FleetBatchResult ServiceFleet::serve(const std::vector<Query>& batch,
                                      bool wantPaths) {
+  TraceSpan serveSpan(serveNs_.get());
   const std::size_t count = shardCount();
   FleetBatchResult out;
   out.status.assign(batch.size(), ServeStatus::NoRoute);
@@ -184,10 +226,10 @@ FleetBatchResult ServiceFleet::serve(const std::vector<Query>& batch,
 
   for (std::size_t k = 0; k < count; ++k) {
     if (intra[k].empty()) continue;
-    intraQueries_.fetch_add(intra[k].size(), std::memory_order_relaxed);
+    intraQueries_->add(intra[k].size());
     if (hot[k] && shedPolicy) {
       for (const std::uint32_t i : intra[k]) out.flags[i] |= kFleetFlagShed;
-      shedQueries_.fetch_add(intra[k].size(), std::memory_order_relaxed);
+      shedQueries_->add(intra[k].size());
       continue;
     }
     std::vector<Query> sub;
@@ -204,7 +246,7 @@ FleetBatchResult ServiceFleet::serve(const std::vector<Query>& batch,
       out.hops[i] = r.hops[j];
       if (hot[k]) {
         out.flags[i] |= kFleetFlagStale;
-        degradedQueries_.fetch_add(1, std::memory_order_relaxed);
+        degradedQueries_->add(1);
       }
       if (wantPaths) {
         for (Point& p : r.paths[j]) p = layout_.toGlobal(k, p);
@@ -217,7 +259,7 @@ FleetBatchResult ServiceFleet::serve(const std::vector<Query>& batch,
   }
 
   if (!cross.empty()) {
-    crossQueries_.fetch_add(cross.size(), std::memory_order_relaxed);
+    crossQueries_->add(cross.size());
     // The graph is built from the SAME pinned handles the segments are
     // served against, so "healthy waypoint" and "chaseable endpoint"
     // agree within this batch by construction.
@@ -232,12 +274,13 @@ FleetBatchResult ServiceFleet::serve(const std::vector<Query>& batch,
       if (hot[ks] || hot[kd]) {
         if (shedPolicy) {
           out.flags[qi] |= kFleetFlagShed;
-          shedQueries_.fetch_add(1, std::memory_order_relaxed);
+          shedQueries_->add(1);
           continue;
         }
         out.flags[qi] |= kFleetFlagStale;
-        degradedQueries_.fetch_add(1, std::memory_order_relaxed);
+        degradedQueries_->add(1);
       }
+      TraceSpan stitchSpan(stitchNs_.get());
       serveCross(graph, batch, qi, wantPaths, memo, out);
     }
   }
@@ -295,7 +338,7 @@ void ServiceFleet::serveCross(const BoundaryWaypointGraph& graph,
   std::vector<std::pair<std::size_t, std::size_t>> blocked;
   const std::size_t maxReplans = 1 + 2 * layout_.shardCount();
   for (std::size_t attempt = 0; attempt < maxReplans; ++attempt) {
-    if (attempt > 0) replans_.fetch_add(1, std::memory_order_relaxed);
+    if (attempt > 0) replans_->add(1);
     const std::vector<std::size_t> plan =
         graph.shardPath(ks, kd, blocked.empty() ? nullptr : &blocked);
     if (plan.empty()) {
@@ -376,7 +419,7 @@ void ServiceFleet::serveCross(const BoundaryWaypointGraph& graph,
         const Point entry = graph.cellAcross(w, k);
         BatchResult r;
         if (!chase(k, cur, exit, r)) {
-          stitchRetries_.fetch_add(1, std::memory_order_relaxed);
+          stitchRetries_->add(1);
           continue;
         }
         hops += r.hops[0] + 1;  // +1: the crossing hop exit -> entry
@@ -399,6 +442,7 @@ void ServiceFleet::serveCross(const BoundaryWaypointGraph& graph,
     if (stitched) {
       out.status[qi] = ServeStatus::Delivered;
       out.hops[qi] = hops;
+      stitchSegments_->add(plan.size());
       if (wantPaths) {
         out.paths[qi] = std::move(path);
         out.segments[qi] = std::move(segs);

@@ -129,6 +129,8 @@ struct FleetBatchResult {
   }
 };
 
+/// Thin value snapshot over the fleet's registry instruments (kept as the
+/// stable accessor API; see ServiceFleet::counters()).
 struct FleetCounters {
   std::uint64_t intraQueries = 0;
   std::uint64_t crossQueries = 0;
@@ -139,6 +141,8 @@ struct FleetCounters {
   /// Shard-path replans after a border's candidates were exhausted.
   std::uint64_t replans = 0;
   std::uint64_t eventsApplied = 0;
+  /// Per-shard segments of successfully stitched cross queries.
+  std::uint64_t stitchSegments = 0;
 };
 
 /// True when no faulty cell of `localFaults` (shard-local coordinates)
@@ -188,8 +192,15 @@ class ServiceFleet {
   /// mid-application.
   void drainWriters();
 
+  /// Mutex-sampled backlog (queued events + one mid-application). The
+  /// continuously maintained "fleet.shard<k>.epoch_lag" gauge tracks the
+  /// same quantity lock-free; tests assert they agree at quiescence.
   std::size_t writerQueueDepth(std::size_t k) const;
   /// True when admission control is on and shard k's backlog exceeds it.
+  /// Reads the epoch-lag gauge, NOT a point sample of the queue: the
+  /// admission decision and the exported gauge can never disagree (the
+  /// PR-7 code sampled the mutexed queue only at admission time, so the
+  /// exported depth could go stale against the decision path).
   bool overloaded(std::size_t k) const;
 
   /// Serves a batch: intra-shard queries delegate to the owning shard's
@@ -208,6 +219,8 @@ class ServiceFleet {
   struct WriterEvent {
     bool add;
     Point local;
+    /// Enqueue timestamp; stamped only when queue-wait timing is on.
+    std::uint64_t enqueueNs = 0;
   };
   struct Shard {
     std::unique_ptr<RouteService> service;
@@ -219,6 +232,12 @@ class ServiceFleet {
     bool busy = false;
     bool stop = false;
     std::thread applier;
+    /// "fleet.shard<k>.*" gauges, updated under `mutex` on the same
+    /// transitions the mutexed state takes, so the lock-free gauge reads
+    /// and the mutex-sampled oracle agree exactly at quiescence.
+    std::shared_ptr<Gauge> queueDepth;  ///< events sitting in `queue`
+    std::shared_ptr<Gauge> epochLag;    ///< queue + mid-application event
+    std::shared_ptr<Gauge> epoch;       ///< service epoch after last apply
   };
 
   void applierLoop(std::size_t k);
@@ -245,13 +264,20 @@ class ServiceFleet {
   ShardLayout layout_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  std::atomic<std::uint64_t> intraQueries_{0};
-  std::atomic<std::uint64_t> crossQueries_{0};
-  std::atomic<std::uint64_t> shedQueries_{0};
-  std::atomic<std::uint64_t> degradedQueries_{0};
-  std::atomic<std::uint64_t> stitchRetries_{0};
-  std::atomic<std::uint64_t> replans_{0};
-  std::atomic<std::uint64_t> eventsApplied_{0};
+  // "fleet.*" registry instruments (counters always live; the stage
+  // histograms are null when cfg_.service.telemetry.enabled is off).
+  std::shared_ptr<Counter> intraQueries_;
+  std::shared_ptr<Counter> crossQueries_;
+  std::shared_ptr<Counter> shedQueries_;
+  std::shared_ptr<Counter> degradedQueries_;
+  std::shared_ptr<Counter> stitchRetries_;
+  std::shared_ptr<Counter> replans_;
+  std::shared_ptr<Counter> eventsApplied_;
+  std::shared_ptr<Counter> stitchSegments_;
+  std::shared_ptr<Histogram> serveNs_;
+  std::shared_ptr<Histogram> stitchNs_;
+  std::shared_ptr<Histogram> queueWaitNs_;
+  std::shared_ptr<Histogram> applyNs_;
 };
 
 }  // namespace meshrt

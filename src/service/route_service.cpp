@@ -8,8 +8,25 @@
 
 namespace meshrt {
 
+namespace {
+
+/// Pool instruments for one service's worker pool (the pool is built in
+/// the member-init list, so this runs before the ctor body).
+PoolTelemetry servicePoolTelemetry(const TelemetryConfig& telemetry) {
+  MetricsRegistry& reg = telemetry.resolve();
+  PoolTelemetry pt;
+  pt.jobsExecuted = reg.counter("pool.jobs_executed");
+  pt.queueDepth = reg.gauge("pool.queue_depth");
+  pt.waitStall = telemetry.stageHistogram("pool.wait_stall_ns");
+  return pt;
+}
+
+}  // namespace
+
 RouteService::RouteService(const FaultSet& initial, ServiceConfig cfg)
-    : cfg_(std::move(cfg)), model_(initial), pool_(cfg_.threads) {
+    : cfg_(std::move(cfg)),
+      model_(initial),
+      pool_(cfg_.threads, servicePoolTelemetry(cfg_.telemetry)) {
   if (cfg_.routerKey.starts_with("table:")) {
     throw std::invalid_argument(
         "RouteService compiles tables itself; pass the inner key instead "
@@ -17,6 +34,27 @@ RouteService::RouteService(const FaultSet& initial, ServiceConfig cfg)
         cfg_.routerKey + "'");
   }
   RouterRegistry::global().at(cfg_.routerKey);  // throws on unknown key
+  MetricsRegistry& reg = cfg_.telemetry.resolve();
+  columnsCompiled_ = reg.counter("service.columns_compiled");
+  columnsCarried_ = reg.counter("service.columns_carried");
+  columnsPatched_ = reg.counter("service.columns_patched");
+  entriesPatched_ = reg.counter("service.entries_patched");
+  columnsDropped_ = reg.counter("service.columns_dropped");
+  snapshotsPublished_ = reg.counter("service.snapshots_published");
+  queriesServed_ = reg.counter("service.queries_served");
+  chasesDiverged_ = reg.counter("service.chases_diverged");
+  serveClassifyNs_ = cfg_.telemetry.stageHistogram("serve.classify_ns");
+  serveCompileNs_ = cfg_.telemetry.stageHistogram("serve.compile_ns");
+  serveChaseNs_ = cfg_.telemetry.stageHistogram("serve.chase_ns");
+  publishLabelPatchNs_ =
+      cfg_.telemetry.stageHistogram("publish.label_patch_ns");
+  publishColumnPatchNs_ =
+      cfg_.telemetry.stageHistogram("publish.column_patch_ns");
+  publishEpochSwapNs_ =
+      cfg_.telemetry.stageHistogram("publish.epoch_swap_ns");
+  model_.setTelemetry(LabelerTelemetry{reg.counter("labeler.cells_relabeled"),
+                                       reg.counter("labeler.mccs_retired"),
+                                       reg.counter("labeler.mccs_built")});
   // Warm-up: materialize every quadrant now so epoch clones share fully
   // built analyses (cloneFor would otherwise label absent quadrants from
   // scratch) and no sharded compile pays first-touch latency.
@@ -27,7 +65,7 @@ RouteService::RouteService(const FaultSet& initial, ServiceConfig cfg)
   }
   box_.publish(std::make_unique<const ServiceSnapshot>(0, model_,
                                                        knowledge_.get()));
-  snapshotsPublished_.fetch_add(1);
+  snapshotsPublished_->add(1);
 }
 
 std::uint64_t RouteService::epoch() const {
@@ -37,12 +75,18 @@ std::uint64_t RouteService::epoch() const {
 
 std::uint64_t RouteService::applyAddFault(Point p) {
   std::lock_guard<std::mutex> lock(writerMutex_);
-  return applyEvent(model_.addFaultEvent(p));
+  TraceSpan span(publishLabelPatchNs_.get());
+  const FaultEvent event = model_.addFaultEvent(p);
+  span.stop();
+  return applyEvent(event);
 }
 
 std::uint64_t RouteService::applyRemoveFault(Point p) {
   std::lock_guard<std::mutex> lock(writerMutex_);
-  return applyEvent(model_.removeFaultEvent(p));
+  TraceSpan span(publishLabelPatchNs_.get());
+  const FaultEvent event = model_.removeFaultEvent(p);
+  span.stop();
+  return applyEvent(event);
 }
 
 std::uint64_t RouteService::applyEvent(const FaultEvent& event) {
@@ -60,6 +104,11 @@ std::uint64_t RouteService::applyEvent(const FaultEvent& event) {
   pendingChanged_.push_back(event.fault);
 
   if (knowledge_) knowledge_->sync();
+  // epoch_swap covers the two non-contiguous capture/publish segments, so
+  // it accumulates manually instead of through a TraceSpan.
+  const bool timeSwap = publishEpochSwapNs_ != nullptr;
+  std::uint64_t swapNs = 0;
+  std::uint64_t swapT0 = timeSwap ? telemetryNowNs() : 0;
   // The capture shares COW pages with the writer's state AND inherits the
   // previous epoch's column table (another page-table copy), so building
   // the snapshot is O(pages), not O(mesh). The deep-clone baseline then
@@ -67,7 +116,9 @@ std::uint64_t RouteService::applyEvent(const FaultEvent& event) {
   auto next = std::make_unique<ServiceSnapshot>(
       current->epoch() + 1, model_, knowledge_.get(), current.get());
   if (cfg_.storage == SnapshotStorage::DeepClone) next->detachAllPages();
+  if (timeSwap) swapNs += telemetryNowNs() - swapT0;
 
+  TraceSpan columnPatchSpan(publishColumnPatchNs_.get());
   // Migrate inherited columns under the delta rule (see header). The
   // masked set holds every label-changed cell of every event since the
   // last publish (which always includes the toggled nodes): an entry
@@ -142,15 +193,20 @@ std::uint64_t RouteService::applyEvent(const FaultEvent& event) {
     snap.replaceColumn(work[i].id, std::make_shared<const ColumnVariant>(
                                        std::move(successor)));
   });
-  columnsCarried_.fetch_add(carried.load());
-  columnsPatched_.fetch_add(work.size());
-  entriesPatched_.fetch_add(entries.load());
-  columnsDropped_.fetch_add(dropped);
+  columnPatchSpan.stop();
+  if (carried.load() != 0) columnsCarried_->add(carried.load());
+  if (!work.empty()) columnsPatched_->add(work.size());
+  if (entries.load() != 0) entriesPatched_->add(entries.load());
+  if (dropped != 0) columnsDropped_->add(dropped);
 
   const std::uint64_t epoch = next->epoch();
+  if (timeSwap) swapT0 = telemetryNowNs();
   box_.publish(std::unique_ptr<const ServiceSnapshot>(std::move(next)));
+  if (timeSwap) {
+    publishEpochSwapNs_->record(swapNs + (telemetryNowNs() - swapT0));
+  }
   pendingChanged_.clear();
-  snapshotsPublished_.fetch_add(1);
+  snapshotsPublished_->add(1);
   return epoch;
 }
 
@@ -196,7 +252,7 @@ void RouteService::compileColumns(const ServiceSnapshot& snap,
                : std::make_shared<const ColumnVariant>(
                      std::in_place_type<RouteColumn>, std::move(dense));
     snap.installColumn(dests[i], std::move(slot));
-    columnsCompiled_.fetch_add(1);
+    columnsCompiled_->add(1);
   });
 }
 
@@ -227,6 +283,7 @@ BatchResult RouteService::serveOn(
   // packed-column tests).
   constexpr std::size_t kInlineBatch = 8;
   if (batch.size() <= kInlineBatch) {
+    TraceSpan classifySpan(serveClassifyNs_.get());
     std::vector<NodeId> dests;
     for (const Query& q : batch) {
       if (q.s == q.d || faults.isFaulty(q.s) || faults.isFaulty(q.d)) {
@@ -245,7 +302,12 @@ BatchResult RouteService::serveOn(
         if (ptrs[i] == nullptr) missing.push_back(dests[i]);
       }
     }
-    compileColumns(*snap, std::move(missing));
+    classifySpan.stop();
+    {
+      TraceSpan compileSpan(serveCompileNs_.get());
+      compileColumns(*snap, std::move(missing));
+    }
+    TraceSpan chaseSpan(serveChaseNs_.get());
     const auto resolved = snap->columnsFor(dests);
     const auto bound = static_cast<std::size_t>(m.nodeCount());
     std::uint64_t divergedInline = 0;
@@ -288,8 +350,9 @@ BatchResult RouteService::serveOn(
       if (wantPaths) out.paths[i] = std::move(res.path);
       if (res.status == ServeStatus::Diverged) ++divergedInline;
     }
-    queriesServed_.fetch_add(batch.size());
-    chasesDiverged_.fetch_add(divergedInline);
+    chaseSpan.stop();
+    queriesServed_->add(batch.size());
+    if (divergedInline != 0) chasesDiverged_->add(divergedInline);
     return out;
   }
 
@@ -307,6 +370,7 @@ BatchResult RouteService::serveOn(
   // later pass repeats the fault lookups. countByDest doubles as the
   // dedup mask.
   constexpr std::uint32_t kSkipQuery = 0xFFFFFFFFu;
+  TraceSpan classifySpan(serveClassifyNs_.get());
   std::vector<std::uint32_t> countByDest(
       static_cast<std::size_t>(m.nodeCount()), 0);
   std::vector<std::uint32_t> destOf;
@@ -357,7 +421,11 @@ BatchResult RouteService::serveOn(
       if (ptrs[i] == nullptr) missing.push_back(dests[i]);
     }
   }
-  compileColumns(*snap, std::move(missing));
+  classifySpan.stop();
+  {
+    TraceSpan compileSpan(serveCompileNs_.get());
+    compileColumns(*snap, std::move(missing));
+  }
 
   // Pin raw pointers once; the serve loop then runs lock-free (the
   // snapshot handle keeps every column alive). compileColumns waits on
@@ -378,6 +446,7 @@ BatchResult RouteService::serveOn(
   std::atomic<std::uint64_t> diverged{0};
 
   if (!lockstep) {
+    TraceSpan chaseSpan(serveChaseNs_.get());
     parallelFor(pool_, batch.size(), [&](std::size_t i) {
       const Query& q = batch[i];
       if (faults.isFaulty(q.s) || faults.isFaulty(q.d)) {
@@ -404,8 +473,9 @@ BatchResult RouteService::serveOn(
       if (wantPaths) out.paths[i] = std::move(res.path);
       if (res.status == ServeStatus::Diverged) diverged.fetch_add(1);
     });
-    queriesServed_.fetch_add(batch.size());
-    chasesDiverged_.fetch_add(diverged.load());
+    chaseSpan.stop();
+    queriesServed_->add(batch.size());
+    if (diverged.load() != 0) chasesDiverged_->add(diverged.load());
     return out;
   }
 
@@ -415,6 +485,7 @@ BatchResult RouteService::serveOn(
   // lanes. Specials (faulty endpoints, s == d) already retired in the
   // classification pass above; the fill pass reuses its cached ids so
   // the batch sees no second round of fault lookups.
+  TraceSpan chaseSpan(serveChaseNs_.get());
   std::vector<std::uint32_t> groupStart(
       static_cast<std::size_t>(m.nodeCount()), 0);
   {
@@ -474,8 +545,9 @@ BatchResult RouteService::serveOn(
     }
     if (localDiverged != 0) diverged.fetch_add(localDiverged);
   });
-  queriesServed_.fetch_add(batch.size());
-  chasesDiverged_.fetch_add(diverged.load());
+  chaseSpan.stop();
+  queriesServed_->add(batch.size());
+  if (diverged.load() != 0) chasesDiverged_->add(diverged.load());
   return out;
 }
 
@@ -493,14 +565,14 @@ void RouteService::precompileAll() {
 
 ServiceCounters RouteService::counters() const {
   ServiceCounters c;
-  c.columnsCompiled = columnsCompiled_.load();
-  c.columnsCarried = columnsCarried_.load();
-  c.columnsPatched = columnsPatched_.load();
-  c.entriesPatched = entriesPatched_.load();
-  c.columnsDropped = columnsDropped_.load();
-  c.snapshotsPublished = snapshotsPublished_.load();
-  c.queriesServed = queriesServed_.load();
-  c.chasesDiverged = chasesDiverged_.load();
+  c.columnsCompiled = columnsCompiled_->value();
+  c.columnsCarried = columnsCarried_->value();
+  c.columnsPatched = columnsPatched_->value();
+  c.entriesPatched = entriesPatched_->value();
+  c.columnsDropped = columnsDropped_->value();
+  c.snapshotsPublished = snapshotsPublished_->value();
+  c.queriesServed = queriesServed_->value();
+  c.chasesDiverged = chasesDiverged_->value();
   return c;
 }
 

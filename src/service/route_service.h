@@ -103,6 +103,10 @@ struct ServiceConfig {
   SnapshotStorage storage = SnapshotStorage::Cow;
   /// Column encoding + batch serve engine (benches A/B dense vs packed).
   ColumnEncoding encoding = ColumnEncoding::Packed;
+  /// Metrics wiring (common/telemetry.h). Counters/gauges are always
+  /// live; `telemetry.enabled` gates the serve/publish stage histograms
+  /// (the clock-reading part — the MESHRT_TELEMETRY=off A/B axis).
+  TelemetryConfig telemetry;
 };
 
 struct Query {
@@ -129,7 +133,8 @@ struct BatchResult {
   }
 };
 
-/// Monotonic counters for tests and benches (snapshot of the atomics).
+/// Monotonic counters for tests and benches (thin reads over the
+/// service's registry instruments; see counters()).
 struct ServiceCounters {
   /// Full column compiles (mesh-many routes each).
   std::uint64_t columnsCompiled = 0;
@@ -225,14 +230,25 @@ class RouteService {
   /// footprint from the next migration mask.
   std::vector<Point> pendingChanged_;
 
-  std::atomic<std::uint64_t> columnsCompiled_{0};
-  std::atomic<std::uint64_t> columnsCarried_{0};
-  std::atomic<std::uint64_t> columnsPatched_{0};
-  std::atomic<std::uint64_t> entriesPatched_{0};
-  std::atomic<std::uint64_t> columnsDropped_{0};
-  std::atomic<std::uint64_t> snapshotsPublished_{0};
-  std::atomic<std::uint64_t> queriesServed_{0};
-  std::atomic<std::uint64_t> chasesDiverged_{0};
+  // Registry instruments ("service.*"). Each service mints its own
+  // instances, so counters() reads exact per-service values while the
+  // registry aggregates across services by name. The stage histograms
+  // ("serve.*" / "publish.*") are null when cfg_.telemetry.enabled is
+  // off — TraceSpan then skips the clock entirely.
+  std::shared_ptr<Counter> columnsCompiled_;
+  std::shared_ptr<Counter> columnsCarried_;
+  std::shared_ptr<Counter> columnsPatched_;
+  std::shared_ptr<Counter> entriesPatched_;
+  std::shared_ptr<Counter> columnsDropped_;
+  std::shared_ptr<Counter> snapshotsPublished_;
+  std::shared_ptr<Counter> queriesServed_;
+  std::shared_ptr<Counter> chasesDiverged_;
+  std::shared_ptr<Histogram> serveClassifyNs_;
+  std::shared_ptr<Histogram> serveCompileNs_;
+  std::shared_ptr<Histogram> serveChaseNs_;
+  std::shared_ptr<Histogram> publishLabelPatchNs_;
+  std::shared_ptr<Histogram> publishColumnPatchNs_;
+  std::shared_ptr<Histogram> publishEpochSwapNs_;
 };
 
 }  // namespace meshrt
