@@ -34,7 +34,9 @@
 #include <thread>
 
 #include "common/cli.h"
+#include "common/failpoint.h"
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "fault/injectors.h"
 #include "harness/bench_main.h"
 #include "service/fleet.h"
@@ -98,6 +100,26 @@ int main(int argc, char** argv) {
   flags.define("rounds", "1", "measured cycles per reader (each cycle = "
                "one batch per shard + one mixed batch)");
   flags.define("seed", "2008", "master random seed");
+  flags.define("chaos", "false",
+               "self-healing A/B: arm fleet.applier.throw (p:0.05) and "
+               "fleet.applier.stall (p:0.01, 50ms) for the fleet rows' "
+               "measured window, bound the writer queues, and push churn "
+               "through submit*WithRetry — the fleet serves through "
+               "quarantines and supervisor rebuilds, and the row's "
+               "stale/deadline columns plus `restarts` show what the "
+               "failures cost. Single-service rows are unaffected (the "
+               "failpoints are fleet sites)");
+  flags.define("deadline-us", "0",
+               "per-batch serve deadline in microseconds (0 = none); "
+               "expired queries return Deadline verdicts and land in "
+               "deadline_pct");
+  flags.define("max-queue", "0",
+               "admission-control threshold (FleetConfig.maxWriterQueue): "
+               "queries touching a shard whose writer backlog exceeds it "
+               "degrade or shed per --overload (0 = off)");
+  flags.define("overload", "degrade",
+               "admission policy when a shard is overloaded: degrade "
+               "(serve stale, flagged) or shed (refuse, flagged)");
   flags.define("smoke", "false",
                "tiny configuration (64x64, 6 readers) for CI smoke runs");
   flags.define("format", "table", "output format: table, csv or json");
@@ -133,6 +155,17 @@ int main(int argc, char** argv) {
   const std::string routerKey = flags.str("router");
   const auto threads = static_cast<std::size_t>(flags.integer("threads"));
   const auto seed = static_cast<std::uint64_t>(flags.integer("seed"));
+  const bool chaos = flags.boolean("chaos");
+  const auto deadlineUs =
+      static_cast<std::uint64_t>(flags.integer("deadline-us"));
+  const auto maxQueue =
+      static_cast<std::size_t>(flags.integer("max-queue"));
+  OverloadPolicy overloadPolicy = OverloadPolicy::Degrade;
+  if (!parseOverloadPolicy(flags.str("overload"), &overloadPolicy)) {
+    std::cerr << "unknown --overload '" << flags.str("overload")
+              << "' (degrade|shed)\n";
+    return 1;
+  }
   if (!RouterRegistry::global().contains(routerKey)) {
     std::cerr << "unknown --router '" << routerKey << "'\n";
     return 1;
@@ -164,7 +197,8 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(flags.integer("metrics-every")));
 
   Table table({"mesh", "mode", "scope", "readers", "writers", "qps",
-               "p50_ms", "p99_ms", "events/s", "delivered"});
+               "p50_ms", "p99_ms", "events/s", "delivered", "stale_pct",
+               "shed_pct", "deadline_pct", "restarts"});
   for (std::size_t meshSize : meshes) {
     const Mesh2D mesh = Mesh2D::square(static_cast<Coord>(meshSize));
     const ShardLayout layout(mesh, grid, halo);
@@ -233,25 +267,52 @@ int main(int argc, char** argv) {
         fleetCfg.service = serviceCfg;
         fleetCfg.grid = grid;
         fleetCfg.halo = halo;
+        fleetCfg.maxWriterQueue = maxQueue;
+        fleetCfg.overload = overloadPolicy;
+        if (chaos) {
+          // Self-healing configuration: bounded queues (retry writers),
+          // a tight watchdog, and a fast supervisor so quarantines and
+          // rebuilds land inside the measured window.
+          fleetCfg.queueCapacity = 16;
+          fleetCfg.stallTimeoutMs = 100;
+          fleetCfg.supervisorPollMs = 5;
+        }
         ServiceFleet fleetService(faults, fleetCfg);
         if (fleetMode) {
           fleet = &fleetService;
         } else {
           single = &singleService;
         }
+        // Degraded-mode accounting: queries served stale (quarantine or
+        // admission), shed, or expired against the batch deadline.
+        std::atomic<std::uint64_t> staleQ{0}, shedQ{0}, deadlineQ{0};
         const auto serveCount =
             [&](const std::vector<Query>& batch) -> std::uint64_t {
-          std::uint64_t ok = 0;
+          const std::uint64_t deadlineNs =
+              deadlineUs == 0 ? 0 : telemetryNowNs() + deadlineUs * 1000;
+          std::uint64_t ok = 0, stale = 0, shed = 0, expired = 0;
           if (fleet) {
-            const FleetBatchResult result = fleet->serve(batch);
+            const FleetBatchResult result =
+                fleet->serve(batch, /*wantPaths=*/false, deadlineNs);
             for (std::size_t i = 0; i < result.size(); ++i) {
               ok += result.delivered(i) ? 1 : 0;
+              stale += (result.flags[i] & kFleetFlagStale) ? 1 : 0;
+              shed += (result.flags[i] & kFleetFlagShed) ? 1 : 0;
+              expired += (result.flags[i] & kFleetFlagDeadline) ? 1 : 0;
             }
           } else {
-            const BatchResult result = single->serve(batch);
+            const BatchResult result =
+                single->serve(batch, /*wantPaths=*/false, deadlineNs);
             for (std::size_t i = 0; i < result.size(); ++i) {
               ok += result.delivered(i) ? 1 : 0;
+              expired +=
+                  result.status[i] == ServeStatus::Deadline ? 1 : 0;
             }
+          }
+          if (stale) staleQ.fetch_add(stale, std::memory_order_relaxed);
+          if (shed) shedQ.fetch_add(shed, std::memory_order_relaxed);
+          if (expired) {
+            deadlineQ.fetch_add(expired, std::memory_order_relaxed);
           }
           return ok;
         };
@@ -277,18 +338,53 @@ int main(int argc, char** argv) {
         // latencyMs[r][k] collects reader r's serve times for shard k's
         // intra batches; index `shards` is the mixed batch.
         std::vector<std::vector<std::vector<double>>> latencyMs(readers);
+        const std::uint64_t restartsBefore =
+            fleet ? fleet->counters().restarts : 0;
+        // Chaos window: armed for the fleet rows only (the failpoints
+        // are fleet applier sites), AFTER warm-up so the A/B measures
+        // serving-through-failures, not a cold-cache artifact.
+        FailpointArmScope chaosScope;
+        if (chaos && fleet) {
+          FailpointSpec crash;
+          crash.probability = 0.05;
+          crash.seed = seed;
+          FailpointRegistry::global()
+              .point("fleet.applier.throw")
+              .arm(crash);
+          FailpointSpec stall;
+          stall.probability = 0.01;
+          stall.seed = seed ^ 0x5711;
+          stall.payload = 50;  // ms; the 100ms watchdog abandons these
+          FailpointRegistry::global()
+              .point("fleet.applier.stall")
+              .arm(stall);
+        }
         const auto start = Clock::now();
         for (std::size_t w = 0; w < writerCount; ++w) {
           churners.emplace_back([&, w] {
             std::size_t next = 0;
             std::vector<bool> added(toggleCells[w].size(), false);
+            SubmitRetryPolicy retry;
+            retry.seed = seed ^ (w + 1);
             for (std::size_t e = 0; e < eventsPerShard; ++e) {
               const Point p = toggleCells[w][next];
               if (fleet) {
-                if (added[next]) {
+                SubmitResult verdict = SubmitResult::Accepted;
+                if (chaos) {
+                  // Bounded queues under chaos: the retry helper absorbs
+                  // rejection bursts while a shard is quarantined.
+                  verdict = added[next]
+                                ? fleet->submitRemoveFaultWithRetry(p, retry)
+                                : fleet->submitAddFaultWithRetry(p, retry);
+                } else if (added[next]) {
                   fleet->submitRemoveFault(p);
                 } else {
                   fleet->submitAddFault(p);
+                }
+                if (verdict != SubmitResult::Accepted) {
+                  // Gave up: leave the cell as it was, count nothing.
+                  next = (next + 1) % toggleCells[w].size();
+                  continue;
                 }
               } else {
                 if (added[next]) {
@@ -325,13 +421,21 @@ int main(int argc, char** argv) {
         }
         for (auto& t : serving) t.join();
         for (auto& t : churners) t.join();
+        // Disarm BEFORE the drain: the drain is the recovery phase — it
+        // must converge (and its time is on the clock, so the fleet pays
+        // for healing every quarantine the window injected).
+        if (chaos && fleet) FailpointRegistry::global().disarmAll();
         if (fleet) fleet->drainWriters();
         const double seconds = secondsSince(start);
         const std::uint64_t eventsInWindow = events.load();
+        const std::uint64_t restartsInWindow =
+            fleet ? fleet->counters().restarts - restartsBefore : 0;
 
         const auto emitScope = [&](const std::string& scope,
                                    std::vector<double> samples,
-                                   double qps, double deliveredPct) {
+                                   double qps, double deliveredPct,
+                                   double stalePct, double shedPct,
+                                   double deadlinePct) {
           std::sort(samples.begin(), samples.end());
           Table& row = table.row();
           row.cell(static_cast<std::int64_t>(meshSize));
@@ -344,6 +448,10 @@ int main(int argc, char** argv) {
           row.cell(percentileMs(samples, 99.0), 2);
           row.cell(static_cast<double>(eventsInWindow) / seconds, 1);
           row.cell(deliveredPct, 2);
+          row.cell(stalePct, 2);
+          row.cell(shedPct, 2);
+          row.cell(deadlinePct, 2);
+          row.cell(static_cast<std::int64_t>(restartsInWindow));
         };
 
         std::vector<double> allMs;
@@ -356,8 +464,12 @@ int main(int argc, char** argv) {
         }
         const double total =
             static_cast<double>(totalBatches) * static_cast<double>(queries);
+        const auto pct = [&](const std::atomic<std::uint64_t>& n) {
+          return 100.0 * static_cast<double>(n.load()) / total;
+        };
         emitScope("all", allMs, total / seconds,
-                  100.0 * static_cast<double>(delivered.load()) / total);
+                  100.0 * static_cast<double>(delivered.load()) / total,
+                  pct(staleQ), pct(shedQ), pct(deadlineQ));
         for (std::size_t k = 0; k < shards; ++k) {
           std::vector<double> shardMs;
           for (std::size_t r = 0; r < readers; ++r) {
@@ -368,7 +480,17 @@ int main(int argc, char** argv) {
               static_cast<double>(shardMs.size()) *
               static_cast<double>(queries);
           emitScope("shard" + std::to_string(k), shardMs,
-                    shardQueries / seconds, 0.0);
+                    shardQueries / seconds, 0.0, 0.0, 0.0, 0.0);
+        }
+        if (fleet) {
+          // Degraded-mode row: the share of the workload the fleet
+          // answered in a degraded way (stale, shed, or expired) and the
+          // rate it did so at — the headline of a --chaos run.
+          const double degraded = static_cast<double>(
+              staleQ.load() + shedQ.load() + deadlineQ.load());
+          emitScope("degraded", {}, degraded / seconds,
+                    100.0 * degraded / total, pct(staleQ), pct(shedQ),
+                    pct(deadlineQ));
         }
       }
     }

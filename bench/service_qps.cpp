@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/cli.h"
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "fault/injectors.h"
 #include "harness/bench_main.h"
@@ -52,6 +53,14 @@ int main(int argc, char** argv) {
                "timed batch pairs milliseconds apart, and report the "
                "median per-pair overhead (0 = normal rows). Robust where "
                "a two-process env-var A/B drowns in machine noise");
+  flags.define("failpoint-ab", "0",
+               "in-process failpoint A/B: alternate this many timed batch "
+               "pairs on ONE service — service.serve.fail armed at p:0 "
+               "(never fires, but every serve pays the armed evaluation) "
+               "vs fully disarmed (one relaxed load) — and report the "
+               "median per-pair overhead (0 = normal rows). Guards the "
+               "compiled-in-failpoints contract the same way "
+               "--telemetry-ab guards the telemetry budget");
   flags.define("churn", "0,4",
                "comma-separated fault events applied between batches "
                "(0 = static serving)");
@@ -105,10 +114,17 @@ int main(int argc, char** argv) {
   }
   const auto abPairs =
       static_cast<std::size_t>(flags.integer("telemetry-ab"));
+  const auto fpPairs =
+      static_cast<std::size_t>(flags.integer("failpoint-ab"));
   const auto threads = static_cast<std::size_t>(flags.integer("threads"));
   const auto seed = static_cast<std::uint64_t>(flags.integer("seed"));
   if (!RouterRegistry::global().contains(routerKey)) {
     std::cerr << "unknown --router '" << routerKey << "'\n";
+    return 1;
+  }
+  if (abPairs > 0 && fpPairs > 0) {
+    std::cerr << "--telemetry-ab and --failpoint-ab are mutually "
+                 "exclusive (one A/B per run)\n";
     return 1;
   }
 
@@ -132,6 +148,10 @@ int main(int argc, char** argv) {
       abPairs > 0
           ? std::vector<std::string>{"mesh", "encoding", "churn", "pairs",
                                      "qps_on", "qps_off", "overhead_pct"}
+      : fpPairs > 0
+          ? std::vector<std::string>{"mesh", "encoding", "churn", "pairs",
+                                     "qps_armed", "qps_disarmed",
+                                     "overhead_pct"}
           : std::vector<std::string>{"mesh", "encoding", "churn",
                                      "compile_ms", "table_qps", "naive_qps",
                                      "speedup", "delivered", "patched",
@@ -161,7 +181,7 @@ int main(int argc, char** argv) {
     // (skipped in A/B mode, which compares the service against itself).
     double naiveSeconds = 1.0;
     std::size_t naiveDelivered = 0;
-    if (abPairs == 0) {
+    if (abPairs == 0 && fpPairs == 0) {
       const FaultAnalysis fa(faults);
       const RouterContext ctx{&faults, &fa};
       // Prime lazily built state (quadrants) so the baseline isn't
@@ -241,6 +261,68 @@ int main(int argc, char** argv) {
         row.cell(static_cast<std::int64_t>(abPairs));
         row.cell(median(qpsOn), 0);
         row.cell(median(qpsOff), 0);
+        row.cell(median(overheadPcts), 2);
+        continue;
+      }
+      if (fpPairs > 0) {
+        // In-process failpoint A/B: ONE service, alternating batches with
+        // service.serve.fail armed at probability 0 (armed evaluation on
+        // every serve, but it can never fire — results are identical by
+        // construction) vs fully disarmed (the one-relaxed-load fast
+        // path). The pair sits milliseconds apart so machine drift
+        // cancels, exactly like --telemetry-ab; the median overhead is
+        // the figure BENCH_service.json holds to the <= 2% budget.
+        FailpointArmScope armScope;
+        Failpoint& fp =
+            FailpointRegistry::global().point("service.serve.fail");
+        FailpointSpec neverFires;
+        neverFires.probability = 0.0;
+        ServiceConfig cfg;
+        cfg.routerKey = routerKey;
+        cfg.threads = threads;
+        cfg.encoding = encoding;
+        RouteService service(faults, cfg);
+        service.serve(batch, /*wantPaths=*/false);  // compile + warm
+
+        Rng churnRng =
+            Rng::forStream(seed ^ 0xC0FFEE, meshSize * 31 + churn);
+        std::vector<double> overheadPcts, qpsArmed, qpsDisarmed;
+        for (std::size_t p = 0; p < fpPairs; ++p) {
+          for (std::size_t e = 0; e < churn; ++e) {
+            const Point pt{
+                static_cast<Coord>(churnRng.below(
+                    static_cast<std::uint64_t>(mesh.width()))),
+                static_cast<Coord>(churnRng.below(
+                    static_cast<std::uint64_t>(mesh.height())))};
+            if (service.snapshot()->faults().isFaulty(pt)) {
+              service.applyRemoveFault(pt);
+            } else {
+              service.applyAddFault(pt);
+            }
+          }
+          fp.arm(neverFires);
+          const auto armedStart = Clock::now();
+          service.serve(batch, /*wantPaths=*/false);
+          const double armedSec = secondsSince(armedStart);
+          fp.disarm();
+          const auto offStart = Clock::now();
+          service.serve(batch, /*wantPaths=*/false);
+          const double offSec = secondsSince(offStart);
+          overheadPcts.push_back(100.0 * (armedSec - offSec) / offSec);
+          qpsArmed.push_back(static_cast<double>(queries) / armedSec);
+          qpsDisarmed.push_back(static_cast<double>(queries) / offSec);
+        }
+        const auto median = [](std::vector<double> v) {
+          std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+          return v[v.size() / 2];
+        };
+        Table& row = table.row();
+        row.cell(static_cast<std::int64_t>(meshSize));
+        row.cell(std::string(columnEncodingName(encoding)));
+        row.cell(static_cast<std::int64_t>(churn));
+        row.cell(static_cast<std::int64_t>(fpPairs));
+        row.cell(median(qpsArmed), 0);
+        row.cell(median(qpsDisarmed), 0);
         row.cell(median(overheadPcts), 2);
         continue;
       }

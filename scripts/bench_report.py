@@ -8,8 +8,10 @@ deep-clone storage rows), the writer-only publish-latency sweep at
 256x256 and 512x512 (the copy-on-write paged storage A/B:
 pub_p50_us/pub_p99_us per applyEvent against the pre-COW deep-clone
 baseline), the in-process telemetry on/off overhead A/B at the
-single-core 64x64 packed point, and the table/chase + executor micro
-kernels —
+single-core 64x64 packed point, the failpoint armed/disarmed A/B at the
+same point (both held to the <= 2% hot-path budget), the fleet chaos
+point (applier failpoints armed, bounded queues, supervisor healing on
+the clock), and the table/chase + executor micro kernels —
 several times each (median-of-N so one noisy
 run cannot move the record) — and emits a machine- and commit-stamped
 JSON report. The committed BENCH_service.json at the repo root is the
@@ -153,6 +155,28 @@ def main():
             [r["overhead_pct"] for r in ab_rows]), 2),
     }
 
+    # Failpoint overhead A/B at the same point: service.serve.fail armed
+    # at probability 0 (every serve pays the armed evaluation, nothing
+    # fires) vs fully disarmed (one relaxed load). Same in-process
+    # alternating-pairs method and the same hot-path budget as telemetry:
+    # overhead_pct <= 2, the contract that lets the failpoints stay
+    # compiled into production code.
+    fp_cmd = [qps, "--meshes", "64", "--threads", "1",
+              "--encoding", "packed", "--churn", "0",
+              "--failpoint-ab", "50", "--format", "json"]
+    fp_rows = [run_json(fp_cmd)[0] for _ in range(max(args.runs, 3))]
+    report["failpoint_overhead"] = {
+        "point": "64x64 packed, threads=1, churn=0, "
+                 "in-process alternating pairs",
+        "pairs_per_run": 50,
+        "qps_armed": statistics.median(
+            [r["qps_armed"] for r in fp_rows]),
+        "qps_disarmed": statistics.median(
+            [r["qps_disarmed"] for r in fp_rows]),
+        "overhead_pct": round(statistics.median(
+            [r["overhead_pct"] for r in fp_rows]), 2),
+    }
+
     churn = binary("service_churn_qps")
     if not churn:
         print("service_churn_qps not built", file=sys.stderr)
@@ -197,6 +221,18 @@ def main():
         f"writers={w}": round(modes["fleet"] / modes["single"], 2)
         for w, modes in sorted(by_writers.items())
         if modes.get("single") and modes.get("fleet")}
+
+    # Self-healing chaos point (smoke scale): the fleet serves the same
+    # workload with the applier throw/stall failpoints armed, bounded
+    # writer queues, and retry submits — quarantines, supervisor rebuilds,
+    # and the degraded-service share are the row payload (stale_pct /
+    # shed_pct / deadline_pct / restarts). The `all` row is throughput
+    # while failing; the `degraded` row is what the failures cost.
+    chaos_rows = run_json([fleet, "--smoke", "--chaos",
+                           "--format", "json"])
+    report["fleet_chaos"] = [
+        r for r in chaos_rows
+        if r["mode"] == "fleet" and r["scope"] in ("all", "degraded")]
 
     micro = binary("micro_kernels")
     if micro:

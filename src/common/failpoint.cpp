@@ -1,0 +1,175 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace meshrt {
+namespace {
+
+/// probability in [0,1] -> 64-bit acceptance threshold. 1.0 maps to the
+/// sentinel ~0 ("always fire", no hash needed).
+std::uint64_t probabilityThreshold(double p) {
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  if (clamped >= 1.0) return ~std::uint64_t{0};
+  // 2^64 * p without overflowing; ldexp keeps the full double mantissa.
+  return static_cast<std::uint64_t>(std::ldexp(clamped, 64));
+}
+
+}  // namespace
+
+void Failpoint::arm(const FailpointSpec& spec) {
+  auto next = std::make_unique<Armed>();
+  next->spec = spec;
+  next->threshold = probabilityThreshold(spec.probability);
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.store(next.get(), std::memory_order_release);
+  states_.push_back(std::move(next));
+}
+
+void Failpoint::disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The retired Armed stays in states_ — a concurrent shouldFire() may
+  // still be reading it.
+  armed_.store(nullptr, std::memory_order_release);
+}
+
+bool Failpoint::fireArmed(Armed& armed) {
+  const std::uint64_t index =
+      armed.evals.fetch_add(1, std::memory_order_relaxed);
+  totalEvals_.fetch_add(1, std::memory_order_relaxed);
+  if (armed.threshold != ~std::uint64_t{0}) {
+    // Deterministic per-index accept: the fired index SET depends only on
+    // (seed, probability), never on thread scheduling.
+    std::uint64_t h = armed.spec.seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+    if (splitmix64(h) >= armed.threshold) return false;
+  }
+  // Budget: claim a fire slot; losers past maxFires put it back so the
+  // counter stays meaningful in diagnostics.
+  const std::uint64_t slot =
+      armed.fires.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= armed.spec.maxFires) {
+    armed.fires.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  totalFires_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+FailpointRegistry& FailpointRegistry::global() {
+  static FailpointRegistry* registry = [] {
+    auto* r = new FailpointRegistry();
+    if (const char* env = std::getenv("MESHRT_FAILPOINTS");
+        env != nullptr && *env != '\0') {
+      std::string error;
+      if (!r->armFromSpec(env, &error)) {
+        std::fprintf(stderr, "MESHRT_FAILPOINTS: %s\n", error.c_str());
+      }
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+Failpoint& FailpointRegistry::point(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = points_[name];
+  if (!slot) slot = std::make_unique<Failpoint>(name);
+  return *slot;
+}
+
+bool FailpointRegistry::armFromSpec(const std::string& spec,
+                                    std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    std::string_view entry = rest.substr(0, semi);
+    rest = semi == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(semi + 1);
+    if (entry.empty()) continue;
+
+    const std::size_t eq = entry.find('=');
+    std::string name(entry.substr(0, eq));
+    if (name.empty()) return fail("empty failpoint name in spec");
+    FailpointSpec parsed;
+    std::string_view opts =
+        eq == std::string_view::npos ? std::string_view{}
+                                     : entry.substr(eq + 1);
+    while (!opts.empty()) {
+      const std::size_t comma = opts.find(',');
+      std::string_view opt = opts.substr(0, comma);
+      opts = comma == std::string_view::npos ? std::string_view{}
+                                             : opts.substr(comma + 1);
+      if (opt.empty()) continue;
+      const std::size_t colon = opt.find(':');
+      if (colon == std::string_view::npos) {
+        return fail("option '" + std::string(opt) + "' for '" + name +
+                    "' is not key:value");
+      }
+      const std::string key(opt.substr(0, colon));
+      const std::string value(opt.substr(colon + 1));
+      try {
+        if (key == "p" || key == "probability") {
+          parsed.probability = std::stod(value);
+        } else if (key == "n" || key == "fires") {
+          parsed.maxFires = std::stoull(value);
+        } else if (key == "seed") {
+          parsed.seed = std::stoull(value);
+        } else if (key == "payload") {
+          parsed.payload = std::stoll(value);
+        } else {
+          return fail("unknown failpoint option '" + key + "' for '" +
+                      name + "'");
+        }
+      } catch (const std::exception&) {
+        return fail("bad value '" + value + "' for option '" + key +
+                    "' of '" + name + "'");
+      }
+    }
+    point(name).arm(parsed);
+  }
+  return true;
+}
+
+void FailpointRegistry::disarmAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, fp] : points_) fp->disarm();
+}
+
+std::vector<std::string> FailpointRegistry::armedNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  for (const auto& [name, fp] : points_) {
+    if (fp->armed()) names.push_back(name);
+  }
+  return names;
+}
+
+bool failpointMaybeStall(Failpoint* fp, const std::atomic<bool>* cancel) {
+  if (fp == nullptr) return false;
+  // Read the payload first: a disarm racing shouldFire() then just
+  // shortens the stall to zero instead of dereferencing a stale spec.
+  const std::int64_t ms = fp->payload();
+  if (!fp->shouldFire()) return false;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(ms > 0 ? ms : 0);
+  // Sliced sleep: a stalled applier must still notice fleet shutdown (or
+  // a supervisor kill) within ~10ms, or teardown would wait out the full
+  // injected stall.
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return true;
+}
+
+}  // namespace meshrt

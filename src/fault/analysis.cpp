@@ -2,7 +2,23 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+
 namespace meshrt {
+
+namespace {
+
+/// `labeler.apply.fail`: fires BEFORE the fault set or any quadrant
+/// labeler mutates, so a fired event leaves the model exactly as it was —
+/// the caller (service writer, fleet applier) can retry or quarantine
+/// without the model drifting from its published snapshot.
+Failpoint* labelerApplyFailpoint() {
+  static Failpoint* fp =
+      &FailpointRegistry::global().point("labeler.apply.fail");
+  return fp;
+}
+
+}  // namespace
 
 QuadrantAnalysis::QuadrantAnalysis(const FaultSet& faults, Quadrant q)
     : quadrant_(q),
@@ -107,6 +123,7 @@ FaultEvent DynamicFaultModel::addFaultEvent(Point p) {
   event.fault = p;
   event.added = true;
   if (faults_.isFaulty(p)) return event;
+  failpointMaybeThrow(labelerApplyFailpoint());
   faults_.add(p);
   event.changedWorld = analysis_.applyAddFault(p);
   event.applied = true;
@@ -119,6 +136,7 @@ FaultEvent DynamicFaultModel::removeFaultEvent(Point p) {
   event.fault = p;
   event.added = false;
   if (faults_.isHealthy(p)) return event;
+  failpointMaybeThrow(labelerApplyFailpoint());
   faults_.remove(p);
   event.changedWorld = analysis_.applyRemoveFault(p);
   event.applied = true;

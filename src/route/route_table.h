@@ -45,6 +45,9 @@ enum class ServeStatus : std::uint8_t {
   /// The chase exceeded the step bound (a per-hop livelock of the
   /// underlying router, e.g. e-cube ring detours chasing each other).
   Diverged = 3,
+  /// The query was not chased: its batch's serve deadline expired first.
+  /// Not a routing verdict — retrying without a deadline may deliver.
+  Deadline = 4,
 };
 
 constexpr std::string_view serveStatusName(ServeStatus s) {
@@ -57,6 +60,8 @@ constexpr std::string_view serveStatusName(ServeStatus s) {
       return "no-route";
     case ServeStatus::Diverged:
       return "diverged";
+    case ServeStatus::Deadline:
+      return "deadline";
   }
   return "?";
 }

@@ -1,9 +1,30 @@
 #include "service/fleet.h"
 
 #include <algorithm>
+#include <chrono>
+#include <stdexcept>
 #include <utility>
 
+#include "common/failpoint.h"
+#include "common/rng.h"
+
 namespace meshrt {
+
+namespace {
+
+/// Rebuild pacing after consecutive failures: the first quarantine
+/// rebuilds at the next supervisor poll, repeat offenders back off
+/// exponentially (a permanently poisoned event keeps its shard cycling
+/// Quarantined <-> Rebuilding at a bounded, capped rate instead of
+/// hot-looping service construction).
+std::uint64_t rebuildBackoffNs(std::uint64_t failures) {
+  if (failures <= 1) return 0;
+  const std::uint64_t ms = std::min<std::uint64_t>(
+      1000, 50ull << std::min<std::uint64_t>(failures - 2, 4));
+  return ms * 1'000'000ull;
+}
+
+}  // namespace
 
 bool shardBorderClear(const ShardLayout& layout, std::size_t shard,
                       const FaultSet& localFaults, Coord margin) {
@@ -34,31 +55,52 @@ ServiceFleet::ServiceFleet(const FaultSet& initial, FleetConfig cfg)
   replans_ = reg.counter("fleet.replans");
   eventsApplied_ = reg.counter("fleet.events_applied");
   stitchSegments_ = reg.counter("fleet.stitch_segments");
+  quarantines_ = reg.counter("fleet.quarantines");
+  restarts_ = reg.counter("fleet.restarts");
+  submitRejected_ = reg.counter("fleet.submit_rejected");
+  submitRetries_ = reg.counter("fleet.submit_retries");
+  deadlineQueries_ = reg.counter("fleet.deadline_queries");
+  serveErrors_ = reg.counter("fleet.serve_errors");
   serveNs_ = telemetry.stageHistogram("fleet.serve_ns");
   stitchNs_ = telemetry.stageHistogram("fleet.stitch_ns");
   queueWaitNs_ = telemetry.stageHistogram("fleet.queue_wait_ns");
   applyNs_ = telemetry.stageHistogram("fleet.apply_ns");
+  FailpointRegistry& failpoints = FailpointRegistry::global();
+  fpApplierThrow_ = &failpoints.point("fleet.applier.throw");
+  fpApplierStall_ = &failpoints.point("fleet.applier.stall");
   const std::vector<Point> faults = initial.toVector();
   shards_.reserve(layout_.shardCount());
   for (std::size_t k = 0; k < layout_.shardCount(); ++k) {
-    auto shard = std::make_unique<Shard>();
-    const std::string prefix = "fleet.shard" + std::to_string(k);
-    shard->queueDepth = reg.gauge(prefix + ".queue_depth");
-    shard->epochLag = reg.gauge(prefix + ".epoch_lag");
-    shard->epoch = reg.gauge(prefix + ".epoch");
     FaultSet slice(layout_.localMesh(k));
     for (const Point p : faults) {
       if (layout_.local(k).contains(p)) slice.add(layout_.toLocal(k, p));
     }
-    shard->service = std::make_unique<RouteService>(slice, cfg_.service);
+    auto shard = std::make_unique<Shard>(std::move(slice));
+    const std::string prefix = "fleet.shard" + std::to_string(k);
+    shard->queueDepth = reg.gauge(prefix + ".queue_depth");
+    shard->epochLag = reg.gauge(prefix + ".epoch_lag");
+    shard->epoch = reg.gauge(prefix + ".epoch");
+    shard->healthGauge = reg.gauge(prefix + ".health");
+    shard->service = std::make_shared<RouteService>(shard->applied,
+                                                    cfg_.service);
     shards_.push_back(std::move(shard));
   }
   for (std::size_t k = 0; k < shards_.size(); ++k) {
-    shards_[k]->applier = std::thread([this, k] { applierLoop(k); });
+    shards_[k]->applier = std::thread([this, k] { applierLoop(k, 0); });
+  }
+  if (cfg_.supervise) {
+    supervisor_ = std::thread([this] { supervisorLoop(); });
   }
 }
 
 ServiceFleet::~ServiceFleet() {
+  stopping_.store(true, std::memory_order_relaxed);
+  // Supervisor first: no rebuild may race the teardown below.
+  {
+    std::lock_guard<std::mutex> guard(supervisorMutex_);
+  }
+  supervisorCv_.notify_all();
+  if (supervisor_.joinable()) supervisor_.join();
   for (auto& shard : shards_) {
     {
       std::lock_guard<std::mutex> guard(shard->mutex);
@@ -66,92 +108,371 @@ ServiceFleet::~ServiceFleet() {
     }
     shard->wake.notify_all();
   }
+  // Live appliers drain their queues before exiting; a quarantined
+  // shard has no applier, so its queued events are dropped with the
+  // fleet (they were never applied anywhere).
   for (auto& shard : shards_) {
     if (shard->applier.joinable()) shard->applier.join();
   }
+  // Abandoned appliers exit on generation mismatch once their stall or
+  // apply finishes (stopping_ cuts injected stalls to ~10ms).
+  std::lock_guard<std::mutex> guard(retiredMutex_);
+  for (std::thread& t : retired_) {
+    if (t.joinable()) t.join();
+  }
 }
 
-void ServiceFleet::applierLoop(std::size_t k) {
+void ServiceFleet::setHealthLocked(Shard& shard, ShardHealth next) {
+  shard.health = next;
+  shard.healthGauge->set(static_cast<std::int64_t>(next));
+}
+
+void ServiceFleet::applierLoop(std::size_t k, std::uint64_t generation) {
   Shard& shard = *shards_[k];
   std::unique_lock<std::mutex> lock(shard.mutex);
   for (;;) {
-    shard.wake.wait(lock,
-                    [&] { return shard.stop || !shard.queue.empty(); });
+    shard.wake.wait(lock, [&] {
+      return shard.stop || generation != shard.generation ||
+             !shard.queue.empty();
+    });
+    if (generation != shard.generation) return;  // abandoned: a successor owns the shard
     if (shard.queue.empty()) {
       if (shard.stop) return;  // queue drained before exit: no lost events
       continue;
     }
     const WriterEvent event = shard.queue.front();
     shard.queue.pop_front();
+    shard.inflight = event;
     shard.busy = true;
     shard.queueDepth->sub(1);
+    // Pin the service instance: a mid-apply abandonment lets the
+    // supervisor swap shard.service, and this thread must keep its
+    // (now retired) instance alive until the apply unwinds.
+    const std::shared_ptr<RouteService> service = shard.service;
     lock.unlock();
     if (queueWaitNs_ && event.enqueueNs != 0) {
       queueWaitNs_->record(telemetryNowNs() - event.enqueueNs);
     }
+    // The test-seam hook runs OUTSIDE the heartbeat window: gated-hook
+    // tests park the applier indefinitely without tripping the watchdog.
     if (cfg_.applyHook) cfg_.applyHook(k);
-    {
+    shard.busySinceNs.store(telemetryNowNs(), std::memory_order_relaxed);
+    bool ok = true;
+    std::string error;
+    try {
+      failpointMaybeStall(fpApplierStall_, &stopping_);
+      failpointMaybeThrow(fpApplierThrow_);
       TraceSpan applySpan(applyNs_.get());
       if (event.add) {
-        shard.service->applyAddFault(event.local);
+        service->applyAddFault(event.local);
       } else {
-        shard.service->applyRemoveFault(event.local);
+        service->applyRemoveFault(event.local);
+      }
+    } catch (const std::exception& e) {
+      ok = false;
+      error = e.what();
+    } catch (...) {
+      ok = false;
+      error = "non-standard applier exception";
+    }
+    shard.busySinceNs.store(0, std::memory_order_relaxed);
+    lock.lock();
+    if (generation != shard.generation) {
+      // Abandoned mid-apply: the supervisor already restored the event
+      // to the queue and owns every piece of shard state. The apply (if
+      // it succeeded) landed on the retired instance this thread pinned,
+      // which the rebuild discards.
+      return;
+    }
+    shard.inflight.reset();
+    shard.busy = false;
+    if (ok) {
+      if (event.add) {
+        shard.applied.add(event.local);
+      } else {
+        shard.applied.remove(event.local);
+      }
+      shard.failures = 0;
+      if (shard.health == ShardHealth::Suspect) {
+        setHealthLocked(shard, ShardHealth::Healthy);
+      }
+      eventsApplied_->add(1);
+      shard.epoch->set(static_cast<std::int64_t>(service->epoch()));
+      // The lag gauge mirrors queue + busy, so it drops only once the
+      // event is fully applied — under the mutex, on the same transition
+      // the writerQueueDepth() oracle observes.
+      shard.epochLag->sub(1);
+      if (shard.queue.empty()) shard.idle.notify_all();
+    } else {
+      // Peel the failure into quarantine: the event goes back to the
+      // queue FRONT (replay preserves order; nothing accepted is lost),
+      // the shard keeps serving its last good epoch, and this thread
+      // exits — the supervisor respawns a successor after rebuild.
+      shard.queue.push_front(event);
+      shard.queueDepth->add(1);
+      shard.error = std::move(error);
+      shard.failures += 1;
+      shard.nextRebuildNs = telemetryNowNs() + rebuildBackoffNs(shard.failures);
+      setHealthLocked(shard, ShardHealth::Quarantined);
+      quarantines_->add(1);
+      shard.idle.notify_all();  // drainWriters re-evaluates (fail fast)
+      return;
+    }
+  }
+}
+
+void ServiceFleet::supervisorLoop() {
+  std::unique_lock<std::mutex> lock(supervisorMutex_);
+  for (;;) {
+    supervisorCv_.wait_for(
+        lock, std::chrono::milliseconds(cfg_.supervisorPollMs),
+        [&] { return stopping_.load(std::memory_order_relaxed); });
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    lock.unlock();
+    const std::uint64_t now = telemetryNowNs();
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      superviseShard(k, now);
+    }
+    lock.lock();
+  }
+}
+
+void ServiceFleet::superviseShard(std::size_t k, std::uint64_t nowNs) {
+  Shard& shard = *shards_[k];
+  bool rebuild = false;
+  {
+    std::lock_guard<std::mutex> guard(shard.mutex);
+    const std::uint64_t timeoutNs =
+        static_cast<std::uint64_t>(cfg_.stallTimeoutMs) * 1'000'000ull;
+    if (shard.health == ShardHealth::Healthy ||
+        shard.health == ShardHealth::Suspect) {
+      // busySinceNs re-read under the mutex: a nonzero value here means
+      // the applier is strictly before its post-apply clear, so
+      // abandoning it cannot race its bookkeeping (the generation bump
+      // below voids that bookkeeping entirely).
+      const std::uint64_t since =
+          shard.busySinceNs.load(std::memory_order_relaxed);
+      const std::uint64_t stalled =
+          (since != 0 && nowNs > since) ? nowNs - since : 0;
+      if (stalled > 2 * timeoutNs) {
+        // Abandon the stalled applier: bump the generation (the zombie
+        // must touch no shard state when it eventually unwinds), park
+        // its thread handle for join-at-destruction, restore the
+        // in-flight event, and quarantine.
+        ++shard.generation;
+        {
+          std::lock_guard<std::mutex> retiredGuard(retiredMutex_);
+          retired_.push_back(std::move(shard.applier));
+        }
+        shard.applier = std::thread();
+        if (shard.inflight) {
+          shard.queue.push_front(*shard.inflight);
+          shard.inflight.reset();
+          shard.queueDepth->add(1);
+        }
+        shard.busy = false;
+        shard.busySinceNs.store(0, std::memory_order_relaxed);
+        shard.error = "applier stalled past " +
+                      std::to_string(2 * cfg_.stallTimeoutMs) +
+                      "ms heartbeat budget";
+        shard.failures += 1;
+        shard.nextRebuildNs = nowNs;  // a stall is not the event's fault
+        setHealthLocked(shard, ShardHealth::Quarantined);
+        quarantines_->add(1);
+        shard.idle.notify_all();
+      } else if (stalled > timeoutNs) {
+        if (shard.health == ShardHealth::Healthy) {
+          setHealthLocked(shard, ShardHealth::Suspect);
+        }
+      } else if (shard.health == ShardHealth::Suspect && since == 0) {
+        // Heartbeat cleared between polls without the applier itself
+        // clearing Suspect (it only does so on apply success with the
+        // matching generation).
+        setHealthLocked(shard, ShardHealth::Healthy);
+        shard.idle.notify_all();
       }
     }
-    eventsApplied_->add(1);
-    shard.epoch->set(
-        static_cast<std::int64_t>(shard.service->epoch()));
-    lock.lock();
-    shard.busy = false;
-    // The lag gauge mirrors queue + busy, so it drops only once the
-    // event is fully applied — under the mutex, on the same transition
-    // the writerQueueDepth() oracle observes.
-    shard.epochLag->sub(1);
-    if (shard.queue.empty()) shard.idle.notify_all();
+    if (shard.health == ShardHealth::Quarantined &&
+        nowNs >= shard.nextRebuildNs) {
+      setHealthLocked(shard, ShardHealth::Rebuilding);
+      rebuild = true;
+    }
   }
+  if (rebuild) rebuildShard(k);
+}
+
+void ServiceFleet::rebuildShard(std::size_t k) {
+  Shard& shard = *shards_[k];
+  FaultSet authoritative = [&] {
+    std::lock_guard<std::mutex> guard(shard.mutex);
+    return shard.applied;
+  }();
+  // Construct outside the shard mutex: readers keep serving the old
+  // service and writers keep enqueuing while the replacement labels its
+  // mesh. The ctor can itself fail (injected or real) — that re-enters
+  // quarantine with backoff rather than killing the supervisor.
+  std::shared_ptr<RouteService> fresh;
+  try {
+    fresh = std::make_shared<RouteService>(authoritative, cfg_.service);
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> guard(shard.mutex);
+    shard.error = std::string("rebuild failed: ") + e.what();
+    shard.failures += 1;
+    shard.nextRebuildNs = telemetryNowNs() + rebuildBackoffNs(shard.failures);
+    setHealthLocked(shard, ShardHealth::Quarantined);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> guard(shard.mutex);
+    // A throw-quarantined applier exited on its own; join its finished
+    // thread here. (Stall-quarantined appliers were already moved to
+    // retired_ when abandoned.)
+    if (shard.applier.joinable()) shard.applier.join();
+    shard.service = std::move(fresh);
+    const std::uint64_t generation = ++shard.generation;
+    shard.applier =
+        std::thread([this, k, generation] { applierLoop(k, generation); });
+    shard.epoch->set(static_cast<std::int64_t>(shard.service->epoch()));
+    setHealthLocked(shard, ShardHealth::Healthy);
+  }
+  restarts_->add(1);
+  shard.wake.notify_all();  // replay the queue (failed event first)
+  shard.idle.notify_all();
 }
 
 void ServiceFleet::applyAddFault(Point p) {
   for (const std::size_t k : layout_.covering(p)) {
-    const std::uint64_t epoch =
-        shards_[k]->service->applyAddFault(layout_.toLocal(k, p));
-    shards_[k]->epoch->set(static_cast<std::int64_t>(epoch));
+    Shard& shard = *shards_[k];
+    const Point local = layout_.toLocal(k, p);
+    const std::shared_ptr<RouteService> service = shard.serviceRef();
+    const std::uint64_t epoch = service->applyAddFault(local);
+    {
+      std::lock_guard<std::mutex> guard(shard.mutex);
+      shard.applied.add(local);
+    }
+    shard.epoch->set(static_cast<std::int64_t>(epoch));
     eventsApplied_->add(1);
   }
 }
 
 void ServiceFleet::applyRemoveFault(Point p) {
   for (const std::size_t k : layout_.covering(p)) {
-    const std::uint64_t epoch =
-        shards_[k]->service->applyRemoveFault(layout_.toLocal(k, p));
-    shards_[k]->epoch->set(static_cast<std::int64_t>(epoch));
+    Shard& shard = *shards_[k];
+    const Point local = layout_.toLocal(k, p);
+    const std::shared_ptr<RouteService> service = shard.serviceRef();
+    const std::uint64_t epoch = service->applyRemoveFault(local);
+    {
+      std::lock_guard<std::mutex> guard(shard.mutex);
+      shard.applied.remove(local);
+    }
+    shard.epoch->set(static_cast<std::int64_t>(epoch));
     eventsApplied_->add(1);
   }
 }
 
-void ServiceFleet::submit(Point p, bool add) {
+SubmitResult ServiceFleet::submit(Point p, bool add) {
   const std::uint64_t now = queueWaitNs_ ? telemetryNowNs() : 0;
-  for (const std::size_t k : layout_.covering(p)) {
-    Shard& shard = *shards_[k];
-    {
-      std::lock_guard<std::mutex> guard(shard.mutex);
-      shard.queue.push_back({add, layout_.toLocal(k, p), now});
-      shard.queueDepth->add(1);
-      shard.epochLag->add(1);
+  const std::vector<std::size_t> covering = layout_.covering(p);
+  // All-or-nothing admission across the covering shards: covering() is
+  // ascending (deadlock-free multi-lock), and either every replica
+  // enqueues or none does — a partial enqueue would silently desync the
+  // halo replicas, which no later event could repair.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(covering.size());
+  for (const std::size_t k : covering) {
+    locks.emplace_back(shards_[k]->mutex);
+  }
+  if (cfg_.queueCapacity > 0) {
+    for (const std::size_t k : covering) {
+      if (shards_[k]->queue.size() >= cfg_.queueCapacity) {
+        submitRejected_->add(1);
+        return SubmitResult::Rejected;
+      }
     }
-    shard.wake.notify_one();
+  }
+  for (std::size_t i = 0; i < covering.size(); ++i) {
+    Shard& shard = *shards_[covering[i]];
+    shard.queue.push_back({add, layout_.toLocal(covering[i], p), now});
+    shard.queueDepth->add(1);
+    shard.epochLag->add(1);
+  }
+  locks.clear();
+  for (const std::size_t k : covering) shards_[k]->wake.notify_one();
+  return SubmitResult::Accepted;
+}
+
+SubmitResult ServiceFleet::submitAddFault(Point p) { return submit(p, true); }
+SubmitResult ServiceFleet::submitRemoveFault(Point p) {
+  return submit(p, false);
+}
+
+SubmitResult ServiceFleet::submitWithRetry(Point p, bool add,
+                                           const SubmitRetryPolicy& policy) {
+  // Jitter stream keyed by (seed, cell): replays are deterministic, and
+  // concurrent churners with distinct seeds decorrelate.
+  std::uint64_t jitterState =
+      policy.seed ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                         p.x)) << 32) ^
+      static_cast<std::uint32_t>(p.y);
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    if (submit(p, add) == SubmitResult::Accepted) {
+      return SubmitResult::Accepted;
+    }
+    if (attempt + 1 >= policy.maxAttempts) return SubmitResult::Rejected;
+    const std::uint32_t shift = std::min<std::uint32_t>(attempt, 16);
+    std::uint64_t delayUs =
+        std::min(policy.maxDelayUs, policy.baseDelayUs << shift);
+    if (delayUs > 0) {
+      const std::uint64_t half = delayUs / 2;
+      delayUs = delayUs - half + splitmix64(jitterState) % (half + 1);
+    }
+    if (policy.deadlineNs != 0 &&
+        telemetryNowNs() + delayUs * 1000 >= policy.deadlineNs) {
+      return SubmitResult::Rejected;  // the sleep would blow the deadline
+    }
+    submitRetries_->add(1);
+    std::this_thread::sleep_for(std::chrono::microseconds(delayUs));
   }
 }
 
-void ServiceFleet::submitAddFault(Point p) { submit(p, true); }
-void ServiceFleet::submitRemoveFault(Point p) { submit(p, false); }
+SubmitResult ServiceFleet::submitAddFaultWithRetry(
+    Point p, const SubmitRetryPolicy& policy) {
+  return submitWithRetry(p, true, policy);
+}
 
-void ServiceFleet::drainWriters() {
+SubmitResult ServiceFleet::submitRemoveFaultWithRetry(
+    Point p, const SubmitRetryPolicy& policy) {
+  return submitWithRetry(p, false, policy);
+}
+
+bool ServiceFleet::drainWriters(std::int64_t timeoutMs) {
+  const auto start = std::chrono::steady_clock::now();
+  const bool bounded = timeoutMs >= 0;
+  const auto deadline = start + std::chrono::milliseconds(
+                                    bounded ? timeoutMs : 0);
   for (auto& shard : shards_) {
     std::unique_lock<std::mutex> lock(shard->mutex);
-    shard->idle.wait(lock,
-                     [&] { return shard->queue.empty() && !shard->busy; });
+    for (;;) {
+      if (shard->health == ShardHealth::Quarantined && !cfg_.supervise) {
+        // Unsupervised quarantine never recovers: the pre-PR-9 code
+        // wedged here forever. Fail fast with the cause instead.
+        throw std::runtime_error(
+            "drainWriters: shard quarantined with supervision off (" +
+            shard->error + ")");
+      }
+      if (shard->queue.empty() && !shard->busy &&
+          shard->health == ShardHealth::Healthy) {
+        break;
+      }
+      if (bounded && std::chrono::steady_clock::now() >= deadline) {
+        return false;
+      }
+      // Sliced waits: health transitions notify `idle`, but the slice
+      // also bounds the window of any missed wakeup.
+      shard->idle.wait_for(lock, std::chrono::milliseconds(10));
+    }
   }
+  return true;
 }
 
 std::size_t ServiceFleet::writerQueueDepth(std::size_t k) const {
@@ -167,8 +488,25 @@ bool ServiceFleet::overloaded(std::size_t k) const {
          static_cast<std::size_t>(lag) > cfg_.maxWriterQueue;
 }
 
+ShardHealth ServiceFleet::shardHealth(std::size_t k) const {
+  std::lock_guard<std::mutex> guard(shards_[k]->mutex);
+  return shards_[k]->health;
+}
+
+std::string ServiceFleet::shardError(std::size_t k) const {
+  std::lock_guard<std::mutex> guard(shards_[k]->mutex);
+  return shards_[k]->error;
+}
+
+FaultSet ServiceFleet::shardAppliedFaults(std::size_t k) const {
+  std::lock_guard<std::mutex> guard(shards_[k]->mutex);
+  return shards_[k]->applied;
+}
+
 void ServiceFleet::precompileAll() {
-  for (auto& shard : shards_) shard->service->precompileAll();
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    shards_[k]->serviceRef()->precompileAll();
+  }
 }
 
 FleetCounters ServiceFleet::counters() const {
@@ -181,11 +519,18 @@ FleetCounters ServiceFleet::counters() const {
   c.replans = replans_->value();
   c.eventsApplied = eventsApplied_->value();
   c.stitchSegments = stitchSegments_->value();
+  c.quarantines = quarantines_->value();
+  c.restarts = restarts_->value();
+  c.submitRejected = submitRejected_->value();
+  c.submitRetries = submitRetries_->value();
+  c.deadlineQueries = deadlineQueries_->value();
+  c.serveErrors = serveErrors_->value();
   return c;
 }
 
 FleetBatchResult ServiceFleet::serve(const std::vector<Query>& batch,
-                                     bool wantPaths) {
+                                     bool wantPaths,
+                                     std::uint64_t deadlineNs) {
   TraceSpan serveSpan(serveNs_.get());
   const std::size_t count = shardCount();
   FleetBatchResult out;
@@ -196,10 +541,22 @@ FleetBatchResult ServiceFleet::serve(const std::vector<Query>& batch,
     out.paths.resize(batch.size());
     out.segments.resize(batch.size());
   }
+  out.services.reserve(count);
   out.pinned.reserve(count);
   out.shardEpochs.reserve(count);
+  // Pin the service INSTANCE and its snapshot per shard, and sample
+  // health in the same locked read: a supervisor rebuild mid-batch then
+  // swaps under us harmlessly — every chase of this batch runs on the
+  // pinned instance's pinned epoch.
+  std::vector<bool> unhealthy(count, false);
   for (std::size_t k = 0; k < count; ++k) {
-    out.pinned.push_back(shards_[k]->service->snapshot());
+    Shard& shard = *shards_[k];
+    {
+      std::lock_guard<std::mutex> guard(shard.mutex);
+      out.services.push_back(shard.service);
+      unhealthy[k] = shard.health != ShardHealth::Healthy;
+    }
+    out.pinned.push_back(out.services.back()->snapshot());
     out.shardEpochs.push_back(out.pinned.back()->epoch());
   }
 
@@ -211,6 +568,14 @@ FleetBatchResult ServiceFleet::serve(const std::vector<Query>& batch,
     for (std::size_t k = 0; k < count; ++k) hot[k] = overloaded(k);
   }
   const bool shedPolicy = cfg_.overload == OverloadPolicy::Shed;
+  const auto pastDeadline = [deadlineNs] {
+    return deadlineNs != 0 && telemetryNowNs() >= deadlineNs;
+  };
+  const auto expire = [&](std::uint32_t i) {
+    out.status[i] = ServeStatus::Deadline;
+    out.flags[i] |= kFleetFlagDeadline;
+    deadlineQueries_->add(1);
+  };
 
   std::vector<std::vector<std::uint32_t>> intra(count);
   std::vector<std::uint32_t> cross;
@@ -232,19 +597,43 @@ FleetBatchResult ServiceFleet::serve(const std::vector<Query>& batch,
       shedQueries_->add(intra[k].size());
       continue;
     }
+    // A quarantined/rebuilding shard still answers — from the epoch this
+    // batch pinned, which is by definition its last good one — but every
+    // touching query is marked stale, exactly like admission degrade.
+    const bool staleK = hot[k] || unhealthy[k];
+    if (pastDeadline()) {
+      for (const std::uint32_t i : intra[k]) expire(i);
+      continue;
+    }
     std::vector<Query> sub;
     sub.reserve(intra[k].size());
     for (const std::uint32_t i : intra[k]) {
       sub.push_back({layout_.toLocal(k, batch[i].s),
                      layout_.toLocal(k, batch[i].d)});
     }
-    BatchResult r = shards_[k]->service->serveOn(out.pinned[k], sub,
-                                                wantPaths);
+    BatchResult r;
+    try {
+      r = out.services[k]->serveOn(out.pinned[k], sub, wantPaths,
+                                   deadlineNs);
+    } catch (const std::exception&) {
+      // Isolate the blast radius to the queries that needed this shard:
+      // an injected (or real) serve failure must not take the batch.
+      for (const std::uint32_t i : intra[k]) {
+        out.status[i] = ServeStatus::NoRoute;
+        out.flags[i] |= kFleetFlagError;
+      }
+      serveErrors_->add(intra[k].size());
+      continue;
+    }
     for (std::size_t j = 0; j < sub.size(); ++j) {
       const std::uint32_t i = intra[k][j];
       out.status[i] = r.status[j];
       out.hops[i] = r.hops[j];
-      if (hot[k]) {
+      if (r.status[j] == ServeStatus::Deadline) {
+        out.flags[i] |= kFleetFlagDeadline;
+        deadlineQueries_->add(1);
+      }
+      if (staleK) {
         out.flags[i] |= kFleetFlagStale;
         degradedQueries_->add(1);
       }
@@ -271,17 +660,32 @@ FleetBatchResult ServiceFleet::serve(const std::vector<Query>& batch,
     for (const std::uint32_t qi : cross) {
       const std::size_t ks = layout_.owner(batch[qi].s);
       const std::size_t kd = layout_.owner(batch[qi].d);
-      if (hot[ks] || hot[kd]) {
-        if (shedPolicy) {
-          out.flags[qi] |= kFleetFlagShed;
-          shedQueries_->add(1);
-          continue;
-        }
+      if ((hot[ks] || hot[kd]) && shedPolicy) {
+        out.flags[qi] |= kFleetFlagShed;
+        shedQueries_->add(1);
+        continue;
+      }
+      if (hot[ks] || hot[kd] || unhealthy[ks] || unhealthy[kd]) {
         out.flags[qi] |= kFleetFlagStale;
         degradedQueries_->add(1);
       }
+      if (pastDeadline()) {
+        expire(qi);
+        continue;
+      }
       TraceSpan stitchSpan(stitchNs_.get());
-      serveCross(graph, batch, qi, wantPaths, memo, out);
+      try {
+        serveCross(graph, batch, qi, wantPaths, deadlineNs, memo, out);
+      } catch (const std::exception&) {
+        out.status[qi] = ServeStatus::NoRoute;
+        out.flags[qi] |= kFleetFlagError;
+        serveErrors_->add(1);
+        continue;
+      }
+      if (out.status[qi] == ServeStatus::Deadline) {
+        out.flags[qi] |= kFleetFlagDeadline;
+        deadlineQueries_->add(1);
+      }
     }
   }
   return out;
@@ -289,16 +693,19 @@ FleetBatchResult ServiceFleet::serve(const std::vector<Query>& batch,
 
 BatchResult ServiceFleet::serveSegment(std::size_t k, Point u, Point v,
                                        bool wantPaths,
+                                       std::uint64_t deadlineNs,
                                        const FleetBatchResult& out) {
   const std::vector<Query> one{
       {layout_.toLocal(k, u), layout_.toLocal(k, v)}};
-  return shards_[k]->service->serveOn(out.pinned[k], one, wantPaths);
+  return out.services[k]->serveOn(out.pinned[k], one, wantPaths,
+                                  deadlineNs);
 }
 
 void ServiceFleet::serveCross(const BoundaryWaypointGraph& graph,
                               const std::vector<Query>& batch,
                               std::size_t qi, bool wantPaths,
-                              SegmentMemo& memo, FleetBatchResult& out) {
+                              std::uint64_t deadlineNs, SegmentMemo& memo,
+                              FleetBatchResult& out) {
   const Query& q = batch[qi];
   const std::size_t ks = layout_.owner(q.s);
   const std::size_t kd = layout_.owner(q.d);
@@ -324,13 +731,19 @@ void ServiceFleet::serveCross(const BoundaryWaypointGraph& graph,
 
   // Memoized segment chase: a (shard, from, to) chase that failed for
   // an earlier query of this batch fails identically here (same pinned
-  // epoch), so skip the serve.
+  // epoch), so skip the serve. Deadline expiries are NOT memoized —
+  // they say nothing about the epoch, only about the clock.
+  bool deadlined = false;
   const auto chase = [&](std::size_t k, Point u, Point v,
                          BatchResult& r) -> bool {
     const auto key = std::make_tuple(k, u.x, u.y, v.x, v.y);
     if (memo.contains(key)) return false;
-    r = serveSegment(k, u, v, wantPaths, out);
+    r = serveSegment(k, u, v, wantPaths, deadlineNs, out);
     if (r.status[0] == ServeStatus::Delivered) return true;
+    if (r.status[0] == ServeStatus::Deadline) {
+      deadlined = true;
+      return false;
+    }
     memo.insert(key);
     return false;
   };
@@ -363,6 +776,10 @@ void ServiceFleet::serveCross(const BoundaryWaypointGraph& graph,
       if (leg + 1 == plan.size()) {
         BatchResult r;
         if (!chase(k, cur, q.d, r)) {
+          if (deadlined) {
+            out.status[qi] = ServeStatus::Deadline;
+            return;
+          }
           // The entry cell chosen at the previous border may be in a
           // region the destination can't reach locally: retry around.
           stitched = false;
@@ -419,6 +836,10 @@ void ServiceFleet::serveCross(const BoundaryWaypointGraph& graph,
         const Point entry = graph.cellAcross(w, k);
         BatchResult r;
         if (!chase(k, cur, exit, r)) {
+          if (deadlined) {
+            out.status[qi] = ServeStatus::Deadline;
+            return;
+          }
           stitchRetries_->add(1);
           continue;
         }

@@ -52,6 +52,10 @@ RouteService::RouteService(const FaultSet& initial, ServiceConfig cfg)
       cfg_.telemetry.stageHistogram("publish.column_patch_ns");
   publishEpochSwapNs_ =
       cfg_.telemetry.stageHistogram("publish.epoch_swap_ns");
+  FailpointRegistry& failpoints = FailpointRegistry::global();
+  fpServe_ = &failpoints.point("service.serve.fail");
+  fpCompile_ = &failpoints.point("service.compile.fail");
+  fpPublish_ = &failpoints.point("service.publish.fail");
   model_.setTelemetry(LabelerTelemetry{reg.counter("labeler.cells_relabeled"),
                                        reg.counter("labeler.mccs_retired"),
                                        reg.counter("labeler.mccs_built")});
@@ -102,6 +106,10 @@ std::uint64_t RouteService::applyEvent(const FaultEvent& event) {
   pendingChanged_.insert(pendingChanged_.end(), event.changedWorld.begin(),
                          event.changedWorld.end());
   pendingChanged_.push_back(event.fault);
+  // "service.publish.fail" fires after the fold on purpose: the injected
+  // abort exercises exactly the footprint-retention path above (the next
+  // successful publish must migrate against this event's mask).
+  failpointMaybeThrow(fpPublish_);
 
   if (knowledge_) knowledge_->sync();
   // epoch_swap covers the two non-contiguous capture/publish segments, so
@@ -227,6 +235,10 @@ void RouteService::forEachWithChunkRouter(
     const std::size_t end = std::min(count, begin + chunk);
     if (begin >= end) break;
     group.submit([this, &snap, &body, begin, end] {
+      // "service.compile.fail" fires before the router exists, modeling a
+      // registry factory that blows up mid-compile; the error belongs to
+      // THIS caller's group only (concurrent batches are unaffected).
+      failpointMaybeThrow(fpCompile_);
       const auto router =
           RouterRegistry::global().create(cfg_.routerKey, snap.context());
       for (std::size_t i = begin; i < end; ++i) body(*router, i);
@@ -257,15 +269,21 @@ void RouteService::compileColumns(const ServiceSnapshot& snap,
 }
 
 BatchResult RouteService::serve(const std::vector<Query>& batch,
-                                bool wantPaths) {
-  return serveOn(box_.acquire(), batch, wantPaths);
+                                bool wantPaths, std::uint64_t deadlineNs) {
+  return serveOn(box_.acquire(), batch, wantPaths, deadlineNs);
 }
 
 BatchResult RouteService::serveOn(
     const SnapshotBox<ServiceSnapshot>::Handle& snap,
-    const std::vector<Query>& batch, bool wantPaths) {
+    const std::vector<Query>& batch, bool wantPaths,
+    std::uint64_t deadlineNs) {
+  failpointMaybeThrow(fpServe_);
   const Mesh2D& m = snap->mesh();
   const FaultSet& faults = snap->faults();
+  // Deadline probe: free when no deadline was given (no clock read).
+  const auto pastDeadline = [deadlineNs] {
+    return deadlineNs != 0 && telemetryNowNs() >= deadlineNs;
+  };
 
   BatchResult out;
   out.epoch = snap->epoch();
@@ -303,6 +321,11 @@ BatchResult RouteService::serveOn(
       }
     }
     classifySpan.stop();
+    if (pastDeadline()) {
+      std::fill(out.status.begin(), out.status.end(), ServeStatus::Deadline);
+      queriesServed_->add(batch.size());
+      return out;
+    }
     {
       TraceSpan compileSpan(serveCompileNs_.get());
       compileColumns(*snap, std::move(missing));
@@ -313,6 +336,10 @@ BatchResult RouteService::serveOn(
     std::uint64_t divergedInline = 0;
     for (std::size_t i = 0; i < batch.size(); ++i) {
       const Query& q = batch[i];
+      if (pastDeadline()) {
+        out.status[i] = ServeStatus::Deadline;
+        continue;
+      }
       if (faults.isFaulty(q.s) || faults.isFaulty(q.d)) {
         out.status[i] = ServeStatus::EndpointFaulty;
         if (wantPaths) out.paths[i].push_back(q.s);
@@ -422,6 +449,21 @@ BatchResult RouteService::serveOn(
     }
   }
   classifySpan.stop();
+  // Deadline gate ahead of the compile (the serve stage with unbounded
+  // single-step cost). Queries already retired by the lockstep classify
+  // keep their verdicts; everything unchased reports Deadline.
+  if (pastDeadline()) {
+    if (lockstep) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (destOf[i] == kSkipQuery) continue;
+        out.status[i] = ServeStatus::Deadline;
+      }
+    } else {
+      std::fill(out.status.begin(), out.status.end(), ServeStatus::Deadline);
+    }
+    queriesServed_->add(batch.size());
+    return out;
+  }
   {
     TraceSpan compileSpan(serveCompileNs_.get());
     compileColumns(*snap, std::move(missing));
@@ -449,6 +491,10 @@ BatchResult RouteService::serveOn(
     TraceSpan chaseSpan(serveChaseNs_.get());
     parallelFor(pool_, batch.size(), [&](std::size_t i) {
       const Query& q = batch[i];
+      if (pastDeadline()) {
+        out.status[i] = ServeStatus::Deadline;
+        return;
+      }
       if (faults.isFaulty(q.s) || faults.isFaulty(q.d)) {
         out.status[i] = ServeStatus::EndpointFaulty;
         if (wantPaths) out.paths[i].push_back(q.s);
@@ -533,6 +579,15 @@ BatchResult RouteService::serveOn(
   std::vector<std::int32_t> groupHops(chaseable, 0);
   parallelFor(pool_, jobs.size(), [&](std::size_t j) {
     const ChaseJob& job = jobs[j];
+    // Deadline at chase-slice granularity: an expired job retires its
+    // whole slice as Deadline without touching the column; the overshoot
+    // past the deadline is bounded by one kChunk slice's chase.
+    if (pastDeadline()) {
+      for (std::uint32_t p = job.begin; p < job.end; ++p) {
+        out.status[queryOf[p]] = ServeStatus::Deadline;
+      }
+      return;
+    }
     chaseBatch(*job.column, srcIds.data() + job.begin, job.end - job.begin,
                job.column->hopBound(), groupStatus.data() + job.begin,
                groupHops.data() + job.begin, allowSimd);

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "common/epoch.h"
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "service/snapshot.h"
 
@@ -186,7 +187,17 @@ class RouteService {
   /// parallel. With wantPaths=false only status/hops are produced (the
   /// high-QPS mode). Deterministic per (snapshot, batch) regardless of
   /// thread count.
-  BatchResult serve(const std::vector<Query>& batch, bool wantPaths = false);
+  ///
+  /// `deadlineNs` (telemetryNowNs() clock, 0 = none) bounds the serve:
+  /// once it passes, queries not yet chased come back as
+  /// ServeStatus::Deadline instead of blocking the reader. The check
+  /// runs at chase-slice granularity (kChunk lanes on the lockstep path,
+  /// per parallelFor chunk on the scalar path), so the overshoot past
+  /// the deadline is one slice's chase, not one batch's. A missing
+  /// column compile that was already in flight runs to completion —
+  /// compiles install into the shared snapshot all-or-nothing.
+  BatchResult serve(const std::vector<Query>& batch, bool wantPaths = false,
+                    std::uint64_t deadlineNs = 0);
 
   /// serve() against an explicitly pinned snapshot handle (from
   /// snapshot()) instead of the current epoch. The fleet frontend pins
@@ -194,7 +205,7 @@ class RouteService {
   /// is chased — and later validated — against the same epoch.
   BatchResult serveOn(const SnapshotBox<ServiceSnapshot>::Handle& snap,
                       const std::vector<Query>& batch,
-                      bool wantPaths = false);
+                      bool wantPaths = false, std::uint64_t deadlineNs = 0);
 
   /// Compiles every healthy destination's column in the current snapshot
   /// (bench warm-up / eager mode).
@@ -249,6 +260,13 @@ class RouteService {
   std::shared_ptr<Histogram> publishLabelPatchNs_;
   std::shared_ptr<Histogram> publishColumnPatchNs_;
   std::shared_ptr<Histogram> publishEpochSwapNs_;
+
+  // Injection sites (common/failpoint.h), cached once at construction so
+  // the hot paths never touch the registry map. Disarmed cost per check:
+  // one relaxed load.
+  Failpoint* fpServe_;    ///< "service.serve.fail": serveOn entry
+  Failpoint* fpCompile_;  ///< "service.compile.fail": per chunk-router job
+  Failpoint* fpPublish_;  ///< "service.publish.fail": post-footprint-fold
 };
 
 }  // namespace meshrt

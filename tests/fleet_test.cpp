@@ -328,6 +328,71 @@ TEST(FleetBackpressure, RecoversOnceTheWriterDrains) {
   }
 }
 
+TEST(FleetBackpressure, MaxWriterQueueZeroDisablesAdmissionControl) {
+  // A deep backlog with maxWriterQueue == 0: never overloaded, never
+  // flagged — admission control is opt-in.
+  const Mesh2D mesh = Mesh2D::square(32);
+  Gate gate;
+  FleetConfig cfg = fleetConfig("rb2", 2);
+  cfg.halo = 1;
+  cfg.maxWriterQueue = 0;
+  cfg.applyHook = [&gate](std::size_t shard) {
+    if (shard == 0) gate.waitUntilOpen();
+  };
+  ServiceFleet fleet(FaultSet(mesh), cfg);
+  for (Coord x = 2; x < 8; ++x) fleet.submitAddFault({x, 4});
+  EXPECT_GE(fleet.writerQueueDepth(0), 5u);
+  EXPECT_FALSE(fleet.overloaded(0));
+  const FleetBatchResult r = fleet.serve({{{2, 2}, {12, 12}}}, false);
+  EXPECT_EQ(r.status[0], ServeStatus::Delivered);
+  EXPECT_EQ(r.flags[0], 0u);
+  gate.open();
+  fleet.drainWriters();
+}
+
+TEST(FleetBackpressure, OverloadTripsStrictlyAboveMaxWriterQueue) {
+  // The threshold is exclusive: backlog == maxWriterQueue serves clean,
+  // backlog == maxWriterQueue + 1 degrades. maxWriterQueue = 1 is the
+  // tightest admissible setting.
+  const Mesh2D mesh = Mesh2D::square(32);
+  Gate gate;
+  FleetConfig cfg = fleetConfig("rb2", 2);
+  cfg.halo = 1;
+  cfg.maxWriterQueue = 1;
+  cfg.applyHook = [&gate](std::size_t shard) {
+    if (shard == 0) gate.waitUntilOpen();
+  };
+  ServiceFleet fleet(FaultSet(mesh), cfg);
+  const std::vector<Query> probe{{{2, 2}, {12, 12}}};
+  // Backlog 1 (the in-flight or queued event): at the threshold, clean.
+  fleet.submitAddFault({2, 4});
+  EXPECT_EQ(fleet.writerQueueDepth(0), 1u);
+  EXPECT_FALSE(fleet.overloaded(0));
+  EXPECT_EQ(fleet.serve(probe, false).flags[0], 0u);
+  // Backlog 2: strictly above, degraded.
+  fleet.submitAddFault({3, 4});
+  EXPECT_EQ(fleet.writerQueueDepth(0), 2u);
+  EXPECT_TRUE(fleet.overloaded(0));
+  EXPECT_EQ(fleet.serve(probe, false).flags[0], kFleetFlagStale);
+  gate.open();
+  fleet.drainWriters();
+  EXPECT_FALSE(fleet.overloaded(0));
+}
+
+TEST(FleetBackpressure, OverloadPolicyNamesRoundTrip) {
+  for (const OverloadPolicy policy :
+       {OverloadPolicy::Degrade, OverloadPolicy::Shed}) {
+    OverloadPolicy parsed = OverloadPolicy::Degrade;
+    EXPECT_TRUE(
+        parseOverloadPolicy(overloadPolicyName(policy), &parsed));
+    EXPECT_EQ(parsed, policy);
+  }
+  OverloadPolicy untouched = OverloadPolicy::Shed;
+  EXPECT_FALSE(parseOverloadPolicy("bogus", &untouched));
+  EXPECT_FALSE(parseOverloadPolicy("", &untouched));
+  EXPECT_EQ(untouched, OverloadPolicy::Shed);
+}
+
 // ------------------------------------------------- event routing
 
 TEST(FleetTest, EventsRouteToOwnerAndHaloNeighbors) {

@@ -27,6 +27,7 @@
 #include "route/route_table.h"
 #include "route/validate.h"
 #include "service/route_service.h"
+#include "test_util.h"
 
 namespace meshrt {
 namespace {
@@ -424,45 +425,8 @@ TEST(ServiceTest, SnapshotConsistencyUnderConcurrentChurn) {
 
 // ------------------------------------------- per-group exception scoping
 
-/// Armed => the poison factory throws instead of building a router.
-std::atomic<bool>& poisonArmed() {
-  static std::atomic<bool> armed{false};
-  return armed;
-}
-
-/// RAII arm/disarm so a failing assertion can never leave the registry
-/// poisoned for later tests.
-struct PoisonScope {
-  PoisonScope() { poisonArmed().store(true); }
-  ~PoisonScope() { poisonArmed().store(false); }
-};
-
-/// Registers "poison-when-armed" (plus its table: wrapper, so the
-/// iterate-every-key differential tests keep working): exactly rb2 while
-/// disarmed, throws from the factory while armed.
-void ensurePoisonRouterRegistered() {
-  static const bool once = [] {
-    auto factory = [](const RouterContext& ctx) -> std::unique_ptr<Router> {
-      if (poisonArmed().load()) {
-        throw std::runtime_error("poison-when-armed: armed");
-      }
-      return RouterRegistry::global().create("rb2", ctx);
-    };
-    auto& registry = RouterRegistry::global();
-    registry.add("poison-when-armed", "RB2(poison)",
-                 "rb2 whose construction throws while armed (test-only)",
-                 factory);
-    registry.add("table:poison-when-armed", "RB2(poison)·tbl",
-                 "compiled table over poison-when-armed (test-only)",
-                 [factory](const RouterContext& ctx)
-                     -> std::unique_ptr<Router> {
-                   return std::make_unique<TableizedRouter>(factory(ctx),
-                                                            *ctx.faults);
-                 });
-    return true;
-  }();
-  (void)once;
-}
+using testutil::ensurePoisonRouterRegistered;
+using testutil::PoisonScope;
 
 TEST(ServiceTest, ThrowingWriterCannotPoisonReaders) {
   // Regression for the per-group exception contract: the writer's patch

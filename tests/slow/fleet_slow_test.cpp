@@ -97,55 +97,7 @@ TEST(FleetSlowDifferential, LargeMeshUnrestrictedFaults) {
 
 // --------------------------------------------------------- churn stress
 
-/// Validates one served fleet batch purely against its own pinned
-/// epochs: structural path invariants, plus — via the stitch-segment
-/// records — every path cell healthy in the pinned snapshot of the
-/// shard that chased it, and every crossing healthy on both sides.
-void validateAgainstPinnedEpochs(const ShardLayout& layout,
-                                 const std::vector<Query>& batch,
-                                 const FleetBatchResult& r) {
-  ASSERT_EQ(r.size(), batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    SCOPED_TRACE("query " + std::to_string(i) + " " + batch[i].s.str() +
-                 "->" + batch[i].d.str());
-    if (!r.delivered(i)) continue;
-    const auto& path = r.paths[i];
-    ASSERT_FALSE(path.empty());
-    EXPECT_EQ(path.front(), batch[i].s);
-    EXPECT_EQ(path.back(), batch[i].d);
-    EXPECT_EQ(r.hops[i], static_cast<std::int32_t>(path.size()) - 1);
-    for (std::size_t j = 0; j + 1 < path.size(); ++j) {
-      EXPECT_EQ(manhattan(path[j], path[j + 1]), 1);
-    }
-    const auto& segs = r.segments[i];
-    ASSERT_FALSE(segs.empty());
-    ASSERT_EQ(segs.front().begin, 0u);
-    for (std::size_t j = 0; j < segs.size(); ++j) {
-      const std::size_t k = segs[j].shard;
-      const std::size_t begin = segs[j].begin;
-      const std::size_t end =
-          j + 1 < segs.size() ? segs[j + 1].begin : path.size();
-      ASSERT_LT(begin, end);
-      const FaultSet& pinnedFaults = r.pinned[k]->faults();
-      for (std::size_t c = begin; c < end; ++c) {
-        ASSERT_TRUE(layout.local(k).contains(path[c]));
-        EXPECT_TRUE(pinnedFaults.isHealthy(layout.toLocal(k, path[c])))
-            << "cell " << path[c].str() << " faulty in shard " << k
-            << " pinned epoch " << r.shardEpochs[k];
-      }
-      // The crossing into this segment is healthy on BOTH sides it
-      // joins (the previous shard sees the entry cell in its halo).
-      if (j > 0) {
-        const std::size_t prev = segs[j - 1].shard;
-        EXPECT_TRUE(layout.local(prev).contains(path[begin]));
-        EXPECT_TRUE(r.pinned[prev]->faults().isHealthy(
-            layout.toLocal(prev, path[begin])));
-        EXPECT_TRUE(pinnedFaults.isHealthy(
-            layout.toLocal(k, path[begin - 1])));
-      }
-    }
-  }
-}
+using fleettest::validateAgainstPinnedEpochs;
 
 TEST(FleetChurn, ConcurrentWritersAndReadersStayEpochConsistent) {
   const Mesh2D mesh = Mesh2D::square(64);
