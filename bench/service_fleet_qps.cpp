@@ -26,12 +26,29 @@
 // Fleet churn goes through the submit* writer queues (the per-shard
 // applier threads publish asynchronously); single-mode churn uses the
 // synchronous apply* calls the service offers. See docs/REPRODUCING.md.
+//
+// Fleet-scale additions (DESIGN.md section 14): --column-budget-mb caps
+// each service's resident column bytes (CLOCK eviction; the `col_mb` and
+// `evicted` columns show what the budget did), --mesh 1024 --grid 4 is
+// the headline large-mesh configuration (--modes auto drops the
+// full-mesh single baseline at >= 1024, where one service cannot even
+// build), --stitch-plan flat|hier A/Bs the hierarchical planner, and
+// --reader-threads N partitions readers 1:1 onto shards (thread t
+// serves ONLY shard t%shards' intra batches — shard-disjoint readers
+// share no snapshot, the aggregate-QPS scaling rows). The final
+// --metrics-out snapshot carries a process.peak_rss_bytes gauge so CI
+// can assert a hard memory ceiling on budgeted runs.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <thread>
+
+#if defined(__unix__)
+#include <sys/resource.h>
+#endif
 
 #include "common/cli.h"
 #include "common/failpoint.h"
@@ -59,6 +76,20 @@ double percentileMs(const std::vector<double>& sorted, double q) {
   return sorted[std::min(rank, sorted.size() - 1)];
 }
 
+/// Process peak resident set in bytes (getrusage ru_maxrss); 0 where
+/// unavailable. Exported as the "process.peak_rss_bytes" gauge so the
+/// CI fleet-scale smoke can assert the column budget actually bounds
+/// memory (check_metrics.py --max-gauge).
+std::size_t processPeakRssBytes() {
+#if defined(__unix__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+  }
+#endif
+  return 0;
+}
+
 Point randomOwnedHealthy(const ShardLayout& layout, std::size_t k,
                          const FaultSet& faults, Rng& rng) {
   const Rect& o = layout.owned(k);
@@ -80,7 +111,30 @@ int main(int argc, char** argv) {
   using namespace meshrt;
   CliFlags flags;
   flags.define("meshes", "256", "comma-separated mesh side lengths");
+  flags.define("mesh", "",
+               "alias of --meshes (the fleet-scale recipes read better "
+               "as --mesh 1024); overrides --meshes when set");
   flags.define("grid", "2", "shard grid side (grid x grid shards)");
+  flags.define("modes", "auto",
+               "which services to run: auto (single + fleet, but fleet "
+               "only at mesh >= 1024 where a full-mesh single service "
+               "cannot even build), single, fleet, or single,fleet");
+  flags.define("column-budget-mb", "0",
+               "resident column budget per service in MiB (each fleet "
+               "shard gets this budget; 0 = unbounded). Over budget, "
+               "snapshots demote dense columns to packed and run CLOCK "
+               "second-chance eviction; evicted columns recompile "
+               "bit-identically on next touch (DESIGN.md section 14)");
+  flags.define("stitch-plan", "hier",
+               "cross-shard planning: hier (epoch-cached shard-adjacency "
+               "supergraph + lazy borders) or flat (PR-7 per-batch "
+               "full-graph rebuild baseline)");
+  flags.define("reader-threads", "0",
+               "partitioned multi-core mode: N reader threads, thread t "
+               "serving ONLY shard t%shards' intra batches (no mixed "
+               "batch) — shard-disjoint readers never touch the same "
+               "snapshot, so aggregate QPS scales with cores. 0 = the "
+               "classic staggered --readers workload");
   flags.define("halo", "2", "halo width replicated into neighbor shards");
   flags.define("fault-rate", "0.02", "initial fault fraction of nodes");
   flags.define("router", "ecube", "registry key the columns compile");
@@ -130,9 +184,11 @@ int main(int argc, char** argv) {
   if (!flags.parse(argc, argv)) return 1;
 
   const bool smoke = flags.boolean("smoke");
+  const std::string meshList =
+      flags.str("mesh").empty() ? flags.str("meshes") : flags.str("mesh");
   std::vector<std::size_t> meshes;
   for (const std::string& item :
-       splitCommaList(smoke ? "64" : flags.str("meshes"))) {
+       splitCommaList(smoke ? "64" : meshList)) {
     meshes.push_back(parseCount(item, "meshes"));
   }
   std::vector<std::size_t> writerModes;
@@ -166,6 +222,29 @@ int main(int argc, char** argv) {
               << "' (degrade|shed)\n";
     return 1;
   }
+  StitchPlanMode stitchPlan = StitchPlanMode::Hierarchical;
+  if (!parseStitchPlanMode(flags.str("stitch-plan"), &stitchPlan)) {
+    std::cerr << "unknown --stitch-plan '" << flags.str("stitch-plan")
+              << "' (hier|flat)\n";
+    return 1;
+  }
+  const double budgetMb = flags.real("column-budget-mb");
+  if (budgetMb < 0) {
+    std::cerr << "--column-budget-mb must be >= 0\n";
+    return 1;
+  }
+  const std::size_t readerThreads =
+      static_cast<std::size_t>(flags.integer("reader-threads"));
+  const std::string modes = flags.str("modes");
+  if (modes != "auto") {
+    for (const std::string& m : splitCommaList(modes)) {
+      if (m != "single" && m != "fleet") {
+        std::cerr << "unknown --modes entry '" << m
+                  << "' (auto|single|fleet|single,fleet)\n";
+        return 1;
+      }
+    }
+  }
   if (!RouterRegistry::global().contains(routerKey)) {
     std::cerr << "unknown --router '" << routerKey << "'\n";
     return 1;
@@ -196,9 +275,10 @@ int main(int argc, char** argv) {
       flags.str("metrics-out"),
       static_cast<std::uint64_t>(flags.integer("metrics-every")));
 
-  Table table({"mesh", "mode", "scope", "readers", "writers", "qps",
-               "p50_ms", "p99_ms", "events/s", "delivered", "stale_pct",
-               "shed_pct", "deadline_pct", "restarts"});
+  Table table({"mesh", "mode", "scope", "readers", "writers", "rthreads",
+               "qps", "p50_ms", "p99_ms", "events/s", "delivered",
+               "stale_pct", "shed_pct", "deadline_pct", "restarts",
+               "col_mb", "evicted"});
   for (std::size_t meshSize : meshes) {
     const Mesh2D mesh = Mesh2D::square(static_cast<Coord>(meshSize));
     const ShardLayout layout(mesh, grid, halo);
@@ -256,19 +336,42 @@ int main(int argc, char** argv) {
     ServiceConfig serviceCfg;
     serviceCfg.routerKey = routerKey;
     serviceCfg.threads = threads;
+    serviceCfg.columnBudgetBytes =
+        static_cast<std::size_t>(budgetMb * 1024.0 * 1024.0);
+
+    std::vector<bool> fleetModes;
+    if (modes == "auto") {
+      // A 1024x1024 single service would label ~1M nodes per event and
+      // pay full-mesh columns for every destination — the fleet is the
+      // only mode that scales there, so auto drops the baseline.
+      if (meshSize >= 1024) {
+        fleetModes = {true};
+      } else {
+        fleetModes = {false, true};
+      }
+    } else {
+      for (const std::string& m : splitCommaList(modes)) {
+        fleetModes.push_back(m == "fleet");
+      }
+    }
 
     for (std::size_t writerMode : writerModes) {
       const std::size_t writerCount = std::min(writerMode, shards);
-      for (const bool fleetMode : {false, true}) {
+      for (const bool fleetMode : fleetModes) {
+        // Services are constructed lazily per mode row: at --mesh 1024
+        // an eagerly built full-mesh baseline would dominate (or
+        // exhaust) the run before the fleet rows even start.
+        std::unique_ptr<RouteService> singleHolder;
+        std::unique_ptr<ServiceFleet> fleetHolder;
         RouteService* single = nullptr;
         ServiceFleet* fleet = nullptr;
-        RouteService singleService(faults, serviceCfg);
         FleetConfig fleetCfg;
         fleetCfg.service = serviceCfg;
         fleetCfg.grid = grid;
         fleetCfg.halo = halo;
         fleetCfg.maxWriterQueue = maxQueue;
         fleetCfg.overload = overloadPolicy;
+        fleetCfg.stitchPlan = stitchPlan;
         if (chaos) {
           // Self-healing configuration: bounded queues (retry writers),
           // a tight watchdog, and a fast supervisor so quarantines and
@@ -277,11 +380,12 @@ int main(int argc, char** argv) {
           fleetCfg.stallTimeoutMs = 100;
           fleetCfg.supervisorPollMs = 5;
         }
-        ServiceFleet fleetService(faults, fleetCfg);
         if (fleetMode) {
-          fleet = &fleetService;
+          fleetHolder = std::make_unique<ServiceFleet>(faults, fleetCfg);
+          fleet = fleetHolder.get();
         } else {
-          single = &singleService;
+          singleHolder = std::make_unique<RouteService>(faults, serviceCfg);
+          single = singleHolder.get();
         }
         // Degraded-mode accounting: queries served stale (quarantine or
         // admission), shed, or expired against the batch deadline.
@@ -335,9 +439,12 @@ int main(int argc, char** argv) {
         std::atomic<std::uint64_t> events{0};
         std::vector<std::thread> churners;
         std::atomic<std::uint64_t> delivered{0};
+        const std::size_t serveThreads =
+            readerThreads > 0 ? readerThreads : readers;
         // latencyMs[r][k] collects reader r's serve times for shard k's
         // intra batches; index `shards` is the mixed batch.
-        std::vector<std::vector<std::vector<double>>> latencyMs(readers);
+        std::vector<std::vector<std::vector<double>>> latencyMs(
+            serveThreads);
         const std::uint64_t restartsBefore =
             fleet ? fleet->counters().restarts : 0;
         // Chaos window: armed for the fleet rows only (the failpoints
@@ -401,19 +508,35 @@ int main(int argc, char** argv) {
           });
         }
         std::vector<std::thread> serving;
-        for (std::size_t r = 0; r < readers; ++r) {
+        for (std::size_t r = 0; r < serveThreads; ++r) {
           serving.emplace_back([&, r] {
             latencyMs[r].resize(shards + 1);
             std::uint64_t ok = 0;
-            for (std::size_t round = 0; round < rounds; ++round) {
-              for (std::size_t k = 0; k <= shards; ++k) {
-                // Stagger shard order across readers so one shard's
-                // batches don't all land at once.
-                const std::size_t target = (k + r) % (shards + 1);
+            const auto& myBatches = batches[r % readers];
+            if (readerThreads > 0) {
+              // Partitioned mode: this thread owns shard r % shards and
+              // serves only its intra batches — no mixed batch, no
+              // cross-thread snapshot sharing. Per-thread batch count
+              // matches a classic reader's (rounds * (shards + 1)).
+              const std::size_t k = r % shards;
+              const std::size_t cycles = rounds * (shards + 1);
+              for (std::size_t round = 0; round < cycles; ++round) {
                 const auto batchStart = Clock::now();
-                ok += serveCount(batches[r][target]);
-                latencyMs[r][target].push_back(
+                ok += serveCount(myBatches[k]);
+                latencyMs[r][k].push_back(
                     secondsSince(batchStart) * 1e3);
+              }
+            } else {
+              for (std::size_t round = 0; round < rounds; ++round) {
+                for (std::size_t k = 0; k <= shards; ++k) {
+                  // Stagger shard order across readers so one shard's
+                  // batches don't all land at once.
+                  const std::size_t target = (k + r) % (shards + 1);
+                  const auto batchStart = Clock::now();
+                  ok += serveCount(myBatches[target]);
+                  latencyMs[r][target].push_back(
+                      secondsSince(batchStart) * 1e3);
+                }
               }
             }
             delivered.fetch_add(ok, std::memory_order_relaxed);
@@ -431,6 +554,22 @@ int main(int argc, char** argv) {
         const std::uint64_t restartsInWindow =
             fleet ? fleet->counters().restarts - restartsBefore : 0;
 
+        // Column-cache footprint after the measured window: resident
+        // bytes across shard snapshots (what the budget bounds) and the
+        // row's eviction count (nonzero proves the budget bit).
+        std::uint64_t evictedCount = 0;
+        double columnBytes = 0.0;
+        if (fleet) {
+          for (std::size_t k = 0; k < shards; ++k) {
+            evictedCount += fleet->shard(k).counters().columnsEvicted;
+            columnBytes += static_cast<double>(
+                fleet->shard(k).columnFootprint().bytes);
+          }
+        } else {
+          evictedCount = single->counters().columnsEvicted;
+          columnBytes = static_cast<double>(single->columnFootprint().bytes);
+        }
+
         const auto emitScope = [&](const std::string& scope,
                                    std::vector<double> samples,
                                    double qps, double deliveredPct,
@@ -441,8 +580,9 @@ int main(int argc, char** argv) {
           row.cell(static_cast<std::int64_t>(meshSize));
           row.cell(std::string(fleet ? "fleet" : "single"));
           row.cell(scope);
-          row.cell(static_cast<std::int64_t>(readers));
+          row.cell(static_cast<std::int64_t>(serveThreads));
           row.cell(static_cast<std::int64_t>(writerCount));
+          row.cell(static_cast<std::int64_t>(readerThreads));
           row.cell(qps, 0);
           row.cell(percentileMs(samples, 50.0), 2);
           row.cell(percentileMs(samples, 99.0), 2);
@@ -452,11 +592,13 @@ int main(int argc, char** argv) {
           row.cell(shedPct, 2);
           row.cell(deadlinePct, 2);
           row.cell(static_cast<std::int64_t>(restartsInWindow));
+          row.cell(columnBytes / (1024.0 * 1024.0), 2);
+          row.cell(static_cast<std::int64_t>(evictedCount));
         };
 
         std::vector<double> allMs;
         std::size_t totalBatches = 0;
-        for (std::size_t r = 0; r < readers; ++r) {
+        for (std::size_t r = 0; r < serveThreads; ++r) {
           for (const auto& perTarget : latencyMs[r]) {
             allMs.insert(allMs.end(), perTarget.begin(), perTarget.end());
             totalBatches += perTarget.size();
@@ -472,7 +614,7 @@ int main(int argc, char** argv) {
                   pct(staleQ), pct(shedQ), pct(deadlineQ));
         for (std::size_t k = 0; k < shards; ++k) {
           std::vector<double> shardMs;
-          for (std::size_t r = 0; r < readers; ++r) {
+          for (std::size_t r = 0; r < serveThreads; ++r) {
             shardMs.insert(shardMs.end(), latencyMs[r][k].begin(),
                            latencyMs[r][k].end());
           }
@@ -495,6 +637,11 @@ int main(int argc, char** argv) {
       }
     }
   }
+  // Peak RSS lands in the final snapshot: the CI fleet-scale smoke
+  // asserts a ceiling on it (an unbounded column cache fails the build).
+  MetricsRegistry::global()
+      .gauge("process.peak_rss_bytes")
+      ->set(static_cast<std::int64_t>(processPeakRssBytes()));
   metricsDumper.stop();
   emitResult(table, flags);
   emitMetricsSnapshot(flags);

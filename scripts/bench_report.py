@@ -84,6 +84,10 @@ def main():
     parser.add_argument("--runs", type=int, default=5)
     parser.add_argument("--out", default="",
                         help="write the report here (default: stdout)")
+    parser.add_argument("--fleet-scale", action="store_true",
+                        help="expand the fleet_scale section to the full "
+                             "large-mesh matrix (512 and 1024 meshes; "
+                             "minutes of extra wall time)")
     args = parser.parse_args()
 
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -221,6 +225,57 @@ def main():
         f"writers={w}": round(modes["fleet"] / modes["single"], 2)
         for w, modes in sorted(by_writers.items())
         if modes.get("single") and modes.get("fleet")}
+
+    # Fleet-scale rows (DESIGN.md section 14): bounded column caches
+    # (budget off/on A/B — `evicted` proves the budget bit, `col_mb` is
+    # the held footprint) and shard-partitioned reader threads (the
+    # aggregate-QPS scaling rows). The default subset stays CI-cheap at
+    # 256x256; --fleet-scale adds the 512 and 1024 meshes. One run per
+    # point: each `all` row already aggregates every timed batch.
+    def fleet_scale_rows(mesh, grid, budget="0", rt="0", readers="8",
+                         queries="300", dests="8", events="32",
+                         writers="1"):
+        rows = run_json([fleet, "--mesh", mesh, "--grid", grid,
+                         "--modes", "fleet", "--writers", writers,
+                         "--readers", readers, "--queries", queries,
+                         "--dests", dests, "--events", events,
+                         "--column-budget-mb", budget,
+                         "--reader-threads", rt, "--format", "json"])
+        picked = []
+        for r in rows:
+            if r["scope"] == "all":
+                r["grid"] = int(grid)
+                r["budget_mb"] = float(budget)
+                picked.append(r)
+        return picked
+
+    scale = []
+    for grid in ("2", "4"):
+        scale += fleet_scale_rows("256", grid, budget="0")
+        scale += fleet_scale_rows("256", grid, budget="0.25")
+    # Read-side scaling rows run writer-free at the PR-7 default load
+    # (readers 24, 1000-query batches, 16-dest pools) so the aggregate
+    # qps is directly comparable to the service_fleet section's
+    # writers=0 fleet row — the partitioned readers' whole point.
+    for rt in ("2", "4"):
+        scale += fleet_scale_rows("256", "2", rt=rt, writers="0",
+                                  readers="24", queries="1000",
+                                  dests="16", events="0")
+    if args.fleet_scale:
+        for mesh, budget in (("512", "0"), ("512", "1")):
+            scale += fleet_scale_rows(mesh, "4", budget=budget,
+                                      readers="4", queries="200",
+                                      dests="4", events="8")
+        # The 1024 point runs serial with a deliberately sub-working-set
+        # budget: every batch pays recompiles (that is what a nonzero
+        # `evicted` at a fixed working set means), so the row is the
+        # cost-of-the-budget datum, not a throughput number. Keeping it
+        # at one reader and 48 queries bounds the run to minutes.
+        for budget in ("0", "0.5"):
+            scale += fleet_scale_rows("1024", "4", budget=budget,
+                                      readers="1", queries="48",
+                                      dests="4", events="8")
+    report["fleet_scale"] = scale
 
     # Self-healing chaos point (smoke scale): the fleet serves the same
     # workload with the applier throw/stall failpoints armed, bounded

@@ -18,6 +18,8 @@ exactly, which is what the strict mode asserts.
 
     python3 scripts/check_metrics.py metrics.json
     python3 scripts/check_metrics.py --require fleet.serve_ns,... m.json
+    python3 scripts/check_metrics.py \
+        --max-gauge process.peak_rss_bytes:2147483648 m.json
 
 Exit code 0 when every check passes; 1 with a per-check message
 otherwise.
@@ -119,7 +121,28 @@ def main():
                         help="comma-separated instrument names that must "
                              "be present (any section) in the final "
                              "snapshot")
+    parser.add_argument("--max-gauge", default=[], action="append",
+                        help="name:limit — fail when the named gauge in "
+                             "the final snapshot exceeds limit, or is "
+                             "absent (CI memory-ceiling assertions); "
+                             "repeatable")
     args = parser.parse_args()
+
+    gauge_limits = []
+    for spec in args.max_gauge:
+        if not spec:
+            continue
+        name, sep, limit = spec.rpartition(":")
+        if not sep or not name:
+            print(f"--max-gauge: malformed spec {spec!r} "
+                  "(expected name:limit)", file=sys.stderr)
+            return 1
+        try:
+            gauge_limits.append((name, int(limit)))
+        except ValueError:
+            print(f"--max-gauge: non-integer limit in {spec!r}",
+                  file=sys.stderr)
+            return 1
 
     with open(args.file) as f:
         text = f.read()
@@ -160,6 +183,18 @@ def main():
         print(f"{args.file}: required instruments missing: "
               f"{', '.join(missing)}", file=sys.stderr)
         return 1
+    for name, limit in gauge_limits:
+        # An absent gauge fails too: a ceiling nobody measures is not a
+        # ceiling.
+        if name not in final["gauges"]:
+            print(f"{args.file}: --max-gauge {name}: gauge not present "
+                  "in final snapshot", file=sys.stderr)
+            return 1
+        value = final["gauges"][name]
+        if value > limit:
+            print(f"{args.file}: gauge {name} = {value} exceeds "
+                  f"limit {limit}", file=sys.stderr)
+            return 1
 
     kind = "snapshots" if len(snaps) > 1 else "snapshot"
     print(f"{args.file}: {len(snaps)} {kind} ok — "

@@ -76,6 +76,10 @@ class PackedRouteColumn {
   /// Number of sources with a stored hop (serving coverage).
   std::size_t routedSources() const { return routedSources_; }
 
+  /// Resident payload bytes (two 3-bit entries per byte plus the gather
+  /// padding) — the bounded column cache's accounting unit.
+  std::size_t sizeBytes() const { return nibbles_.size(); }
+
   /// Steps after which every still-running chase is Diverged: the
   /// longest terminating chase over live entries, <= nodeCount.
   std::uint32_t hopBound() const { return hopBound_; }
@@ -107,10 +111,21 @@ PackedRouteColumn compilePackedRouteColumn(Router& router,
                                            const FaultSet& faults,
                                            Point dest);
 
-/// One compiled column in either encoding. A service engages exactly one
-/// alternative for its whole lifetime (ServiceConfig::encoding), so the
-/// COW column page table stores shared_ptr<const ColumnVariant> slots
-/// and never mixes encodings within an epoch chain.
+/// One compiled column in either encoding. A service compiles exactly
+/// one alternative (ServiceConfig::encoding) and patches preserve it, so
+/// the COW column page table stores shared_ptr<const ColumnVariant>
+/// slots. Under a column byte budget a Dense-encoded service's cache may
+/// DEMOTE resident dense columns to packed (the preferred resident
+/// encoding — half the bytes, identical entries by the shared
+/// firstHopByte construction), so an epoch chain can carry both
+/// alternatives; every serve path dispatches per slot via std::visit,
+/// and the lockstep batch engine only runs in non-Dense configurations,
+/// where demotion is a no-op.
 using ColumnVariant = std::variant<RouteColumn, PackedRouteColumn>;
+
+/// Resident bytes of a column in either encoding.
+inline std::size_t columnSizeBytes(const ColumnVariant& column) {
+  return std::visit([](const auto& c) { return c.sizeBytes(); }, column);
+}
 
 }  // namespace meshrt

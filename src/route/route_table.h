@@ -96,6 +96,10 @@ class RouteColumn {
   /// Number of sources with a stored hop (serving coverage).
   std::size_t routedSources() const { return routedSources_; }
 
+  /// Resident payload bytes (one hop byte per node) — what the service's
+  /// bounded column cache accounts against its budget.
+  std::size_t sizeBytes() const { return next_.size(); }
+
   /// Copy with the entries of `cells` recomputed as fresh first hops of
   /// `router` (which must read the post-delta analysis); every other
   /// entry is carried verbatim. The route service patches exactly

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <numeric>
 #include <stdexcept>
 #include <utility>
 
@@ -22,6 +23,21 @@ std::uint64_t rebuildBackoffNs(std::uint64_t failures) {
   const std::uint64_t ms = std::min<std::uint64_t>(
       1000, 50ull << std::min<std::uint64_t>(failures - 2, 4));
   return ms * 1'000'000ull;
+}
+
+/// True when the (shard-local) event cell is a cell of shard k's OWNED
+/// border ring — the only cells whose fault state the stitch planner's
+/// border entries can depend on (every crossing endpoint is an owned
+/// ring cell of its owner shard, and the planner's healthy predicate
+/// consults only the owner's view). Halo-replica applications of a
+/// neighbor's event return false: the owner's own bump covers the
+/// border, so interior churn and halo echoes never invalidate plans.
+bool touchesOwnedBorder(const ShardLayout& layout, std::size_t k,
+                        Point local) {
+  const Point g = layout.toGlobal(k, local);
+  if (layout.owner(g) != k) return false;
+  const Rect& r = layout.owned(k);
+  return g.x == r.x0 || g.x == r.x1 || g.y == r.y0 || g.y == r.y1;
 }
 
 }  // namespace
@@ -61,6 +77,15 @@ ServiceFleet::ServiceFleet(const FaultSet& initial, FleetConfig cfg)
   submitRetries_ = reg.counter("fleet.submit_retries");
   deadlineQueries_ = reg.counter("fleet.deadline_queries");
   serveErrors_ = reg.counter("fleet.serve_errors");
+  borderBuilds_ = reg.counter("fleet.border_builds");
+  borderReuses_ = reg.counter("fleet.border_reuses");
+  planCacheHits_ = reg.counter("fleet.plan_cache_hits");
+  planCacheMisses_ = reg.counter("fleet.plan_cache_misses");
+  planInvalidations_ = reg.counter("fleet.plan_invalidations");
+  planner_ = std::make_unique<StitchPlanner>(
+      layout_, cfg_.stitchPlan,
+      StitchPlannerCounters{borderBuilds_, borderReuses_, planCacheHits_,
+                            planCacheMisses_, planInvalidations_});
   serveNs_ = telemetry.stageHistogram("fleet.serve_ns");
   stitchNs_ = telemetry.stageHistogram("fleet.stitch_ns");
   queueWaitNs_ = telemetry.stageHistogram("fleet.queue_wait_ns");
@@ -81,6 +106,7 @@ ServiceFleet::ServiceFleet(const FaultSet& initial, FleetConfig cfg)
     shard->epochLag = reg.gauge(prefix + ".epoch_lag");
     shard->epoch = reg.gauge(prefix + ".epoch");
     shard->healthGauge = reg.gauge(prefix + ".health");
+    shard->columnBytes = reg.gauge(prefix + ".column_bytes");
     shard->service = std::make_shared<RouteService>(shard->applied,
                                                     cfg_.service);
     shards_.push_back(std::move(shard));
@@ -145,6 +171,13 @@ void ServiceFleet::applierLoop(std::size_t k, std::uint64_t generation) {
     shard.inflight = event;
     shard.busy = true;
     shard.queueDepth->sub(1);
+    // Border-epoch double bump, part 1 of 2 (part 2 in the ok branch
+    // below): planner entries cached before this apply must not claim
+    // to describe views pinned after it. A failed/abandoned apply
+    // leaves the epoch odd-bumped — conservative (one spurious
+    // invalidation), and the replay bumps again.
+    const bool border = touchesOwnedBorder(layout_, k, event.local);
+    if (border) ++shard.borderEpoch;
     // Pin the service instance: a mid-apply abandonment lets the
     // supervisor swap shard.service, and this thread must keep its
     // (now retired) instance alive until the apply unwinds.
@@ -196,6 +229,7 @@ void ServiceFleet::applierLoop(std::size_t k, std::uint64_t generation) {
       if (shard.health == ShardHealth::Suspect) {
         setHealthLocked(shard, ShardHealth::Healthy);
       }
+      if (border) ++shard.borderEpoch;  // bump part 2: post-publish
       eventsApplied_->add(1);
       shard.epoch->set(static_cast<std::int64_t>(service->epoch()));
       // The lag gauge mirrors queue + busy, so it drops only once the
@@ -329,6 +363,9 @@ void ServiceFleet::rebuildShard(std::size_t k) {
     // retired_ when abandoned.)
     if (shard.applier.joinable()) shard.applier.join();
     shard.service = std::move(fresh);
+    // A fresh instance publishes fresh views: planner entries keyed to
+    // the retired service's epochs must not survive the swap.
+    ++shard.borderEpoch;
     const std::uint64_t generation = ++shard.generation;
     shard.applier =
         std::thread([this, k, generation] { applierLoop(k, generation); });
@@ -344,11 +381,18 @@ void ServiceFleet::applyAddFault(Point p) {
   for (const std::size_t k : layout_.covering(p)) {
     Shard& shard = *shards_[k];
     const Point local = layout_.toLocal(k, p);
+    const bool border = touchesOwnedBorder(layout_, k, local);
+    if (border) {
+      // Pre-apply half of the border-epoch double bump (applierLoop).
+      std::lock_guard<std::mutex> guard(shard.mutex);
+      ++shard.borderEpoch;
+    }
     const std::shared_ptr<RouteService> service = shard.serviceRef();
     const std::uint64_t epoch = service->applyAddFault(local);
     {
       std::lock_guard<std::mutex> guard(shard.mutex);
       shard.applied.add(local);
+      if (border) ++shard.borderEpoch;  // post-publish half
     }
     shard.epoch->set(static_cast<std::int64_t>(epoch));
     eventsApplied_->add(1);
@@ -359,11 +403,17 @@ void ServiceFleet::applyRemoveFault(Point p) {
   for (const std::size_t k : layout_.covering(p)) {
     Shard& shard = *shards_[k];
     const Point local = layout_.toLocal(k, p);
+    const bool border = touchesOwnedBorder(layout_, k, local);
+    if (border) {
+      std::lock_guard<std::mutex> guard(shard.mutex);
+      ++shard.borderEpoch;
+    }
     const std::shared_ptr<RouteService> service = shard.serviceRef();
     const std::uint64_t epoch = service->applyRemoveFault(local);
     {
       std::lock_guard<std::mutex> guard(shard.mutex);
       shard.applied.remove(local);
+      if (border) ++shard.borderEpoch;
     }
     shard.epoch->set(static_cast<std::int64_t>(epoch));
     eventsApplied_->add(1);
@@ -525,6 +575,11 @@ FleetCounters ServiceFleet::counters() const {
   c.submitRetries = submitRetries_->value();
   c.deadlineQueries = deadlineQueries_->value();
   c.serveErrors = serveErrors_->value();
+  c.borderBuilds = borderBuilds_->value();
+  c.borderReuses = borderReuses_->value();
+  c.planCacheHits = planCacheHits_->value();
+  c.planCacheMisses = planCacheMisses_->value();
+  c.planInvalidations = planInvalidations_->value();
   return c;
 }
 
@@ -549,15 +604,24 @@ FleetBatchResult ServiceFleet::serve(const std::vector<Query>& batch,
   // swaps under us harmlessly — every chase of this batch runs on the
   // pinned instance's pinned epoch.
   std::vector<bool> unhealthy(count, false);
+  std::vector<std::uint64_t> borderEpochs(count, 0);
   for (std::size_t k = 0; k < count; ++k) {
     Shard& shard = *shards_[k];
     {
       std::lock_guard<std::mutex> guard(shard.mutex);
       out.services.push_back(shard.service);
       unhealthy[k] = shard.health != ShardHealth::Healthy;
+      // Pin INSIDE the lock so the border epoch sampled with it
+      // describes this snapshot: an apply publishing between an
+      // unlocked pin and the sample would let a stale planner entry
+      // masquerade as current. (SnapshotBox has its own lock; nothing
+      // acquires it before a shard mutex, so the nesting is safe.)
+      out.pinned.push_back(shard.service->snapshot());
+      borderEpochs[k] = shard.borderEpoch;
     }
-    out.pinned.push_back(out.services.back()->snapshot());
     out.shardEpochs.push_back(out.pinned.back()->epoch());
+    shard.columnBytes->set(static_cast<std::int64_t>(
+        out.pinned.back()->residentColumnBytes()));
   }
 
   // Admission control is sampled once per batch: the per-query flags
@@ -649,13 +713,16 @@ FleetBatchResult ServiceFleet::serve(const std::vector<Query>& batch,
 
   if (!cross.empty()) {
     crossQueries_->add(cross.size());
-    // The graph is built from the SAME pinned handles the segments are
-    // served against, so "healthy waypoint" and "chaseable endpoint"
-    // agree within this batch by construction.
-    const BoundaryWaypointGraph graph(layout_, [&](Point p) {
-      const std::size_t k = layout_.owner(p);
-      return !out.pinned[k]->faults().isFaulty(layout_.toLocal(k, p));
-    });
+    // The planner session binds the SAME pinned handles the segments
+    // are served against — "healthy waypoint" and "chaseable endpoint"
+    // agree within this batch by construction — plus the border epochs
+    // sampled under the pin locks, which key the planner's caches.
+    StitchPlanner::Session session = planner_->session(
+        [&](Point p) {
+          const std::size_t k = layout_.owner(p);
+          return !out.pinned[k]->faults().isFaulty(layout_.toLocal(k, p));
+        },
+        std::move(borderEpochs));
     SegmentMemo memo;
     for (const std::uint32_t qi : cross) {
       const std::size_t ks = layout_.owner(batch[qi].s);
@@ -675,7 +742,7 @@ FleetBatchResult ServiceFleet::serve(const std::vector<Query>& batch,
       }
       TraceSpan stitchSpan(stitchNs_.get());
       try {
-        serveCross(graph, batch, qi, wantPaths, deadlineNs, memo, out);
+        serveCross(session, batch, qi, wantPaths, deadlineNs, memo, out);
       } catch (const std::exception&) {
         out.status[qi] = ServeStatus::NoRoute;
         out.flags[qi] |= kFleetFlagError;
@@ -701,7 +768,7 @@ BatchResult ServiceFleet::serveSegment(std::size_t k, Point u, Point v,
                                   deadlineNs);
 }
 
-void ServiceFleet::serveCross(const BoundaryWaypointGraph& graph,
+void ServiceFleet::serveCross(StitchPlanner::Session& session,
                               const std::vector<Query>& batch,
                               std::size_t qi, bool wantPaths,
                               std::uint64_t deadlineNs, SegmentMemo& memo,
@@ -753,7 +820,7 @@ void ServiceFleet::serveCross(const BoundaryWaypointGraph& graph,
   for (std::size_t attempt = 0; attempt < maxReplans; ++attempt) {
     if (attempt > 0) replans_->add(1);
     const std::vector<std::size_t> plan =
-        graph.shardPath(ks, kd, blocked.empty() ? nullptr : &blocked);
+        session.shardPath(ks, kd, blocked.empty() ? nullptr : &blocked);
     if (plan.empty()) {
       out.status[qi] = ServeStatus::NoRoute;
       return;
@@ -798,7 +865,14 @@ void ServiceFleet::serveCross(const BoundaryWaypointGraph& graph,
         break;
       }
       const std::size_t kn = plan[leg + 1];
-      const std::vector<std::size_t>& candidates = graph.border(k, kn);
+      const std::vector<StitchPlanner::Waypoint>& candidates =
+          session.crossings(k, kn);
+      const auto cellIn = [&](const StitchPlanner::Waypoint& w) {
+        return k == w.shardA ? w.a : w.b;
+      };
+      const auto cellAcross = [&](const StitchPlanner::Waypoint& w) {
+        return k == w.shardA ? w.b : w.a;
+      };
       // Candidate order is keyed to the DESTINATION only, never to
       // `cur`: every query bound for the same destination tries the
       // same waypoint sequence at this border, so the exit-cell columns
@@ -808,19 +882,23 @@ void ServiceFleet::serveCross(const BoundaryWaypointGraph& graph,
       // position). Within a coarse distance band, portal anchors sort
       // first (FleetConfig::portalSpacing): fewer distinct exit cells
       // means fewer waypoint columns to compile and patch per epoch.
+      // The positional tie-break matches the flat graph's global-index
+      // tie-break bit-for-bit: within one border, flat global indices
+      // ascend in crossing-list order.
       const Coord spacing = cfg_.portalSpacing;
-      const auto nonAnchor = [&](std::size_t w) {
+      const auto nonAnchor = [&](std::size_t wi) {
         if (spacing <= 0) return false;
-        const Point p = graph.cellIn(w, k);
+        const Point p = cellIn(candidates[wi]);
         return (p.x + p.y) % spacing != 0;
       };
       const Distance band =
           spacing > 0 ? static_cast<Distance>(2 * spacing) : 1;
-      std::vector<std::size_t> order(candidates);
+      std::vector<std::size_t> order(candidates.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
       std::sort(order.begin(), order.end(),
                 [&](std::size_t a, std::size_t b) {
-                  const Distance sa = manhattan(graph.cellAcross(a, k), q.d);
-                  const Distance sb = manhattan(graph.cellAcross(b, k), q.d);
+                  const Distance sa = manhattan(cellAcross(candidates[a]), q.d);
+                  const Distance sb = manhattan(cellAcross(candidates[b]), q.d);
                   if (sa / band != sb / band) return sa / band < sb / band;
                   const bool na = nonAnchor(a);
                   const bool nb = nonAnchor(b);
@@ -831,9 +909,10 @@ void ServiceFleet::serveCross(const BoundaryWaypointGraph& graph,
         order.resize(cfg_.waypointRetries);
       }
       bool crossed = false;
-      for (const std::size_t w : order) {
-        const Point exit = graph.cellIn(w, k);
-        const Point entry = graph.cellAcross(w, k);
+      for (const std::size_t wi : order) {
+        const StitchPlanner::Waypoint& w = candidates[wi];
+        const Point exit = cellIn(w);
+        const Point entry = cellAcross(w);
         BatchResult r;
         if (!chase(k, cur, exit, r)) {
           if (deadlined) {

@@ -63,6 +63,7 @@
 #include "mesh/shard_layout.h"
 #include "route/waypoint_graph.h"
 #include "service/route_service.h"
+#include "service/stitch_planner.h"
 
 namespace meshrt {
 
@@ -188,6 +189,13 @@ struct FleetConfig {
   /// through a few portals per border bounds both. 0 disables
   /// anchoring. Paths stay valid and at most one band longer.
   Coord portalSpacing = 8;
+  /// Cross-shard planning strategy (service/stitch_planner.h):
+  /// Hierarchical plans over the epoch-cached shard-adjacency supergraph
+  /// and materializes only the borders a shard path crosses; Flat keeps
+  /// the PR-7 per-batch full-graph rebuild as the A/B baseline. Both
+  /// produce identical stitched results on identical pinned views (the
+  /// StitchPlan differential suite certifies it).
+  StitchPlanMode stitchPlan = StitchPlanMode::Hierarchical;
   /// Test seam: called by shard k's applier thread before each event is
   /// applied (a Gate here stalls exactly one shard's writer).
   std::function<void(std::size_t shard)> applyHook;
@@ -268,6 +276,17 @@ struct FleetCounters {
   std::uint64_t deadlineQueries = 0;
   /// Queries failed by a throwing shard serve (kFleetFlagError).
   std::uint64_t serveErrors = 0;
+  /// Border scans by the stitch planner (flat: one full-graph build per
+  /// cross-batch counts every border; hierarchical: lazy per-border).
+  std::uint64_t borderBuilds = 0;
+  /// Borders answered from the epoch-keyed cache without a scan.
+  std::uint64_t borderReuses = 0;
+  /// Shard paths served from the plan cache.
+  std::uint64_t planCacheHits = 0;
+  /// Shard paths BFS-computed (and cached).
+  std::uint64_t planCacheMisses = 0;
+  /// Plan-cache clears triggered by border-epoch movement.
+  std::uint64_t planInvalidations = 0;
 };
 
 /// True when no faulty cell of `localFaults` (shard-local coordinates)
@@ -430,6 +449,14 @@ class ServiceFleet {
     std::shared_ptr<Gauge> epochLag;    ///< queue + mid-application event
     std::shared_ptr<Gauge> epoch;       ///< service epoch after last apply
     std::shared_ptr<Gauge> healthGauge;  ///< ShardHealth numeric value
+    std::shared_ptr<Gauge> columnBytes;  ///< resident column bytes, sampled
+                                         ///< at batch pin time
+    /// Bumped (under `mutex`) before AND after every event that touches
+    /// this shard's owned border ring, plus on rebuild swaps: the stitch
+    /// planner's cache key. The double bump brackets the publish, so a
+    /// steady-state sample always reflects post-event views; a mid-apply
+    /// sample is a bounded, self-healing guidance race (stitch_planner.h).
+    std::uint64_t borderEpoch = 0;
 
     std::shared_ptr<RouteService> serviceRef() const {
       std::lock_guard<std::mutex> guard(mutex);
@@ -460,7 +487,7 @@ class ServiceFleet {
       std::set<std::tuple<std::size_t, Coord, Coord, Coord, Coord>>;
   /// Serves one cross-shard query (index qi of `batch`) by planning and
   /// stitching; writes into `out`.
-  void serveCross(const BoundaryWaypointGraph& graph,
+  void serveCross(StitchPlanner::Session& session,
                   const std::vector<Query>& batch, std::size_t qi,
                   bool wantPaths, std::uint64_t deadlineNs,
                   SegmentMemo& memo, FleetBatchResult& out);
@@ -473,6 +500,9 @@ class ServiceFleet {
   FleetConfig cfg_;
   ShardLayout layout_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Cross-shard planner (mode cfg_.stitchPlan); its epoch-keyed caches
+  /// persist across batches and are invalidated by border-epoch bumps.
+  std::unique_ptr<StitchPlanner> planner_;
 
   /// Fleet-wide teardown flag: cuts injected applier stalls short and
   /// stops the supervisor.
@@ -502,6 +532,11 @@ class ServiceFleet {
   std::shared_ptr<Counter> submitRetries_;
   std::shared_ptr<Counter> deadlineQueries_;
   std::shared_ptr<Counter> serveErrors_;
+  std::shared_ptr<Counter> borderBuilds_;
+  std::shared_ptr<Counter> borderReuses_;
+  std::shared_ptr<Counter> planCacheHits_;
+  std::shared_ptr<Counter> planCacheMisses_;
+  std::shared_ptr<Counter> planInvalidations_;
   std::shared_ptr<Histogram> serveNs_;
   std::shared_ptr<Histogram> stitchNs_;
   std::shared_ptr<Histogram> queueWaitNs_;

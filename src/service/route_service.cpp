@@ -26,6 +26,7 @@ PoolTelemetry servicePoolTelemetry(const TelemetryConfig& telemetry) {
 RouteService::RouteService(const FaultSet& initial, ServiceConfig cfg)
     : cfg_(std::move(cfg)),
       model_(initial),
+      cachePolicy_(cfg_.columnBudgetBytes, model_.mesh().nodeCount()),
       pool_(cfg_.threads, servicePoolTelemetry(cfg_.telemetry)) {
   if (cfg_.routerKey.starts_with("table:")) {
     throw std::invalid_argument(
@@ -43,6 +44,11 @@ RouteService::RouteService(const FaultSet& initial, ServiceConfig cfg)
   snapshotsPublished_ = reg.counter("service.snapshots_published");
   queriesServed_ = reg.counter("service.queries_served");
   chasesDiverged_ = reg.counter("service.chases_diverged");
+  columnsEvicted_ = reg.counter("service.columns.evicted");
+  columnsDemoted_ = reg.counter("service.columns.demoted");
+  columnsRecompiled_ = reg.counter("service.columns.recompiled");
+  columnsResident_ = reg.gauge("service.columns.resident");
+  columnBytes_ = reg.gauge("service.column_bytes");
   serveClassifyNs_ = cfg_.telemetry.stageHistogram("serve.classify_ns");
   serveCompileNs_ = cfg_.telemetry.stageHistogram("serve.compile_ns");
   serveChaseNs_ = cfg_.telemetry.stageHistogram("serve.chase_ns");
@@ -207,6 +213,11 @@ std::uint64_t RouteService::applyEvent(const FaultEvent& event) {
   if (entries.load() != 0) entriesPatched_->add(entries.load());
   if (dropped != 0) columnsDropped_->add(dropped);
 
+  // Budget the successor BEFORE it publishes: patched columns are brand
+  // new bytes (their pages detached from the predecessor), so an epoch
+  // under churn is exactly where an unbounded table would creep.
+  maybeEnforceBudget(*next);
+
   const std::uint64_t epoch = next->epoch();
   if (timeSwap) swapT0 = telemetryNowNs();
   box_.publish(std::unique_ptr<const ServiceSnapshot>(std::move(next)));
@@ -265,7 +276,74 @@ void RouteService::compileColumns(const ServiceSnapshot& snap,
                      std::in_place_type<RouteColumn>, std::move(dense));
     snap.installColumn(dests[i], std::move(slot));
     columnsCompiled_->add(1);
+    // A compile that refills an evicted slot is the budget's extra work;
+    // fetch_and hands the bit to exactly one concurrent compiler.
+    const auto prev =
+        cachePolicy_.state[static_cast<std::size_t>(dests[i])].fetch_and(
+            static_cast<std::uint8_t>(~ColumnCachePolicy::kEvictedBit),
+            std::memory_order_relaxed);
+    if (prev & ColumnCachePolicy::kEvictedBit) columnsRecompiled_->add(1);
   });
+}
+
+std::vector<std::shared_ptr<const ColumnVariant>> RouteService::pinOrCompile(
+    const ServiceSnapshot& snap, const std::vector<NodeId>& dests) {
+  auto pins = snap.pinColumns(dests);
+  const bool budget = cachePolicy_.active();
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    std::vector<NodeId> missing;
+    for (std::size_t i = 0; i < dests.size(); ++i) {
+      if (!pins[i]) missing.push_back(dests[i]);
+    }
+    if (missing.empty()) break;
+    compileColumns(snap, std::move(missing));
+    pins = snap.pinColumns(dests);
+    // Without a budget nothing evicts between install and pin, so one
+    // compile round always lands; with one, a concurrent sweep can win
+    // the race and we go again.
+    if (!budget) break;
+  }
+  std::vector<std::size_t> stragglers;
+  for (std::size_t i = 0; i < dests.size(); ++i) {
+    if (!pins[i]) stragglers.push_back(i);
+  }
+  if (!stragglers.empty()) {
+    // Terminal fallback: compile batch-local columns WITHOUT installing
+    // them — nothing can evict what the table never held, so the batch
+    // makes progress no matter how hot the sweep runs. Identical bytes
+    // to an installed compile (same dense compile, same packing).
+    const bool packed = cfg_.encoding != ColumnEncoding::Dense;
+    std::vector<std::shared_ptr<const ColumnVariant>> local(
+        stragglers.size());
+    forEachWithChunkRouter(
+        snap, stragglers.size(), [&](Router& router, std::size_t i) {
+          const Point dest = snap.mesh().point(dests[stragglers[i]]);
+          RouteColumn dense =
+              compileRouteColumn(router, snap.faults(), dest);
+          local[i] =
+              packed ? std::make_shared<const ColumnVariant>(
+                           std::in_place_type<PackedRouteColumn>, dense,
+                           snap.mesh())
+                     : std::make_shared<const ColumnVariant>(
+                           std::in_place_type<RouteColumn>,
+                           std::move(dense));
+        });
+    for (std::size_t i = 0; i < stragglers.size(); ++i) {
+      pins[stragglers[i]] = std::move(local[i]);
+    }
+  }
+  if (budget) {
+    for (NodeId d : dests) cachePolicy_.touch(d);
+  }
+  return pins;
+}
+
+void RouteService::maybeEnforceBudget(const ServiceSnapshot& snap) {
+  const ColumnEvictStats stats = snap.enforceColumnBudget(cachePolicy_);
+  if (stats.evicted != 0) columnsEvicted_->add(stats.evicted);
+  if (stats.demoted != 0) columnsDemoted_->add(stats.demoted);
+  columnsResident_->set(static_cast<std::int64_t>(stats.residentCount));
+  columnBytes_->set(static_cast<std::int64_t>(stats.residentBytes));
 }
 
 BatchResult RouteService::serve(const std::vector<Query>& batch,
@@ -313,25 +391,21 @@ BatchResult RouteService::serveOn(
       }
     }
     std::sort(dests.begin(), dests.end());
-    std::vector<NodeId> missing;
-    {
-      const auto ptrs = snap->columnsFor(dests);
-      for (std::size_t i = 0; i < dests.size(); ++i) {
-        if (ptrs[i] == nullptr) missing.push_back(dests[i]);
-      }
-    }
     classifySpan.stop();
     if (pastDeadline()) {
       std::fill(out.status.begin(), out.status.end(), ServeStatus::Deadline);
       queriesServed_->add(batch.size());
       return out;
     }
+    // Owning pins instead of raw pointers: under a column budget a sweep
+    // can null a slot mid-batch, but it can never reclaim a column this
+    // batch holds a handle to.
+    std::vector<std::shared_ptr<const ColumnVariant>> resolved;
     {
       TraceSpan compileSpan(serveCompileNs_.get());
-      compileColumns(*snap, std::move(missing));
+      resolved = pinOrCompile(*snap, dests);
     }
     TraceSpan chaseSpan(serveChaseNs_.get());
-    const auto resolved = snap->columnsFor(dests);
     const auto bound = static_cast<std::size_t>(m.nodeCount());
     std::uint64_t divergedInline = 0;
     for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -354,7 +428,7 @@ BatchResult RouteService::serveOn(
       const ColumnVariant* column = nullptr;
       for (std::size_t d = 0; d < dests.size(); ++d) {
         if (dests[d] == id) {
-          column = resolved[d];
+          column = resolved[d].get();
           break;
         }
       }
@@ -380,6 +454,8 @@ BatchResult RouteService::serveOn(
     chaseSpan.stop();
     queriesServed_->add(batch.size());
     if (divergedInline != 0) chasesDiverged_->add(divergedInline);
+    resolved.clear();  // release the pins, or the sweep must skip them
+    maybeEnforceBudget(*snap);
     return out;
   }
 
@@ -440,14 +516,6 @@ BatchResult RouteService::serveOn(
   }
   // Deterministic compile order (k entries, not batch-many).
   std::sort(dests.begin(), dests.end());
-
-  std::vector<NodeId> missing;
-  {
-    const auto ptrs = snap->columnsFor(dests);
-    for (std::size_t i = 0; i < dests.size(); ++i) {
-      if (ptrs[i] == nullptr) missing.push_back(dests[i]);
-    }
-  }
   classifySpan.stop();
   // Deadline gate ahead of the compile (the serve stage with unbounded
   // single-step cost). Queries already retired by the lockstep classify
@@ -464,24 +532,21 @@ BatchResult RouteService::serveOn(
     queriesServed_->add(batch.size());
     return out;
   }
+  // Pin owning handles once; the serve loop then runs lock-free against
+  // raw pointers backed by `pinned` (plus the snapshot handle).
+  // pinOrCompile waits on OUR task group only, and its exceptions are
+  // ours alone — after it returns, every requested column is pinned (an
+  // installed one, or a batch-local fallback compile under a hot
+  // eviction sweep), so a chase can never see a null column.
+  std::vector<std::shared_ptr<const ColumnVariant>> pinned;
   {
     TraceSpan compileSpan(serveCompileNs_.get());
-    compileColumns(*snap, std::move(missing));
+    pinned = pinOrCompile(*snap, dests);
   }
-
-  // Pin raw pointers once; the serve loop then runs lock-free (the
-  // snapshot handle keeps every column alive). compileColumns waits on
-  // OUR task group only, and its exceptions are ours alone — after it
-  // returns, every requested column is installed (by us or by a
-  // concurrent batch that compiled it first), so a chase can never see a
-  // null column.
   std::vector<const ColumnVariant*> byDest(
       static_cast<std::size_t>(m.nodeCount()), nullptr);
-  {
-    const auto resolved = snap->columnsFor(dests);
-    for (std::size_t i = 0; i < dests.size(); ++i) {
-      byDest[static_cast<std::size_t>(dests[i])] = resolved[i];
-    }
+  for (std::size_t i = 0; i < dests.size(); ++i) {
+    byDest[static_cast<std::size_t>(dests[i])] = pinned[i].get();
   }
 
   const auto maxSteps = static_cast<std::size_t>(m.nodeCount());
@@ -522,6 +587,8 @@ BatchResult RouteService::serveOn(
     chaseSpan.stop();
     queriesServed_->add(batch.size());
     if (diverged.load() != 0) chasesDiverged_->add(diverged.load());
+    pinned.clear();
+    maybeEnforceBudget(*snap);
     return out;
   }
 
@@ -603,6 +670,8 @@ BatchResult RouteService::serveOn(
   chaseSpan.stop();
   queriesServed_->add(batch.size());
   if (diverged.load() != 0) chasesDiverged_->add(diverged.load());
+  pinned.clear();
+  maybeEnforceBudget(*snap);
   return out;
 }
 
@@ -616,6 +685,7 @@ void RouteService::precompileAll() {
     }
   }
   compileColumns(*snap, std::move(missing));
+  maybeEnforceBudget(*snap);
 }
 
 ServiceCounters RouteService::counters() const {
@@ -628,7 +698,16 @@ ServiceCounters RouteService::counters() const {
   c.snapshotsPublished = snapshotsPublished_->value();
   c.queriesServed = queriesServed_->value();
   c.chasesDiverged = chasesDiverged_->value();
+  c.columnsEvicted = columnsEvicted_->value();
+  c.columnsDemoted = columnsDemoted_->value();
+  c.columnsRecompiled = columnsRecompiled_->value();
   return c;
+}
+
+ColumnFootprint RouteService::columnFootprint() const {
+  const auto snap = box_.acquire();
+  return ColumnFootprint{snap->residentColumnBytes(),
+                         snap->residentColumnCount()};
 }
 
 }  // namespace meshrt

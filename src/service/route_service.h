@@ -104,6 +104,13 @@ struct ServiceConfig {
   SnapshotStorage storage = SnapshotStorage::Cow;
   /// Column encoding + batch serve engine (benches A/B dense vs packed).
   ColumnEncoding encoding = ColumnEncoding::Packed;
+  /// Resident column byte ceiling for the bounded column cache (0 =
+  /// unbounded, the historical behavior). When set, serve tails and
+  /// publishes run a CLOCK second-chance sweep over the snapshot column
+  /// table (snapshot.h: enforceColumnBudget) — evicted columns recompile
+  /// bit-identically on next touch, so every serve result is unchanged;
+  /// only footprint and recompile work move. DESIGN.md section 14.
+  std::size_t columnBudgetBytes = 0;
   /// Metrics wiring (common/telemetry.h). Counters/gauges are always
   /// live; `telemetry.enabled` gates the serve/publish stage histograms
   /// (the clock-reading part — the MESHRT_TELEMETRY=off A/B axis).
@@ -151,6 +158,19 @@ struct ServiceCounters {
   std::uint64_t snapshotsPublished = 0;
   std::uint64_t queriesServed = 0;
   std::uint64_t chasesDiverged = 0;
+  /// Columns evicted by the bounded cache (0 without a budget).
+  std::uint64_t columnsEvicted = 0;
+  /// Dense columns demoted to packed by the bounded cache.
+  std::uint64_t columnsDemoted = 0;
+  /// Compiles that refilled a previously evicted slot (a subset of
+  /// columnsCompiled — the budget's extra work, bit-identical output).
+  std::uint64_t columnsRecompiled = 0;
+};
+
+/// Resident column footprint of the current snapshot.
+struct ColumnFootprint {
+  std::size_t bytes = 0;
+  std::size_t count = 0;
 };
 
 class RouteService {
@@ -208,10 +228,16 @@ class RouteService {
                       bool wantPaths = false, std::uint64_t deadlineNs = 0);
 
   /// Compiles every healthy destination's column in the current snapshot
-  /// (bench warm-up / eager mode).
+  /// (bench warm-up / eager mode). With a column budget the compiled set
+  /// is immediately swept back under the ceiling — eager warm-up cannot
+  /// defeat the bound.
   void precompileAll();
 
   ServiceCounters counters() const;
+
+  /// Resident column bytes/count of the current snapshot (what the
+  /// budget bounds; the fleet exports it per shard as a gauge).
+  ColumnFootprint columnFootprint() const;
 
   /// Snapshots currently alive (current + retired-but-pinned).
   std::uint64_t liveSnapshots() const { return box_.liveCount(); }
@@ -228,9 +254,23 @@ class RouteService {
   /// Compiles the columns for `dests` (deduplicated NodeIds) into `snap`.
   void compileColumns(const ServiceSnapshot& snap,
                       std::vector<NodeId> dests);
+  /// Owning handles for `dests`, compiling missing columns first. With a
+  /// column budget this loops (a concurrent sweep can evict a column
+  /// between its install and our pin) and falls back to batch-local,
+  /// NOT-installed compiles after a few rounds, so progress is
+  /// guaranteed; results are bit-identical either way (both flow through
+  /// the same dense compile). Also sets the CLOCK ref bits.
+  std::vector<std::shared_ptr<const ColumnVariant>> pinOrCompile(
+      const ServiceSnapshot& snap, const std::vector<NodeId>& dests);
+  /// Runs the eviction sweep when a budget is configured and refreshes
+  /// the resident-footprint gauges (always, so unbounded runs export
+  /// their footprint too).
+  void maybeEnforceBudget(const ServiceSnapshot& snap);
 
   ServiceConfig cfg_;
   DynamicFaultModel model_;                       // writer-side state
+  /// CLOCK state shared by every epoch of this service (snapshot.h).
+  ColumnCachePolicy cachePolicy_;
   std::unique_ptr<KnowledgeBundle> knowledge_;    // writer-side, optional
   mutable ThreadPool pool_;
   SnapshotBox<ServiceSnapshot> box_;
@@ -254,6 +294,13 @@ class RouteService {
   std::shared_ptr<Counter> snapshotsPublished_;
   std::shared_ptr<Counter> queriesServed_;
   std::shared_ptr<Counter> chasesDiverged_;
+  std::shared_ptr<Counter> columnsEvicted_;
+  std::shared_ptr<Counter> columnsDemoted_;
+  std::shared_ptr<Counter> columnsRecompiled_;
+  /// Resident columns / bytes of the current snapshot (set-style gauges,
+  /// refreshed by maybeEnforceBudget).
+  std::shared_ptr<Gauge> columnsResident_;
+  std::shared_ptr<Gauge> columnBytes_;
   std::shared_ptr<Histogram> serveClassifyNs_;
   std::shared_ptr<Histogram> serveCompileNs_;
   std::shared_ptr<Histogram> serveChaseNs_;

@@ -2,22 +2,9 @@
 
 #include <algorithm>
 #include <utility>
+#include <variant>
 
 namespace meshrt {
-
-namespace {
-
-/// Copies the predecessor's column table under its lock (page-table copy,
-/// O(pages)); a fresh empty table for the first epoch.
-PagedGrid<std::shared_ptr<const ColumnVariant>> inheritColumns(
-    const Mesh2D& mesh, const ServiceSnapshot* prev) {
-  if (prev == nullptr) {
-    return PagedGrid<std::shared_ptr<const ColumnVariant>>(mesh);
-  }
-  return prev->columnPagesLocked();
-}
-
-}  // namespace
 
 ServiceSnapshot::ServiceSnapshot(std::uint64_t epoch,
                                  const DynamicFaultModel& model,
@@ -26,7 +13,16 @@ ServiceSnapshot::ServiceSnapshot(std::uint64_t epoch,
     : epoch_(epoch),
       faults_(model.faults()),
       analysis_(model.analysis().cloneFor(faults_)),
-      columns_(inheritColumns(model.mesh(), prev)) {
+      columns_(model.mesh()) {
+  if (prev != nullptr) {
+    // One lock for the page table AND its footprint counters — two
+    // separate locked reads could interleave with a concurrent lazy
+    // compile and inherit a table/footprint pair that never coexisted.
+    std::lock_guard<std::mutex> lock(prev->columnMutex_);
+    columns_ = prev->columns_;
+    residentBytes_ = prev->residentBytes_;
+    residentCount_ = prev->residentCount_;
+  }
   if (knowledge != nullptr) knowledge_ = knowledge->cloneFor(*analysis_);
 }
 
@@ -40,18 +36,36 @@ void ServiceSnapshot::installColumn(
     NodeId dest, std::shared_ptr<const ColumnVariant> column) const {
   std::lock_guard<std::mutex> lock(columnMutex_);
   auto& slot = columns_[mesh().point(dest)];
-  if (!slot) slot = std::move(column);
+  if (!slot) {
+    residentBytes_ += columnSizeBytes(*column);
+    ++residentCount_;
+    slot = std::move(column);
+  }
 }
 
 void ServiceSnapshot::dropColumn(NodeId dest) {
   std::lock_guard<std::mutex> lock(columnMutex_);
-  columns_[mesh().point(dest)] = nullptr;
+  auto& slot = columns_[mesh().point(dest)];
+  if (slot) {
+    residentBytes_ -= columnSizeBytes(*slot);
+    --residentCount_;
+    slot = nullptr;
+  }
 }
 
 void ServiceSnapshot::replaceColumn(
     NodeId dest, std::shared_ptr<const ColumnVariant> column) {
   std::lock_guard<std::mutex> lock(columnMutex_);
-  columns_[mesh().point(dest)] = std::move(column);
+  auto& slot = columns_[mesh().point(dest)];
+  if (slot) {
+    residentBytes_ -= columnSizeBytes(*slot);
+    --residentCount_;
+  }
+  if (column) {
+    residentBytes_ += columnSizeBytes(*column);
+    ++residentCount_;
+  }
+  slot = std::move(column);
 }
 
 std::vector<const ColumnVariant*> ServiceSnapshot::columnsFor(
@@ -61,6 +75,17 @@ std::vector<const ColumnVariant*> ServiceSnapshot::columnsFor(
   std::lock_guard<std::mutex> lock(columnMutex_);
   for (NodeId dest : dests) {
     out.push_back(std::as_const(columns_)[mesh().point(dest)].get());
+  }
+  return out;
+}
+
+std::vector<std::shared_ptr<const ColumnVariant>> ServiceSnapshot::pinColumns(
+    const std::vector<NodeId>& dests) const {
+  std::vector<std::shared_ptr<const ColumnVariant>> out;
+  out.reserve(dests.size());
+  std::lock_guard<std::mutex> lock(columnMutex_);
+  for (NodeId dest : dests) {
+    out.push_back(std::as_const(columns_)[mesh().point(dest)]);
   }
   return out;
 }
@@ -87,6 +112,77 @@ std::size_t ServiceSnapshot::compiledColumns() const {
         n += (slot != nullptr);
       });
   return n;
+}
+
+ColumnEvictStats ServiceSnapshot::enforceColumnBudget(
+    ColumnCachePolicy& policy) const {
+  ColumnEvictStats stats;
+  std::lock_guard<std::mutex> lock(columnMutex_);
+  stats.residentBytes = residentBytes_;
+  stats.residentCount = residentCount_;
+  if (!policy.active() || residentBytes_ <= policy.budgetBytes) return stats;
+
+  const Mesh2D& m = mesh();
+  const auto n = static_cast<std::size_t>(m.nodeCount());
+  std::size_t hand = policy.hand.load(std::memory_order_relaxed) % n;
+  // 4 passes: one may be spent clearing ref bits, one demoting dense
+  // slots (a demoted slot is CLOCK-considered on the next lap), and the
+  // bound keeps an all-pinned table from spinning forever.
+  for (std::size_t step = 0;
+       step < 4 * n && residentBytes_ > policy.budgetBytes; ++step) {
+    const auto dest = static_cast<NodeId>(hand);
+    hand = (hand + 1) % n;
+    const Point p = m.point(dest);
+    const auto& slot = std::as_const(columns_)[p];
+    if (!slot) continue;
+    if (std::holds_alternative<RouteColumn>(*slot)) {
+      // Demote before any eviction: packed is the preferred resident
+      // encoding (half the bytes, bit-identical entries), so spend the
+      // repack rather than throw compiled work away. The old dense
+      // object stays alive for any batch still pinning it.
+      const auto& dense = std::get<RouteColumn>(*slot);
+      auto packed = std::make_shared<const ColumnVariant>(
+          std::in_place_type<PackedRouteColumn>, dense, m);
+      residentBytes_ -= dense.sizeBytes();
+      residentBytes_ += columnSizeBytes(*packed);
+      columns_[p] = std::move(packed);  // detaches the page if shared
+      ++stats.demoted;
+      continue;
+    }
+    auto& state = policy.state[static_cast<std::size_t>(dest)];
+    if (state.load(std::memory_order_relaxed) & ColumnCachePolicy::kRefBit) {
+      // Second chance: clear the ref bit, evict only if the hand comes
+      // around again with no serve in between.
+      state.fetch_and(static_cast<std::uint8_t>(~ColumnCachePolicy::kRefBit),
+                      std::memory_order_relaxed);
+      continue;
+    }
+    if (slot.use_count() > 1) {
+      // Pinned by an in-flight batch (pinColumns handle), or the slot's
+      // page was detached while a neighbor epoch still shares the
+      // column — either way nulling this slot would free nothing yet.
+      continue;
+    }
+    residentBytes_ -= columnSizeBytes(*slot);
+    --residentCount_;
+    columns_[p] = nullptr;
+    state.fetch_or(ColumnCachePolicy::kEvictedBit, std::memory_order_relaxed);
+    ++stats.evicted;
+  }
+  policy.hand.store(hand, std::memory_order_relaxed);
+  stats.residentBytes = residentBytes_;
+  stats.residentCount = residentCount_;
+  return stats;
+}
+
+std::size_t ServiceSnapshot::residentColumnBytes() const {
+  std::lock_guard<std::mutex> lock(columnMutex_);
+  return residentBytes_;
+}
+
+std::size_t ServiceSnapshot::residentColumnCount() const {
+  std::lock_guard<std::mutex> lock(columnMutex_);
+  return residentCount_;
 }
 
 void ServiceSnapshot::detachAllPages() {

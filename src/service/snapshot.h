@@ -14,9 +14,17 @@
 // installed, so a snapshot converges monotonically toward fully compiled
 // without ever changing an answer. The writer additionally drops and
 // replaces inherited columns on the NOT-YET-PUBLISHED successor; a
-// published snapshot's installed columns never change.
+// published snapshot's installed column CONTENT never changes — but under
+// a column byte budget (ServiceConfig::columnBudgetBytes) a slot may be
+// evicted back to null (or a dense slot demoted to its packed twin) by
+// enforceColumnBudget(), and the column recompiles bit-identically on
+// next demand. Serve paths therefore pin owning handles via pinColumns()
+// instead of borrowing raw pointers — an evicted column stays alive for
+// exactly as long as some batch still chases it. See DESIGN.md
+// section 14.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -30,6 +38,50 @@
 #include "route/route_table.h"
 
 namespace meshrt {
+
+/// Shared CLOCK state for a service's bounded column cache. Owned by the
+/// RouteService (NOT the snapshot: reference bits and the sweep hand must
+/// survive epoch publishes, or every publish would reset the eviction
+/// ordering). Reference bits are set lock-free on the serve path; the
+/// sweep itself runs under the snapshot's column mutex.
+struct ColumnCachePolicy {
+  /// Second-chance bit: set when a batch serves the destination, cleared
+  /// (instead of evicting) the first time the CLOCK hand passes it.
+  static constexpr std::uint8_t kRefBit = 1;
+  /// Set when the slot is evicted; the next install clears it and counts
+  /// as a recompile in the service's telemetry.
+  static constexpr std::uint8_t kEvictedBit = 2;
+
+  ColumnCachePolicy() = default;
+  ColumnCachePolicy(std::size_t budget, NodeId nodeCount)
+      : budgetBytes(budget),
+        state(std::make_unique<std::atomic<std::uint8_t>[]>(
+            static_cast<std::size_t>(nodeCount))) {}
+
+  bool active() const { return budgetBytes > 0 && state != nullptr; }
+
+  /// Marks `dest` recently served (serve-path side of CLOCK).
+  void touch(NodeId dest) {
+    state[static_cast<std::size_t>(dest)].fetch_or(
+        kRefBit, std::memory_order_relaxed);
+  }
+
+  /// Resident-byte ceiling; 0 disables eviction entirely.
+  std::size_t budgetBytes = 0;
+  /// Dest-indexed ref/evicted bits (value-initialized to 0). A plain
+  /// array because std::vector cannot hold atomics.
+  std::unique_ptr<std::atomic<std::uint8_t>[]> state;
+  /// CLOCK hand, persisted across sweeps and epochs.
+  std::atomic<std::size_t> hand{0};
+};
+
+/// What one enforceColumnBudget() sweep did, plus the footprint after.
+struct ColumnEvictStats {
+  std::size_t evicted = 0;
+  std::size_t demoted = 0;
+  std::size_t residentBytes = 0;
+  std::size_t residentCount = 0;
+};
 
 class ServiceSnapshot {
  public:
@@ -72,8 +124,19 @@ class ServiceSnapshot {
 
   /// Raw column pointers for `dests`, in order (null where missing),
   /// resolved under one lock so a serve loop can run lock-free against
-  /// pointers pinned by the snapshot handle it holds.
+  /// pointers pinned by the snapshot handle it holds. Only safe when no
+  /// column budget is active — eviction can null a slot mid-serve, so
+  /// budget-aware paths must use pinColumns() instead.
   std::vector<const ColumnVariant*> columnsFor(
+      const std::vector<NodeId>& dests) const;
+
+  /// Owning handles for `dests`, in order (null where missing), resolved
+  /// under one lock. A pinned column survives eviction for as long as the
+  /// caller holds the handle — this is what "batch-pinned columns are
+  /// never evicted mid-serve" means operationally: the sweep skips slots
+  /// with outstanding pins, and even if a later sweep drops the slot, the
+  /// batch's handle keeps the bytes alive until it drains.
+  std::vector<std::shared_ptr<const ColumnVariant>> pinColumns(
       const std::vector<NodeId>& dests) const;
 
   /// Destination ids with a compiled column, ascending — what the writer
@@ -103,6 +166,25 @@ class ServiceSnapshot {
     return columns_;
   }
 
+  /// Evicts (and demotes) columns until the resident footprint fits
+  /// policy.budgetBytes, CLOCK second-chance order from the persisted
+  /// hand. Dense slots are demoted to their packed twin first (half the
+  /// bytes, identical entries by the shared firstHopByte construction);
+  /// packed slots with the ref bit get a second chance; slots with
+  /// outstanding pins (batch handles, or pages still shared with a
+  /// not-yet-drained neighbor epoch, where eviction would free nothing)
+  /// are skipped. Bounded at 4 passes over the table, so an all-pinned
+  /// table degrades to best-effort instead of spinning. No-op when the
+  /// policy is inactive or the footprint already fits. Thread-safe;
+  /// callable on a published snapshot (see the header comment).
+  ColumnEvictStats enforceColumnBudget(ColumnCachePolicy& policy) const;
+
+  /// Resident column payload bytes / count right now (maintained by
+  /// install/drop/replace/evict under the column mutex, inherited with
+  /// the page table).
+  std::size_t residentColumnBytes() const;
+  std::size_t residentColumnCount() const;
+
  private:
   std::uint64_t epoch_;
   FaultSet faults_;
@@ -113,6 +195,10 @@ class ServiceSnapshot {
   /// Dest-indexed (row-major point of the dest id) COW pages of column
   /// pointers; shared with the predecessor epoch until written.
   mutable PagedGrid<std::shared_ptr<const ColumnVariant>> columns_;
+  /// Footprint of non-null slots, the eviction budget's currency. Guarded
+  /// by columnMutex_ like the table itself.
+  mutable std::size_t residentBytes_ = 0;
+  mutable std::size_t residentCount_ = 0;
 };
 
 }  // namespace meshrt
